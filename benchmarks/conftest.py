@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module corresponds to one experiment id (E1-E12) from
+DESIGN.md.  Benchmarks time the relevant procedure with pytest-benchmark
+and, in the same test, assert the *qualitative* claim from the paper the
+experiment reproduces (who is contained in whom, which chase is larger,
+where the finite/infinite divergence shows up).  Absolute timings are
+machine-dependent and are not compared against the paper (it reports
+none).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.paper_examples import (
+    figure1_example,
+    intro_example,
+    intro_example_key_based,
+    section4_example,
+)
+
+
+@pytest.fixture(scope="session")
+def intro():
+    return intro_example()
+
+
+@pytest.fixture(scope="session")
+def intro_key_based():
+    return intro_example_key_based()
+
+
+@pytest.fixture(scope="session")
+def figure1():
+    return figure1_example()
+
+
+@pytest.fixture(scope="session")
+def section4():
+    return section4_example()

@@ -1,0 +1,73 @@
+"""E13 — ablations of the decision procedure's design choices.
+
+Two library-level design choices are ablated here:
+
+* **iterative deepening vs. single-shot chase** — the procedure defaults
+  to rebuilding the chase at doubling level budgets so that shallow
+  witnesses are found without ever building the full Theorem 2 prefix;
+  the ablation builds straight to the bound.  Expected shape: identical
+  answers; deepening is much faster on positive instances with shallow
+  witnesses and no worse than ~2x on negative instances (geometric
+  rebuild cost).
+* **optimization pipeline vs. plain minimization** — the staged pipeline
+  (FD simplify, join elimination, core) must agree with direct
+  minimization under Σ on the number of conjuncts it can remove.
+"""
+
+import pytest
+
+from repro.containment.decision import is_contained
+from repro.containment.equivalence import minimize_under
+from repro.optimizer.pipeline import optimize
+from repro.queries.builder import QueryBuilder
+
+
+def _shallow_positive(figure1):
+    return (
+        QueryBuilder(figure1.schema, "Qp")
+        .head("c")
+        .atom("R", "a", "b", "c")
+        .atom("S", "a", "c", "w")
+        .build()
+    )
+
+
+def _negative(figure1):
+    return (
+        QueryBuilder(figure1.schema, "Qp")
+        .head("c")
+        .atom("R", "a", "b", "c")
+        .atom("T", "c", "w")
+        .build()
+    )
+
+
+@pytest.mark.benchmark(group="E13-deepening-positive")
+@pytest.mark.parametrize("deepening", [True, False])
+def test_e13_positive_instance(benchmark, figure1, deepening):
+    q_prime = _shallow_positive(figure1)
+    result = benchmark(lambda: is_contained(
+        figure1.query, q_prime, figure1.dependencies, deepening=deepening))
+    assert result.holds and result.certain
+
+
+@pytest.mark.benchmark(group="E13-deepening-negative")
+@pytest.mark.parametrize("deepening", [True, False])
+def test_e13_negative_instance(benchmark, figure1, deepening):
+    q_prime = _negative(figure1)
+    result = benchmark(lambda: is_contained(
+        figure1.query, q_prime, figure1.dependencies, deepening=deepening,
+        max_conjuncts=50_000))
+    assert not result.holds and result.certain
+
+
+@pytest.mark.benchmark(group="E13-pipeline-vs-minimization")
+def test_e13_pipeline_agrees_with_minimize_under(benchmark, intro):
+    def both():
+        report = optimize(intro.q1, intro.dependencies)
+        direct = minimize_under(intro.q1, intro.dependencies)
+        return report, direct
+
+    report, direct = benchmark(both)
+    assert len(report.optimized) == len(direct) == 1
+    assert report.verify()

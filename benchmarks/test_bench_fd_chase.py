@@ -1,0 +1,58 @@
+"""E10 — the FD-only chase substrate (Maier–Mendelzon–Sagiv).
+
+Paper artifact: the classical FD chase the paper builds on (Section 3's
+"the procedure is well known").  Expected shape: chasing a query that
+joins the same key repeatedly collapses all copies into one conjunct; the
+number of chase steps grows with the number of copies; FD-only containment
+resolves exactly.
+"""
+
+import pytest
+
+from repro.chase.fd_chase import fd_only_chase
+from repro.containment.fd_containment import contained_under_fds
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.queries.builder import QueryBuilder
+from repro.relational.schema import DatabaseSchema
+
+
+SCHEMA = DatabaseSchema.from_dict({"EMP": ["emp", "sal", "dept"], "DEP": ["dept", "loc"]})
+FDS = [
+    FunctionalDependency("EMP", ["emp"], "sal"),
+    FunctionalDependency("EMP", ["emp"], "dept"),
+    FunctionalDependency("DEP", ["dept"], "loc"),
+]
+
+
+def _repeated_key_query(copies):
+    builder = QueryBuilder(SCHEMA, f"Q{copies}").head("e")
+    for index in range(copies):
+        builder.atom("EMP", "e", f"s{index}", f"d{index}")
+        builder.atom("DEP", f"d{index}", f"l{index}")
+    return builder.build()
+
+
+@pytest.mark.benchmark(group="E10-fd-chase")
+@pytest.mark.parametrize("copies", [2, 4, 8, 16])
+def test_e10_chase_collapses_repeated_keys(benchmark, copies):
+    query = _repeated_key_query(copies)
+    result = benchmark(lambda: fd_only_chase(query, FDS))
+    assert result.succeeded
+    chased = result.query
+    assert chased is not None
+    # All EMP copies share the key 'e', so they merge; the DEP copies then
+    # share the same dept and merge too.
+    assert len(chased.conjuncts_for("EMP")) == 1
+    assert len(chased.conjuncts_for("DEP")) == 1
+    assert result.steps >= copies - 1
+
+
+@pytest.mark.benchmark(group="E10-fd-chase")
+@pytest.mark.parametrize("copies", [2, 4, 8])
+def test_e10_fd_containment(benchmark, copies):
+    query = _repeated_key_query(copies)
+    single = _repeated_key_query(1)
+    sigma = DependencySet(FDS, schema=SCHEMA)
+    result = benchmark(lambda: contained_under_fds(single, query, sigma))
+    assert result.holds and result.certain

@@ -1,0 +1,46 @@
+"""E2 — Figure 1: the O-chase and R-chase of the example query are infinite.
+
+Paper artifact: Figure 1 (Section 3).  Expected shape: both chases keep
+growing as the level budget increases (they never saturate); the level-1
+frontier contains a T conjunct and an S conjunct; each deeper level of the
+R-chase adds exactly one conjunct (the R/S alternation drawn in the
+figure).
+"""
+
+import pytest
+
+from repro.chase.engine import o_chase, r_chase
+
+
+LEVELS = [2, 4, 6, 8]
+
+
+@pytest.mark.benchmark(group="E2-figure1-chase")
+@pytest.mark.parametrize("level", LEVELS)
+def test_e2_r_chase_growth(benchmark, figure1, level):
+    result = benchmark(lambda: r_chase(figure1.query, figure1.dependencies,
+                                       max_level=level, record_trace=False))
+    assert result.truncated and not result.saturated
+    assert result.max_level() == level
+    histogram = result.level_histogram()
+    assert histogram[1] == 2                      # T(a,·) and S(a,c,·)
+    assert all(histogram[i] == 1 for i in range(2, level + 1))
+
+
+@pytest.mark.benchmark(group="E2-figure1-chase")
+@pytest.mark.parametrize("level", LEVELS)
+def test_e2_o_chase_growth(benchmark, figure1, level):
+    result = benchmark(lambda: o_chase(figure1.query, figure1.dependencies,
+                                       max_level=level, record_trace=False))
+    assert result.truncated and not result.saturated
+    # The oblivious chase is at least as large as the restricted one.
+    restricted = r_chase(figure1.query, figure1.dependencies,
+                         max_level=level, record_trace=False)
+    assert len(result) >= len(restricted)
+
+
+@pytest.mark.benchmark(group="E2-figure1-chase")
+def test_e2_chase_graph_rendering(benchmark, figure1):
+    result = r_chase(figure1.query, figure1.dependencies, max_level=5)
+    text = benchmark(result.describe)
+    assert "level 5" in text

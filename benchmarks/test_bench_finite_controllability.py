@@ -1,0 +1,57 @@
+"""E8 — Theorem 3: finite controllability for width-1 INDs and key-based Σ.
+
+Paper artifact: Theorem 3 and the constant k_Σ.  Expected shape: for the
+finitely controllable classes the ⊆∞ decision and the finite-database
+sampler always agree (in both directions of the intro example), and k_Σ is
+1 for key-based sets and the sum of target arities for width-1 IND sets.
+"""
+
+import pytest
+
+from repro.containment.decision import is_contained
+from repro.containment.finite import finite_containment_sample, k_sigma
+
+
+@pytest.mark.benchmark(group="E8-finite-controllability")
+@pytest.mark.parametrize("direction", ["q2-in-q1", "q1-in-q2"])
+def test_e8_width1_ind_agreement(benchmark, intro, direction):
+    if direction == "q2-in-q1":
+        query, query_prime = intro.q2, intro.q1
+    else:
+        query, query_prime = intro.q1, intro.q2
+    infinite = is_contained(query, query_prime, intro.dependencies).holds
+    report = benchmark(lambda: finite_containment_sample(
+        query, query_prime, intro.dependencies,
+        domain_size=2, exhaustive=False, samples=60, seed=8))
+    assert report.holds_on_sample == infinite or infinite is False
+    if infinite:
+        assert report.holds_on_sample
+
+
+@pytest.mark.benchmark(group="E8-finite-controllability")
+@pytest.mark.parametrize("direction", ["q2-in-q1", "q1-in-q2"])
+def test_e8_key_based_agreement(benchmark, intro_key_based, direction):
+    if direction == "q2-in-q1":
+        query, query_prime = intro_key_based.q2, intro_key_based.q1
+    else:
+        query, query_prime = intro_key_based.q1, intro_key_based.q2
+    sigma = intro_key_based.dependencies
+    infinite = is_contained(query, query_prime, sigma).holds
+    report = benchmark(lambda: finite_containment_sample(
+        query, query_prime, sigma, domain_size=2, exhaustive=False,
+        samples=60, seed=9))
+    if infinite:
+        assert report.holds_on_sample
+
+
+@pytest.mark.benchmark(group="E8-finite-controllability")
+def test_e8_k_sigma_constants(benchmark, intro, intro_key_based, section4):
+    values = benchmark(lambda: (
+        k_sigma(intro.dependencies, intro.schema),
+        k_sigma(intro_key_based.dependencies, intro_key_based.schema),
+        k_sigma(section4.dependencies, section4.schema),
+    ))
+    width1, key_based, outside = values
+    assert width1 == 2      # DEP is the only IND target, arity 2
+    assert key_based == 1   # Lemma 6
+    assert outside is None  # the counterexample set is not covered

@@ -1,0 +1,48 @@
+"""E7 — the Section 4 counterexample: ⊆f holds while ⊆∞ fails.
+
+Paper artifact: the example opening Section 4.  Expected shape: the
+chase-based ⊆∞ test rejects Q1 ⊆ Q2 (and keeps rejecting it however deep
+the chase is built), while exhaustive enumeration of finite Σ-databases
+over small domains finds no counterexample; removing Σ immediately yields
+a finite counterexample.
+"""
+
+import pytest
+
+from repro.containment.decision import is_contained
+from repro.containment.finite import finite_containment_sample
+from repro.dependencies.dependency_set import DependencySet
+
+
+@pytest.mark.benchmark(group="E7-finite-counterexample")
+@pytest.mark.parametrize("level_bound", [4, 8, 16])
+def test_e7_infinite_containment_fails_at_any_depth(benchmark, section4, level_bound):
+    result = benchmark(lambda: is_contained(
+        section4.q1, section4.q2, section4.dependencies, level_bound=level_bound))
+    assert not result.holds
+
+
+@pytest.mark.benchmark(group="E7-finite-counterexample")
+@pytest.mark.parametrize("domain_size", [2, 3])
+def test_e7_finite_containment_holds_exhaustively(benchmark, section4, domain_size):
+    report = benchmark(lambda: finite_containment_sample(
+        section4.q1, section4.q2, section4.dependencies,
+        domain_size=domain_size, exhaustive=True))
+    assert report.holds_on_sample
+    assert report.databases_checked > 0
+
+
+@pytest.mark.benchmark(group="E7-finite-counterexample")
+def test_e7_reverse_direction_holds_everywhere(benchmark, section4):
+    result = benchmark(lambda: is_contained(
+        section4.q2, section4.q1, section4.dependencies))
+    assert result.holds and result.certain
+
+
+@pytest.mark.benchmark(group="E7-finite-counterexample")
+def test_e7_dropping_sigma_breaks_finite_equivalence(benchmark, section4):
+    report = benchmark(lambda: finite_containment_sample(
+        section4.q1, section4.q2, DependencySet(schema=section4.schema),
+        domain_size=2, exhaustive=True))
+    assert not report.holds_on_sample
+    assert report.counterexample is not None

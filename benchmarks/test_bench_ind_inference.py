@@ -1,0 +1,59 @@
+"""E6 — Corollary 2.3: IND inference as a special case of containment.
+
+Paper artifact: the reduction in the proof of Corollary 2.3.  Expected
+shape: the containment-based procedure returns exactly the same verdicts
+as the axiomatic (CFP) procedure on transitivity chains and projection
+instances; cost grows with the chain length and the width.
+"""
+
+import pytest
+
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.ind_inference import (
+    ind_implied_by_axioms,
+    ind_implied_via_containment,
+)
+from repro.relational.schema import DatabaseSchema
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+def _chain_schema_and_inds(length, width):
+    generator = SchemaGenerator()
+    schema = generator.uniform(length + 1, max(2, width), prefix="N")
+    inds = []
+    for index in range(1, length + 1):
+        source = schema.relation(f"N{index}")
+        target = schema.relation(f"N{index + 1}")
+        columns = list(range(1, width + 1))
+        inds.append(InclusionDependency(source.name, columns, target.name, columns))
+    candidate = InclusionDependency(
+        "N1", list(range(1, width + 1)), f"N{length + 1}", list(range(1, width + 1)))
+    return schema, inds, candidate
+
+
+@pytest.mark.benchmark(group="E6-ind-inference-chain")
+@pytest.mark.parametrize("length", [1, 2, 4, 6])
+def test_e6_transitivity_chain_via_containment(benchmark, length):
+    schema, inds, candidate = _chain_schema_and_inds(length, width=1)
+    implied = benchmark(lambda: ind_implied_via_containment(inds, candidate, schema))
+    assert implied
+    assert ind_implied_by_axioms(inds, candidate, schema) == implied
+
+
+@pytest.mark.benchmark(group="E6-ind-inference-width")
+@pytest.mark.parametrize("width", [1, 2, 3])
+def test_e6_width_sweep(benchmark, width):
+    schema, inds, candidate = _chain_schema_and_inds(3, width=width)
+    implied = benchmark(lambda: ind_implied_via_containment(inds, candidate, schema))
+    assert implied
+    assert ind_implied_by_axioms(inds, candidate, schema)
+
+
+@pytest.mark.benchmark(group="E6-ind-inference-negative")
+@pytest.mark.parametrize("length", [2, 4])
+def test_e6_underivable_candidates_agree(benchmark, length):
+    schema, inds, _ = _chain_schema_and_inds(length, width=1)
+    backwards = InclusionDependency(f"N{length + 1}", [1], "N1", [1])
+    implied = benchmark(lambda: ind_implied_via_containment(inds, backwards, schema))
+    assert not implied
+    assert not ind_implied_by_axioms(inds, backwards, schema)

@@ -1,0 +1,36 @@
+"""E1 — the Section 1 intro example: Q1 ≡ Q2 iff the foreign-key IND holds.
+
+Paper artifact: the motivating example of Section 1.  Expected shape:
+Q1 ⊆ Q2 always; Q2 ⊆ Q1 only under the IND; the chase needed is tiny (one
+IND application), so the decision is fast in absolute terms.
+"""
+
+import pytest
+
+from repro.containment.decision import is_contained
+from repro.containment.equivalence import are_equivalent, minimize_under
+
+
+@pytest.mark.benchmark(group="E1-intro-example")
+def test_e1_containment_without_dependencies(benchmark, intro):
+    result = benchmark(lambda: is_contained(intro.q2, intro.q1))
+    assert result.certain and not result.holds
+
+
+@pytest.mark.benchmark(group="E1-intro-example")
+def test_e1_containment_with_ind(benchmark, intro):
+    result = benchmark(lambda: is_contained(intro.q2, intro.q1, intro.dependencies))
+    assert result.certain and result.holds
+    assert result.chase_size == 2
+
+
+@pytest.mark.benchmark(group="E1-intro-example")
+def test_e1_equivalence_with_ind(benchmark, intro):
+    equivalent = benchmark(lambda: are_equivalent(intro.q1, intro.q2, intro.dependencies))
+    assert equivalent
+
+
+@pytest.mark.benchmark(group="E1-intro-example")
+def test_e1_join_elimination(benchmark, intro):
+    optimized = benchmark(lambda: minimize_under(intro.q1, intro.dependencies))
+    assert len(optimized) == 1

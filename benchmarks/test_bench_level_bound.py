@@ -1,0 +1,58 @@
+"""E3 — Lemma 5 / Figure 2: witnessing images fit within the level bound.
+
+Paper artifact: the level bound ``|Q'| · |Σ| · (W + 1)^W`` of Lemma 5 used
+by Theorem 2.  Expected shape: for every positive containment instance the
+certificate's deepest image level is at most the bound — usually far below
+it — and the bound grows polynomially in |Q'| and |Σ| for fixed W.
+"""
+
+import pytest
+
+from repro.containment.bounds import theorem2_level_bound
+from repro.containment.decision import is_contained
+from repro.queries.builder import QueryBuilder
+from repro.workloads.dependency_generator import DependencyGenerator
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+def _figure1_prime(figure1, depth):
+    """A Q' whose witness sits ``depth`` R/S-alternation steps down the chase."""
+    builder = QueryBuilder(figure1.schema, f"Qp{depth}").head("c").atom("R", "a", "b", "c")
+    previous = "c"
+    for step in range(depth):
+        s_fresh = f"s{step}"
+        r_fresh = f"r{step}"
+        builder.atom("S", "a", previous, s_fresh)
+        builder.atom("R", "a", s_fresh, r_fresh)
+        previous = r_fresh
+    return builder.build()
+
+
+@pytest.mark.benchmark(group="E3-level-bound")
+@pytest.mark.parametrize("depth", [1, 2, 3, 4])
+def test_e3_certificate_levels_within_bound(benchmark, figure1, depth):
+    q_prime = _figure1_prime(figure1, depth)
+    bound = theorem2_level_bound(q_prime, figure1.dependencies)
+
+    result = benchmark(lambda: is_contained(
+        figure1.query, q_prime, figure1.dependencies, with_certificate=True))
+    assert result.holds and result.certain
+    assert result.certificate is not None and result.certificate.verify()
+    deepest = result.certificate.max_image_level()
+    assert deepest <= bound
+    # The witness really does need to go deeper as Q' grows.
+    assert deepest >= depth
+
+
+@pytest.mark.benchmark(group="E3-level-bound")
+@pytest.mark.parametrize("ind_count", [1, 2, 4])
+def test_e3_bound_growth_with_sigma(benchmark, ind_count):
+    schema = SchemaGenerator(seed=30).uniform(3, 2)
+    sigma = DependencyGenerator(schema, seed=31).ind_only(ind_count, max_width=1)
+    query = QueryGenerator(schema, seed=32).chain(3)
+    bound = theorem2_level_bound(query, sigma)
+    assert bound == len(query) * len(sigma) * 2
+
+    result = benchmark(lambda: is_contained(query, query, sigma))
+    assert result.holds

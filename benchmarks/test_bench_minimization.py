@@ -1,0 +1,59 @@
+"""E11 — query minimization under dependencies (the optimization payoff).
+
+Paper artifact: the motivation of Section 1 ("containment, equivalence,
+and minimization") — non-minimality under Σ lets an optimizer remove
+joins.  Expected shape: redundant-join queries over foreign keys minimize
+down to a single atom under key-based Σ; the same queries are already
+minimal without Σ; minimization cost grows with the number of joins.
+"""
+
+import pytest
+
+from repro.containment.equivalence import is_minimal_under, minimize_under
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.queries.builder import QueryBuilder
+from repro.queries.minimization import is_minimal
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+def _foreign_key_workload(dimension_count):
+    schema = SchemaGenerator().star(dimension_count)
+    fact = schema.relation("FACT")
+    sigma = DependencySet(schema=schema)
+    for index in range(1, dimension_count + 1):
+        dimension = schema.relation(f"DIM{index}")
+        for fd in FunctionalDependency.key(dimension, [f"k{index}"]):
+            sigma.add(fd)
+        sigma.add(InclusionDependency(
+            "FACT", [fact.attribute_name_at(index - 1)], f"DIM{index}", [f"k{index}"]))
+    query = QueryGenerator(schema, seed=11).star(
+        "FACT", [f"DIM{i}" for i in range(1, dimension_count + 1)])
+    return schema, sigma, query
+
+
+@pytest.mark.benchmark(group="E11-minimization")
+@pytest.mark.parametrize("dimension_count", [1, 2, 3, 4])
+def test_e11_foreign_key_joins_removed(benchmark, dimension_count):
+    _, sigma, query = _foreign_key_workload(dimension_count)
+    optimized = benchmark(lambda: minimize_under(query, sigma))
+    assert len(optimized) == 1
+    # Without the dependencies nothing can be removed: each dimension join
+    # genuinely restricts the answers.
+    assert is_minimal(query)
+
+
+@pytest.mark.benchmark(group="E11-minimization")
+@pytest.mark.parametrize("dimension_count", [2, 4])
+def test_e11_minimality_check(benchmark, dimension_count):
+    _, sigma, query = _foreign_key_workload(dimension_count)
+    minimal = benchmark(lambda: is_minimal_under(query, sigma))
+    assert not minimal
+
+
+@pytest.mark.benchmark(group="E11-minimization")
+def test_e11_intro_example_minimization(benchmark, intro):
+    optimized = benchmark(lambda: minimize_under(intro.q1, intro.dependencies))
+    assert len(optimized) == 1

@@ -1,0 +1,52 @@
+"""E9 — the Chandra–Merlin baseline: containment with no dependencies (W = 0).
+
+Paper artifact: the base case the paper generalises (containment is
+NP-complete already with Σ = ∅).  Expected shape: the chase-based
+procedure with an empty Σ gives the same answers as the direct containment
+mapping test; cost grows with query size; positives (query vs. weakened
+query) and self-containment stay cheap because the fail-first
+homomorphism search prunes aggressively.
+"""
+
+import pytest
+
+from repro.containment.decision import is_contained
+from repro.containment.no_dependencies import contained_without_dependencies
+from repro.dependencies.dependency_set import DependencySet
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+def _queries(size, seed=0):
+    schema = SchemaGenerator(seed=seed).uniform(3, 2)
+    generator = QueryGenerator(schema, seed=seed + 1)
+    query = generator.chain(size)
+    weaker = generator.weakened(query, drop_count=1)
+    return schema, query, weaker
+
+
+@pytest.mark.benchmark(group="E9-no-dependencies")
+@pytest.mark.parametrize("size", [2, 4, 8, 12])
+def test_e9_positive_instances(benchmark, size):
+    _, query, weaker = _queries(size)
+    result = benchmark(lambda: contained_without_dependencies(query, weaker))
+    assert result.holds and result.certain
+
+
+@pytest.mark.benchmark(group="E9-no-dependencies")
+@pytest.mark.parametrize("size", [2, 4, 8, 12])
+def test_e9_self_containment(benchmark, size):
+    _, query, _ = _queries(size)
+    result = benchmark(lambda: contained_without_dependencies(query, query))
+    assert result.holds
+
+
+@pytest.mark.benchmark(group="E9-no-dependencies")
+@pytest.mark.parametrize("size", [4, 8])
+def test_e9_chase_dispatcher_agrees_with_direct_test(benchmark, size):
+    schema, query, weaker = _queries(size)
+    direct = contained_without_dependencies(weaker, query)
+    via_dispatcher = benchmark(lambda: is_contained(
+        weaker, query, DependencySet(schema=schema)))
+    assert via_dispatcher.holds == direct.holds
+    assert via_dispatcher.certain

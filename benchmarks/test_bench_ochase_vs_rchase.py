@@ -1,0 +1,76 @@
+"""E12 — ablation: O-chase vs. R-chase growth and decision cost.
+
+Paper artifact: the two chase variants of Section 3 (the paper needs the
+O-chase for the IND-only certificate argument and the R-chase for the
+key-based one; Theorem 1 holds for both).  Expected shape: at equal level
+budgets the O-chase never has fewer conjuncts than the R-chase and is
+usually strictly larger; containment answers computed with either variant
+agree; deciding with the R-chase is at least as fast on the paper's
+examples.
+"""
+
+import pytest
+
+from repro.chase.engine import ChaseVariant, o_chase, r_chase
+from repro.containment.decision import is_contained
+from repro.queries.builder import QueryBuilder
+from repro.workloads.dependency_generator import DependencyGenerator
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+@pytest.mark.benchmark(group="E12-ochase-vs-rchase-growth")
+@pytest.mark.parametrize("variant", ["R", "O"])
+@pytest.mark.parametrize("level", [3, 6])
+def test_e12_growth_at_equal_budget(benchmark, figure1, variant, level):
+    builder = r_chase if variant == "R" else o_chase
+    result = benchmark(lambda: builder(figure1.query, figure1.dependencies,
+                                       max_level=level, record_trace=False))
+    other = (o_chase if variant == "R" else r_chase)(
+        figure1.query, figure1.dependencies, max_level=level, record_trace=False)
+    if variant == "R":
+        assert len(result) <= len(other)
+    else:
+        assert len(result) >= len(other)
+
+
+@pytest.mark.benchmark(group="E12-ochase-vs-rchase-decision")
+@pytest.mark.parametrize("variant", [ChaseVariant.RESTRICTED, ChaseVariant.OBLIVIOUS])
+def test_e12_decision_cost_on_intro_example(benchmark, intro, variant):
+    result = benchmark(lambda: is_contained(intro.q2, intro.q1, intro.dependencies,
+                                            variant=variant))
+    assert result.holds and result.certain
+
+
+@pytest.mark.benchmark(group="E12-ochase-vs-rchase-decision")
+@pytest.mark.parametrize("variant", [ChaseVariant.RESTRICTED, ChaseVariant.OBLIVIOUS])
+def test_e12_decision_cost_on_figure1_negative(benchmark, figure1, variant):
+    q_prime = (
+        QueryBuilder(figure1.schema, "Qp")
+        .head("c")
+        .atom("R", "a", "b", "c")
+        .atom("T", "c", "w")
+        .build()
+    )
+    result = benchmark(lambda: is_contained(figure1.query, q_prime, figure1.dependencies,
+                                            variant=variant, max_conjuncts=50_000))
+    assert not result.holds
+
+
+@pytest.mark.benchmark(group="E12-ochase-vs-rchase-random")
+@pytest.mark.parametrize("seed", [1, 2, 3])
+def test_e12_variants_agree_on_random_ind_workloads(benchmark, seed):
+    schema = SchemaGenerator(seed=seed).uniform(3, 2)
+    queries = QueryGenerator(schema, seed=seed + 10)
+    query = queries.chain(3)
+    weaker = queries.weakened(query, drop_count=1)
+    sigma = DependencyGenerator(schema, seed=seed + 20).cyclic_ind_chain(width=1)
+
+    def both_variants():
+        return (
+            is_contained(query, weaker, sigma, variant=ChaseVariant.RESTRICTED).holds,
+            is_contained(query, weaker, sigma, variant=ChaseVariant.OBLIVIOUS).holds,
+        )
+
+    restricted, oblivious = benchmark(both_variants)
+    assert restricted == oblivious

@@ -1,0 +1,62 @@
+"""E5 — Theorem 2(ii): containment under key-based Σ (star / foreign-key joins).
+
+Paper artifact: the key-based case of Theorem 2 (Corollary 2.2).  Expected
+shape: the R-chase performs all FD work up front (Lemma 2), the chase
+stays small because required applications stop at existing key tuples, and
+answers stay exact across the sweep.  The foreign-key workload also shows
+the optimization payoff: dimension joins on foreign keys are redundant.
+"""
+
+import pytest
+
+from repro.containment.decision import is_contained
+from repro.containment.equivalence import minimize_under
+from repro.dependencies.dependency_set import DependencyClass, DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+def _star_workload(dimension_count):
+    schema = SchemaGenerator().star(dimension_count)
+    fact = schema.relation("FACT")
+    dependencies = DependencySet(schema=schema)
+    for index in range(1, dimension_count + 1):
+        dimension = schema.relation(f"DIM{index}")
+        for fd in FunctionalDependency.key(dimension, [f"k{index}"]):
+            dependencies.add(fd)
+        dependencies.add(InclusionDependency(
+            "FACT", [fact.attribute_name_at(index - 1)], f"DIM{index}", [f"k{index}"]))
+    queries = QueryGenerator(schema, seed=7)
+    star_query = queries.star("FACT", [f"DIM{i}" for i in range(1, dimension_count + 1)])
+    fact_only = star_query.with_conjuncts(
+        [star_query.conjuncts[0]], name="fact_only")
+    return schema, dependencies, star_query, fact_only
+
+
+@pytest.mark.benchmark(group="E5-key-based")
+@pytest.mark.parametrize("dimension_count", [1, 2, 3, 4])
+def test_e5_star_join_elimination(benchmark, dimension_count):
+    schema, sigma, star_query, fact_only = _star_workload(dimension_count)
+    assert sigma.classify(schema) is DependencyClass.KEY_BASED
+
+    result = benchmark(lambda: is_contained(fact_only, star_query, sigma))
+    assert result.certain and result.holds
+    # Without the foreign keys the dimension joins are not redundant.
+    assert not is_contained(fact_only, star_query).holds
+
+
+@pytest.mark.benchmark(group="E5-key-based")
+@pytest.mark.parametrize("dimension_count", [2, 3])
+def test_e5_minimization_under_foreign_keys(benchmark, dimension_count):
+    schema, sigma, star_query, _ = _star_workload(dimension_count)
+    optimized = benchmark(lambda: minimize_under(star_query, sigma))
+    assert len(optimized) == 1  # every dimension join is removable
+
+
+@pytest.mark.benchmark(group="E5-key-based")
+def test_e5_intro_key_based_example(benchmark, intro_key_based):
+    result = benchmark(lambda: is_contained(
+        intro_key_based.q2, intro_key_based.q1, intro_key_based.dependencies))
+    assert result.certain and result.holds

@@ -1,0 +1,80 @@
+"""Quickstart: the paper's introductory example, end to end.
+
+Builds the EMP/DEP schema, the two queries Q1 and Q2 from Section 1, and
+the foreign-key inclusion dependency, then shows that
+
+* without the IND, Q1 ⊆ Q2 but not conversely;
+* with the IND, the two queries are equivalent (Theorem 1 / Theorem 2);
+* the practical payoff: under the IND, Q1's DEP join can be eliminated.
+
+Run with ``python examples/quickstart.py``.
+"""
+
+from repro import (
+    DatabaseSchema,
+    DependencySet,
+    InclusionDependency,
+    QueryBuilder,
+    are_equivalent,
+    is_contained,
+    minimize_under,
+)
+
+
+def main() -> None:
+    schema = DatabaseSchema.from_dict({
+        "EMP": ["emp", "sal", "dept"],
+        "DEP": ["dept", "loc"],
+    })
+
+    q1 = (
+        QueryBuilder(schema, "Q1")
+        .head("e")
+        .atom("EMP", "e", "s", "d")
+        .atom("DEP", "d", "l")
+        .build()
+    )
+    q2 = (
+        QueryBuilder(schema, "Q2")
+        .head("e")
+        .atom("EMP", "e", "s", "d")
+        .build()
+    )
+    sigma = DependencySet(
+        [InclusionDependency("EMP", ["dept"], "DEP", ["dept"])], schema=schema)
+
+    print("Queries")
+    print(" ", q1)
+    print(" ", q2)
+    print("Dependencies")
+    print(" ", "\n  ".join(str(d) for d in sigma))
+    print()
+
+    print("Containment without dependencies:")
+    print("  Q1 ⊆ Q2 :", is_contained(q1, q2).holds)
+    print("  Q2 ⊆ Q1 :", is_contained(q2, q1).holds)
+    print()
+
+    print("Containment under the inclusion dependency:")
+    forward = is_contained(q1, q2, sigma)
+    backward = is_contained(q2, q1, sigma, with_certificate=True)
+    print("  Q1 ⊆ Q2 :", forward.holds, f"({forward.method})")
+    print("  Q2 ⊆ Q1 :", backward.holds, f"({backward.method})")
+    print("  equivalent:", are_equivalent(q1, q2, sigma))
+    print()
+
+    certificate = backward.certificate
+    if certificate is not None:
+        print("Certificate for Q2 ⊆ Q1 (the Theorem 2 'short proof'):")
+        print(certificate.describe())
+        print("  verifies:", certificate.verify())
+        print()
+
+    optimized = minimize_under(q1, sigma, name="Q1_optimized")
+    print("Optimization: Q1 minimized under the IND")
+    print("  before:", q1)
+    print("  after :", optimized)
+
+
+if __name__ == "__main__":
+    main()

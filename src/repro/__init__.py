@@ -1,0 +1,174 @@
+"""repro — conjunctive-query containment under FDs and INDs.
+
+A from-scratch, laptop-scale reproduction of
+
+    D. S. Johnson and A. Klug,
+    "Testing Containment of Conjunctive Queries under Functional and
+    Inclusion Dependencies", PODS 1982 / JCSS 28 (1984) 167-189.
+
+The package provides the relational model, conjunctive queries, functional
+and inclusion dependencies, the O-chase and R-chase of Section 3, the
+Theorem 2 bounded-chase containment procedure with verifiable
+certificates, equivalence and minimization under dependencies, and the
+Section 4 finite-containment tooling, plus an in-memory storage engine, a
+textual parser, and workload generators used by the examples and
+benchmarks.
+
+Quickstart::
+
+    from repro import (
+        DatabaseSchema, QueryBuilder, DependencySet, InclusionDependency,
+        is_contained,
+    )
+
+    schema = DatabaseSchema.from_dict(
+        {"EMP": ["emp", "sal", "dept"], "DEP": ["dept", "loc"]})
+    q1 = (QueryBuilder(schema, "Q1").head("e")
+          .atom("EMP", "e", "s", "d").atom("DEP", "d", "l").build())
+    q2 = (QueryBuilder(schema, "Q2").head("e")
+          .atom("EMP", "e", "s", "d").build())
+    sigma = DependencySet(
+        [InclusionDependency("EMP", ["dept"], "DEP", ["dept"])], schema=schema)
+
+    assert is_contained(q2, q1, sigma).holds      # needs the IND
+    assert is_contained(q2, q1).holds is False    # fails without it
+"""
+
+from repro.exceptions import (
+    ChaseBudgetExceeded,
+    ChaseError,
+    ContainmentUndecided,
+    DependencyError,
+    EvaluationError,
+    IntegrityError,
+    ParseError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+from repro.relational import (
+    Attribute,
+    Database,
+    DatabaseSchema,
+    Domain,
+    RelationInstance,
+    RelationSchema,
+)
+from repro.terms import (
+    Constant,
+    DistinguishedVariable,
+    FreshVariableFactory,
+    NonDistinguishedVariable,
+    Substitution,
+    Variable,
+)
+from repro.queries import (
+    Conjunct,
+    ConjunctiveQuery,
+    QueryBuilder,
+    QueryGraph,
+    canonical_database,
+    core_of,
+    evaluate,
+    is_minimal,
+    minimize,
+)
+from repro.dependencies import (
+    DependencySet,
+    FunctionalDependency,
+    InclusionDependency,
+    attribute_closure,
+    check_database,
+    database_satisfies,
+    fd_implies,
+    ind_implied_by_axioms,
+)
+from repro.chase import (
+    ChaseConfig,
+    ChaseResult,
+    ChaseVariant,
+    chase,
+    chase_instance,
+    fd_chase_query,
+    o_chase,
+    r_chase,
+)
+from repro.containment import (
+    ContainmentCertificate,
+    ContainmentResult,
+    are_equivalent,
+    contains,
+    finite_containment_sample,
+    is_contained,
+    is_minimal_under,
+    k_sigma,
+    minimize_under,
+    section4_counterexample,
+    theorem2_level_bound,
+)
+from repro.optimizer import OptimizationReport, optimize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute",
+    "ChaseBudgetExceeded",
+    "ChaseConfig",
+    "ChaseError",
+    "ChaseResult",
+    "ChaseVariant",
+    "Conjunct",
+    "ConjunctiveQuery",
+    "Constant",
+    "ContainmentCertificate",
+    "ContainmentResult",
+    "ContainmentUndecided",
+    "Database",
+    "DatabaseSchema",
+    "DependencyError",
+    "DependencySet",
+    "DistinguishedVariable",
+    "Domain",
+    "EvaluationError",
+    "FreshVariableFactory",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "IntegrityError",
+    "NonDistinguishedVariable",
+    "OptimizationReport",
+    "ParseError",
+    "QueryBuilder",
+    "QueryError",
+    "QueryGraph",
+    "RelationInstance",
+    "RelationSchema",
+    "ReproError",
+    "SchemaError",
+    "Substitution",
+    "Variable",
+    "are_equivalent",
+    "attribute_closure",
+    "canonical_database",
+    "chase",
+    "chase_instance",
+    "check_database",
+    "contains",
+    "core_of",
+    "database_satisfies",
+    "evaluate",
+    "fd_chase_query",
+    "fd_implies",
+    "finite_containment_sample",
+    "ind_implied_by_axioms",
+    "is_contained",
+    "is_minimal",
+    "is_minimal_under",
+    "k_sigma",
+    "minimize",
+    "minimize_under",
+    "o_chase",
+    "optimize",
+    "r_chase",
+    "section4_counterexample",
+    "theorem2_level_bound",
+]

@@ -1,0 +1,18 @@
+"""Analysis and reporting helpers used by the benchmark harness."""
+
+from repro.analysis.statistics import (
+    ChaseGrowthProfile,
+    chase_growth_profile,
+    containment_sweep,
+    SweepPoint,
+)
+from repro.analysis.reporting import format_table, series_report
+
+__all__ = [
+    "ChaseGrowthProfile",
+    "SweepPoint",
+    "chase_growth_profile",
+    "containment_sweep",
+    "format_table",
+    "series_report",
+]

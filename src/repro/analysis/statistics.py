@@ -1,0 +1,102 @@
+"""Measurement helpers: chase growth profiles and containment sweeps.
+
+These are the functions the benchmark harness calls to produce the rows
+and series reported in EXPERIMENTS.md: how fast the chase grows with the
+level budget (the Figure 1 / O-vs-R ablation) and how the containment
+decision behaves across parameter sweeps (query size, |Σ|, width).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.chase.engine import ChaseConfig, ChaseVariant, chase
+from repro.containment.decision import is_contained
+from repro.containment.result import ContainmentResult
+from repro.dependencies.dependency_set import DependencySet
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+@dataclass
+class ChaseGrowthProfile:
+    """Chase size as a function of the level budget, for one query and Σ."""
+
+    variant: str
+    levels: List[int] = field(default_factory=list)
+    conjunct_counts: List[int] = field(default_factory=list)
+    saturated_at: Optional[int] = None
+
+    def as_rows(self) -> List[Tuple[int, int]]:
+        return list(zip(self.levels, self.conjunct_counts))
+
+
+def chase_growth_profile(query: ConjunctiveQuery, dependencies: DependencySet,
+                         max_levels: Sequence[int],
+                         variant: ChaseVariant = ChaseVariant.RESTRICTED,
+                         max_conjuncts: int = 20_000) -> ChaseGrowthProfile:
+    """Build the chase at each level budget and record its size."""
+    profile = ChaseGrowthProfile(variant=variant.value)
+    for level in max_levels:
+        config = ChaseConfig(variant=variant, max_level=level,
+                             max_conjuncts=max_conjuncts, record_trace=False)
+        result = chase(query, dependencies, config)
+        profile.levels.append(level)
+        profile.conjunct_counts.append(len(result))
+        if result.saturated and profile.saturated_at is None:
+            profile.saturated_at = level
+    return profile
+
+
+@dataclass
+class SweepPoint:
+    """One measured point of a containment sweep."""
+
+    label: str
+    parameters: Dict[str, object]
+    holds: bool
+    certain: bool
+    seconds: float
+    chase_size: int
+    levels_built: int
+    level_bound: Optional[int]
+
+    def as_row(self) -> Tuple:
+        return (
+            self.label,
+            self.parameters,
+            "yes" if self.holds else "no",
+            "exact" if self.certain else "unknown",
+            f"{self.seconds * 1000:.2f} ms",
+            self.chase_size,
+            self.levels_built,
+            self.level_bound,
+        )
+
+
+def containment_sweep(cases: Sequence[Tuple[str, Dict[str, object],
+                                            ConjunctiveQuery, ConjunctiveQuery,
+                                            Optional[DependencySet]]],
+                      **options) -> List[SweepPoint]:
+    """Run the containment decision on each case, timing it.
+
+    ``cases`` entries are ``(label, parameters, Q, Q', Σ)``; ``options``
+    are forwarded to :func:`repro.containment.decision.is_contained`.
+    """
+    points: List[SweepPoint] = []
+    for label, parameters, query, query_prime, dependencies in cases:
+        started = time.perf_counter()
+        result: ContainmentResult = is_contained(query, query_prime, dependencies, **options)
+        elapsed = time.perf_counter() - started
+        points.append(SweepPoint(
+            label=label,
+            parameters=dict(parameters),
+            holds=result.holds,
+            certain=result.certain,
+            seconds=elapsed,
+            chase_size=result.chase_size,
+            levels_built=result.levels_built,
+            level_bound=result.level_bound,
+        ))
+    return points

@@ -1,0 +1,64 @@
+"""The chase for functional and inclusion dependencies (Section 3).
+
+The chase converts the conjuncts of a query into a database obeying a set
+Σ of dependencies, by merging symbols (the FD chase rule) and adding new
+conjuncts (the IND chase rule).  With INDs present the chase may be
+infinite, so the engine builds it *lazily*, bounded by a level budget, a
+conjunct budget, or saturation, following the paper's deterministic
+application policy:
+
+1. while an FD is applicable, apply the lexicographically first applicable
+   FD to the lexicographically first applicable pair of conjuncts;
+2. then apply the lexicographically first applicable (O-chase) or required
+   (R-chase) IND to the lexicographically first conjunct of minimum level.
+
+Two variants are provided: the **O-chase** ("oblivious" — each IND is
+applied once to each conjunct it matches, even redundantly) and the
+**R-chase** ("required" — an IND is applied only when the conjunct it
+would create is not already present).  Theorem 1 holds for both, so the
+containment procedures default to the smaller R-chase; the O-chase is what
+Figure 1 draws and what Theorem 2's IND-only certificate argument uses.
+"""
+
+from repro.chase.events import ChaseStep, ChaseTrace, FDApplication, INDApplication
+from repro.chase.chase_graph import ChaseArc, ChaseGraph, ChaseNode
+from repro.chase.engine import (
+    ChaseConfig,
+    ChaseEngine,
+    ChaseResult,
+    ChaseVariant,
+    chase,
+    o_chase,
+    r_chase,
+)
+from repro.chase.fd_chase import fd_chase_query, fd_only_chase
+from repro.chase.instance_chase import InstanceChaseResult, chase_instance
+from repro.chase.termination import (
+    TerminationReport,
+    analyse_ind_termination,
+    chase_guaranteed_finite,
+)
+
+__all__ = [
+    "ChaseArc",
+    "ChaseConfig",
+    "ChaseEngine",
+    "ChaseGraph",
+    "ChaseNode",
+    "ChaseResult",
+    "ChaseStep",
+    "ChaseTrace",
+    "ChaseVariant",
+    "FDApplication",
+    "INDApplication",
+    "InstanceChaseResult",
+    "TerminationReport",
+    "analyse_ind_termination",
+    "chase",
+    "chase_guaranteed_finite",
+    "chase_instance",
+    "fd_chase_query",
+    "fd_only_chase",
+    "o_chase",
+    "r_chase",
+]

@@ -1,0 +1,221 @@
+"""The chase graph: conjunct nodes, ordinary and cross arcs, levels.
+
+Theorem 2's proof views the chase as a directed graph with a vertex for
+each conjunct: an *ordinary* arc from c to c' when applying an IND to c
+created c', and (in the R-chase) a *cross* arc from c to an
+already-present conjunct when the required application was redundant.
+Every ordinary arc increases the level by exactly one; cross arcs may go
+anywhere at level at most level(c) + 1.  The graph is the object the
+containment certificates and the Figure 1 benchmark serialise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.dependencies.inclusion import InclusionDependency
+from repro.exceptions import ChaseError
+from repro.queries.conjunct import Conjunct
+from repro.terms.term import Term
+
+
+@dataclass
+class ChaseNode:
+    """One conjunct of the (partial) chase.
+
+    The conjunct's *terms* may be rewritten by later FD applications, so
+    the node is mutable; its identity is the integer ``node_id`` (creation
+    order), which also realises the "lexicographically first conjunct"
+    ordering of the chase policy.
+    """
+
+    node_id: int
+    conjunct: Conjunct
+    level: int
+    parent: Optional[int] = None
+    via: Optional[InclusionDependency] = None
+    alive: bool = True
+
+    @property
+    def relation(self) -> str:
+        return self.conjunct.relation
+
+    @property
+    def label(self) -> str:
+        return self.conjunct.label
+
+    @property
+    def is_root(self) -> bool:
+        """Roots are the conjuncts present before any IND application."""
+        return self.parent is None
+
+    def describe(self) -> str:
+        origin = "root" if self.is_root else f"from node {self.parent} via {self.via}"
+        return f"#{self.node_id} L{self.level} {self.conjunct} ({origin})"
+
+
+@dataclass(frozen=True)
+class ChaseArc:
+    """A labelled arc of the chase graph."""
+
+    source: int
+    target: int
+    dependency: InclusionDependency
+    kind: str  # "ordinary" or "cross"
+
+    @property
+    def is_ordinary(self) -> bool:
+        return self.kind == "ordinary"
+
+    @property
+    def is_cross(self) -> bool:
+        return self.kind == "cross"
+
+
+class ChaseGraph:
+    """Mutable container for chase nodes and arcs.
+
+    Provides the queries the engine and the certificate checker need:
+    nodes by relation, ordinary-ancestor paths, level histograms, and a
+    textual rendering of the graph by level (the form in which the
+    Figure 1 benchmark prints the chase).
+    """
+
+    def __init__(self):
+        self._nodes: Dict[int, ChaseNode] = {}
+        self._arcs: List[ChaseArc] = []
+        self._next_id = 0
+
+    # -- construction -------------------------------------------------------
+
+    def new_node(self, conjunct: Conjunct, level: int,
+                 parent: Optional[int] = None,
+                 via: Optional[InclusionDependency] = None) -> ChaseNode:
+        """Create and register a node; labels are rewritten to ``n<id>``."""
+        node_id = self._next_id
+        self._next_id += 1
+        labelled = conjunct.with_label(f"n{node_id}")
+        node = ChaseNode(node_id=node_id, conjunct=labelled, level=level,
+                         parent=parent, via=via)
+        self._nodes[node_id] = node
+        if parent is not None:
+            if parent not in self._nodes:
+                raise ChaseError(f"unknown parent node {parent}")
+            if via is None:
+                raise ChaseError("an ordinary arc must be labelled by its IND")
+            self._arcs.append(ChaseArc(source=parent, target=node_id,
+                                       dependency=via, kind="ordinary"))
+        return node
+
+    def add_cross_arc(self, source: int, target: int,
+                      dependency: InclusionDependency) -> ChaseArc:
+        """Record that a required application was satisfied by ``target``."""
+        if source not in self._nodes or target not in self._nodes:
+            raise ChaseError("cross arc endpoints must be existing nodes")
+        arc = ChaseArc(source=source, target=target, dependency=dependency, kind="cross")
+        self._arcs.append(arc)
+        return arc
+
+    def retire_node(self, node_id: int) -> None:
+        """Mark a node dead (it was merged into another by an FD step)."""
+        self.node(node_id).alive = False
+
+    # -- access ----------------------------------------------------------------
+
+    def node(self, node_id: int) -> ChaseNode:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise ChaseError(f"chase graph has no node {node_id}") from None
+
+    def nodes(self, include_dead: bool = False) -> List[ChaseNode]:
+        """Nodes in creation order."""
+        ordered = [self._nodes[node_id] for node_id in sorted(self._nodes)]
+        if include_dead:
+            return ordered
+        return [node for node in ordered if node.alive]
+
+    def __len__(self) -> int:
+        return len(self.nodes())
+
+    def __iter__(self) -> Iterator[ChaseNode]:
+        return iter(self.nodes())
+
+    def arcs(self, kind: Optional[str] = None) -> List[ChaseArc]:
+        if kind is None:
+            return list(self._arcs)
+        return [arc for arc in self._arcs if arc.kind == kind]
+
+    def ordinary_arcs(self) -> List[ChaseArc]:
+        return self.arcs("ordinary")
+
+    def cross_arcs(self) -> List[ChaseArc]:
+        return self.arcs("cross")
+
+    def nodes_for_relation(self, relation: str, include_dead: bool = False) -> List[ChaseNode]:
+        return [node for node in self.nodes(include_dead) if node.relation == relation]
+
+    def conjuncts(self) -> List[Conjunct]:
+        """The live conjuncts, in creation order."""
+        return [node.conjunct for node in self.nodes()]
+
+    def max_level(self) -> int:
+        live = self.nodes()
+        return max((node.level for node in live), default=0)
+
+    def nodes_at_level(self, level: int) -> List[ChaseNode]:
+        return [node for node in self.nodes() if node.level == level]
+
+    def level_histogram(self) -> Dict[int, int]:
+        """Number of live conjuncts at each level."""
+        histogram: Dict[int, int] = {}
+        for node in self.nodes():
+            histogram[node.level] = histogram.get(node.level, 0) + 1
+        return dict(sorted(histogram.items()))
+
+    # -- paths -------------------------------------------------------------------
+
+    def ancestors(self, node_id: int) -> List[ChaseNode]:
+        """The ordinary-arc ancestor chain of a node, nearest first.
+
+        Every node has at most one ordinary arc entering it (it was created
+        by exactly one IND application), so the chain is unique — the fact
+        Theorem 2 uses to bound certificate size.
+        """
+        chain: List[ChaseNode] = []
+        current = self.node(node_id)
+        seen: Set[int] = {node_id}
+        while current.parent is not None:
+            parent = self.node(current.parent)
+            if parent.node_id in seen:
+                raise ChaseError("cycle detected in ordinary arcs; chase graph corrupt")
+            chain.append(parent)
+            seen.add(parent.node_id)
+            current = parent
+        return chain
+
+    def children(self, node_id: int) -> List[ChaseNode]:
+        """Nodes created from ``node_id`` by an IND application."""
+        return [
+            self.node(arc.target) for arc in self._arcs
+            if arc.kind == "ordinary" and arc.source == node_id
+        ]
+
+    # -- rendering ------------------------------------------------------------------
+
+    def describe(self, max_level: Optional[int] = None) -> str:
+        """Level-by-level rendering (the shape of Figure 1)."""
+        top = self.max_level() if max_level is None else max_level
+        lines = [f"chase graph: {len(self)} conjuncts, "
+                 f"{len(self.ordinary_arcs())} ordinary arcs, "
+                 f"{len(self.cross_arcs())} cross arcs"]
+        for level in range(top + 1):
+            nodes = self.nodes_at_level(level)
+            if not nodes:
+                continue
+            lines.append(f"  level {level}:")
+            for node in nodes:
+                via = f"  <- #{node.parent} by {node.via}" if node.parent is not None else ""
+                lines.append(f"    #{node.node_id} {node.conjunct}{via}")
+        return "\n".join(lines)

@@ -1,0 +1,114 @@
+"""Chase traces: a record of every rule application.
+
+Traces serve three purposes: they make chase runs debuggable (the
+benchmarks print them for the Figure 1 example), they are the raw material
+for containment *certificates* (the polynomial-size proofs of Theorem 2),
+and they let property-based tests validate invariants step by step (levels
+increase along ordinary arcs, created NDVs are fresh, and so on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.terms.term import Term
+
+
+@dataclass(frozen=True)
+class FDApplication:
+    """One application of the FD chase rule.
+
+    ``merged_away`` is the symbol that disappeared and ``survivor`` the
+    symbol that replaced it everywhere (a constant or the lexicographically
+    first variable).  ``halted`` is True in the "two distinct constants"
+    case, in which the chase empties the query.
+    """
+
+    dependency: FunctionalDependency
+    first_conjunct: str
+    second_conjunct: str
+    merged_away: Optional[Term]
+    survivor: Optional[Term]
+    halted: bool = False
+
+    def describe(self) -> str:
+        if self.halted:
+            return (
+                f"FD {self.dependency} applied to {self.first_conjunct}/"
+                f"{self.second_conjunct}: constant clash, chase halts with the empty query"
+            )
+        return (
+            f"FD {self.dependency} applied to {self.first_conjunct}/"
+            f"{self.second_conjunct}: {self.merged_away} := {self.survivor}"
+        )
+
+
+@dataclass(frozen=True)
+class INDApplication:
+    """One application of the IND chase rule.
+
+    ``created_conjunct`` is the label of the new conjunct when one was
+    created (an ordinary arc); ``existing_conjunct`` is the label of the
+    already-present conjunct when the application was redundant and the
+    R-chase recorded a cross arc instead.
+    """
+
+    dependency: InclusionDependency
+    source_conjunct: str
+    created_conjunct: Optional[str]
+    existing_conjunct: Optional[str]
+    level: int
+    fresh_variables: Tuple[Term, ...] = ()
+
+    @property
+    def created(self) -> bool:
+        return self.created_conjunct is not None
+
+    def describe(self) -> str:
+        if self.created:
+            return (
+                f"IND {self.dependency} applied to {self.source_conjunct}: "
+                f"created {self.created_conjunct} at level {self.level}"
+            )
+        return (
+            f"IND {self.dependency} applied to {self.source_conjunct}: "
+            f"already satisfied by {self.existing_conjunct} (cross arc)"
+        )
+
+
+ChaseStep = object  # FDApplication | INDApplication
+
+
+@dataclass
+class ChaseTrace:
+    """The ordered list of chase rule applications of one run."""
+
+    steps: List[ChaseStep] = field(default_factory=list)
+
+    def record(self, step: ChaseStep) -> None:
+        self.steps.append(step)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def fd_applications(self) -> List[FDApplication]:
+        return [s for s in self.steps if isinstance(s, FDApplication)]
+
+    def ind_applications(self) -> List[INDApplication]:
+        return [s for s in self.steps if isinstance(s, INDApplication)]
+
+    def describe(self, limit: Optional[int] = None) -> str:
+        """Multi-line rendering of (up to ``limit``) steps."""
+        chosen = self.steps if limit is None else self.steps[:limit]
+        lines = [f"chase trace: {len(self.steps)} steps"]
+        for index, step in enumerate(chosen, start=1):
+            lines.append(f"  {index:4d}. {step.describe()}")
+        if limit is not None and len(self.steps) > limit:
+            lines.append(f"  ... {len(self.steps) - limit} more steps")
+        return "\n".join(lines)

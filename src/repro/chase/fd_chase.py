@@ -1,0 +1,191 @@
+"""The classical FD-only chase on conjunctive queries.
+
+This is the chase of Maier, Mendelzon, and Sagiv (reference [11] of the
+paper): repeatedly find two conjuncts of the same relation that agree on
+the left-hand side of an FD but differ on its right-hand side and merge
+the two differing symbols.  It always terminates, and the result is unique
+up to renaming; with the paper's deterministic policy (lexicographically
+first applicable pair and FD, survivor = constant or lexicographically
+first variable) it is unique outright.
+
+The full chase engine reuses the primitives here for its FD phase; the
+standalone functions are used directly for FD-only containment and as the
+first phase of the key-based R-chase (Lemma 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.chase.events import ChaseTrace, FDApplication
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.exceptions import ChaseError
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+from repro.terms.substitution import Substitution
+from repro.terms.term import Constant, Term, Variable
+from repro.terms.term import lexicographic_min
+
+
+class ConstantClash(Exception):
+    """Internal signal: the FD rule tried to merge two distinct constants."""
+
+
+def resolve_merge(first: Term, second: Term) -> Tuple[Term, Term]:
+    """Survivor and loser of merging two symbols under the FD chase rule.
+
+    Raises :class:`ConstantClash` when both are distinct constants (the
+    paper's "delete all conjuncts and halt" case).
+    """
+    if first == second:
+        return first, second
+    first_const = isinstance(first, Constant)
+    second_const = isinstance(second, Constant)
+    if first_const and second_const:
+        raise ConstantClash(f"cannot merge distinct constants {first} and {second}")
+    if first_const:
+        return first, second
+    if second_const:
+        return second, first
+    survivor = lexicographic_min(first, second)
+    loser = second if survivor == first else first
+    return survivor, loser
+
+
+def find_applicable_fd(conjuncts: Sequence[Conjunct],
+                       fds: Sequence[FunctionalDependency],
+                       schema: DatabaseSchema
+                       ) -> Optional[Tuple[FunctionalDependency, int, int]]:
+    """The lexicographically first applicable (FD, conjunct pair).
+
+    Pairs are ordered by their positions in ``conjuncts`` and, within a
+    pair, FDs by their position in ``fds`` — the deterministic policy of
+    Section 3.  Returns ``(fd, i, j)`` with ``i < j`` or ``None``.
+    """
+    for i in range(len(conjuncts)):
+        first = conjuncts[i]
+        for j in range(i + 1, len(conjuncts)):
+            second = conjuncts[j]
+            if first.relation != second.relation:
+                continue
+            for fd in fds:
+                if fd.relation != first.relation:
+                    continue
+                relation = schema.relation(fd.relation)
+                lhs_positions = fd.lhs_positions(relation)
+                rhs_position = fd.rhs_position(relation)
+                if (first.terms_at(lhs_positions) == second.terms_at(lhs_positions)
+                        and first.term_at(rhs_position) != second.term_at(rhs_position)):
+                    return fd, i, j
+    return None
+
+
+@dataclass
+class FDChaseResult:
+    """Outcome of an FD-only chase.
+
+    ``query`` is ``None`` exactly when the chase halted on a constant
+    clash, in which case the chased query is the empty query (it returns
+    the empty answer on every database obeying the FDs).
+    """
+
+    query: Optional[ConjunctiveQuery]
+    failed: bool
+    trace: ChaseTrace = field(default_factory=ChaseTrace)
+    steps: int = 0
+
+    @property
+    def succeeded(self) -> bool:
+        return not self.failed
+
+
+def fd_only_chase(query: ConjunctiveQuery,
+                  dependencies: Union[DependencySet, Sequence[FunctionalDependency]],
+                  max_steps: int = 100_000) -> FDChaseResult:
+    """Chase a query with FDs only, following the deterministic policy."""
+    if isinstance(dependencies, DependencySet):
+        fds = dependencies.functional_dependencies()
+        if dependencies.inclusion_dependencies():
+            raise ChaseError(
+                "fd_only_chase received inclusion dependencies; use the chase engine instead"
+            )
+    else:
+        fds = list(dependencies)
+    schema = query.input_schema
+    conjuncts = list(query.conjuncts)
+    summary: Tuple[Term, ...] = query.summary_row
+    trace = ChaseTrace()
+    steps = 0
+
+    while steps < max_steps:
+        found = find_applicable_fd(conjuncts, fds, schema)
+        if found is None:
+            break
+        fd, i, j = found
+        relation = schema.relation(fd.relation)
+        rhs_position = fd.rhs_position(relation)
+        first_symbol = conjuncts[i].term_at(rhs_position)
+        second_symbol = conjuncts[j].term_at(rhs_position)
+        steps += 1
+        try:
+            survivor, loser = resolve_merge(first_symbol, second_symbol)
+        except ConstantClash:
+            trace.record(FDApplication(
+                dependency=fd,
+                first_conjunct=conjuncts[i].label,
+                second_conjunct=conjuncts[j].label,
+                merged_away=None,
+                survivor=None,
+                halted=True,
+            ))
+            return FDChaseResult(query=None, failed=True, trace=trace, steps=steps)
+        trace.record(FDApplication(
+            dependency=fd,
+            first_conjunct=conjuncts[i].label,
+            second_conjunct=conjuncts[j].label,
+            merged_away=loser,
+            survivor=survivor,
+        ))
+        substitution = Substitution({loser: survivor}) if isinstance(loser, Variable) else Substitution()
+        conjuncts = [c.substitute(substitution) for c in conjuncts]
+        summary = substitution.apply_tuple(summary)
+        conjuncts = _dedupe(conjuncts)
+    else:
+        raise ChaseError(f"FD chase did not terminate within {max_steps} steps")
+
+    chased = ConjunctiveQuery(
+        input_schema=schema,
+        conjuncts=conjuncts,
+        summary_row=summary,
+        output_attributes=query.output_attributes,
+        name=f"chaseF({query.name})",
+    )
+    return FDChaseResult(query=chased, failed=False, trace=trace, steps=steps)
+
+
+def fd_chase_query(query: ConjunctiveQuery,
+                   dependencies: Union[DependencySet, Sequence[FunctionalDependency]]
+                   ) -> Optional[ConjunctiveQuery]:
+    """Convenience wrapper returning just the chased query (``None`` on failure)."""
+    return fd_only_chase(query, dependencies).query
+
+
+def _dedupe(conjuncts: Sequence[Conjunct]) -> List[Conjunct]:
+    """Drop conjuncts that became identical atoms after a merge.
+
+    The earlier occurrence (lexicographically first label order is the
+    list order here) is kept, matching the paper's coalescing of identical
+    conjuncts.
+    """
+    seen: set = set()
+    result: List[Conjunct] = []
+    for conjunct in conjuncts:
+        key = (conjunct.relation, conjunct.terms)
+        if key in seen:
+            continue
+        seen.add(key)
+        result.append(conjunct)
+    return result

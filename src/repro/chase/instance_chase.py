@@ -1,0 +1,195 @@
+"""Chasing finite database instances (dependency repair).
+
+The paper's chase acts on queries, but the same rules make sense on a
+concrete database instance: an IND violation is repaired by inserting a
+tuple with fresh *labelled nulls* in the unconstrained columns, and an FD
+violation between two tuples is repaired by merging the two differing
+values when at least one of them is a labelled null (two distinct domain
+constants cannot be merged — that is a hard violation).
+
+This instance-level chase is the substrate used by the finite-containment
+tooling: it turns the canonical database of a query into a Σ-satisfying
+finite database when the chase terminates, and otherwise documents why a
+finite witness is hard to build (exactly the situation Section 4's
+counterexample exploits).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.violations import database_satisfies
+from repro.exceptions import ChaseError
+from repro.relational.database import Database
+
+
+class LabelledNull:
+    """A fresh, unnamed value introduced by the instance chase.
+
+    Labelled nulls compare equal only to themselves, can be merged into
+    domain constants (or other nulls) by FD repairs, and print as ``⊥n``.
+    """
+
+    _counter = itertools.count()
+
+    __slots__ = ("ident",)
+
+    def __init__(self):
+        self.ident = next(LabelledNull._counter)
+
+    def __repr__(self) -> str:
+        return f"⊥{self.ident}"
+
+    def __hash__(self) -> int:
+        return hash(("LabelledNull", self.ident))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelledNull) and other.ident == self.ident
+
+
+@dataclass
+class InstanceChaseResult:
+    """Outcome of chasing a database instance.
+
+    ``database`` is the repaired instance (shared schema with the input).
+    ``satisfied`` reports whether it obeys every dependency; ``failed`` is
+    True when an FD violation between two domain constants made repair
+    impossible; ``exhausted`` is True when the step budget ran out before
+    the instance stabilised (the IND chase on instances need not
+    terminate, for the same reason the query chase need not).
+    """
+
+    database: Database
+    satisfied: bool
+    failed: bool
+    exhausted: bool
+    steps: int
+    nulls_created: int
+
+    @property
+    def succeeded(self) -> bool:
+        return self.satisfied and not self.failed
+
+
+def chase_instance(database: Database,
+                   dependencies: DependencySet,
+                   max_steps: int = 10_000) -> InstanceChaseResult:
+    """Repair a database instance to satisfy Σ, within a step budget.
+
+    The input database is not modified; the returned result holds a copy.
+    """
+    working = database.copy()
+    schema = working.schema
+    dependencies.validate(schema)
+    fds = dependencies.functional_dependencies()
+    inds = dependencies.inclusion_dependencies()
+    steps = 0
+    nulls_created = 0
+    failed = False
+
+    def apply_fd_repairs() -> bool:
+        """Merge null values forced equal by FDs; returns False on hard violation."""
+        nonlocal steps
+        changed = True
+        while changed:
+            changed = False
+            for fd in fds:
+                relation = working.relation(fd.relation)
+                lhs_positions = fd.lhs_positions(relation.schema)
+                rhs_position = fd.rhs_position(relation.schema)
+                groups: Dict[Tuple[Any, ...], Any] = {}
+                replacement: Optional[Tuple[Any, Any]] = None
+                for row in relation:
+                    key = tuple(row[p] for p in lhs_positions)
+                    value = row[rhs_position]
+                    if key not in groups:
+                        groups[key] = value
+                        continue
+                    other = groups[key]
+                    if other == value:
+                        continue
+                    if isinstance(value, LabelledNull):
+                        replacement = (value, other)
+                    elif isinstance(other, LabelledNull):
+                        replacement = (other, value)
+                    else:
+                        return False
+                    break
+                if replacement is not None:
+                    steps += 1
+                    _replace_value(working, replacement[0], replacement[1])
+                    changed = True
+        return True
+
+    while steps < max_steps:
+        if not apply_fd_repairs():
+            failed = True
+            break
+        repair = _find_ind_repair(working, inds)
+        if repair is None:
+            break
+        ind, subtuple = repair
+        steps += 1
+        nulls_created += _insert_ind_witness(working, ind, subtuple)
+    exhausted = steps >= max_steps and not failed
+    satisfied = not failed and database_satisfies(working, dependencies)
+    return InstanceChaseResult(
+        database=working,
+        satisfied=satisfied,
+        failed=failed,
+        exhausted=exhausted,
+        steps=steps,
+        nulls_created=nulls_created,
+    )
+
+
+def _replace_value(database: Database, old: Any, new: Any) -> None:
+    """Replace every occurrence of ``old`` by ``new`` across the database."""
+    for relation in database:
+        replaced = [
+            tuple(new if value == old else value for value in row)
+            for row in relation.rows()
+        ]
+        relation.clear()
+        relation.add_all(replaced)
+
+
+def _find_ind_repair(database: Database,
+                     inds: Sequence[InclusionDependency]
+                     ) -> Optional[Tuple[InclusionDependency, Tuple[Any, ...]]]:
+    """The first unmatched (IND, source subtuple), or ``None``."""
+    schema = database.schema
+    for ind in inds:
+        source = database.relation(ind.lhs_relation)
+        target = database.relation(ind.rhs_relation)
+        lhs_positions = ind.lhs_positions(schema)
+        rhs_positions = ind.rhs_positions(schema)
+        available = {tuple(row[p] for p in rhs_positions) for row in target}
+        for row in sorted(source, key=repr):
+            subtuple = tuple(row[p] for p in lhs_positions)
+            if subtuple not in available:
+                return ind, subtuple
+    return None
+
+
+def _insert_ind_witness(database: Database, ind: InclusionDependency,
+                        subtuple: Tuple[Any, ...]) -> int:
+    """Insert the tuple required by an IND, filling other columns with nulls."""
+    schema = database.schema
+    target_schema = schema.relation(ind.rhs_relation)
+    rhs_positions = ind.rhs_positions(schema)
+    row: List[Any] = []
+    nulls = 0
+    for position in range(target_schema.arity):
+        if position in rhs_positions:
+            row.append(subtuple[rhs_positions.index(position)])
+        else:
+            row.append(LabelledNull())
+            nulls += 1
+    database.add(ind.rhs_relation, row)
+    return nulls

@@ -1,0 +1,187 @@
+"""Command-line interface for the containment toolkit.
+
+The CLI exposes the library's main operations over textual inputs (the
+same syntax the parser package accepts), so the paper's procedures can be
+driven from a shell::
+
+    repro contain   --schema schema.txt --deps deps.txt \
+                    --query "Q2(e) :- EMP(e, s, d)" \
+                    --query-prime "Q1(e) :- EMP(e, s, d), DEP(d, l)"
+    repro chase     --schema schema.txt --deps deps.txt \
+                    --query "Q(c) :- R(a, b, c)" --max-level 4 --variant O
+    repro minimize  --schema schema.txt --deps deps.txt --query "..."
+    repro infer-ind --schema schema.txt --deps deps.txt --candidate "R[a] <= S[b]"
+
+Exit status: 0 when the asked question's answer is "yes" (contained /
+implied / some conjunct removed), 1 when it is "no", 2 on usage or input
+errors.  ``--deps`` may be omitted for the dependency-free case.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.chase.engine import ChaseVariant, o_chase, r_chase
+from repro.containment.decision import is_contained
+from repro.containment.serialization import certificate_to_json
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.ind_inference import ind_implied_by_axioms
+from repro.exceptions import ReproError
+from repro.optimizer.pipeline import optimize
+from repro.parser.dependency_parser import parse_dependencies, parse_dependency
+from repro.parser.query_parser import parse_query
+from repro.parser.schema_parser import parse_schema
+
+EXIT_YES = 0
+EXIT_NO = 1
+EXIT_ERROR = 2
+
+
+def _read_text(path_or_text: str) -> str:
+    """Treat the argument as a file path if one exists, else as literal text."""
+    try:
+        path = Path(path_or_text)
+        if path.exists() and path.is_file():
+            return path.read_text()
+    except OSError:
+        # Inline text can be arbitrarily long or contain characters that are
+        # not valid in a path; treat it as literal text in that case.
+        pass
+    return path_or_text
+
+
+def _load_schema(argument: str):
+    return parse_schema(_read_text(argument))
+
+
+def _load_dependencies(argument: Optional[str], schema) -> DependencySet:
+    if argument is None:
+        return DependencySet(schema=schema)
+    return parse_dependencies(_read_text(argument), schema)
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--schema", required=True,
+                        help="schema file or inline text (one relation per line)")
+    parser.add_argument("--deps", default=None,
+                        help="dependency file or inline text (FDs and INDs, one per line)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Conjunctive-query containment under FDs and INDs "
+                    "(Johnson & Klug, PODS 1982)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    contain = subparsers.add_parser(
+        "contain", help="decide Σ ⊨ Q ⊆ Q' (over all databases)")
+    _add_common_arguments(contain)
+    contain.add_argument("--query", required=True, help="the contained query Q")
+    contain.add_argument("--query-prime", required=True, help="the containing query Q'")
+    contain.add_argument("--certificate", default=None,
+                         help="write a JSON containment certificate to this file "
+                              "when containment holds")
+    contain.add_argument("--max-conjuncts", type=int, default=20_000,
+                         help="chase size budget (default 20000)")
+
+    chase_cmd = subparsers.add_parser(
+        "chase", help="print a bounded prefix of the chase of a query")
+    _add_common_arguments(chase_cmd)
+    chase_cmd.add_argument("--query", required=True)
+    chase_cmd.add_argument("--max-level", type=int, default=4)
+    chase_cmd.add_argument("--variant", choices=["R", "O"], default="R")
+    chase_cmd.add_argument("--trace", action="store_true",
+                           help="also print the application trace")
+
+    minimize_cmd = subparsers.add_parser(
+        "minimize", help="minimize a query under the dependencies")
+    _add_common_arguments(minimize_cmd)
+    minimize_cmd.add_argument("--query", required=True)
+
+    infer = subparsers.add_parser(
+        "infer-ind", help="decide whether an IND follows from the declared INDs")
+    _add_common_arguments(infer)
+    infer.add_argument("--candidate", required=True,
+                       help="the candidate IND, e.g. 'R[a] <= S[b]'")
+    return parser
+
+
+def _command_contain(options: argparse.Namespace) -> int:
+    schema = _load_schema(options.schema)
+    sigma = _load_dependencies(options.deps, schema)
+    query = parse_query(_read_text(options.query), schema)
+    query_prime = parse_query(_read_text(options.query_prime), schema)
+    result = is_contained(query, query_prime, sigma,
+                          max_conjuncts=options.max_conjuncts,
+                          with_certificate=options.certificate is not None)
+    print(result.describe())
+    if result.holds and options.certificate and result.certificate is not None:
+        Path(options.certificate).write_text(certificate_to_json(result.certificate))
+        print(f"certificate written to {options.certificate}")
+    if not result.certain:
+        print("warning: the answer is not certain (budget exhausted or Σ outside "
+              "the decidable classes)")
+    return EXIT_YES if result.holds else EXIT_NO
+
+
+def _command_chase(options: argparse.Namespace) -> int:
+    schema = _load_schema(options.schema)
+    sigma = _load_dependencies(options.deps, schema)
+    query = parse_query(_read_text(options.query), schema)
+    builder = r_chase if options.variant == "R" else o_chase
+    result = builder(query, sigma, max_level=options.max_level)
+    print(result.describe())
+    if options.trace:
+        print(result.trace.describe())
+    return EXIT_YES
+
+
+def _command_minimize(options: argparse.Namespace) -> int:
+    schema = _load_schema(options.schema)
+    sigma = _load_dependencies(options.deps, schema)
+    query = parse_query(_read_text(options.query), schema)
+    report = optimize(query, sigma)
+    print(report.describe())
+    return EXIT_YES if report.conjuncts_removed > 0 else EXIT_NO
+
+
+def _command_infer_ind(options: argparse.Namespace) -> int:
+    schema = _load_schema(options.schema)
+    sigma = _load_dependencies(options.deps, schema)
+    parsed = parse_dependency(_read_text(options.candidate))
+    from repro.dependencies.inclusion import InclusionDependency
+    candidates = [d for d in parsed if isinstance(d, InclusionDependency)]
+    if not candidates:
+        print("the candidate must be an inclusion dependency", file=sys.stderr)
+        return EXIT_ERROR
+    candidate = candidates[0]
+    implied = ind_implied_by_axioms(sigma.inclusion_dependencies(), candidate, schema)
+    print(f"{candidate}: {'implied' if implied else 'not implied'} by the declared INDs")
+    return EXIT_YES if implied else EXIT_NO
+
+
+_COMMANDS = {
+    "contain": _command_contain,
+    "chase": _command_chase,
+    "minimize": _command_minimize,
+    "infer-ind": _command_infer_ind,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point; returns the process exit status."""
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    try:
+        return _COMMANDS[options.command](options)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_ERROR
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

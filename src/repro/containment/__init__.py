@@ -1,0 +1,58 @@
+"""Containment of conjunctive queries under FDs and INDs.
+
+The public entry points are
+
+* :func:`is_contained` — decide ``Σ ⊨ Q ⊆∞ Q'``, dispatching on the shape
+  of Σ (empty, FD-only, IND-only, key-based, general);
+* :func:`are_equivalent` — containment in both directions;
+* :func:`is_minimal_under` / :func:`minimize_under` — non-minimality and
+  minimization under Σ (the paper's third optimization problem);
+* the finite-containment tooling in :mod:`repro.containment.finite` —
+  the Section 4 counterexample, the k_Σ constant, and a sampling-based
+  search for finite counterexamples.
+
+All decisions about ⊆∞ go through Theorem 1 (homomorphism into the chase)
+with the Theorem 2 level bound making the chase finite for the decidable
+cases.
+"""
+
+from repro.containment.bounds import theorem2_level_bound
+from repro.containment.result import ContainmentResult
+from repro.containment.no_dependencies import contained_without_dependencies
+from repro.containment.fd_containment import contained_under_fds
+from repro.containment.ind_containment import contained_under_bounded_chase
+from repro.containment.decision import contains, is_contained
+from repro.containment.equivalence import (
+    are_equivalent,
+    is_minimal_under,
+    minimize_under,
+)
+from repro.containment.certificates import ContainmentCertificate, build_certificate
+from repro.containment.finite import (
+    FiniteContainmentReport,
+    finite_containment_sample,
+    k_sigma,
+    section4_counterexample,
+)
+from repro.containment.witness import NonContainmentWitness, non_containment_witness
+
+__all__ = [
+    "ContainmentCertificate",
+    "ContainmentResult",
+    "FiniteContainmentReport",
+    "NonContainmentWitness",
+    "are_equivalent",
+    "build_certificate",
+    "contained_under_bounded_chase",
+    "contained_under_fds",
+    "contained_without_dependencies",
+    "contains",
+    "finite_containment_sample",
+    "is_contained",
+    "is_minimal_under",
+    "k_sigma",
+    "minimize_under",
+    "non_containment_witness",
+    "section4_counterexample",
+    "theorem2_level_bound",
+]

@@ -1,0 +1,40 @@
+"""The level bound of Theorem 2 (via Lemma 5).
+
+Lemma 5: if Σ is a set of INDs (or key-based, via the same argument on the
+R-chase) and C is a set of conjuncts of chase(Q), there is a homomorphism
+of C into chase(Q) preserving the summary row whose image lies within the
+first ``|C| · |Σ| · (W + 1)^W`` levels, where W is the maximum IND width.
+Taking C = h(Q') for a containment homomorphism h gives the bound the
+decision procedure chases to: ``|Q'| · |Σ| · (W + 1)^W``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+def lemma5_level_bound(conjunct_count: int, dependency_count: int, max_width: int) -> int:
+    """``|C| · |Σ| · (W + 1)^W`` — the image-level bound of Lemma 5.
+
+    For W = 0 (no INDs) the bound degenerates to ``|C| · |Σ|``; it is never
+    smaller than 1 so the chase always includes its level-0 conjuncts.
+    """
+    bound = conjunct_count * dependency_count * (max_width + 1) ** max_width
+    return max(bound, 1)
+
+
+def theorem2_level_bound(query_prime: ConjunctiveQuery,
+                         dependencies: DependencySet,
+                         max_width: Optional[int] = None) -> int:
+    """The chase depth sufficient for the Theorem 2 containment test.
+
+    If a homomorphism from Q' into chase(Q) exists at all, one exists whose
+    image lies within this many levels, so chasing to this depth and
+    searching for a homomorphism is a complete decision procedure for the
+    IND-only and key-based cases.
+    """
+    width = dependencies.max_ind_width() if max_width is None else max_width
+    return lemma5_level_bound(len(query_prime), max(len(dependencies), 1), width)

@@ -1,0 +1,216 @@
+"""Containment certificates: the polynomial-size proofs of Theorem 2.
+
+When ``Σ ⊨ Q ⊆∞ Q'`` holds, the nondeterministic algorithm of Theorem 2
+guesses (1) the image of Q' under a homomorphism into the chase of Q,
+(2) enough of the chase to prove that image really is part of the chase —
+the ancestors of the image conjuncts along ordinary arcs, plus (for the
+key-based R-chase) the low-level conjuncts and the children needed to
+justify "required" applications — and (3) the homomorphism itself.
+
+:func:`build_certificate` extracts exactly that object from a successful
+run of the bounded-chase procedure, and
+:meth:`ContainmentCertificate.verify` re-checks it *independently of the
+search*: it replays each IND application along the ancestor paths and
+re-validates the homomorphism.  The property-based tests assert that every
+positive containment answer yields a verifying certificate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.chase.chase_graph import ChaseGraph, ChaseNode
+from repro.chase.engine import ChaseResult
+from repro.dependencies.dependency_set import DependencySet
+from repro.homomorphism.query_homomorphism import verify_query_homomorphism
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.terms.term import Term, Variable
+
+
+@dataclass
+class CertificateStep:
+    """One justified conjunct of the chase prefix included in the proof.
+
+    Root conjuncts (level 0) are justified by membership in Q (or in the
+    FD chase of Q for key-based Σ); created conjuncts are justified by the
+    IND application that produced them from their parent.
+    """
+
+    node_id: int
+    conjunct: Conjunct
+    level: int
+    parent: Optional[int]
+    dependency: Optional[str]
+
+    @property
+    def is_root(self) -> bool:
+        return self.parent is None
+
+
+@dataclass
+class ContainmentCertificate:
+    """A verifiable witness that ``Σ ⊨ Q ⊆∞ Q'``."""
+
+    query: ConjunctiveQuery
+    query_prime: ConjunctiveQuery
+    dependencies: DependencySet
+    homomorphism: Dict[Variable, Term]
+    image_nodes: List[int]
+    steps: List[CertificateStep]
+    chase_summary_row: Tuple[Term, ...]
+
+    def proof_size(self) -> int:
+        """Number of chase conjuncts included in the proof."""
+        return len(self.steps)
+
+    def max_image_level(self) -> int:
+        """Deepest level used by the homomorphic image (Lemma 5's quantity)."""
+        step_by_id = {step.node_id: step for step in self.steps}
+        return max((step_by_id[node_id].level for node_id in self.image_nodes), default=0)
+
+    # -- verification ------------------------------------------------------------
+
+    def verify(self) -> bool:
+        """Re-check the certificate independently of how it was produced."""
+        return not self.verification_errors()
+
+    def verification_errors(self) -> List[str]:
+        """All problems found while re-checking (empty list means valid)."""
+        errors: List[str] = []
+        step_by_id = {step.node_id: step for step in self.steps}
+
+        # 1. Roots must be conjuncts of Q (up to the FD chase's symbol
+        #    merging, root atoms use only symbols of Q), and every
+        #    non-root step must be a correct application of a declared IND
+        #    to its parent.
+        declared_inds = {str(ind): ind for ind in self.dependencies.inclusion_dependencies()}
+        schema = self.query.input_schema
+        for step in self.steps:
+            if step.is_root:
+                if step.level != 0:
+                    errors.append(f"root step {step.node_id} has level {step.level} != 0")
+                continue
+            parent = step_by_id.get(step.parent)
+            if parent is None:
+                errors.append(f"step {step.node_id} references missing parent {step.parent}")
+                continue
+            if step.level != parent.level + 1:
+                errors.append(
+                    f"step {step.node_id} level {step.level} is not parent level + 1"
+                )
+            ind = declared_inds.get(step.dependency or "")
+            if ind is None:
+                errors.append(f"step {step.node_id} cites undeclared IND {step.dependency!r}")
+                continue
+            if step.conjunct.relation != ind.rhs_relation:
+                errors.append(
+                    f"step {step.node_id} creates a {step.conjunct.relation} conjunct "
+                    f"but the IND targets {ind.rhs_relation}"
+                )
+                continue
+            lhs_positions = ind.lhs_positions(schema)
+            rhs_positions = ind.rhs_positions(schema)
+            copied = parent.conjunct.terms_at(lhs_positions)
+            placed = step.conjunct.terms_at(rhs_positions)
+            if copied != placed:
+                errors.append(
+                    f"step {step.node_id} does not copy the parent's {ind.lhs_attributes} "
+                    f"values into {ind.rhs_attributes}"
+                )
+            # The non-copied entries must be NDVs that occur nowhere else in
+            # the proof except in descendants of this step.
+            fresh = [term for position, term in enumerate(step.conjunct.terms)
+                     if position not in rhs_positions]
+            for term in fresh:
+                if not isinstance(term, Variable):
+                    errors.append(
+                        f"step {step.node_id} places constant {term} in a freshly "
+                        "created column"
+                    )
+
+        # 2. The image nodes must all be part of the proof.
+        for node_id in self.image_nodes:
+            if node_id not in step_by_id:
+                errors.append(f"image node {node_id} is not justified by any step")
+
+        # 3. The homomorphism must map Q' onto the proof's conjuncts and the
+        #    summary row of Q' onto the chase's summary row.
+        proof_conjuncts = [step.conjunct for step in self.steps]
+        if not verify_query_homomorphism(
+            self.homomorphism,
+            self.query_prime.conjuncts, self.query_prime.summary_row,
+            proof_conjuncts, self.chase_summary_row,
+        ):
+            errors.append("the recorded mapping is not a homomorphism from Q' into the proof")
+        return errors
+
+    def describe(self) -> str:
+        lines = [
+            f"containment certificate: {self.query_prime.name} maps into "
+            f"chase({self.query.name})",
+            f"  proof size: {self.proof_size()} conjuncts, "
+            f"max image level {self.max_image_level()}",
+        ]
+        for step in self.steps:
+            origin = "in Q" if step.is_root else f"from #{step.parent} via {step.dependency}"
+            lines.append(f"  #{step.node_id} L{step.level} {step.conjunct}  ({origin})")
+        return "\n".join(lines)
+
+
+def build_certificate(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
+                      dependencies: DependencySet,
+                      chase_result: ChaseResult,
+                      homomorphism: Dict[Variable, Term]) -> ContainmentCertificate:
+    """Assemble a certificate from a chase and a containment homomorphism.
+
+    The proof contains the image conjuncts, their ordinary-arc ancestors,
+    and every level-0 conjunct (the latter makes the proof self-contained
+    for the key-based case, mirroring the construction in the proof of
+    Theorem 2).
+    """
+    graph: ChaseGraph = chase_result.graph
+    conjunct_owner: Dict[Tuple[str, Tuple[Term, ...]], ChaseNode] = {}
+    for node in graph:
+        conjunct_owner.setdefault((node.relation, node.conjunct.terms), node)
+
+    # Which chase nodes does the image of Q' use?  Map each conjunct of Q'
+    # through the homomorphism and look the resulting atom up in the graph.
+    image_nodes: Set[int] = set()
+    for conjunct in query_prime.conjuncts:
+        mapped_terms = tuple(
+            homomorphism.get(term, term) if isinstance(term, Variable) else term
+            for term in conjunct.terms
+        )
+        owner = conjunct_owner.get((conjunct.relation, mapped_terms))
+        if owner is not None:
+            image_nodes.add(owner.node_id)
+
+    needed: Set[int] = set(image_nodes)
+    for node_id in list(image_nodes):
+        for ancestor in graph.ancestors(node_id):
+            needed.add(ancestor.node_id)
+    for node in graph.nodes_at_level(0):
+        needed.add(node.node_id)
+
+    steps = [
+        CertificateStep(
+            node_id=node.node_id,
+            conjunct=node.conjunct,
+            level=node.level,
+            parent=node.parent,
+            dependency=str(node.via) if node.via is not None else None,
+        )
+        for node in sorted((graph.node(node_id) for node_id in needed),
+                           key=lambda n: n.node_id)
+    ]
+    return ContainmentCertificate(
+        query=query,
+        query_prime=query_prime,
+        dependencies=dependencies,
+        homomorphism=dict(homomorphism),
+        image_nodes=sorted(image_nodes),
+        steps=steps,
+        chase_summary_row=chase_result.summary_row,
+    )

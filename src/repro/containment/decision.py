@@ -1,0 +1,68 @@
+"""The top-level containment decision (dispatch on the shape of Σ).
+
+``is_contained(Q, Q', Σ)`` decides ``Σ ⊨ Q ⊆∞ Q'``:
+
+* Σ empty — Chandra–Merlin containment mapping;
+* Σ FD-only — finite FD chase + containment mapping;
+* Σ IND-only or key-based — the Theorem 2 bounded-chase procedure (exact);
+* any other Σ — the same bounded-chase procedure as a *sound
+  semi-decision*: a positive answer or a saturated chase is exact, hitting
+  the level bound returns an uncertain negative.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.chase.engine import ChaseVariant
+from repro.containment.fd_containment import contained_under_fds
+from repro.containment.ind_containment import contained_under_bounded_chase
+from repro.containment.no_dependencies import contained_without_dependencies
+from repro.containment.result import ContainmentResult
+from repro.dependencies.dependency_set import DependencyClass, DependencySet
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+def is_contained(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
+                 dependencies: Optional[DependencySet] = None,
+                 variant: ChaseVariant = ChaseVariant.RESTRICTED,
+                 level_bound: Optional[int] = None,
+                 max_conjuncts: int = 20_000,
+                 record_trace: bool = False,
+                 with_certificate: bool = False,
+                 deepening: bool = True) -> ContainmentResult:
+    """Decide ``Σ ⊨ Q ⊆∞ Q'`` and return a detailed result object.
+
+    ``dependencies=None`` (or an empty set) is the dependency-free case.
+    The result's ``holds``/``certain`` flags carry the answer; its
+    ``homomorphism`` field carries the witnessing containment mapping when
+    containment holds.
+    """
+    sigma = dependencies if dependencies is not None else DependencySet()
+    classification = sigma.classify(query.input_schema)
+
+    if classification is DependencyClass.EMPTY:
+        return contained_without_dependencies(query, query_prime)
+    if classification is DependencyClass.FD_ONLY:
+        return contained_under_fds(query, query_prime, sigma)
+
+    exact = classification in (DependencyClass.IND_ONLY, DependencyClass.KEY_BASED)
+    return contained_under_bounded_chase(
+        query, query_prime, sigma,
+        variant=variant, level_bound=level_bound,
+        max_conjuncts=max_conjuncts, exact=exact, record_trace=record_trace,
+        with_certificate=with_certificate, deepening=deepening,
+    )
+
+
+def contains(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
+             dependencies: Optional[DependencySet] = None,
+             **options) -> bool:
+    """Boolean form of :func:`is_contained`.
+
+    Raises :class:`~repro.exceptions.ContainmentUndecided` when the
+    procedure could not reach a certain answer (only possible for Σ outside
+    the paper's decidable classes or when a size budget was exhausted).
+    """
+    result = is_contained(query, query_prime, dependencies, **options)
+    return bool(result)

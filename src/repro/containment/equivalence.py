@@ -1,0 +1,105 @@
+"""Equivalence and minimality under dependencies.
+
+The paper reduces both to containment: Q and Q' are (infinitely)
+equivalent iff each is contained in the other, and Q is non-minimal under
+Σ iff some proper subquery (Q with one conjunct removed) is equivalent to
+Q under Σ.  Since dropping a conjunct only weakens a query, the reduced
+query always contains the original; only the converse direction has to be
+tested.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.containment.decision import is_contained
+from repro.containment.result import ContainmentResult
+from repro.dependencies.dependency_set import DependencySet
+from repro.exceptions import QueryError
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+def _without_conjunct_or_none(query: ConjunctiveQuery, label: str) -> Optional[ConjunctiveQuery]:
+    """Drop a conjunct unless the reduced query would be unsafe.
+
+    A conjunct carrying the only occurrence of a summary-row variable can
+    never be dropped, so minimality checks simply skip it.
+    """
+    try:
+        return query.without_conjunct(label)
+    except QueryError:
+        return None
+
+
+def are_equivalent(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
+                   dependencies: Optional[DependencySet] = None,
+                   **options) -> bool:
+    """``Σ ⊨ Q ≡∞ Q'``: containment in both directions.
+
+    Raises :class:`~repro.exceptions.ContainmentUndecided` if either
+    direction could not be decided with certainty.
+    """
+    forward = is_contained(query, query_prime, dependencies, **options)
+    if forward.certain and not forward.holds:
+        return False
+    backward = is_contained(query_prime, query, dependencies, **options)
+    return bool(forward) and bool(backward)
+
+
+def equivalence_results(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
+                        dependencies: Optional[DependencySet] = None,
+                        **options) -> Tuple[ContainmentResult, ContainmentResult]:
+    """Both directions' full results (for reports and benchmarks)."""
+    forward = is_contained(query, query_prime, dependencies, **options)
+    backward = is_contained(query_prime, query, dependencies, **options)
+    return forward, backward
+
+
+def removable_conjuncts_under(query: ConjunctiveQuery,
+                              dependencies: Optional[DependencySet] = None,
+                              **options) -> List[str]:
+    """Labels of conjuncts removable without changing the query under Σ.
+
+    A conjunct c is removable iff ``Σ ⊨ (Q without c) ⊆ Q`` — the other
+    direction always holds because removing a conjunct weakens the query.
+    """
+    removable: List[str] = []
+    if len(query) <= 1:
+        return removable
+    for conjunct in query.conjuncts:
+        reduced = _without_conjunct_or_none(query, conjunct.label)
+        if reduced is not None and bool(is_contained(reduced, query, dependencies, **options)):
+            removable.append(conjunct.label)
+    return removable
+
+
+def is_minimal_under(query: ConjunctiveQuery,
+                     dependencies: Optional[DependencySet] = None,
+                     **options) -> bool:
+    """True if no single conjunct can be dropped without changing Q under Σ."""
+    return not removable_conjuncts_under(query, dependencies, **options)
+
+
+def minimize_under(query: ConjunctiveQuery,
+                   dependencies: Optional[DependencySet] = None,
+                   name: Optional[str] = None,
+                   **options) -> ConjunctiveQuery:
+    """Greedily drop removable conjuncts until the query is minimal under Σ.
+
+    Every intermediate query is equivalent to the original under Σ, so the
+    final query is an equivalent minimal form.  (Unlike the dependency-free
+    core it need not be unique, but it is always correct.)
+    """
+    current = query
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for conjunct in current.conjuncts:
+            reduced = _without_conjunct_or_none(current, conjunct.label)
+            if reduced is not None and bool(is_contained(reduced, query, dependencies, **options)):
+                current = reduced
+                changed = True
+                break
+    if name is not None:
+        current = current.renamed(name)
+    return current

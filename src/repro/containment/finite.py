@@ -1,0 +1,254 @@
+"""Finite containment (Section 4).
+
+Containment over *finite* databases (⊆f) is implied by containment over
+all databases (⊆∞) but not conversely: the paper's counterexample uses
+Σ = {R: 2 → 1, R[2] ⊆ R[1]} and the queries
+
+    Q1 = {(x) : ∃y  R(x, y)}
+    Q2 = {(x) : ∃y ∃y' R(x, y) ∧ R(y', x)}
+
+which are finitely equivalent (in a finite R obeying Σ, column 2 is an
+injective map into column 1, hence — by finiteness — onto it) but not
+infinitely equivalent.  Theorem 3 shows the two notions *do* coincide when
+Σ is key-based or consists of width-1 INDs ("finite controllability"),
+with the constant k_Σ bounding how far apart the levels of two conjuncts
+sharing a symbol can be.
+
+This module provides:
+
+* :func:`section4_counterexample` — the example above, ready to run;
+* :func:`k_sigma` — the paper's constant for the finitely controllable
+  classes;
+* :func:`finite_containment_sample` — an empirical ⊆f check that
+  enumerates or samples finite Σ-satisfying databases and looks for a
+  counterexample database (the experiment E7/E8 harness).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from repro.chase.instance_chase import chase_instance
+from repro.dependencies.dependency_set import DependencyClass, DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.violations import database_satisfies
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.evaluation import answers_contained_in
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+from repro.terms.term import DistinguishedVariable, NonDistinguishedVariable
+from repro.queries.conjunct import Conjunct
+
+
+# ---------------------------------------------------------------------------
+# k_Σ and finite controllability
+# ---------------------------------------------------------------------------
+
+
+def k_sigma(dependencies: DependencySet, schema: Optional[DatabaseSchema] = None) -> Optional[int]:
+    """The constant k_Σ of Theorem 3's proof, or ``None`` outside its cases.
+
+    * key-based Σ — k_Σ = 1 (Lemma 6: no symbol survives more than one
+      level);
+    * width-1 INDs — k_Σ = the sum of the arities of the relations that
+      occur as right-hand sides of INDs in Σ (the paper's bound on how
+      often a symbol can be propagated to a new column);
+    * anything else — ``None`` (Theorem 3 does not apply).
+    """
+    target_schema = schema or dependencies.schema
+    classification = dependencies.classify(target_schema)
+    if classification is DependencyClass.KEY_BASED:
+        return 1
+    if classification is DependencyClass.IND_ONLY and dependencies.has_only_unary_inds():
+        if target_schema is None:
+            raise ValueError("a schema is required to compute k_sigma for IND-only sets")
+        rhs_relations = {ind.rhs_relation for ind in dependencies.inclusion_dependencies()}
+        return sum(target_schema.relation(name).arity for name in rhs_relations)
+    if classification in (DependencyClass.EMPTY, DependencyClass.FD_ONLY):
+        return 0
+    return None
+
+
+def is_finitely_controllable(dependencies: DependencySet,
+                             schema: Optional[DatabaseSchema] = None) -> bool:
+    """True when Theorem 3 guarantees ⊆f and ⊆∞ coincide for Σ."""
+    return dependencies.is_finitely_controllable(schema)
+
+
+# ---------------------------------------------------------------------------
+# The Section 4 counterexample
+# ---------------------------------------------------------------------------
+
+
+class Section4Example(NamedTuple):
+    """The paper's finite-vs-infinite counterexample, as runnable objects."""
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+
+
+def section4_counterexample() -> Section4Example:
+    """Σ = {R: 2 → 1, R[2] ⊆ R[1]} with Q1, Q2 as in Section 4.
+
+    ``Σ ⊨ Q1 ⊆f Q2`` holds (and hence Q1 ≡f Q2, since Q2 ⊆ Q1 always),
+    but ``Σ ⊨ Q1 ⊆∞ Q2`` fails — the chase-based test reports
+    non-containment, and an infinite database witnessing the difference is
+    an infinite forward chain under R.
+    """
+    schema = DatabaseSchema.from_dict({"R": ["a1", "a2"]})
+    dependencies = DependencySet(
+        [
+            FunctionalDependency("R", ["a2"], "a1"),
+            InclusionDependency("R", ["a2"], "R", ["a1"]),
+        ],
+        schema=schema,
+    )
+    x = DistinguishedVariable("x")
+    y = NonDistinguishedVariable("y")
+    y_prime = NonDistinguishedVariable("y_prime")
+    q1 = ConjunctiveQuery(
+        input_schema=schema,
+        conjuncts=[Conjunct("R", [x, y])],
+        summary_row=(x,),
+        name="Q1",
+    )
+    q2 = ConjunctiveQuery(
+        input_schema=schema,
+        conjuncts=[Conjunct("R", [x, y]), Conjunct("R", [y_prime, x])],
+        summary_row=(x,),
+        name="Q2",
+    )
+    return Section4Example(schema=schema, dependencies=dependencies, q1=q1, q2=q2)
+
+
+# ---------------------------------------------------------------------------
+# Empirical finite containment: enumeration and sampling of finite models
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FiniteContainmentReport:
+    """Result of checking ``Q(B) ⊆ Q'(B)`` over many finite Σ-databases.
+
+    ``holds_on_sample`` is True when no counterexample database was found;
+    this is evidence for ⊆f, not a proof (unless the enumeration was
+    exhaustive for a domain size that happens to suffice).
+    """
+
+    holds_on_sample: bool
+    databases_checked: int
+    databases_generated: int
+    counterexample: Optional[Database]
+    method: str
+
+    def describe(self) -> str:
+        verdict = "no counterexample found" if self.holds_on_sample else "counterexample found"
+        return (
+            f"finite containment check ({self.method}): {verdict} over "
+            f"{self.databases_checked} Σ-satisfying databases "
+            f"(of {self.databases_generated} generated)"
+        )
+
+
+def enumerate_databases(schema: DatabaseSchema, domain: Sequence[Any],
+                        max_databases: int = 100_000) -> Iterator[Database]:
+    """Every database over ``schema`` whose values come from ``domain``.
+
+    The number of databases is ``2 ** (sum_R |domain| ** arity(R))``; the
+    generator stops with a ``ValueError`` if that exceeds ``max_databases``
+    so callers do not silently fall into an exponential trap.
+    """
+    per_relation: List[Tuple[str, List[Tuple[Any, ...]]]] = []
+    total_exponent = 0
+    for relation in schema:
+        possible = list(itertools.product(domain, repeat=relation.arity))
+        per_relation.append((relation.name, possible))
+        total_exponent += len(possible)
+    if 2 ** total_exponent > max_databases:
+        raise ValueError(
+            f"exhaustive enumeration would produce 2**{total_exponent} databases; "
+            f"use finite_containment_sample with sampling instead"
+        )
+    tuple_sets = [
+        [subset for size in range(len(possible) + 1)
+         for subset in itertools.combinations(possible, size)]
+        for _, possible in per_relation
+    ]
+    for combination in itertools.product(*tuple_sets):
+        database = Database(schema)
+        for (relation_name, _), rows in zip(per_relation, combination):
+            database.add_all(relation_name, rows)
+        yield database
+
+
+def sample_database(schema: DatabaseSchema, domain: Sequence[Any], rng: random.Random,
+                    max_tuples_per_relation: int = 4) -> Database:
+    """One random database over ``schema`` with values from ``domain``."""
+    database = Database(schema)
+    for relation in schema:
+        count = rng.randint(0, max_tuples_per_relation)
+        for _ in range(count):
+            row = tuple(rng.choice(list(domain)) for _ in range(relation.arity))
+            database.add(relation.name, row)
+    return database
+
+
+def finite_containment_sample(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
+                              dependencies: DependencySet,
+                              domain_size: int = 3,
+                              exhaustive: bool = True,
+                              samples: int = 200,
+                              repair: bool = True,
+                              seed: int = 0,
+                              max_enumeration: int = 100_000) -> FiniteContainmentReport:
+    """Search for a finite Σ-satisfying database with ``Q(B) ⊄ Q'(B)``.
+
+    With ``exhaustive=True`` (and a schema small enough) every database
+    over a ``domain_size``-element domain is checked — for the Section 4
+    example this is a complete check of ⊆f up to that domain size.  With
+    ``exhaustive=False`` random databases are drawn and (optionally)
+    repaired with the instance chase before being checked.
+    """
+    query.require_same_interface(query_prime)
+    schema = query.input_schema
+    domain = list(range(domain_size))
+    checked = 0
+    generated = 0
+
+    def candidates() -> Iterator[Database]:
+        nonlocal generated
+        if exhaustive:
+            for database in enumerate_databases(schema, domain, max_databases=max_enumeration):
+                generated += 1
+                yield database
+            return
+        rng = random.Random(seed)
+        for _ in range(samples):
+            generated += 1
+            database = sample_database(schema, domain, rng)
+            if repair and not database_satisfies(database, dependencies):
+                repaired = chase_instance(database, dependencies, max_steps=200)
+                if repaired.succeeded:
+                    database = repaired.database
+            yield database
+
+    method = "exhaustive enumeration" if exhaustive else "random sampling with chase repair"
+    for database in candidates():
+        if not database_satisfies(database, dependencies):
+            continue
+        checked += 1
+        if not answers_contained_in(query, query_prime, database):
+            return FiniteContainmentReport(
+                holds_on_sample=False, databases_checked=checked,
+                databases_generated=generated, counterexample=database, method=method,
+            )
+    return FiniteContainmentReport(
+        holds_on_sample=True, databases_checked=checked,
+        databases_generated=generated, counterexample=None, method=method,
+    )

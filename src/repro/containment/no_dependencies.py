@@ -1,0 +1,34 @@
+"""Containment with no dependencies (Chandra & Merlin, the W = 0 baseline).
+
+``Q ⊆ Q'`` over all databases iff there is a query homomorphism from Q' to
+Q.  This is the NP-complete base case the paper's Theorem 2 generalises;
+the benchmarks use it both as the baseline (experiment E9) and as a
+cross-check for the chase-based procedures on Σ = ∅.
+"""
+
+from __future__ import annotations
+
+from repro.containment.result import ContainmentResult
+from repro.homomorphism.query_homomorphism import find_query_homomorphism
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+def contained_without_dependencies(query: ConjunctiveQuery,
+                                   query_prime: ConjunctiveQuery) -> ContainmentResult:
+    """Decide ``Q ⊆ Q'`` with Σ = ∅ via the containment-mapping criterion."""
+    query.require_same_interface(query_prime)
+    mapping = find_query_homomorphism(
+        query_prime.conjuncts, query_prime.summary_row,
+        query.conjuncts, query.summary_row,
+    )
+    if mapping is not None:
+        return ContainmentResult(
+            holds=True, certain=True, method="chandra-merlin",
+            reason="containment mapping from Q' to Q found",
+            levels_built=0, chase_size=len(query), homomorphism=mapping,
+        )
+    return ContainmentResult(
+        holds=False, certain=True, method="chandra-merlin",
+        reason="no containment mapping from Q' to Q exists",
+        levels_built=0, chase_size=len(query),
+    )

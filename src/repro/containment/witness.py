@@ -1,0 +1,112 @@
+"""Counterexample witnesses for non-containment.
+
+Theorem 1's proof contains a constructive converse: if there is *no*
+homomorphism from Q' into chase_Σ(Q), then the chase itself — viewed as a
+database, with every symbol frozen to a distinct constant — is a database
+obeying Σ on which Q produces the frozen summary row while Q' does not.
+When the chase is finite (it saturated), that gives a concrete, finite,
+Σ-satisfying counterexample database that a user can inspect, store, or
+feed back into the evaluators.
+
+When the chase is infinite the same construction only yields a finite
+*prefix*, which obeys the FDs but may violate some INDs; in that case the
+witness is still returned but flagged ``sigma_satisfied=False`` (the
+infinite completion would satisfy Σ — that is exactly the Section 4
+phenomenon).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.chase.engine import ChaseVariant, r_chase
+from repro.containment.bounds import theorem2_level_bound
+from repro.containment.decision import is_contained
+from repro.containment.result import ContainmentResult
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.violations import database_satisfies
+from repro.queries.canonical import freeze_symbol
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.evaluation import answer_contains
+from repro.relational.database import Database
+from repro.terms.term import Constant, Term
+
+
+@dataclass
+class NonContainmentWitness:
+    """A database separating Q from Q'.
+
+    ``row`` belongs to ``Q(database)`` but not to ``Q'(database)``.
+    ``sigma_satisfied`` records whether the database obeys every
+    dependency of Σ (always true when the chase saturated; possibly false
+    when only a finite prefix of an infinite chase could be materialised).
+    """
+
+    database: Database
+    row: Tuple[Any, ...]
+    sigma_satisfied: bool
+    chase_levels: int
+    chase_saturated: bool
+
+    def separates(self, query: ConjunctiveQuery, query_prime: ConjunctiveQuery) -> bool:
+        """Re-check the witness against the two queries (independent check)."""
+        return (answer_contains(query, self.database, self.row)
+                and not answer_contains(query_prime, self.database, self.row))
+
+    def describe(self) -> str:
+        status = "Σ-satisfying" if self.sigma_satisfied else (
+            "prefix witness (some INDs unsatisfied; the infinite completion satisfies Σ)")
+        lines = [
+            f"non-containment witness ({status}), row {self.row}:",
+        ]
+        for name, rows in sorted(self.database.as_dict().items()):
+            lines.append(f"  {name}: {rows}")
+        return "\n".join(lines)
+
+
+def _freeze_chase_database(chase_result, schema) -> Database:
+    database = Database(schema)
+    for conjunct in chase_result.conjuncts():
+        database.add(conjunct.relation,
+                     tuple(freeze_symbol(term) for term in conjunct.terms))
+    return database
+
+
+def _frozen_row(summary_row: Tuple[Term, ...]) -> Tuple[Any, ...]:
+    return tuple(freeze_symbol(term) for term in summary_row)
+
+
+def non_containment_witness(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
+                            dependencies: Optional[DependencySet] = None,
+                            max_level: Optional[int] = None,
+                            max_conjuncts: int = 20_000) -> Optional[NonContainmentWitness]:
+    """Build a separating database for ``Q ⊄ Q'`` under Σ, if one exists.
+
+    Returns ``None`` when the containment actually holds (or could not be
+    refuted with certainty within the budgets).  The returned witness's
+    ``separates`` method re-verifies it from scratch.
+    """
+    sigma = dependencies if dependencies is not None else DependencySet()
+    verdict: ContainmentResult = is_contained(query, query_prime, sigma,
+                                              max_conjuncts=max_conjuncts)
+    if verdict.holds or not verdict.certain:
+        return None
+
+    bound = max_level if max_level is not None else theorem2_level_bound(query_prime, sigma)
+    chase_result = r_chase(query, sigma, max_level=bound,
+                           max_conjuncts=max_conjuncts, record_trace=False)
+    if chase_result.failed:
+        # Q is empty on every Σ-database, so it is contained in everything;
+        # is_contained cannot have said "no" — defensive only.
+        return None
+
+    database = _freeze_chase_database(chase_result, query.input_schema)
+    row = _frozen_row(chase_result.summary_row)
+    return NonContainmentWitness(
+        database=database,
+        row=row,
+        sigma_satisfied=database_satisfies(database, sigma),
+        chase_levels=chase_result.max_level(),
+        chase_saturated=chase_result.saturated,
+    )

@@ -1,0 +1,73 @@
+"""Functional and inclusion dependencies.
+
+The paper studies two classes of dependencies:
+
+* **functional dependencies (FDs)** ``R: Z → A`` — no two tuples of R agree
+  on Z but differ on A;
+* **inclusion dependencies (INDs)** ``R[X] ⊆ S[Y]`` — every X-subtuple of R
+  appears as a Y-subtuple of S; the *width* of the IND is ``|X| = |Y|``.
+
+A set of FDs and INDs is *key-based* (Section 2) when (a) for each relation
+all its FDs share one left-hand side Z and every non-Z attribute is some
+FD's right-hand side, and (b) every IND's right-hand side is contained in
+the key of its target relation while its left-hand side is disjoint from
+the key of its source relation.
+
+This package provides the dependency objects, dependency sets with the
+classifications the containment procedures dispatch on, inference for FDs
+(attribute closure) and INDs (the Casanova–Fagin–Papadimitriou axioms and
+the reduction to containment from Corollary 2.3), and violation checking
+on finite database instances.
+"""
+
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.fd_inference import (
+    attribute_closure,
+    candidate_keys,
+    fd_implies,
+    is_superkey,
+    minimal_cover,
+)
+from repro.dependencies.ind_inference import (
+    derive_ind_closure,
+    ind_implied_by_axioms,
+)
+from repro.dependencies.normalization import (
+    KeyBasedDiagnosis,
+    RelationDesignReport,
+    diagnose_key_based,
+    relation_design_report,
+    suggest_key_based_repair,
+)
+from repro.dependencies.violations import (
+    Violation,
+    check_database,
+    database_satisfies,
+    fd_violations,
+    ind_violations,
+)
+
+__all__ = [
+    "DependencySet",
+    "FunctionalDependency",
+    "InclusionDependency",
+    "KeyBasedDiagnosis",
+    "RelationDesignReport",
+    "Violation",
+    "attribute_closure",
+    "candidate_keys",
+    "check_database",
+    "database_satisfies",
+    "derive_ind_closure",
+    "diagnose_key_based",
+    "fd_implies",
+    "fd_violations",
+    "ind_implied_by_axioms",
+    "ind_violations",
+    "is_superkey",
+    "minimal_cover",
+    "relation_design_report",
+    "suggest_key_based_repair",
+]

@@ -1,0 +1,283 @@
+"""Dependency sets and their classification.
+
+The containment procedures of Section 3 dispatch on the *shape* of the
+dependency set Σ:
+
+* Σ empty — classical Chandra–Merlin containment;
+* Σ contains only FDs — the classical finite chase;
+* Σ contains only INDs — Theorem 2(i);
+* Σ key-based — Theorem 2(ii);
+* anything else — outside the paper's decidable cases (the procedure is
+  still exposed as a sound semi-decision).
+
+:class:`DependencySet` stores the dependencies, validates them against a
+schema, computes the maximum IND width W, determines keys, and implements
+the key-based test exactly as defined in Section 2.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.exceptions import DependencyError
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.relational.schema import DatabaseSchema
+
+Dependency = Union[FunctionalDependency, InclusionDependency]
+
+
+class DependencyClass(Enum):
+    """The shapes of Σ the paper's results distinguish."""
+
+    EMPTY = "empty"
+    FD_ONLY = "fd-only"
+    IND_ONLY = "ind-only"
+    KEY_BASED = "key-based"
+    GENERAL = "general"
+
+
+class DependencySet:
+    """An ordered, duplicate-free collection of FDs and INDs.
+
+    Iteration order is insertion order, which the chase uses for its
+    "lexicographically first dependency" tie-breaking, so two runs over the
+    same DependencySet produce identical chases.
+    """
+
+    def __init__(self, dependencies: Optional[Iterable[Dependency]] = None,
+                 schema: Optional[DatabaseSchema] = None):
+        self._dependencies: List[Dependency] = []
+        self._seen: Set[Dependency] = set()
+        self._schema = schema
+        for dependency in dependencies or ():
+            self.add(dependency)
+
+    # -- construction -------------------------------------------------------------
+
+    def add(self, dependency: Dependency) -> "DependencySet":
+        """Add one dependency (duplicates are ignored)."""
+        if not isinstance(dependency, (FunctionalDependency, InclusionDependency)):
+            raise DependencyError(
+                f"expected a FunctionalDependency or InclusionDependency, got {dependency!r}"
+            )
+        if dependency not in self._seen:
+            if self._schema is not None:
+                dependency.validate(self._schema)
+            self._dependencies.append(dependency)
+            self._seen.add(dependency)
+        return self
+
+    def union(self, other: "DependencySet") -> "DependencySet":
+        """A new set containing the dependencies of both."""
+        merged = DependencySet(self._dependencies, schema=self._schema or other._schema)
+        for dependency in other:
+            merged.add(dependency)
+        return merged
+
+    @classmethod
+    def empty(cls, schema: Optional[DatabaseSchema] = None) -> "DependencySet":
+        return cls(schema=schema)
+
+    # -- container protocol ---------------------------------------------------------
+
+    def __iter__(self) -> Iterator[Dependency]:
+        return iter(self._dependencies)
+
+    def __len__(self) -> int:
+        return len(self._dependencies)
+
+    def __contains__(self, dependency: Dependency) -> bool:
+        return dependency in self._seen
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DependencySet):
+            return NotImplemented
+        return set(self._dependencies) == set(other._dependencies)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DependencySet({', '.join(str(d) for d in self._dependencies)})"
+
+    @property
+    def schema(self) -> Optional[DatabaseSchema]:
+        return self._schema
+
+    # -- views -------------------------------------------------------------------------
+
+    def functional_dependencies(self) -> List[FunctionalDependency]:
+        """Σ[F]: the FDs, in insertion order."""
+        return [d for d in self._dependencies if isinstance(d, FunctionalDependency)]
+
+    def inclusion_dependencies(self) -> List[InclusionDependency]:
+        """Σ[I]: the INDs, in insertion order."""
+        return [d for d in self._dependencies if isinstance(d, InclusionDependency)]
+
+    def fds_for(self, relation: str) -> List[FunctionalDependency]:
+        return [d for d in self.functional_dependencies() if d.relation == relation]
+
+    def inds_from(self, relation: str) -> List[InclusionDependency]:
+        """INDs whose left-hand side lives in ``relation``."""
+        return [d for d in self.inclusion_dependencies() if d.lhs_relation == relation]
+
+    def inds_into(self, relation: str) -> List[InclusionDependency]:
+        """INDs whose right-hand side lives in ``relation``."""
+        return [d for d in self.inclusion_dependencies() if d.rhs_relation == relation]
+
+    def fd_part(self) -> "DependencySet":
+        """The sub-set Σ[F] as a DependencySet."""
+        return DependencySet(self.functional_dependencies(), schema=self._schema)
+
+    def ind_part(self) -> "DependencySet":
+        """The sub-set Σ[I] as a DependencySet."""
+        return DependencySet(self.inclusion_dependencies(), schema=self._schema)
+
+    # -- sizes ----------------------------------------------------------------------------
+
+    def max_ind_width(self) -> int:
+        """W: the maximum width of an IND in Σ (0 if Σ has no INDs)."""
+        widths = [d.width for d in self.inclusion_dependencies()]
+        return max(widths) if widths else 0
+
+    def size(self) -> int:
+        """|Σ|: the number of dependencies."""
+        return len(self._dependencies)
+
+    # -- validation ---------------------------------------------------------------------------
+
+    def validate(self, schema: Optional[DatabaseSchema] = None) -> None:
+        """Check every dependency against a schema."""
+        target = schema or self._schema
+        if target is None:
+            raise DependencyError("no schema available to validate against")
+        for dependency in self._dependencies:
+            dependency.validate(target)
+
+    # -- classification ----------------------------------------------------------------------------
+
+    def is_empty(self) -> bool:
+        return not self._dependencies
+
+    def is_fd_only(self) -> bool:
+        return bool(self._dependencies) and not self.inclusion_dependencies()
+
+    def is_ind_only(self) -> bool:
+        return bool(self._dependencies) and not self.functional_dependencies()
+
+    def has_only_unary_inds(self) -> bool:
+        """True if every IND has width 1 (Theorem 3(i) requires this)."""
+        return all(d.is_unary for d in self.inclusion_dependencies())
+
+    def key_of(self, relation: str, schema: Optional[DatabaseSchema] = None) -> Optional[FrozenSet[str]]:
+        """The common FD left-hand side for ``relation``, as attribute names.
+
+        Returns ``None`` when the relation has no FDs, and raises
+        DependencyError when its FDs do not share one left-hand side (in
+        which case Σ cannot be key-based).
+        """
+        target = schema or self._schema
+        if target is None:
+            raise DependencyError("a schema is required to resolve attribute names")
+        fds = self.fds_for(relation)
+        if not fds:
+            return None
+        lhs_sets = {fd.lhs_names(target) for fd in fds}
+        if len(lhs_sets) != 1:
+            raise DependencyError(
+                f"relation {relation!r} has FDs with different left-hand sides; "
+                "the set is not key-based"
+            )
+        return next(iter(lhs_sets))
+
+    def is_key_based(self, schema: Optional[DatabaseSchema] = None) -> bool:
+        """The paper's key-based test (Section 2, conditions (a) and (b)).
+
+        (a) For each relation R with FDs, all FDs of R share one left-hand
+        side Z, and every attribute of R outside Z is the right-hand side of
+        some FD of R (so Z is a key of R).
+
+        (b) Every IND ``R[X] ⊆ S[Y]`` has Y contained in the key of S (so S
+        must have FDs) and X disjoint from the key of R (vacuously true when
+        R has no FDs).
+        """
+        target = schema or self._schema
+        if target is None:
+            raise DependencyError("a schema is required for the key-based test")
+        if not self._dependencies:
+            return False
+
+        # Condition (a): shared left-hand sides covering all non-key attributes.
+        keys: Dict[str, FrozenSet[str]] = {}
+        for relation_name in {fd.relation for fd in self.functional_dependencies()}:
+            try:
+                key = self.key_of(relation_name, target)
+            except DependencyError:
+                return False
+            assert key is not None
+            keys[relation_name] = key
+            relation = target.relation(relation_name)
+            covered = {fd.rhs_name(target) for fd in self.fds_for(relation_name)}
+            for attribute in relation.attribute_names:
+                if attribute not in key and attribute not in covered:
+                    return False
+
+        # Condition (b): IND right-hand sides inside target keys, left-hand
+        # sides disjoint from source keys.
+        for ind in self.inclusion_dependencies():
+            target_key = keys.get(ind.rhs_relation)
+            if target_key is None:
+                return False
+            if not ind.rhs_names(target) <= target_key:
+                return False
+            source_key = keys.get(ind.lhs_relation)
+            if source_key is not None and ind.lhs_names(target) & source_key:
+                return False
+        return True
+
+    def classify(self, schema: Optional[DatabaseSchema] = None) -> DependencyClass:
+        """Which of the paper's cases Σ falls into."""
+        if self.is_empty():
+            return DependencyClass.EMPTY
+        if self.is_fd_only():
+            return DependencyClass.FD_ONLY
+        if self.is_ind_only():
+            return DependencyClass.IND_ONLY
+        target = schema or self._schema
+        if target is not None and self.is_key_based(target):
+            return DependencyClass.KEY_BASED
+        return DependencyClass.GENERAL
+
+    def supports_exact_containment(self, schema: Optional[DatabaseSchema] = None) -> bool:
+        """True if Σ is in a class for which Theorem 2 gives a decision procedure."""
+        return self.classify(schema) in (
+            DependencyClass.EMPTY,
+            DependencyClass.FD_ONLY,
+            DependencyClass.IND_ONLY,
+            DependencyClass.KEY_BASED,
+        )
+
+    def is_finitely_controllable(self, schema: Optional[DatabaseSchema] = None) -> bool:
+        """True if Theorem 3 guarantees ⊆f and ⊆∞ coincide for Σ.
+
+        That is: Σ is empty, FD-only, key-based, or consists only of
+        width-1 INDs.  (The paper conjectures the IND-only case in general
+        but proves only width 1.)
+        """
+        classification = self.classify(schema)
+        if classification in (DependencyClass.EMPTY, DependencyClass.FD_ONLY,
+                              DependencyClass.KEY_BASED):
+            return True
+        if classification is DependencyClass.IND_ONLY:
+            return self.has_only_unary_inds()
+        return False
+
+    # -- reporting -------------------------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Multi-line human-readable listing used by examples and reports."""
+        lines = [f"dependency set with {len(self)} dependencies "
+                 f"(max IND width {self.max_ind_width()})"]
+        for dependency in self._dependencies:
+            kind = "FD " if isinstance(dependency, FunctionalDependency) else "IND"
+            lines.append(f"  {kind} {dependency}")
+        return "\n".join(lines)

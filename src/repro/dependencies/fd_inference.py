@@ -1,0 +1,153 @@
+"""Inference for functional dependencies.
+
+The paper notes that the inference problem for FDs alone is solvable in
+polynomial time; the standard algorithm is the attribute-closure
+computation, which this module implements together with the derived
+notions the rest of the library needs: implication of an FD, superkey and
+candidate-key computation, and minimal covers.  All functions work on the
+FDs of a single relation (FDs never cross relations).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.dependencies.functional import FunctionalDependency
+from repro.exceptions import DependencyError
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def _resolve_names(fds: Sequence[FunctionalDependency], schema: DatabaseSchema) -> List[Tuple[FrozenSet[str], str]]:
+    """FDs of one relation as (lhs-names, rhs-name) pairs."""
+    return [(fd.lhs_names(schema), fd.rhs_name(schema)) for fd in fds]
+
+
+def _require_single_relation(fds: Sequence[FunctionalDependency]) -> str:
+    relations = {fd.relation for fd in fds}
+    if len(relations) > 1:
+        raise DependencyError(
+            f"FD inference works per relation; got FDs over {sorted(relations)}"
+        )
+    return next(iter(relations)) if relations else ""
+
+
+def attribute_closure(attributes: Iterable[str], fds: Sequence[FunctionalDependency],
+                      schema: DatabaseSchema) -> FrozenSet[str]:
+    """The closure X+ of an attribute set under a relation's FDs.
+
+    Standard fixpoint: add the right-hand side of every FD whose left-hand
+    side is already contained in the closure, until nothing changes.
+    """
+    _require_single_relation(fds)
+    resolved = _resolve_names(fds, schema) if fds else []
+    closure: Set[str] = set(attributes)
+    changed = True
+    while changed:
+        changed = False
+        for lhs, rhs in resolved:
+            if rhs not in closure and lhs <= closure:
+                closure.add(rhs)
+                changed = True
+    return frozenset(closure)
+
+
+def fd_implies(fds: Sequence[FunctionalDependency], candidate: FunctionalDependency,
+               schema: DatabaseSchema) -> bool:
+    """True if ``candidate`` is a logical consequence of ``fds``.
+
+    ``X → A`` follows from F iff A is in the closure of X under F (or the
+    candidate is trivial).
+    """
+    if candidate.is_trivial:
+        return True
+    relation_fds = [fd for fd in fds if fd.relation == candidate.relation]
+    closure = attribute_closure(candidate.lhs_names(schema), relation_fds, schema)
+    return candidate.rhs_name(schema) in closure
+
+
+def is_superkey(attributes: Iterable[str], relation: RelationSchema,
+                fds: Sequence[FunctionalDependency], schema: DatabaseSchema) -> bool:
+    """True if the attribute set functionally determines every attribute."""
+    closure = attribute_closure(attributes, [fd for fd in fds if fd.relation == relation.name], schema)
+    return set(relation.attribute_names) <= closure
+
+
+def candidate_keys(relation: RelationSchema, fds: Sequence[FunctionalDependency],
+                   schema: DatabaseSchema) -> List[FrozenSet[str]]:
+    """All minimal superkeys of the relation, smallest first.
+
+    Exhaustive over subsets of the attribute set — adequate for the small
+    schemas of the paper's setting (and of the benchmarks), not for
+    arbitrary wide tables.
+    """
+    attributes = relation.attribute_names
+    keys: List[FrozenSet[str]] = []
+    for size in range(1, len(attributes) + 1):
+        for subset in combinations(attributes, size):
+            candidate = frozenset(subset)
+            if any(key <= candidate for key in keys):
+                continue
+            if is_superkey(candidate, relation, fds, schema):
+                keys.append(candidate)
+    return keys
+
+
+def remove_redundant_fds(fds: Sequence[FunctionalDependency],
+                         schema: DatabaseSchema) -> List[FunctionalDependency]:
+    """Drop FDs implied by the remaining ones (one pass, order-dependent)."""
+    remaining = list(fds)
+    index = 0
+    while index < len(remaining):
+        candidate = remaining[index]
+        others = remaining[:index] + remaining[index + 1:]
+        if fd_implies(others, candidate, schema):
+            remaining = others
+        else:
+            index += 1
+    return remaining
+
+
+def reduce_lhs(fd: FunctionalDependency, fds: Sequence[FunctionalDependency],
+               schema: DatabaseSchema) -> FunctionalDependency:
+    """Remove extraneous attributes from an FD's left-hand side."""
+    current = list(fd.lhs_names(schema))
+    rhs = fd.rhs_name(schema)
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for attribute in list(current):
+            reduced = [a for a in current if a != attribute]
+            candidate = FunctionalDependency(fd.relation, reduced, rhs)
+            if fd_implies(fds, candidate, schema):
+                current = reduced
+                changed = True
+                break
+    return FunctionalDependency(fd.relation, current, rhs)
+
+
+def minimal_cover(fds: Sequence[FunctionalDependency],
+                  schema: DatabaseSchema) -> List[FunctionalDependency]:
+    """A minimal cover: equivalent set with reduced left sides, no redundancy.
+
+    The FDs already have singleton right-hand sides (the paper's form), so
+    the classical three-step procedure reduces to left-reduction followed by
+    removal of redundant FDs.
+    """
+    left_reduced = [reduce_lhs(fd, list(fds), schema) for fd in fds]
+    # Deduplicate while keeping order.
+    unique: List[FunctionalDependency] = []
+    for fd in left_reduced:
+        if fd not in unique:
+            unique.append(fd)
+    return remove_redundant_fds(unique, schema)
+
+
+def equivalent_fd_sets(first: Sequence[FunctionalDependency],
+                       second: Sequence[FunctionalDependency],
+                       schema: DatabaseSchema) -> bool:
+    """True if the two FD sets imply each other."""
+    return (
+        all(fd_implies(first, fd, schema) for fd in second)
+        and all(fd_implies(second, fd, schema) for fd in first)
+    )

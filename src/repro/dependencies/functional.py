@@ -1,0 +1,103 @@
+"""Functional dependencies ``R: Z → A``.
+
+The paper's FDs have a set-valued left-hand side and a single attribute on
+the right-hand side; a database obeys the FD if no two tuples of R have
+identical Z-values and different A-values.  Attributes may be referenced by
+name or 1-based position (resolved against a schema when one is supplied).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import DependencyError
+from repro.relational.schema import AttributeRef, DatabaseSchema, RelationSchema
+
+
+@dataclass(frozen=True)
+class FunctionalDependency:
+    """An FD ``relation: lhs → rhs`` with a single right-hand-side attribute."""
+
+    relation: str
+    lhs: Tuple[AttributeRef, ...]
+    rhs: AttributeRef
+
+    def __init__(self, relation: str, lhs: Sequence[AttributeRef], rhs: AttributeRef):
+        if not relation:
+            raise DependencyError("an FD must name a relation")
+        lhs_tuple = tuple(lhs)
+        if not lhs_tuple:
+            raise DependencyError(f"FD on {relation!r} must have a non-empty left-hand side")
+        if len(set(lhs_tuple)) != len(lhs_tuple):
+            raise DependencyError(
+                f"FD on {relation!r} has repeated attributes on its left-hand side: {lhs_tuple}"
+            )
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "lhs", lhs_tuple)
+        object.__setattr__(self, "rhs", rhs)
+
+    # -- rendering ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        left = ", ".join(str(a) for a in self.lhs)
+        return f"{self.relation}: {left} -> {self.rhs}"
+
+    @property
+    def is_trivial(self) -> bool:
+        """True if the right-hand side already appears on the left."""
+        return self.rhs in self.lhs
+
+    # -- schema resolution ---------------------------------------------------------
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Raise DependencyError unless the FD fits the schema."""
+        if self.relation not in schema:
+            raise DependencyError(f"FD {self} refers to unknown relation {self.relation!r}")
+        relation = schema.relation(self.relation)
+        for attribute in self.lhs + (self.rhs,):
+            relation.position_of(attribute)  # raises SchemaError on failure
+
+    def lhs_positions(self, relation: RelationSchema) -> Tuple[int, ...]:
+        """0-based columns of the left-hand side."""
+        return relation.positions_of(self.lhs)
+
+    def rhs_position(self, relation: RelationSchema) -> int:
+        """0-based column of the right-hand side."""
+        return relation.position_of(self.rhs)
+
+    def lhs_names(self, schema: DatabaseSchema) -> FrozenSet[str]:
+        """Left-hand-side attributes as names, resolved against the schema."""
+        relation = schema.relation(self.relation)
+        return frozenset(
+            relation.attribute_name_at(position) for position in self.lhs_positions(relation)
+        )
+
+    def rhs_name(self, schema: DatabaseSchema) -> str:
+        """Right-hand-side attribute as a name, resolved against the schema."""
+        relation = schema.relation(self.relation)
+        return relation.attribute_name_at(self.rhs_position(relation))
+
+    # -- convenience constructors ------------------------------------------------------
+
+    @classmethod
+    def key(cls, relation: RelationSchema, key_attributes: Sequence[AttributeRef]) -> List["FunctionalDependency"]:
+        """FDs declaring ``key_attributes`` a key of the relation.
+
+        One FD ``relation: key → A`` is produced for every non-key attribute
+        A, which is exactly the "key-based" shape of condition (a) in the
+        paper's definition.
+        """
+        key_positions = set(relation.positions_of(key_attributes))
+        dependencies = []
+        for position, attribute in enumerate(relation.attributes):
+            if position in key_positions:
+                continue
+            dependencies.append(cls(relation.name, tuple(key_attributes), attribute.name))
+        return dependencies
+
+    @classmethod
+    def expand_multi_rhs(cls, relation: str, lhs: Sequence[AttributeRef],
+                         rhs_attributes: Iterable[AttributeRef]) -> List["FunctionalDependency"]:
+        """Split ``Z → A1 A2 ...`` into the paper's single-RHS FDs."""
+        return [cls(relation, lhs, rhs) for rhs in rhs_attributes]

@@ -1,0 +1,154 @@
+"""Inclusion dependencies ``R[X] ⊆ S[Y]``.
+
+A database obeys ``R[J1..Jj] ⊆ S[K1..Kj]`` if for every subtuple occurring
+in columns J1..Jj of some tuple of R there is a tuple of S containing that
+subtuple in columns K1..Kj.  The *width* of the IND is j, the number of
+attributes on either side; the paper's complexity bounds are parameterised
+by the maximum width W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence, Tuple
+
+from repro.exceptions import DependencyError
+from repro.relational.schema import AttributeRef, DatabaseSchema, RelationSchema
+
+
+@dataclass(frozen=True)
+class InclusionDependency:
+    """An IND ``lhs_relation[lhs_attributes] ⊆ rhs_relation[rhs_attributes]``."""
+
+    lhs_relation: str
+    lhs_attributes: Tuple[AttributeRef, ...]
+    rhs_relation: str
+    rhs_attributes: Tuple[AttributeRef, ...]
+
+    def __init__(self, lhs_relation: str, lhs_attributes: Sequence[AttributeRef],
+                 rhs_relation: str, rhs_attributes: Sequence[AttributeRef]):
+        lhs = tuple(lhs_attributes)
+        rhs = tuple(rhs_attributes)
+        if not lhs_relation or not rhs_relation:
+            raise DependencyError("an IND must name relations on both sides")
+        if not lhs or not rhs:
+            raise DependencyError("an IND must list at least one attribute on each side")
+        if len(lhs) != len(rhs):
+            raise DependencyError(
+                f"IND sides have different widths: {lhs} vs {rhs}"
+            )
+        if len(set(lhs)) != len(lhs):
+            raise DependencyError(f"IND left-hand side repeats attributes: {lhs}")
+        if len(set(rhs)) != len(rhs):
+            raise DependencyError(f"IND right-hand side repeats attributes: {rhs}")
+        object.__setattr__(self, "lhs_relation", lhs_relation)
+        object.__setattr__(self, "lhs_attributes", lhs)
+        object.__setattr__(self, "rhs_relation", rhs_relation)
+        object.__setattr__(self, "rhs_attributes", rhs)
+
+    # -- rendering ---------------------------------------------------------------
+
+    def __str__(self) -> str:
+        left = ", ".join(str(a) for a in self.lhs_attributes)
+        right = ", ".join(str(a) for a in self.rhs_attributes)
+        return f"{self.lhs_relation}[{left}] <= {self.rhs_relation}[{right}]"
+
+    # -- structural properties --------------------------------------------------------
+
+    @property
+    def width(self) -> int:
+        """The number of attributes on either side of the IND."""
+        return len(self.lhs_attributes)
+
+    @property
+    def is_unary(self) -> bool:
+        """True for width-1 INDs (the finitely controllable IND class)."""
+        return self.width == 1
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for INDs of the form R[X] ⊆ R[X]."""
+        return (
+            self.lhs_relation == self.rhs_relation
+            and self.lhs_attributes == self.rhs_attributes
+        )
+
+    # -- schema resolution ---------------------------------------------------------------
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Raise DependencyError unless the IND fits the schema."""
+        for relation_name, attributes in (
+            (self.lhs_relation, self.lhs_attributes),
+            (self.rhs_relation, self.rhs_attributes),
+        ):
+            if relation_name not in schema:
+                raise DependencyError(f"IND {self} refers to unknown relation {relation_name!r}")
+            relation = schema.relation(relation_name)
+            for attribute in attributes:
+                relation.position_of(attribute)  # raises SchemaError on failure
+
+    def lhs_positions(self, schema: DatabaseSchema) -> Tuple[int, ...]:
+        """0-based columns of the left-hand side in the source relation."""
+        return schema.relation(self.lhs_relation).positions_of(self.lhs_attributes)
+
+    def rhs_positions(self, schema: DatabaseSchema) -> Tuple[int, ...]:
+        """0-based columns of the right-hand side in the target relation."""
+        return schema.relation(self.rhs_relation).positions_of(self.rhs_attributes)
+
+    def lhs_names(self, schema: DatabaseSchema) -> FrozenSet[str]:
+        relation = schema.relation(self.lhs_relation)
+        return frozenset(
+            relation.attribute_name_at(p) for p in self.lhs_positions(schema)
+        )
+
+    def rhs_names(self, schema: DatabaseSchema) -> FrozenSet[str]:
+        relation = schema.relation(self.rhs_relation)
+        return frozenset(
+            relation.attribute_name_at(p) for p in self.rhs_positions(schema)
+        )
+
+    # -- derived dependencies -----------------------------------------------------------
+
+    def projected(self, index_sequence: Sequence[int]) -> "InclusionDependency":
+        """Projection-and-permutation (a CFP inference axiom).
+
+        ``index_sequence`` selects positions (0-based, distinct) of the
+        current attribute lists; the resulting IND keeps corresponding
+        attributes on both sides.
+        """
+        if len(set(index_sequence)) != len(index_sequence):
+            raise DependencyError("projection indices must be distinct")
+        if not index_sequence:
+            raise DependencyError("projection must keep at least one attribute")
+        for index in index_sequence:
+            if not 0 <= index < self.width:
+                raise DependencyError(
+                    f"projection index {index} out of range for IND of width {self.width}"
+                )
+        return InclusionDependency(
+            self.lhs_relation,
+            tuple(self.lhs_attributes[i] for i in index_sequence),
+            self.rhs_relation,
+            tuple(self.rhs_attributes[i] for i in index_sequence),
+        )
+
+    def composed_with(self, other: "InclusionDependency") -> "InclusionDependency":
+        """Transitivity (a CFP inference axiom): R[X] ⊆ S[Y], S[Y] ⊆ T[Z] gives R[X] ⊆ T[Z].
+
+        ``other`` must start exactly where this IND ends (same relation and
+        attribute list); otherwise a DependencyError is raised.
+        """
+        if (self.rhs_relation != other.lhs_relation
+                or self.rhs_attributes != other.lhs_attributes):
+            raise DependencyError(
+                f"cannot compose {self} with {other}: sides do not match"
+            )
+        return InclusionDependency(
+            self.lhs_relation, self.lhs_attributes,
+            other.rhs_relation, other.rhs_attributes,
+        )
+
+    @classmethod
+    def reflexive(cls, relation: str, attributes: Sequence[AttributeRef]) -> "InclusionDependency":
+        """Reflexivity (a CFP inference axiom): R[X] ⊆ R[X]."""
+        return cls(relation, tuple(attributes), relation, tuple(attributes))

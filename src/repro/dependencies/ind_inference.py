@@ -1,0 +1,188 @@
+"""Inference for inclusion dependencies.
+
+Casanova, Fagin, and Papadimitriou (reference [3] of the paper) showed
+that the following axioms are sound and complete for IND implication:
+
+* **reflexivity** — R[X] ⊆ R[X];
+* **projection and permutation** — from R[A1..Am] ⊆ S[B1..Bm] infer
+  R[Ai1..Aik] ⊆ S[Bi1..Bik] for any sequence of distinct indices;
+* **transitivity** — from R[X] ⊆ S[Y] and S[Y] ⊆ T[Z] infer R[X] ⊆ T[Z].
+
+The implication problem is PSPACE-complete in general but polynomial for
+any fixed width bound, which is the regime the paper (and this library)
+works in.  Two procedures are provided:
+
+* :func:`ind_implied_by_axioms` — a saturation of the axioms restricted to
+  widths up to the candidate's width (sound and complete, and the practical
+  default);
+* :func:`ind_implied_via_containment` — the Corollary 2.3 reduction of IND
+  inference to conjunctive-query containment, used by the benchmarks to
+  cross-check the containment engine against the axiomatic procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.dependencies.inclusion import InclusionDependency
+from repro.exceptions import DependencyError
+from repro.relational.schema import DatabaseSchema
+
+# An IND in resolved (relation, attribute-name-tuple) form used during saturation.
+_ResolvedInd = Tuple[str, Tuple[str, ...], str, Tuple[str, ...]]
+
+
+def _resolve(ind: InclusionDependency, schema: DatabaseSchema) -> _ResolvedInd:
+    """Normalise an IND to attribute names so positional and named forms mix."""
+    lhs_relation = schema.relation(ind.lhs_relation)
+    rhs_relation = schema.relation(ind.rhs_relation)
+    lhs = tuple(lhs_relation.attribute_name_at(p) for p in ind.lhs_positions(schema))
+    rhs = tuple(rhs_relation.attribute_name_at(p) for p in ind.rhs_positions(schema))
+    return (ind.lhs_relation, lhs, ind.rhs_relation, rhs)
+
+
+def _projections(resolved: _ResolvedInd, max_width: int) -> Iterable[_ResolvedInd]:
+    """All projection-and-permutation consequences up to ``max_width``.
+
+    The number of index sequences is exponential in the width; widths in
+    this library are small (the paper's bounds are parameterised by a fixed
+    W), so explicit enumeration is fine.
+    """
+    lhs_relation, lhs, rhs_relation, rhs = resolved
+    width = len(lhs)
+    indices = range(width)
+
+    def sequences(length: int, prefix: Tuple[int, ...]) -> Iterable[Tuple[int, ...]]:
+        if len(prefix) == length:
+            yield prefix
+            return
+        for index in indices:
+            if index not in prefix:
+                yield from sequences(length, prefix + (index,))
+
+    for length in range(1, min(width, max_width) + 1):
+        for sequence in sequences(length, ()):
+            yield (
+                lhs_relation,
+                tuple(lhs[i] for i in sequence),
+                rhs_relation,
+                tuple(rhs[i] for i in sequence),
+            )
+
+
+def derive_ind_closure(inds: Sequence[InclusionDependency], schema: DatabaseSchema,
+                       max_width: Optional[int] = None,
+                       max_derived: int = 200_000) -> Set[_ResolvedInd]:
+    """Saturate the CFP axioms, keeping INDs of width at most ``max_width``.
+
+    Returns resolved (relation, names, relation, names) tuples.  The
+    ``max_derived`` guard protects against pathological schemas; hitting it
+    raises :class:`DependencyError` rather than silently truncating.
+    """
+    if max_width is None:
+        max_width = max((ind.width for ind in inds), default=1)
+    derived: Set[_ResolvedInd] = set()
+    frontier: List[_ResolvedInd] = []
+
+    def admit(candidate: _ResolvedInd) -> None:
+        if candidate not in derived:
+            if len(derived) >= max_derived:
+                raise DependencyError(
+                    f"IND closure exceeded {max_derived} dependencies; "
+                    "restrict the width or the schema"
+                )
+            derived.add(candidate)
+            frontier.append(candidate)
+
+    for ind in inds:
+        ind.validate(schema)
+        resolved = _resolve(ind, schema)
+        for projected in _projections(resolved, max_width):
+            admit(projected)
+        if len(resolved[1]) <= max_width:
+            admit(resolved)
+
+    while frontier:
+        current = frontier.pop()
+        lhs_relation, lhs, rhs_relation, rhs = current
+        # Transitivity with everything currently derived (both directions).
+        for other in list(derived):
+            other_lhs_relation, other_lhs, other_rhs_relation, other_rhs = other
+            if rhs_relation == other_lhs_relation and rhs == other_lhs:
+                admit((lhs_relation, lhs, other_rhs_relation, other_rhs))
+            if other_rhs_relation == lhs_relation and other_rhs == lhs:
+                admit((other_lhs_relation, other_lhs, rhs_relation, rhs))
+    return derived
+
+
+def ind_implied_by_axioms(inds: Sequence[InclusionDependency],
+                          candidate: InclusionDependency,
+                          schema: DatabaseSchema) -> bool:
+    """True if ``candidate`` follows from ``inds`` by the CFP axioms."""
+    candidate.validate(schema)
+    resolved_candidate = _resolve(candidate, schema)
+    if resolved_candidate[0] == resolved_candidate[2] and resolved_candidate[1] == resolved_candidate[3]:
+        return True  # reflexivity
+    closure = derive_ind_closure(inds, schema, max_width=candidate.width)
+    return resolved_candidate in closure
+
+
+def ind_implied_via_containment(inds: Sequence[InclusionDependency],
+                                candidate: InclusionDependency,
+                                schema: DatabaseSchema,
+                                max_conjuncts: int = 10_000) -> bool:
+    """Corollary 2.3: decide IND implication as conjunctive-query containment.
+
+    ``R[X] ⊆ S[Y]`` can be inferred from Σ iff ``Σ ⊨ Q ⊆ Q'`` where Q
+    returns the X-columns of R and Q' additionally requires a matching
+    S-tuple on the Y-columns.  The construction below handles the general
+    case (arbitrary column positions, R and S possibly equal).
+
+    The containment engine is imported lazily to keep the package
+    dependency graph acyclic.
+    """
+    from repro.containment.decision import is_contained
+    from repro.dependencies.dependency_set import DependencySet
+    from repro.queries.conjunct import Conjunct
+    from repro.queries.conjunctive_query import ConjunctiveQuery
+    from repro.terms.term import DistinguishedVariable, NonDistinguishedVariable
+
+    candidate.validate(schema)
+    lhs_schema = schema.relation(candidate.lhs_relation)
+    rhs_schema = schema.relation(candidate.rhs_relation)
+    lhs_positions = candidate.lhs_positions(schema)
+    rhs_positions = candidate.rhs_positions(schema)
+
+    # Q: return the X-columns of one R-tuple.
+    distinguished = [DistinguishedVariable(f"x{i + 1}") for i in range(candidate.width)]
+    r_terms: List = []
+    for position in range(lhs_schema.arity):
+        if position in lhs_positions:
+            r_terms.append(distinguished[lhs_positions.index(position)])
+        else:
+            r_terms.append(NonDistinguishedVariable(f"y{position + 1}"))
+    q_conjunct = Conjunct(candidate.lhs_relation, r_terms, label="r")
+    query = ConjunctiveQuery(
+        input_schema=schema,
+        conjuncts=[q_conjunct],
+        summary_row=tuple(distinguished),
+        name="Q_ind",
+    )
+
+    # Q': additionally require an S-tuple carrying the same values on Y.
+    s_terms: List = []
+    for position in range(rhs_schema.arity):
+        if position in rhs_positions:
+            s_terms.append(distinguished[rhs_positions.index(position)])
+        else:
+            s_terms.append(NonDistinguishedVariable(f"z{position + 1}"))
+    s_conjunct = Conjunct(candidate.rhs_relation, s_terms, label="s")
+    query_prime = ConjunctiveQuery(
+        input_schema=schema,
+        conjuncts=[q_conjunct.with_label("r"), s_conjunct],
+        summary_row=tuple(distinguished),
+        name="Qprime_ind",
+    )
+
+    sigma = DependencySet(inds, schema=schema)
+    return is_contained(query, query_prime, sigma, max_conjuncts=max_conjuncts).holds

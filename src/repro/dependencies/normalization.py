@@ -1,0 +1,193 @@
+"""Schema-design analysis: keys, normal forms, and key-based repair.
+
+The paper's "key-based" class is motivated by design practice: "databases
+are often specifically designed so that the FDs determine a key for each
+relation".  This module provides the design-side tooling that connects a
+declared FD set to that practice:
+
+* per-relation candidate keys and Boyce–Codd / third normal form checks;
+* a report of which relations stop a dependency set from being key-based
+  and why (missing keys, non-key FD left-hand sides, INDs that do not
+  target keys or leave the source key);
+* :func:`suggest_key_based_repair` — the FDs one would have to add (key
+  declarations) to make condition (a) of the key-based definition hold,
+  which is how the workload generators build key-based sets in the first
+  place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.fd_inference import attribute_closure, candidate_keys, is_superkey
+from repro.dependencies.functional import FunctionalDependency
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+@dataclass
+class RelationDesignReport:
+    """Normal-form facts about one relation under the declared FDs."""
+
+    relation: str
+    candidate_keys: List[FrozenSet[str]]
+    violating_fds_bcnf: List[FunctionalDependency]
+    violating_fds_3nf: List[FunctionalDependency]
+
+    @property
+    def in_bcnf(self) -> bool:
+        return not self.violating_fds_bcnf
+
+    @property
+    def in_3nf(self) -> bool:
+        return not self.violating_fds_3nf
+
+
+def relation_design_report(relation: RelationSchema,
+                           fds: Sequence[FunctionalDependency],
+                           schema: DatabaseSchema) -> RelationDesignReport:
+    """Candidate keys plus BCNF / 3NF violations for one relation."""
+    local_fds = [fd for fd in fds if fd.relation == relation.name]
+    keys = candidate_keys(relation, local_fds, schema)
+    prime_attributes: Set[str] = set()
+    for key in keys:
+        prime_attributes.update(key)
+    bcnf_violations: List[FunctionalDependency] = []
+    tnf_violations: List[FunctionalDependency] = []
+    for fd in local_fds:
+        if fd.is_trivial:
+            continue
+        lhs = fd.lhs_names(schema)
+        if is_superkey(lhs, relation, local_fds, schema):
+            continue
+        bcnf_violations.append(fd)
+        if fd.rhs_name(schema) not in prime_attributes:
+            tnf_violations.append(fd)
+    return RelationDesignReport(
+        relation=relation.name,
+        candidate_keys=keys,
+        violating_fds_bcnf=bcnf_violations,
+        violating_fds_3nf=tnf_violations,
+    )
+
+
+@dataclass
+class KeyBasedDiagnosis:
+    """Why a dependency set is (or is not) key-based."""
+
+    key_based: bool
+    problems: List[str] = field(default_factory=list)
+    keys: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def describe(self) -> str:
+        if self.key_based:
+            keyed = ", ".join(f"{relation}({', '.join(sorted(key))})"
+                              for relation, key in sorted(self.keys.items()))
+            return f"the dependency set is key-based; keys: {keyed}"
+        lines = ["the dependency set is NOT key-based:"]
+        lines.extend(f"  - {problem}" for problem in self.problems)
+        return "\n".join(lines)
+
+
+def diagnose_key_based(dependencies: DependencySet,
+                       schema: Optional[DatabaseSchema] = None) -> KeyBasedDiagnosis:
+    """Explain the key-based test's verdict, problem by problem."""
+    target = schema or dependencies.schema
+    if target is None:
+        raise ValueError("a schema is required for the key-based diagnosis")
+    problems: List[str] = []
+    keys: Dict[str, FrozenSet[str]] = {}
+
+    for relation_name in sorted({fd.relation for fd in dependencies.functional_dependencies()}):
+        fds = dependencies.fds_for(relation_name)
+        lhs_sets = {fd.lhs_names(target) for fd in fds}
+        if len(lhs_sets) > 1:
+            problems.append(
+                f"relation {relation_name} has FDs with different left-hand sides: "
+                + ", ".join(str(sorted(lhs)) for lhs in sorted(lhs_sets, key=sorted)))
+            continue
+        key = next(iter(lhs_sets))
+        keys[relation_name] = key
+        relation = target.relation(relation_name)
+        covered = {fd.rhs_name(target) for fd in fds}
+        uncovered = [attribute for attribute in relation.attribute_names
+                     if attribute not in key and attribute not in covered]
+        if uncovered:
+            problems.append(
+                f"relation {relation_name}: attributes {uncovered} are neither in the "
+                f"key {sorted(key)} nor determined by it")
+
+    for ind in dependencies.inclusion_dependencies():
+        target_key = keys.get(ind.rhs_relation)
+        if target_key is None:
+            problems.append(
+                f"IND {ind}: target relation {ind.rhs_relation} has no declared key "
+                "(no FDs)")
+        elif not ind.rhs_names(target) <= target_key:
+            problems.append(
+                f"IND {ind}: its right-hand side is not contained in the key "
+                f"{sorted(target_key)} of {ind.rhs_relation}")
+        source_key = keys.get(ind.lhs_relation)
+        if source_key is not None and ind.lhs_names(target) & source_key:
+            problems.append(
+                f"IND {ind}: its left-hand side overlaps the key "
+                f"{sorted(source_key)} of {ind.lhs_relation}")
+
+    if not dependencies.functional_dependencies() and not dependencies.inclusion_dependencies():
+        problems.append("the dependency set is empty")
+
+    return KeyBasedDiagnosis(key_based=not problems and len(dependencies) > 0,
+                             problems=problems, keys=keys)
+
+
+def suggest_key_based_repair(dependencies: DependencySet,
+                             schema: Optional[DatabaseSchema] = None
+                             ) -> List[FunctionalDependency]:
+    """FDs to add so that condition (a) of the key-based definition holds.
+
+    For every relation that is the target of an IND (or already has FDs),
+    choose a key — the existing common FD left-hand side when there is
+    one, otherwise the smallest candidate key under the declared FDs,
+    otherwise the IND's target columns — and return the missing
+    ``key → attribute`` FDs.  Condition (b) (INDs targeting keys and
+    leaving source keys) may still fail; the diagnosis reports that
+    separately because it cannot be fixed by *adding* dependencies.
+    """
+    target = schema or dependencies.schema
+    if target is None:
+        raise ValueError("a schema is required to suggest a repair")
+    additions: List[FunctionalDependency] = []
+    relations_needing_keys: Dict[str, FrozenSet[str]] = {}
+
+    for relation_name in {fd.relation for fd in dependencies.functional_dependencies()}:
+        try:
+            key = dependencies.key_of(relation_name, target)
+        except Exception:
+            continue
+        if key is not None:
+            relations_needing_keys[relation_name] = key
+
+    for ind in dependencies.inclusion_dependencies():
+        if ind.rhs_relation not in relations_needing_keys:
+            relation = target.relation(ind.rhs_relation)
+            fds = dependencies.fds_for(ind.rhs_relation)
+            if fds:
+                keys = candidate_keys(relation, fds, target)
+                chosen = keys[0] if keys else ind.rhs_names(target)
+            else:
+                chosen = ind.rhs_names(target)
+            relations_needing_keys[ind.rhs_relation] = frozenset(chosen)
+
+    existing = {(fd.relation, fd.lhs_names(target), fd.rhs_name(target))
+                for fd in dependencies.functional_dependencies()}
+    for relation_name, key in relations_needing_keys.items():
+        relation = target.relation(relation_name)
+        for attribute in relation.attribute_names:
+            if attribute in key:
+                continue
+            signature = (relation_name, frozenset(key), attribute)
+            if signature in existing:
+                continue
+            additions.append(FunctionalDependency(relation_name, sorted(key), attribute))
+    return additions

@@ -1,0 +1,125 @@
+"""Checking dependencies against finite database instances.
+
+A database *obeys* an FD ``R: Z → A`` if no two tuples of R agree on Z and
+differ on A, and obeys an IND ``R[X] ⊆ S[Y]`` if every X-subtuple of R
+occurs as a Y-subtuple of S.  These checks are used by the storage engine
+(integrity enforcement), by the finite counter-model search (only
+Σ-satisfying databases are admissible witnesses), and by tests that verify
+the instance-level chase really repairs a database.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.dependencies.dependency_set import Dependency, DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.relational.database import Database
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One witnessed violation of a dependency by a database instance.
+
+    ``witness`` holds the offending tuples: a pair of rows for an FD, a
+    single unmatched row for an IND.
+    """
+
+    dependency: Dependency
+    relation: str
+    witness: Tuple[Tuple[Any, ...], ...]
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def fd_violations(database: Database, fd: FunctionalDependency,
+                  limit: Optional[int] = None) -> List[Violation]:
+    """All (or the first ``limit``) violations of one FD."""
+    relation = database.relation(fd.relation)
+    schema = relation.schema
+    lhs_positions = fd.lhs_positions(schema)
+    rhs_position = fd.rhs_position(schema)
+    groups: Dict[Tuple[Any, ...], Tuple[Any, Tuple[Any, ...]]] = {}
+    violations: List[Violation] = []
+    for row in relation:
+        key = tuple(row[p] for p in lhs_positions)
+        value = row[rhs_position]
+        if key not in groups:
+            groups[key] = (value, row)
+            continue
+        first_value, first_row = groups[key]
+        if first_value != value:
+            violations.append(Violation(
+                dependency=fd,
+                relation=fd.relation,
+                witness=(first_row, row),
+                message=(
+                    f"FD {fd} violated: rows {first_row} and {row} agree on "
+                    f"{fd.lhs} but differ on {fd.rhs}"
+                ),
+            ))
+            if limit is not None and len(violations) >= limit:
+                break
+    return violations
+
+
+def ind_violations(database: Database, ind: InclusionDependency,
+                   limit: Optional[int] = None) -> List[Violation]:
+    """All (or the first ``limit``) violations of one IND."""
+    source = database.relation(ind.lhs_relation)
+    target = database.relation(ind.rhs_relation)
+    schema = database.schema
+    lhs_positions = ind.lhs_positions(schema)
+    rhs_positions = ind.rhs_positions(schema)
+    available = {tuple(row[p] for p in rhs_positions) for row in target}
+    violations: List[Violation] = []
+    for row in source:
+        subtuple = tuple(row[p] for p in lhs_positions)
+        if subtuple not in available:
+            violations.append(Violation(
+                dependency=ind,
+                relation=ind.lhs_relation,
+                witness=(row,),
+                message=(
+                    f"IND {ind} violated: subtuple {subtuple} of row {row} has no "
+                    f"matching tuple in {ind.rhs_relation}"
+                ),
+            ))
+            if limit is not None and len(violations) >= limit:
+                break
+    return violations
+
+
+def dependency_violations(database: Database, dependency: Dependency,
+                          limit: Optional[int] = None) -> List[Violation]:
+    """Violations of a single FD or IND."""
+    if isinstance(dependency, FunctionalDependency):
+        return fd_violations(database, dependency, limit=limit)
+    if isinstance(dependency, InclusionDependency):
+        return ind_violations(database, dependency, limit=limit)
+    raise TypeError(f"unsupported dependency type: {dependency!r}")
+
+
+def check_database(database: Database,
+                   dependencies: Union[DependencySet, Iterable[Dependency]],
+                   limit_per_dependency: Optional[int] = None) -> List[Violation]:
+    """All violations of every dependency in Σ (possibly limited per dependency)."""
+    violations: List[Violation] = []
+    for dependency in dependencies:
+        violations.extend(
+            dependency_violations(database, dependency, limit=limit_per_dependency)
+        )
+    return violations
+
+
+def database_satisfies(database: Database,
+                       dependencies: Union[DependencySet, Iterable[Dependency]]) -> bool:
+    """True if the database obeys every dependency in Σ."""
+    for dependency in dependencies:
+        if dependency_violations(database, dependency, limit=1):
+            return False
+    return True

@@ -1,0 +1,96 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish schema problems from chase or containment
+problems when they need to.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """A relation or database schema is malformed or violated.
+
+    Raised, for example, when a tuple has the wrong arity for its relation,
+    when two relations in a database schema share a name, or when an
+    attribute referenced by a query or dependency does not exist.
+    """
+
+
+class QueryError(ReproError):
+    """A conjunctive query is malformed.
+
+    Raised when a conjunct does not match its relation's arity, when the
+    summary row mentions a symbol that is not a distinguished variable or a
+    constant, or when two queries that must share schemas do not.
+    """
+
+
+class DependencyError(ReproError):
+    """A functional or inclusion dependency is malformed.
+
+    Raised when a dependency references attributes missing from its
+    relation, when an inclusion dependency's two sides have different
+    widths, or when an operation requires a key-based or IND-only set and
+    the supplied set is neither.
+    """
+
+
+class ChaseError(ReproError):
+    """The chase construction failed or was used incorrectly.
+
+    Raised when a chase step is applied to a conjunct it does not match,
+    or when an FD chase application would need to merge two distinct
+    constants (the paper's "delete all conjuncts and halt" case) and the
+    caller asked for that situation to be an error.
+    """
+
+
+class ChaseBudgetExceeded(ChaseError):
+    """A bounded chase construction hit its conjunct or level budget.
+
+    The partial chase built so far is attached as :attr:`partial`, so
+    callers that treat the budget as a soft limit can still inspect what
+    was constructed.
+    """
+
+    def __init__(self, message: str, partial=None):
+        super().__init__(message)
+        self.partial = partial
+
+
+class ContainmentUndecided(ReproError):
+    """The containment procedure could not reach a definite answer.
+
+    This only happens for dependency sets outside the paper's decidable
+    cases (neither IND-only nor key-based) when the bounded chase hits its
+    budget before either finding a homomorphism or saturating.
+    """
+
+
+class ParseError(ReproError):
+    """A textual query, dependency, or schema could not be parsed."""
+
+    def __init__(self, message: str, text: str = "", position: int = -1):
+        location = f" at position {position}" if position >= 0 else ""
+        super().__init__(f"{message}{location}")
+        self.text = text
+        self.position = position
+
+
+class EvaluationError(ReproError):
+    """A query could not be evaluated against a database instance."""
+
+
+class IntegrityError(ReproError):
+    """A database instance violates a declared dependency.
+
+    Raised by the storage engine when integrity enforcement is enabled and
+    an insert (or a bulk load) would leave the instance violating one of
+    the declared functional or inclusion dependencies.
+    """

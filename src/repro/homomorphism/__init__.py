@@ -1,0 +1,55 @@
+"""Homomorphism search.
+
+Everything in the paper reduces to finding homomorphisms: evaluating a
+query over a database (a homomorphism from the query to the database),
+containment with no dependencies (a homomorphism between queries), and
+containment under dependencies (a homomorphism from one query into the
+chase of the other).  This package provides a single backtracking search
+engine over a generic "atoms into an indexed set of target facts" problem,
+plus thin wrappers for the query-to-query and query-to-database cases.
+
+The engine deliberately does not import the query or chase packages; it
+works on any objects exposing ``relation`` and ``terms`` attributes, which
+keeps the dependency graph of the library acyclic.
+"""
+
+from repro.homomorphism.problem import HomomorphismProblem, TargetIndex
+from repro.homomorphism.search import (
+    count_homomorphisms,
+    find_homomorphism,
+    has_homomorphism,
+    iter_homomorphisms,
+)
+from repro.homomorphism.query_homomorphism import (
+    build_target_index,
+    find_query_homomorphism,
+    has_query_homomorphism,
+    iter_query_homomorphisms,
+    verify_query_homomorphism,
+)
+from repro.homomorphism.database_homomorphism import (
+    answers_contain,
+    database_target_index,
+    evaluate_atoms,
+    find_database_homomorphism,
+    iter_database_homomorphisms,
+)
+
+__all__ = [
+    "HomomorphismProblem",
+    "TargetIndex",
+    "answers_contain",
+    "build_target_index",
+    "count_homomorphisms",
+    "database_target_index",
+    "evaluate_atoms",
+    "find_database_homomorphism",
+    "find_homomorphism",
+    "find_query_homomorphism",
+    "has_homomorphism",
+    "has_query_homomorphism",
+    "iter_database_homomorphisms",
+    "iter_homomorphisms",
+    "iter_query_homomorphisms",
+    "verify_query_homomorphism",
+]

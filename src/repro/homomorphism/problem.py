@@ -1,0 +1,139 @@
+"""Problem representation for the homomorphism search engine.
+
+A homomorphism problem consists of
+
+* *source atoms* — objects with ``relation`` (a string) and ``terms`` (a
+  tuple whose entries are :class:`~repro.terms.term.Constant` or
+  :class:`~repro.terms.term.Variable` objects);
+* a *target index* — for each relation name, the collection of target
+  facts (tuples) that source atoms over that relation may be mapped to.
+  Target entries may themselves be terms (query-to-query homomorphisms,
+  query-to-chase homomorphisms) or raw Python values (query-to-database
+  homomorphisms);
+* *required bindings* — a partial mapping from source variables to target
+  entries that any solution must extend (used to pin the summary row).
+
+Constants in the source must match their target entry: either the entries
+are equal, or the target entry is a raw value equal to the constant's
+value.  A solution is a mapping from the source variables to target
+entries under which every source atom becomes (the tuple of) some target
+fact of its relation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.terms.term import Constant, Term, Variable
+
+TargetFact = Tuple[Any, ...]
+
+
+class TargetIndex:
+    """Facts grouped by relation, with per-column value indexes.
+
+    The per-column indexes let the search engine narrow the candidate
+    facts for an atom once some of its variables are already bound, which
+    is what keeps containment tests fast on chases with many conjuncts.
+    """
+
+    def __init__(self, facts_by_relation: Optional[Mapping[str, Iterable[Sequence[Any]]]] = None):
+        self._facts: Dict[str, List[TargetFact]] = {}
+        self._column_index: Dict[str, List[Dict[Any, List[TargetFact]]]] = {}
+        if facts_by_relation:
+            for relation, facts in facts_by_relation.items():
+                for fact in facts:
+                    self.add(relation, fact)
+
+    def add(self, relation: str, fact: Sequence[Any]) -> None:
+        """Insert one target fact."""
+        stored = tuple(fact)
+        facts = self._facts.setdefault(relation, [])
+        facts.append(stored)
+        columns = self._column_index.setdefault(
+            relation, [dict() for _ in range(len(stored))]
+        )
+        if len(columns) < len(stored):
+            columns.extend(dict() for _ in range(len(stored) - len(columns)))
+        for position, value in enumerate(stored):
+            columns[position].setdefault(value, []).append(stored)
+
+    def facts(self, relation: str) -> List[TargetFact]:
+        """All facts for one relation (empty list if none)."""
+        return self._facts.get(relation, [])
+
+    def candidates(self, relation: str, fixed: Sequence[Tuple[int, Any]]) -> List[TargetFact]:
+        """Facts of ``relation`` agreeing with the ``(position, value)`` pins.
+
+        Uses the most selective column index first, then filters; with no
+        pins it returns all facts of the relation.
+        """
+        if relation not in self._facts:
+            return []
+        if not fixed:
+            return self._facts[relation]
+        columns = self._column_index[relation]
+        best: Optional[List[TargetFact]] = None
+        for position, value in fixed:
+            if position >= len(columns):
+                return []
+            bucket = columns[position].get(value, [])
+            if best is None or len(bucket) < len(best):
+                best = bucket
+            if not best:
+                return []
+        assert best is not None
+        return [
+            fact for fact in best
+            if all(fact[position] == value for position, value in fixed)
+        ]
+
+    def relations(self) -> List[str]:
+        return list(self._facts)
+
+    def total_facts(self) -> int:
+        return sum(len(facts) for facts in self._facts.values())
+
+    def __contains__(self, relation: str) -> bool:
+        return relation in self._facts
+
+
+def constant_matches(constant: Constant, target_entry: Any) -> bool:
+    """True if a source constant may map onto ``target_entry``.
+
+    A constant maps to itself: the target entry must be the same constant,
+    or (for database targets, whose entries are raw values) the raw value
+    equal to the constant's value.
+    """
+    if isinstance(target_entry, Constant):
+        return target_entry == constant
+    return target_entry == constant.value
+
+
+class HomomorphismProblem:
+    """A fully specified homomorphism search problem."""
+
+    def __init__(self, source_atoms: Sequence[Any], target: TargetIndex,
+                 required: Optional[Mapping[Variable, Any]] = None):
+        self.source_atoms = list(source_atoms)
+        self.target = target
+        self.required: Dict[Variable, Any] = dict(required or {})
+        for variable in self.required:
+            if not isinstance(variable, Variable):
+                raise QueryError(
+                    f"required bindings must be keyed by variables, got {variable!r}"
+                )
+
+    def source_variables(self) -> List[Variable]:
+        """All distinct variables of the source atoms, in first-seen order."""
+        seen: Dict[Variable, None] = {}
+        for atom in self.source_atoms:
+            for term in atom.terms:
+                if isinstance(term, Variable):
+                    seen.setdefault(term, None)
+        return list(seen)
+
+    def is_trivially_unsatisfiable(self) -> bool:
+        """Quick check: some source relation has no target facts at all."""
+        return any(atom.relation not in self.target for atom in self.source_atoms)

@@ -1,0 +1,153 @@
+"""Query-to-query homomorphisms (containment mappings).
+
+A *query homomorphism* from Q' to Q (Section 3 of the paper) is a map of
+the symbols of Q' to the symbols of Q that leaves constants fixed, induces
+a well-defined map from the conjuncts of Q' to the conjuncts of Q, and
+sends the summary row of Q' to the summary row of Q.  With no
+dependencies, ``Q ⊆ Q'`` holds iff such a homomorphism exists (Chandra &
+Merlin); under dependencies the target becomes the chase of Q, but the
+homomorphism notion is exactly the same, so the chase and containment
+packages reuse these helpers by passing in the chase's conjuncts and
+summary row.
+
+These functions accept *atom-like* targets: any iterable of objects with
+``relation`` and ``terms`` plus a summary row of terms.  They therefore do
+not import the chase package.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.homomorphism.problem import HomomorphismProblem, TargetIndex, constant_matches
+from repro.homomorphism.search import find_homomorphism, iter_homomorphisms
+from repro.terms.term import Constant, Term, Variable
+
+Assignment = Dict[Variable, Any]
+
+
+def _summary_bindings(source_summary: Sequence[Term],
+                      target_summary: Sequence[Term]) -> Optional[Dict[Variable, Term]]:
+    """Required bindings forcing the summary row to map componentwise.
+
+    Returns ``None`` when the summary rows cannot be matched at all (for
+    example a constant in the source facing a different constant in the
+    target), in which case no homomorphism exists.
+    """
+    if len(source_summary) != len(target_summary):
+        return None
+    required: Dict[Variable, Term] = {}
+    for source_entry, target_entry in zip(source_summary, target_summary):
+        if isinstance(source_entry, Constant):
+            if not constant_matches(source_entry, target_entry):
+                return None
+            continue
+        existing = required.get(source_entry)
+        if existing is not None and existing != target_entry:
+            return None
+        required[source_entry] = target_entry
+    return required
+
+
+def build_target_index(atoms: Iterable[Any]) -> TargetIndex:
+    """Index the terms of atom-like objects for the search engine."""
+    index = TargetIndex()
+    for atom in atoms:
+        index.add(atom.relation, tuple(atom.terms))
+    return index
+
+
+def find_query_homomorphism(source_atoms: Sequence[Any],
+                            source_summary: Sequence[Term],
+                            target_atoms: Iterable[Any],
+                            target_summary: Sequence[Term],
+                            target_index: Optional[TargetIndex] = None) -> Optional[Assignment]:
+    """Find a homomorphism from the source query onto the target query.
+
+    Parameters mirror the paper's definition: conjuncts plus summary row on
+    each side.  A prebuilt ``target_index`` may be supplied when many
+    source queries are tested against the same (large) target, e.g. a
+    partially constructed chase.
+    """
+    required = _summary_bindings(source_summary, target_summary)
+    if required is None:
+        return None
+    index = target_index if target_index is not None else build_target_index(target_atoms)
+    problem = HomomorphismProblem(source_atoms, index, required=required)
+    return find_homomorphism(problem)
+
+
+def iter_query_homomorphisms(source_atoms: Sequence[Any],
+                             source_summary: Sequence[Term],
+                             target_atoms: Iterable[Any],
+                             target_summary: Sequence[Term]) -> Iterator[Assignment]:
+    """Iterate over all homomorphisms from the source onto the target query."""
+    required = _summary_bindings(source_summary, target_summary)
+    if required is None:
+        return
+    index = build_target_index(target_atoms)
+    problem = HomomorphismProblem(source_atoms, index, required=required)
+    yield from iter_homomorphisms(problem)
+
+
+def has_query_homomorphism(source_atoms: Sequence[Any],
+                           source_summary: Sequence[Term],
+                           target_atoms: Iterable[Any],
+                           target_summary: Sequence[Term],
+                           target_index: Optional[TargetIndex] = None) -> bool:
+    """True if some homomorphism from the source onto the target exists."""
+    return find_query_homomorphism(
+        source_atoms, source_summary, target_atoms, target_summary, target_index
+    ) is not None
+
+
+def verify_query_homomorphism(mapping: Assignment,
+                              source_atoms: Sequence[Any],
+                              source_summary: Sequence[Term],
+                              target_atoms: Iterable[Any],
+                              target_summary: Sequence[Term]) -> bool:
+    """Check (independently of the search) that ``mapping`` is a homomorphism.
+
+    Used by the certificate machinery in the containment package and by
+    property-based tests: whatever the search returns must pass this
+    verifier.
+    """
+    target_facts: Dict[str, set] = {}
+    for atom in target_atoms:
+        target_facts.setdefault(atom.relation, set()).add(tuple(atom.terms))
+
+    def image(term: Term) -> Any:
+        if isinstance(term, Constant):
+            return term
+        if term not in mapping:
+            return None
+        return mapping[term]
+
+    # Every source conjunct must land on a target fact of its relation.
+    for atom in source_atoms:
+        mapped = tuple(image(term) for term in atom.terms)
+        if any(entry is None for entry in mapped):
+            return False
+        facts = target_facts.get(atom.relation, set())
+        if mapped not in facts:
+            # Constants may be stored differently (Constant vs raw value);
+            # fall back to elementwise comparison.
+            if not any(
+                len(fact) == len(mapped) and all(
+                    (constant_matches(m, f) if isinstance(m, Constant) else m == f)
+                    for m, f in zip(mapped, fact)
+                )
+                for fact in facts
+            ):
+                return False
+    # The summary row must map componentwise onto the target summary row.
+    if len(source_summary) != len(target_summary):
+        return False
+    for source_entry, target_entry in zip(source_summary, target_summary):
+        if isinstance(source_entry, Constant):
+            if not constant_matches(source_entry, target_entry):
+                return False
+        elif image(source_entry) != target_entry:
+            return False
+    return True

@@ -1,0 +1,146 @@
+"""Backtracking homomorphism search.
+
+The search maps source atoms onto target facts one atom at a time,
+maintaining a partial variable assignment.  At every step it picks the
+*most constrained* unmapped atom — the one with the fewest candidate
+target facts given the bindings made so far — which is the classic
+fail-first heuristic and makes the (NP-hard in general) search fast on the
+structured instances produced by chases and benchmarks.
+
+Solutions are reported as plain ``dict`` objects mapping source variables
+to target entries.  Constants are never included in the mapping; they are
+checked against the target facts during matching.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.homomorphism.problem import HomomorphismProblem, TargetIndex, constant_matches
+from repro.terms.term import Constant, Variable
+
+Assignment = Dict[Variable, Any]
+
+
+def _fact_candidates(atom: Any, target: TargetIndex, assignment: Assignment) -> List[Tuple[Any, ...]]:
+    """Candidate target facts for one atom under the current assignment."""
+    pins = []
+    for position, term in enumerate(atom.terms):
+        if isinstance(term, Variable) and term in assignment:
+            pins.append((position, assignment[term]))
+    candidates = target.candidates(atom.relation, pins)
+    return [fact for fact in candidates if _matches(atom, fact, assignment) is not None]
+
+
+def _matches(atom: Any, fact: Sequence[Any], assignment: Assignment) -> Optional[Assignment]:
+    """Try to map ``atom`` onto ``fact`` consistently with ``assignment``.
+
+    Returns the new bindings introduced (possibly empty) or ``None`` if the
+    atom cannot be mapped onto the fact.
+    """
+    if len(atom.terms) != len(fact):
+        return None
+    new_bindings: Assignment = {}
+    for term, target_entry in zip(atom.terms, fact):
+        if isinstance(term, Constant):
+            if not constant_matches(term, target_entry):
+                return None
+            continue
+        bound = assignment.get(term, new_bindings.get(term, _UNBOUND))
+        if bound is _UNBOUND:
+            new_bindings[term] = target_entry
+        elif bound != target_entry:
+            return None
+    return new_bindings
+
+
+class _Unbound:
+    __slots__ = ()
+
+
+_UNBOUND = _Unbound()
+
+
+def iter_homomorphisms(problem: HomomorphismProblem) -> Iterator[Assignment]:
+    """Yield every homomorphism solving ``problem``.
+
+    The same variable assignment may be reachable through different
+    atom-to-fact mappings; duplicates (as assignments) are suppressed.
+    """
+    if problem.is_trivially_unsatisfiable():
+        return
+    atoms = list(problem.source_atoms)
+    seen: set = set()
+    initial: Assignment = dict(problem.required)
+
+    def backtrack(remaining: List[Any], assignment: Assignment) -> Iterator[Assignment]:
+        if not remaining:
+            frozen = frozenset(assignment.items())
+            if frozen not in seen:
+                seen.add(frozen)
+                yield dict(assignment)
+            return
+        # Most-constrained-atom ordering (fail-first heuristic).
+        scored = [
+            (len(_fact_candidates(atom, problem.target, assignment)), index, atom)
+            for index, atom in enumerate(remaining)
+        ]
+        count, index, atom = min(scored, key=lambda item: (item[0], item[1]))
+        if count == 0:
+            return
+        rest = remaining[:index] + remaining[index + 1:]
+        for fact in _fact_candidates(atom, problem.target, assignment):
+            new_bindings = _matches(atom, fact, assignment)
+            if new_bindings is None:
+                continue
+            assignment.update(new_bindings)
+            yield from backtrack(rest, assignment)
+            for variable in new_bindings:
+                del assignment[variable]
+
+    yield from backtrack(atoms, initial)
+
+
+def find_homomorphism(problem: HomomorphismProblem) -> Optional[Assignment]:
+    """Return one homomorphism, or ``None`` if none exists."""
+    for assignment in iter_homomorphisms(problem):
+        return assignment
+    return None
+
+
+def has_homomorphism(problem: HomomorphismProblem) -> bool:
+    """True if at least one homomorphism exists."""
+    return find_homomorphism(problem) is not None
+
+
+def count_homomorphisms(problem: HomomorphismProblem, limit: Optional[int] = None) -> int:
+    """Count homomorphisms (up to ``limit`` if given)."""
+    count = 0
+    for _ in iter_homomorphisms(problem):
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count
+
+
+def homomorphism_images(problem: HomomorphismProblem,
+                        row: Sequence[Any]) -> List[Tuple[Any, ...]]:
+    """Images of ``row`` under every homomorphism of ``problem``.
+
+    ``row`` entries are terms; constants map to themselves (as raw values
+    when the target holds raw values, handled by the caller), variables map
+    to their assigned target entries.  This is the primitive behind query
+    evaluation: the answer relation is the set of images of the summary
+    row.
+    """
+    images: List[Tuple[Any, ...]] = []
+    seen: set = set()
+    for assignment in iter_homomorphisms(problem):
+        image = tuple(
+            assignment.get(entry, entry) if isinstance(entry, Variable) else entry
+            for entry in row
+        )
+        if image not in seen:
+            seen.add(image)
+            images.append(image)
+    return images

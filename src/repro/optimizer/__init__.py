@@ -1,0 +1,30 @@
+"""Query optimization on top of containment (the paper's motivation).
+
+Section 1 motivates the containment/equivalence/minimization trio with
+query optimization: an optimizer that knows the declared dependencies can
+remove joins that the dependencies make redundant.  This package packages
+that use case as a small rewrite pipeline:
+
+* :func:`optimize` — chase-simplify (FDs), eliminate joins redundant under
+  Σ (INDs / key-based sets), and core-minimize, returning an
+  :class:`OptimizationReport` that records every removed conjunct together
+  with the containment result justifying its removal;
+* :class:`RewriteStep` / :class:`OptimizationReport` — the audit trail, so
+  a caller (or a test) can re-verify each rewrite independently.
+"""
+
+from repro.optimizer.pipeline import (
+    OptimizationReport,
+    RewriteStep,
+    eliminate_redundant_joins,
+    optimize,
+    simplify_with_fds,
+)
+
+__all__ = [
+    "OptimizationReport",
+    "RewriteStep",
+    "eliminate_redundant_joins",
+    "optimize",
+    "simplify_with_fds",
+]

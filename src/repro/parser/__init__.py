@@ -1,0 +1,28 @@
+"""Textual syntax for schemas, queries, and dependencies.
+
+The parser accepts a compact datalog-like syntax so examples, tests, and
+interactive exploration do not need to construct term objects by hand::
+
+    schema:       EMP(emp, sal, dept)
+    query:        Q(e) :- EMP(e, s, d), DEP(d, l)
+    FD:           EMP: dept -> loc          (multiple RHS split automatically)
+    IND:          EMP[dept] <= DEP[dept]    (also accepts the ⊆ character)
+
+Variables are lower- or upper-case identifiers; an identifier appearing in
+the query head is distinguished, everything else is nondistinguished.
+Quoted strings and numbers are constants.
+"""
+
+from repro.parser.tokenizer import Token, tokenize
+from repro.parser.schema_parser import parse_schema
+from repro.parser.query_parser import parse_query
+from repro.parser.dependency_parser import parse_dependencies, parse_dependency
+
+__all__ = [
+    "Token",
+    "parse_dependencies",
+    "parse_dependency",
+    "parse_query",
+    "parse_schema",
+    "tokenize",
+]

@@ -1,0 +1,84 @@
+"""Parsing functional and inclusion dependencies from text.
+
+Syntax::
+
+    EMP: dept -> loc            # FD (several RHS attributes split into
+    EMP: dept -> loc, manager   # one single-RHS FD each, the paper's form)
+    EMP[dept] <= DEP[dept]      # IND; '⊆' is accepted as well
+    R[1, 3] <= S[1, 2]          # positional attribute references
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.dependencies.dependency_set import Dependency, DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.exceptions import ParseError
+from repro.parser.tokenizer import TokenStream
+from repro.relational.schema import AttributeRef, DatabaseSchema
+
+
+def _parse_attribute(stream: TokenStream) -> AttributeRef:
+    token = stream.peek()
+    if token.kind == "NAME":
+        return stream.next().text
+    if token.kind == "NUMBER" and "." not in token.text:
+        return int(stream.next().text)
+    raise ParseError(f"expected an attribute name or position, found {token.text!r}",
+                     stream.text, token.position)
+
+
+def _parse_attribute_list(stream: TokenStream) -> List[AttributeRef]:
+    attributes = [_parse_attribute(stream)]
+    while stream.accept("COMMA"):
+        attributes.append(_parse_attribute(stream))
+    return attributes
+
+
+def parse_dependency(text: str) -> List[Dependency]:
+    """Parse one dependency line; an FD with several RHS attributes yields
+    one FunctionalDependency per attribute (the paper's single-RHS form)."""
+    stream = TokenStream(text)
+    relation = stream.expect("NAME").text
+    token = stream.peek()
+    if token.kind == "COLON":
+        stream.next()
+        lhs = _parse_attribute_list(stream)
+        stream.expect("ARROW")
+        rhs = _parse_attribute_list(stream)
+        stream.expect_end()
+        return [FunctionalDependency(relation, lhs, attribute) for attribute in rhs]
+    if token.kind == "LBRACKET":
+        stream.next()
+        lhs = _parse_attribute_list(stream)
+        stream.expect("RBRACKET")
+        stream.expect("SUBSET")
+        rhs_relation = stream.expect("NAME").text
+        stream.expect("LBRACKET")
+        rhs = _parse_attribute_list(stream)
+        stream.expect("RBRACKET")
+        stream.expect_end()
+        return [InclusionDependency(relation, lhs, rhs_relation, rhs)]
+    raise ParseError(f"expected ':' (FD) or '[' (IND) after relation name, "
+                     f"found {token.text!r}", text, token.position)
+
+
+def parse_dependencies(text: str, schema: Optional[DatabaseSchema] = None) -> DependencySet:
+    """Parse one dependency per non-empty line into a DependencySet."""
+    dependencies = DependencySet(schema=schema)
+    found = False
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            for dependency in parse_dependency(line):
+                dependencies.add(dependency)
+        except ParseError as error:
+            raise ParseError(f"line {line_number}: {error}", text) from error
+        found = True
+    if not found:
+        raise ParseError("dependency text contains no dependencies", text)
+    return dependencies

@@ -1,0 +1,47 @@
+"""Parsing database schemas from text.
+
+A schema is one relation declaration per line (or separated by
+semicolons is not supported — keep one per line), e.g.::
+
+    EMP(emp, sal, dept)
+    DEP(dept, loc)
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.exceptions import ParseError
+from repro.parser.tokenizer import TokenStream
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+def parse_relation_schema(text: str) -> RelationSchema:
+    """Parse one ``Name(attr, attr, ...)`` declaration."""
+    stream = TokenStream(text)
+    name = stream.expect("NAME").text
+    stream.expect("LPAREN")
+    attributes: List[str] = [stream.expect("NAME").text]
+    while stream.accept("COMMA"):
+        attributes.append(stream.expect("NAME").text)
+    stream.expect("RPAREN")
+    stream.expect_end()
+    return RelationSchema(name, attributes)
+
+
+def parse_schema(text: str) -> DatabaseSchema:
+    """Parse a whole database schema, one relation per non-empty line."""
+    schema = DatabaseSchema()
+    found = False
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        try:
+            schema.add(parse_relation_schema(line))
+        except ParseError as error:
+            raise ParseError(f"line {line_number}: {error}", text) from error
+        found = True
+    if not found:
+        raise ParseError("schema text contains no relation declarations", text)
+    return schema

@@ -1,0 +1,100 @@
+"""A small tokenizer shared by the schema, query, and dependency parsers."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.exceptions import ParseError
+
+_TOKEN_SPEC = [
+    ("NUMBER", r"-?\d+(?:\.\d+)?"),
+    ("STRING", r"'[^']*'|\"[^\"]*\""),
+    ("ARROW", r"->"),
+    ("TURNSTILE", r":-"),
+    ("SUBSET", r"<=|⊆"),
+    ("NAME", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LBRACKET", r"\["),
+    ("RBRACKET", r"\]"),
+    ("COMMA", r","),
+    ("COLON", r":"),
+    ("WS", r"\s+"),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its position in the source text."""
+
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.text!r}@{self.position})"
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize ``text``; raises ParseError on unrecognised characters."""
+    tokens: List[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(f"unexpected character {text[position]!r}", text, position)
+        kind = match.lastgroup or ""
+        value = match.group()
+        if kind != "WS":
+            tokens.append(Token(kind=kind, text=value, position=position))
+        position = match.end()
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual expect/accept helpers."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = tokenize(text)
+        self.index = 0
+
+    def peek(self) -> Token:
+        if self.index >= len(self.tokens):
+            raise ParseError("unexpected end of input", self.text, len(self.text))
+        return self.tokens[self.index]
+
+    def at_end(self) -> bool:
+        return self.index >= len(self.tokens)
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.index += 1
+        return token
+
+    def accept(self, kind: str) -> Token:
+        """Consume a token of the given kind or None."""
+        if not self.at_end() and self.peek().kind == kind:
+            return self.next()
+        return None  # type: ignore[return-value]
+
+    def expect(self, kind: str) -> Token:
+        if self.at_end():
+            raise ParseError(f"expected {kind} but input ended", self.text, len(self.text))
+        token = self.peek()
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind} but found {token.text!r}", self.text, token.position
+            )
+        return self.next()
+
+    def expect_end(self) -> None:
+        if not self.at_end():
+            token = self.peek()
+            raise ParseError(
+                f"unexpected trailing input {token.text!r}", self.text, token.position
+            )

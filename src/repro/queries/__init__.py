@@ -1,0 +1,34 @@
+"""Conjunctive queries.
+
+A conjunctive query (Section 2 of the paper) has an input database scheme,
+an output relation scheme, distinguished variables (DVs), nondistinguished
+variables (NDVs), a set of conjuncts (atoms over the input relations whose
+entries are DVs, NDVs, or constants), and a summary row of DVs and
+constants.  This package provides the query objects, a fluent builder,
+evaluation over finite databases, the canonical-database view of a query,
+the symbol-sharing graph used in Section 4, and dependency-free
+minimization (core computation).
+"""
+
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.queries.builder import QueryBuilder
+from repro.queries.canonical import canonical_database, freeze_query
+from repro.queries.evaluation import evaluate, output_tuples, satisfies_boolean
+from repro.queries.graph import QueryGraph
+from repro.queries.minimization import core_of, is_minimal, minimize
+
+__all__ = [
+    "Conjunct",
+    "ConjunctiveQuery",
+    "QueryBuilder",
+    "QueryGraph",
+    "canonical_database",
+    "core_of",
+    "evaluate",
+    "freeze_query",
+    "is_minimal",
+    "minimize",
+    "output_tuples",
+    "satisfies_boolean",
+]

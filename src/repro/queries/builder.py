@@ -1,0 +1,136 @@
+"""A fluent builder for conjunctive queries.
+
+Building a :class:`~repro.queries.conjunctive_query.ConjunctiveQuery`
+directly requires creating term objects by hand.  The builder lets callers
+write the query the way the paper writes them::
+
+    builder = QueryBuilder(schema, name="Q1")
+    q1 = (
+        builder
+        .head("e")                      # summary row: the DV e
+        .atom("EMP", "e", "s", "d")     # EMP(e, s, d)
+        .atom("DEP", "d", "l")          # DEP(d, l)
+        .build()
+    )
+
+String arguments are interpreted as variable names (distinguished if they
+appear in the head, nondistinguished otherwise); any non-string argument,
+or a string passed through :meth:`QueryBuilder.constant`, becomes a
+constant.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable, Term
+
+
+class _ConstantMarker:
+    """Wrapper distinguishing an explicit constant from a variable name."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Any):
+        self.value = value
+
+
+class QueryBuilder:
+    """Accumulates head variables and atoms, then builds the query.
+
+    The builder is single-use: :meth:`build` freezes the accumulated state
+    into a :class:`ConjunctiveQuery`.  Calling :meth:`build` twice returns
+    equal queries.
+    """
+
+    def __init__(self, schema: DatabaseSchema, name: str = "Q"):
+        self._schema = schema
+        self._name = name
+        self._head: List[Any] = []
+        self._atoms: List[Tuple[str, Tuple[Any, ...], str]] = []
+        self._output_attributes: Optional[Sequence[str]] = None
+
+    # -- head -----------------------------------------------------------------
+
+    def head(self, *entries: Any) -> "QueryBuilder":
+        """Declare the summary row.
+
+        String entries become distinguished variables; other values (or
+        values wrapped by :meth:`constant`) become constants.
+        """
+        self._head = list(entries)
+        return self
+
+    def output(self, *attribute_names: str) -> "QueryBuilder":
+        """Optionally name the output relation scheme's columns."""
+        self._output_attributes = attribute_names
+        return self
+
+    # -- body -----------------------------------------------------------------
+
+    def atom(self, relation: str, *entries: Any, label: str = "") -> "QueryBuilder":
+        """Add one conjunct over ``relation`` with the given entries."""
+        if relation not in self._schema:
+            raise QueryError(f"unknown relation {relation!r} in atom")
+        self._atoms.append((relation, tuple(entries), label))
+        return self
+
+    @staticmethod
+    def constant(value: Any) -> _ConstantMarker:
+        """Mark a value (for example a string) as a constant, not a variable."""
+        return _ConstantMarker(value)
+
+    # -- build -----------------------------------------------------------------
+
+    def build(self, name: Optional[str] = None) -> ConjunctiveQuery:
+        """Create the query from the accumulated head and atoms."""
+        if not self._atoms:
+            raise QueryError("cannot build a query with no atoms")
+        head_names = {entry for entry in self._head if isinstance(entry, str)}
+        term_cache: Dict[str, Term] = {}
+
+        def to_term(entry: Any) -> Term:
+            if isinstance(entry, _ConstantMarker):
+                return Constant(entry.value)
+            if isinstance(entry, (Constant, DistinguishedVariable, NonDistinguishedVariable)):
+                return entry
+            if isinstance(entry, str):
+                if entry not in term_cache:
+                    if entry in head_names:
+                        term_cache[entry] = DistinguishedVariable(entry)
+                    else:
+                        term_cache[entry] = NonDistinguishedVariable(entry)
+                return term_cache[entry]
+            return Constant(entry)
+
+        conjuncts = [
+            Conjunct(relation, [to_term(entry) for entry in entries], label=label)
+            for relation, entries, label in self._atoms
+        ]
+        summary = tuple(to_term(entry) for entry in self._head)
+        return ConjunctiveQuery(
+            input_schema=self._schema,
+            conjuncts=conjuncts,
+            summary_row=summary,
+            output_attributes=self._output_attributes,
+            name=name or self._name,
+        )
+
+
+def query(schema: DatabaseSchema, head: Sequence[Any], atoms: Sequence[Sequence[Any]],
+          name: str = "Q") -> ConjunctiveQuery:
+    """One-shot convenience wrapper around :class:`QueryBuilder`.
+
+    ``atoms`` is a sequence of ``(relation, entry, entry, ...)`` tuples::
+
+        q = query(schema, ["e"], [("EMP", "e", "s", "d"), ("DEP", "d", "l")])
+    """
+    builder = QueryBuilder(schema, name=name)
+    builder.head(*head)
+    for atom in atoms:
+        builder.atom(atom[0], *atom[1:])
+    return builder.build()

@@ -1,0 +1,57 @@
+"""Canonical databases (frozen queries).
+
+"The conjuncts of a query Q can be viewed as tuples in a database
+satisfying the query's input scheme, where each variable is interpreted as
+a unique new constant" (Section 3).  The canonical database is the basic
+device behind the Chandra–Merlin containment test and behind Theorem 1's
+"consider chase(Q) as a database satisfying Σ" step.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Tuple
+
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.terms.term import Constant, Term, Variable
+
+
+def freeze_symbol(term: Term) -> Any:
+    """The database value a query symbol freezes to.
+
+    Constants freeze to their own value; variables freeze to a fresh value
+    derived from their (unique) name.  Distinct variables freeze to
+    distinct values because variable names are unique within a query.
+    """
+    if isinstance(term, Constant):
+        return term.value
+    return f"⟨{term.name}⟩"
+
+
+def freeze_query(query: ConjunctiveQuery) -> Dict[Term, Any]:
+    """The freezing map: every symbol of the query to a database value."""
+    return {term: freeze_symbol(term) for term in query.symbols()}
+
+
+def canonical_database(query: ConjunctiveQuery) -> Tuple[Database, Dict[Term, Any]]:
+    """The canonical database of a query and the freezing map used.
+
+    Returns a pair ``(database, freezing)`` where ``database`` has one row
+    per conjunct (with variables replaced by frozen values) and
+    ``freezing`` maps every query symbol to its frozen value.  The frozen
+    summary row ``tuple(freezing[t] for t in query.summary_row)`` is, by
+    construction, in ``query(database)``.
+    """
+    freezing = freeze_query(query)
+    database = Database(query.input_schema)
+    for conjunct in query.conjuncts:
+        row = tuple(freezing[term] for term in conjunct.terms)
+        database.add(conjunct.relation, row)
+    return database, freezing
+
+
+def frozen_summary_row(query: ConjunctiveQuery) -> Tuple[Any, ...]:
+    """The summary row under the freezing map (an element of Q(canonical DB))."""
+    freezing = freeze_query(query)
+    return tuple(freezing[term] if isinstance(term, Variable) else term.value
+                 for term in query.summary_row)

@@ -1,0 +1,119 @@
+"""Conjuncts: the atoms of a conjunctive query.
+
+A conjunct is associated with a relation of the input scheme and has one
+entry per column of that relation; each entry is a DV, an NDV, or a
+constant.  During the chase, conjuncts additionally carry a *label* (a
+stable identifier used for deterministic ordering and for naming created
+NDVs) and a *level* (Section 3), but level bookkeeping lives in the chase
+package — here a conjunct is just the syntactic object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, Sequence, Set, Tuple
+
+from repro.exceptions import QueryError
+from repro.terms.substitution import Substitution
+from repro.terms.term import Constant, Term, Variable
+
+
+@dataclass(frozen=True)
+class Conjunct:
+    """One atom ``R(t1, ..., tm)`` of a conjunctive query.
+
+    ``label`` is a stable identifier; two conjuncts with the same relation
+    and terms but different labels are distinct conjuncts (the paper's
+    C_Q is a set of *distinct* conjuncts, and the chase needs to talk about
+    occurrences).  Labels also give the deterministic "lexicographically
+    first conjunct" order used by the chase policy.
+    """
+
+    relation: str
+    terms: Tuple[Term, ...]
+    label: str = ""
+
+    def __init__(self, relation: str, terms: Sequence[Term], label: str = ""):
+        if not relation:
+            raise QueryError("conjunct must name a relation")
+        if not terms:
+            raise QueryError(f"conjunct over {relation!r} must have at least one term")
+        object.__setattr__(self, "relation", relation)
+        object.__setattr__(self, "terms", tuple(terms))
+        object.__setattr__(self, "label", label or relation)
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def arity(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self) -> Iterator[Term]:
+        return iter(self.terms)
+
+    def __getitem__(self, position: int) -> Term:
+        return self.terms[position]
+
+    def term_at(self, position: int) -> Term:
+        """Entry in 0-based column ``position``."""
+        if not 0 <= position < self.arity:
+            raise QueryError(
+                f"column {position} out of range for conjunct {self}"
+            )
+        return self.terms[position]
+
+    def terms_at(self, positions: Sequence[int]) -> Tuple[Term, ...]:
+        """Entries in the listed 0-based columns, in order."""
+        return tuple(self.term_at(p) for p in positions)
+
+    def __str__(self) -> str:
+        body = ", ".join(str(t) for t in self.terms)
+        return f"{self.relation}({body})"
+
+    def describe(self) -> str:
+        """Rendering that includes the label (used in chase graph dumps)."""
+        return f"[{self.label}] {self}"
+
+    # -- symbol bookkeeping ---------------------------------------------------
+
+    def symbols(self) -> Set[Term]:
+        """All terms occurring in this conjunct (constants included)."""
+        return set(self.terms)
+
+    def variables(self) -> Set[Variable]:
+        """All variables occurring in this conjunct."""
+        return {t for t in self.terms if isinstance(t, Variable)}
+
+    def constants(self) -> Set[Constant]:
+        """All constants occurring in this conjunct."""
+        return {t for t in self.terms if isinstance(t, Constant)}
+
+    def positions_of(self, term: Term) -> Tuple[int, ...]:
+        """All 0-based columns in which ``term`` occurs."""
+        return tuple(i for i, t in enumerate(self.terms) if t == term)
+
+    def has_repeated_variable(self) -> bool:
+        """True if some variable occurs in more than one column."""
+        seen: Dict[Term, int] = {}
+        for term in self.terms:
+            if isinstance(term, Variable):
+                seen[term] = seen.get(term, 0) + 1
+        return any(count > 1 for count in seen.values())
+
+    # -- transformation --------------------------------------------------------
+
+    def substitute(self, substitution: Substitution, label: str = "") -> "Conjunct":
+        """Apply a substitution to every entry; keeps the label by default."""
+        return Conjunct(
+            relation=self.relation,
+            terms=substitution.apply_tuple(self.terms),
+            label=label or self.label,
+        )
+
+    def with_label(self, label: str) -> "Conjunct":
+        """Same atom, different label."""
+        return Conjunct(relation=self.relation, terms=self.terms, label=label)
+
+    def same_atom_as(self, other: "Conjunct") -> bool:
+        """True if relation and terms agree (labels ignored)."""
+        return self.relation == other.relation and self.terms == other.terms

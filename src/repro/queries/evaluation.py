@@ -1,0 +1,89 @@
+"""Evaluating conjunctive queries over finite databases.
+
+``Q(B)`` is defined via homomorphisms: a tuple is in the answer iff it is
+the image of the summary row under some homomorphism from Q to B
+(Section 2).  This module is a thin query-level wrapper over the generic
+engine in :mod:`repro.homomorphism`; the storage package provides an
+independent join-based evaluator that the test suite cross-checks against
+this one.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import EvaluationError
+from repro.homomorphism.database_homomorphism import (
+    answers_contain,
+    database_target_index,
+    evaluate_atoms,
+)
+from repro.homomorphism.problem import TargetIndex
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.database import Database
+
+
+def evaluate(query: ConjunctiveQuery, database: Database,
+             index: Optional[TargetIndex] = None) -> Set[Tuple[Any, ...]]:
+    """Compute the answer relation Q(B).
+
+    ``index`` may be a prebuilt :func:`database_target_index` when the same
+    database is queried repeatedly (the finite-containment sampler does
+    this).
+    """
+    _require_compatible(query, database)
+    return evaluate_atoms(query.conjuncts, query.summary_row, database, index=index)
+
+
+def output_tuples(query: ConjunctiveQuery, database: Database) -> Set[Tuple[Any, ...]]:
+    """Alias of :func:`evaluate` named after the paper's Q(D) notation."""
+    return evaluate(query, database)
+
+
+def satisfies_boolean(query: ConjunctiveQuery, database: Database) -> bool:
+    """For Boolean queries: is the answer non-empty?
+
+    A Boolean query is one whose summary row contains only constants; its
+    answer is either empty or the single constant row.
+    """
+    return bool(evaluate(query, database))
+
+
+def answer_contains(query: ConjunctiveQuery, database: Database,
+                    row: Sequence[Any]) -> bool:
+    """Membership test ``row ∈ Q(B)`` without enumerating the full answer."""
+    _require_compatible(query, database)
+    return answers_contain(query.conjuncts, query.summary_row, database, row)
+
+
+def answers_contained_in(query: ConjunctiveQuery, other: ConjunctiveQuery,
+                         database: Database) -> bool:
+    """Check ``Q(B) ⊆ Q'(B)`` on one concrete database.
+
+    This is the per-database check that finite containment quantifies over
+    all finite databases; the finite-containment sampler calls it on many
+    generated databases.
+    """
+    query.require_same_interface(other)
+    index = database_target_index(database)
+    left = evaluate(query, database, index=index)
+    if not left:
+        return True
+    right = evaluate(other, database, index=index)
+    return left <= right
+
+
+def _require_compatible(query: ConjunctiveQuery, database: Database) -> None:
+    """The database must supply every relation the query mentions."""
+    for relation_name in query.relations_used():
+        if relation_name not in database:
+            raise EvaluationError(
+                f"database has no relation {relation_name!r} required by query {query.name}"
+            )
+        expected = query.input_schema.relation(relation_name).arity
+        actual = database.relation(relation_name).arity
+        if expected != actual:
+            raise EvaluationError(
+                f"relation {relation_name!r} has arity {actual} in the database "
+                f"but {expected} in the query's input schema"
+            )

@@ -1,0 +1,150 @@
+"""The symbol-sharing graph of a query (Section 4).
+
+Theorem 3's proof works with the graph G_Q' that has a vertex for the
+summary row and for each conjunct of Q', with an edge between two vertices
+whenever the corresponding conjuncts (or conjunct and summary row) share a
+symbol.  Its connected components and their diameters determine how deep a
+finite approximation of the chase must be built; the finite-containment
+module uses :class:`QueryGraph` to compute the paper's ``(d + 1)·k_Σ``
+depth.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.terms.term import Term, Variable
+
+#: Identifier of the summary-row vertex in the graph.
+SUMMARY_VERTEX = "__summary__"
+
+
+class QueryGraph:
+    """Vertices are conjunct labels plus the summary row; edges share symbols."""
+
+    def __init__(self, query: ConjunctiveQuery, include_summary_vertex: bool = True):
+        self._query = query
+        self._include_summary = include_summary_vertex
+        self._symbols: Dict[str, Set[Term]] = {}
+        for conjunct in query.conjuncts:
+            self._symbols[conjunct.label] = {
+                t for t in conjunct.terms if isinstance(t, Variable)
+            }
+        if include_summary_vertex:
+            self._symbols[SUMMARY_VERTEX] = {
+                t for t in query.summary_row if isinstance(t, Variable)
+            }
+        self._adjacency = self._build_adjacency()
+
+    def _build_adjacency(self) -> Dict[str, Set[str]]:
+        adjacency: Dict[str, Set[str]] = {vertex: set() for vertex in self._symbols}
+        vertices = list(self._symbols)
+        for i, first in enumerate(vertices):
+            for second in vertices[i + 1:]:
+                if self._symbols[first] & self._symbols[second]:
+                    adjacency[first].add(second)
+                    adjacency[second].add(first)
+        return adjacency
+
+    # -- basic accessors ----------------------------------------------------
+
+    @property
+    def vertices(self) -> List[str]:
+        return list(self._symbols)
+
+    def neighbours(self, vertex: str) -> Set[str]:
+        return set(self._adjacency[vertex])
+
+    def edge_count(self) -> int:
+        return sum(len(n) for n in self._adjacency.values()) // 2
+
+    def shares_symbol(self, first: str, second: str) -> bool:
+        """True if the two vertices share at least one variable."""
+        return second in self._adjacency[first]
+
+    # -- connectivity -----------------------------------------------------------
+
+    def connected_components(self) -> List[FrozenSet[str]]:
+        """Connected components as frozensets of vertex labels."""
+        remaining = set(self._symbols)
+        components: List[FrozenSet[str]] = []
+        while remaining:
+            start = next(iter(remaining))
+            component = self._reachable_from(start)
+            components.append(frozenset(component))
+            remaining -= component
+        return components
+
+    def _reachable_from(self, start: str) -> Set[str]:
+        seen = {start}
+        frontier = deque([start])
+        while frontier:
+            vertex = frontier.popleft()
+            for neighbour in self._adjacency[vertex]:
+                if neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return seen
+
+    def is_connected(self) -> bool:
+        """True if the whole graph (summary vertex included) is connected."""
+        return len(self.connected_components()) <= 1
+
+    def component_of(self, vertex: str) -> FrozenSet[str]:
+        return frozenset(self._reachable_from(vertex))
+
+    def component_containing_summary(self) -> Optional[FrozenSet[str]]:
+        """The component of the summary-row vertex, if that vertex exists."""
+        if SUMMARY_VERTEX not in self._symbols:
+            return None
+        return self.component_of(SUMMARY_VERTEX)
+
+    # -- distances -------------------------------------------------------------------
+
+    def eccentricity(self, vertex: str) -> int:
+        """Greatest BFS distance from ``vertex`` within its component."""
+        distances = self._bfs_distances(vertex)
+        return max(distances.values()) if distances else 0
+
+    def _bfs_distances(self, start: str) -> Dict[str, int]:
+        distances = {start: 0}
+        frontier = deque([start])
+        while frontier:
+            vertex = frontier.popleft()
+            for neighbour in self._adjacency[vertex]:
+                if neighbour not in distances:
+                    distances[neighbour] = distances[vertex] + 1
+                    frontier.append(neighbour)
+        return distances
+
+    def diameter(self) -> int:
+        """Maximum eccentricity over all vertices (per-component maximum).
+
+        This is the ``d`` of Theorem 3; for a disconnected graph it is the
+        maximum diameter over the connected components, which is how the
+        theorem's proof uses it.
+        """
+        if not self._symbols:
+            return 0
+        return max(self.eccentricity(vertex) for vertex in self._symbols)
+
+    def component_diameter(self, component: FrozenSet[str]) -> int:
+        """Diameter of a single connected component."""
+        return max((self.eccentricity(vertex) for vertex in component), default=0)
+
+    # -- reporting -----------------------------------------------------------------------
+
+    def describe(self) -> str:
+        """Human-readable description used in chase/finite-model reports."""
+        components = self.connected_components()
+        lines = [
+            f"query graph of {self._query.name}: {len(self.vertices)} vertices, "
+            f"{self.edge_count()} edges, {len(components)} component(s), "
+            f"diameter {self.diameter()}"
+        ]
+        for index, component in enumerate(sorted(components, key=sorted), start=1):
+            members = ", ".join(sorted(component))
+            lines.append(f"  component {index}: {{{members}}}")
+        return "\n".join(lines)

@@ -1,0 +1,102 @@
+"""Dependency-free minimization of conjunctive queries (core computation).
+
+Chandra & Merlin showed that every conjunctive query has a unique (up to
+renaming) minimal equivalent subquery — its *core* — obtained by repeatedly
+removing conjuncts that can be "folded" onto the rest.  Removing a conjunct
+always makes the query weaker (``Q ⊆ Q_reduced``), so the reduced query is
+equivalent to Q iff ``Q_reduced ⊆ Q``, i.e. iff there is a homomorphism
+from Q onto the reduced query fixing the summary row.
+
+Minimization *under dependencies* (the paper's notion of non-minimality in
+the presence of Σ) lives in :mod:`repro.containment.equivalence`
+(:func:`~repro.containment.equivalence.minimize_under`), which goes through
+the chase-based containment test; this module provides the Σ = ∅ base case
+it builds on.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.homomorphism.query_homomorphism import has_query_homomorphism
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+def _without_conjunct_or_none(query: ConjunctiveQuery, label: str) -> Optional[ConjunctiveQuery]:
+    """Drop a conjunct unless doing so would make the query unsafe.
+
+    A conjunct carrying the only occurrence of a summary-row variable can
+    never be redundant (removing it changes the query's output variables),
+    so minimization simply skips it.
+    """
+    try:
+        return query.without_conjunct(label)
+    except QueryError:
+        return None
+
+
+def folds_onto_subquery(query: ConjunctiveQuery, subquery: ConjunctiveQuery) -> bool:
+    """True if Q maps homomorphically onto the subquery, fixing the summary row.
+
+    The subquery is assumed to use (a subset of) Q's conjuncts and the same
+    summary row, so "fixing the summary row" is the identity requirement on
+    summary entries.
+    """
+    return has_query_homomorphism(
+        query.conjuncts, query.summary_row,
+        subquery.conjuncts, subquery.summary_row,
+    )
+
+
+def removable_conjuncts(query: ConjunctiveQuery) -> List[str]:
+    """Labels of conjuncts whose individual removal preserves equivalence."""
+    labels: List[str] = []
+    if len(query) <= 1:
+        return labels
+    for conjunct in query.conjuncts:
+        reduced = _without_conjunct_or_none(query, conjunct.label)
+        if reduced is not None and folds_onto_subquery(query, reduced):
+            labels.append(conjunct.label)
+    return labels
+
+
+def minimize(query: ConjunctiveQuery, name: Optional[str] = None) -> ConjunctiveQuery:
+    """Compute the core: a minimal subquery equivalent to ``query``.
+
+    Conjuncts are examined in label order and removed greedily whenever the
+    remaining query still admits a folding homomorphism from the original.
+    Greedy removal is correct because equivalence to the original is
+    maintained at every step and the core is unique up to isomorphism.
+    """
+    current = query
+    changed = True
+    while changed and len(current) > 1:
+        changed = False
+        for conjunct in current.conjuncts:
+            reduced = _without_conjunct_or_none(current, conjunct.label)
+            if reduced is not None and folds_onto_subquery(query, reduced):
+                current = reduced
+                changed = True
+                break
+    if name is not None:
+        current = current.renamed(name)
+    return current
+
+
+def core_of(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """Alias of :func:`minimize` named after the standard terminology."""
+    return minimize(query)
+
+
+def is_minimal(query: ConjunctiveQuery) -> bool:
+    """True if no proper subquery of ``query`` is equivalent to it."""
+    return not removable_conjuncts(query)
+
+
+def minimization_report(query: ConjunctiveQuery) -> Tuple[ConjunctiveQuery, List[str]]:
+    """Return the minimized query together with the labels removed."""
+    minimized = minimize(query)
+    kept = {c.label for c in minimized.conjuncts}
+    removed = [c.label for c in query.conjuncts if c.label not in kept]
+    return minimized, removed

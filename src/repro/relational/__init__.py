@@ -1,0 +1,24 @@
+"""Relational model: attributes, schemas, tuples, relations, databases.
+
+This package implements the (finite) relational data model of Section 2 of
+the paper: relations are tables whose columns are labelled by attributes,
+a database is a finite set of relations, and a database scheme is the set
+of relation schemes of its tables.  The chase and containment machinery
+treats queries themselves as (symbolic) databases; the classes here are the
+concrete, value-carrying counterpart used for evaluation, for finite
+counter-model search, and by the storage engine.
+"""
+
+from repro.relational.attribute import Attribute, Domain
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.relation import RelationInstance
+from repro.relational.database import Database
+
+__all__ = [
+    "Attribute",
+    "Database",
+    "DatabaseSchema",
+    "Domain",
+    "RelationInstance",
+    "RelationSchema",
+]

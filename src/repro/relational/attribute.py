@@ -1,0 +1,105 @@
+"""Attributes and their domains.
+
+The paper associates a domain D(A) with every attribute A; entries in the
+column labelled by A must belong to D(A).  For the purposes of the
+reproduction a domain is a named, optionally enumerable set of Python
+values with a membership test.  Domains matter mostly to the workload
+generators (which draw values from them) and to the storage engine's
+optional type checking; the chase itself is purely symbolic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Domain:
+    """A named domain of attribute values.
+
+    A domain may be *enumerated* (a finite tuple of allowed values, used by
+    the finite counter-model search and the workload generators) or
+    *open* (any value accepted, possibly filtered by a predicate).
+    """
+
+    name: str
+    values: Optional[Tuple[Any, ...]] = None
+    predicate: Optional[Callable[[Any], bool]] = field(default=None, compare=False)
+
+    def __contains__(self, value: Any) -> bool:
+        if self.values is not None and value not in self.values:
+            return False
+        if self.predicate is not None and not self.predicate(value):
+            return False
+        return True
+
+    @property
+    def is_finite(self) -> bool:
+        """True if the domain is an explicitly enumerated finite set."""
+        return self.values is not None
+
+    def sample(self, count: int) -> Tuple[Any, ...]:
+        """Return up to ``count`` example values from an enumerated domain.
+
+        Open domains return synthetic string values ``"<name>:<i>"`` which
+        is sufficient for the symbolic experiments in the benchmarks.
+        """
+        if self.values is not None:
+            return tuple(self.values[:count])
+        return tuple(f"{self.name}:{i}" for i in range(count))
+
+    @classmethod
+    def integers(cls, name: str = "int") -> "Domain":
+        """An open domain accepting any Python int."""
+        return cls(name=name, predicate=lambda v: isinstance(v, int))
+
+    @classmethod
+    def strings(cls, name: str = "str") -> "Domain":
+        """An open domain accepting any Python str."""
+        return cls(name=name, predicate=lambda v: isinstance(v, str))
+
+    @classmethod
+    def anything(cls, name: str = "any") -> "Domain":
+        """The unconstrained domain."""
+        return cls(name=name)
+
+    @classmethod
+    def enumerated(cls, name: str, values: Iterable[Any]) -> "Domain":
+        """A finite domain with exactly the given values."""
+        return cls(name=name, values=tuple(values))
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named attribute with an optional domain.
+
+    Relation schemas may be built either from plain strings (in which case
+    the attribute gets the unconstrained domain) or from ``Attribute``
+    objects carrying explicit domains.
+    """
+
+    name: str
+    domain: Domain = field(default_factory=lambda: Domain.anything())
+
+    def __str__(self) -> str:
+        return self.name
+
+    def accepts(self, value: Any) -> bool:
+        """True if ``value`` belongs to the attribute's domain."""
+        return value in self.domain
+
+    @classmethod
+    def coerce(cls, spec: "AttributeSpec") -> "Attribute":
+        """Turn a string or Attribute into an Attribute."""
+        if isinstance(spec, Attribute):
+            return spec
+        return cls(name=str(spec))
+
+
+AttributeSpec = Any  # str | Attribute
+
+
+def coerce_attributes(specs: Sequence[AttributeSpec]) -> Tuple[Attribute, ...]:
+    """Coerce a sequence of attribute specs to Attribute objects."""
+    return tuple(Attribute.coerce(spec) for spec in specs)

@@ -1,0 +1,132 @@
+"""Databases: finite collections of relation instances over a schema."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import SchemaError
+from repro.relational.relation import RelationInstance, Row
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class Database:
+    """A finite database: one relation instance per relation of a schema.
+
+    Relations not explicitly populated are present but empty, which matches
+    the paper's convention that a database supplies a (possibly empty)
+    relation for every relation name in the input scheme of a query.
+    """
+
+    def __init__(self, schema: DatabaseSchema,
+                 relations: Optional[Mapping[str, Iterable[Sequence[Any]]]] = None):
+        self._schema = schema
+        self._relations: Dict[str, RelationInstance] = {
+            rel.name: RelationInstance(rel) for rel in schema
+        }
+        for name, rows in (relations or {}).items():
+            instance = self.relation(name)
+            instance.add_all(rows)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    def relation(self, name: str) -> RelationInstance:
+        """The instance of the named relation (always exists, may be empty)."""
+        try:
+            return self._relations[name]
+        except KeyError:
+            raise SchemaError(f"database has no relation {name!r}") from None
+
+    def __iter__(self) -> Iterator[RelationInstance]:
+        return iter(self._relations.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Database):
+            return NotImplemented
+        return self._schema == other._schema and self._relations == other._relations
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{name}:{len(rel)}" for name, rel in self._relations.items())
+        return f"Database({body})"
+
+    @property
+    def relation_names(self) -> List[str]:
+        return list(self._relations)
+
+    def total_rows(self) -> int:
+        """Total number of tuples across all relations."""
+        return sum(len(rel) for rel in self)
+
+    def is_empty(self) -> bool:
+        return self.total_rows() == 0
+
+    def active_domain(self) -> Set[Any]:
+        """All values occurring anywhere in the database."""
+        values: Set[Any] = set()
+        for relation in self:
+            values.update(relation.active_domain())
+        return values
+
+    # -- mutation -------------------------------------------------------------------
+
+    def add(self, relation_name: str, row: Sequence[Any]) -> Row:
+        """Insert one row into the named relation."""
+        return self.relation(relation_name).add(row)
+
+    def add_all(self, relation_name: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows into the named relation; returns rows added."""
+        return self.relation(relation_name).add_all(rows)
+
+    def copy(self) -> "Database":
+        """A copy sharing the schema but with independent row sets."""
+        clone = Database(self._schema)
+        for name, relation in self._relations.items():
+            clone._relations[name] = relation.copy()
+        return clone
+
+    # -- convenience constructors ------------------------------------------------------
+
+    @classmethod
+    def from_dict(cls, schema_spec: Mapping[str, Sequence[Any]],
+                  rows: Optional[Mapping[str, Iterable[Sequence[Any]]]] = None) -> "Database":
+        """Build a schema from ``{name: attributes}`` and populate it.
+
+        Convenience used heavily by tests and examples::
+
+            db = Database.from_dict(
+                {"EMP": ["emp", "sal", "dept"], "DEP": ["dept", "loc"]},
+                {"EMP": [("e1", 100, "d1")], "DEP": [("d1", "NYC")]},
+            )
+        """
+        schema = DatabaseSchema.from_dict(schema_spec)
+        return cls(schema, rows)
+
+    def as_dict(self) -> Dict[str, List[Row]]:
+        """Plain-data rendering ``{relation: sorted rows}`` for reports."""
+        return {name: relation.sorted_rows() for name, relation in self._relations.items()}
+
+    # -- comparison helpers used by containment experiments -----------------------------
+
+    def contains_database(self, other: "Database") -> bool:
+        """True if every tuple of ``other`` is present here (same schema)."""
+        if self._schema != other._schema:
+            raise SchemaError("cannot compare databases over different schemas")
+        return all(
+            other.relation(name).is_subset_of(self.relation(name))
+            for name in self.relation_names
+        )
+
+    def union(self, other: "Database") -> "Database":
+        """Relation-wise union of two databases over the same schema."""
+        if self._schema != other._schema:
+            raise SchemaError("cannot union databases over different schemas")
+        merged = self.copy()
+        for name in merged.relation_names:
+            merged._relations[name] = merged.relation(name).union(other.relation(name))
+        return merged

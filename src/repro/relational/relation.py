@@ -1,0 +1,161 @@
+"""Relation instances: finite sets of tuples over a relation schema."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import AttributeRef, RelationSchema
+
+Row = Tuple[Any, ...]
+
+
+class RelationInstance:
+    """A finite relation: a set of rows conforming to one schema.
+
+    Rows are stored as tuples in a set (order-insensitive, duplicate-free,
+    exactly as the paper's model requires).  Projection helpers used by the
+    dependency checkers and by the chase on instances are provided here so
+    they can be reused by the storage engine, the evaluator, and the finite
+    counter-model search.
+    """
+
+    def __init__(self, schema: RelationSchema, rows: Optional[Iterable[Sequence[Any]]] = None,
+                 check_domains: bool = False):
+        self._schema = schema
+        self._check_domains = check_domains
+        self._rows: Set[Row] = set()
+        for row in rows or ():
+            self.add(row)
+
+    # -- basic protocol -----------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    @property
+    def arity(self) -> int:
+        return self._schema.arity
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RelationInstance):
+            return NotImplemented
+        return self._schema == other._schema and self._rows == other._rows
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RelationInstance({self.name}, {len(self)} rows)"
+
+    def rows(self) -> FrozenSet[Row]:
+        """An immutable snapshot of the rows."""
+        return frozenset(self._rows)
+
+    def sorted_rows(self) -> List[Row]:
+        """Rows in a deterministic order (for reports and tests)."""
+        return sorted(self._rows, key=repr)
+
+    # -- mutation --------------------------------------------------------------
+
+    def add(self, row: Sequence[Any]) -> Row:
+        """Add one row (validated against the schema); returns the stored tuple."""
+        values = self._schema.validate_row(row, check_domains=self._check_domains)
+        self._rows.add(values)
+        return values
+
+    def add_all(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Add many rows; returns the number of *new* rows added."""
+        before = len(self._rows)
+        for row in rows:
+            self.add(row)
+        return len(self._rows) - before
+
+    def discard(self, row: Sequence[Any]) -> bool:
+        """Remove a row if present; returns True if it was removed."""
+        values = tuple(row)
+        if values in self._rows:
+            self._rows.remove(values)
+            return True
+        return False
+
+    def clear(self) -> None:
+        self._rows.clear()
+
+    def copy(self) -> "RelationInstance":
+        """A deep-enough copy (rows are immutable tuples)."""
+        clone = RelationInstance(self._schema, check_domains=self._check_domains)
+        clone._rows = set(self._rows)
+        return clone
+
+    # -- projection and selection helpers ---------------------------------------
+
+    def project(self, refs: Sequence[AttributeRef]) -> Set[Row]:
+        """Project onto the given attributes (by name or 1-based position)."""
+        positions = self._schema.positions_of(refs)
+        return {tuple(row[p] for p in positions) for row in self._rows}
+
+    def select_equal(self, ref: AttributeRef, value: Any) -> List[Row]:
+        """All rows whose ``ref`` column equals ``value``."""
+        position = self._schema.position_of(ref)
+        return [row for row in self._rows if row[position] == value]
+
+    def select_matching(self, assignment: Dict[AttributeRef, Any]) -> List[Row]:
+        """All rows agreeing with ``assignment`` on every listed attribute."""
+        positions = [(self._schema.position_of(ref), value) for ref, value in assignment.items()]
+        return [
+            row for row in self._rows
+            if all(row[position] == value for position, value in positions)
+        ]
+
+    def active_domain(self) -> Set[Any]:
+        """All values occurring anywhere in the relation."""
+        values: Set[Any] = set()
+        for row in self._rows:
+            values.update(row)
+        return values
+
+    def column_values(self, ref: AttributeRef) -> Set[Any]:
+        """All values occurring in one column."""
+        position = self._schema.position_of(ref)
+        return {row[position] for row in self._rows}
+
+    # -- schema compatibility -----------------------------------------------------
+
+    def require_same_schema(self, other: "RelationInstance") -> None:
+        """Raise SchemaError unless the two instances share a schema."""
+        if self._schema != other._schema:
+            raise SchemaError(
+                f"relation instances have different schemas: "
+                f"{self._schema} vs {other._schema}"
+            )
+
+    def union(self, other: "RelationInstance") -> "RelationInstance":
+        """Set union of two instances over the same schema."""
+        self.require_same_schema(other)
+        merged = self.copy()
+        merged._rows.update(other._rows)
+        return merged
+
+    def difference(self, other: "RelationInstance") -> "RelationInstance":
+        """Set difference of two instances over the same schema."""
+        self.require_same_schema(other)
+        result = RelationInstance(self._schema)
+        result._rows = self._rows - other._rows
+        return result
+
+    def is_subset_of(self, other: "RelationInstance") -> bool:
+        """True if every row of this instance appears in ``other``."""
+        self.require_same_schema(other)
+        return self._rows <= other._rows

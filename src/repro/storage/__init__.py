@@ -1,0 +1,29 @@
+"""An in-memory relational storage engine.
+
+The paper's algorithms operate on queries, but the library also ships a
+small but real storage engine so that the finite-database side of the
+story (Section 4, and every "evaluate Q over B" step) runs against
+something with indexes and integrity checking rather than ad-hoc loops:
+
+* :class:`~repro.storage.table.Table` — hash-indexed tuple storage;
+* :class:`~repro.storage.engine.StorageEngine` — a named collection of
+  tables with optional FD/IND enforcement on insert, bulk loading, and
+  conversion to/from :class:`~repro.relational.database.Database`;
+* :class:`~repro.storage.executor.JoinExecutor` — a join-based evaluator
+  for conjunctive queries, used by the test suite to cross-validate the
+  homomorphism semantics of ``Q(B)``.
+"""
+
+from repro.storage.table import Table
+from repro.storage.engine import StorageEngine
+from repro.storage.executor import JoinExecutor, evaluate_with_joins
+from repro.storage.integrity import IntegrityChecker, IntegrityReport
+
+__all__ = [
+    "IntegrityChecker",
+    "IntegrityReport",
+    "JoinExecutor",
+    "StorageEngine",
+    "Table",
+    "evaluate_with_joins",
+]

@@ -1,0 +1,133 @@
+"""The storage engine: named tables plus optional integrity enforcement."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.exceptions import IntegrityError, SchemaError
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+from repro.storage.integrity import IntegrityChecker, IntegrityReport
+from repro.storage.table import Table
+
+
+class StorageEngine:
+    """A collection of :class:`Table` objects over one database schema.
+
+    The engine can enforce a dependency set on every insert (``enforce``),
+    check the whole state on demand, bulk-load rows, and convert to and
+    from the plain :class:`~repro.relational.database.Database` value
+    object used by the evaluator and the finite-model tooling.
+    """
+
+    def __init__(self, schema: DatabaseSchema,
+                 dependencies: Optional[DependencySet] = None,
+                 enforce: bool = False):
+        self._schema = schema
+        self._tables: Dict[str, Table] = {rel.name: Table(rel) for rel in schema}
+        self._dependencies = dependencies or DependencySet(schema=schema)
+        self._checker = IntegrityChecker(schema, self._dependencies) if len(self._dependencies) else None
+        self._enforce = enforce and self._checker is not None
+        if dependencies is not None:
+            self._create_dependency_indexes()
+
+    def _create_dependency_indexes(self) -> None:
+        """Index FD keys and IND endpoints so enforcement lookups are O(1)."""
+        for fd in self._dependencies.functional_dependencies():
+            self._tables[fd.relation].create_index(fd.lhs)
+        for ind in self._dependencies.inclusion_dependencies():
+            self._tables[ind.lhs_relation].create_index(ind.lhs_attributes)
+            self._tables[ind.rhs_relation].create_index(ind.rhs_attributes)
+
+    # -- basic access -----------------------------------------------------------
+
+    @property
+    def schema(self) -> DatabaseSchema:
+        return self._schema
+
+    @property
+    def dependencies(self) -> DependencySet:
+        return self._dependencies
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(f"storage engine has no table {name!r}") from None
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self)
+
+    # -- mutation --------------------------------------------------------------------
+
+    def insert(self, relation: str, row: Sequence[Any]) -> bool:
+        """Insert one row, enforcing FDs (and raising on violation) if enabled."""
+        table = self.table(relation)
+        if self._enforce and self._checker is not None:
+            report = self._checker.check_insert(self._tables, relation, row)
+            report.raise_if_violated()
+        return table.insert(row)
+
+    def insert_many(self, relation: str, rows: Iterable[Sequence[Any]]) -> int:
+        return sum(1 for row in rows if self.insert(relation, row))
+
+    def load(self, data: Mapping[str, Iterable[Sequence[Any]]]) -> int:
+        """Bulk-load ``{relation: rows}``; returns the number of new rows."""
+        return sum(self.insert_many(relation, rows) for relation, rows in data.items())
+
+    def delete(self, relation: str, row: Sequence[Any]) -> bool:
+        return self.table(relation).delete(row)
+
+    def clear(self) -> None:
+        for table in self:
+            table.clear()
+
+    # -- integrity -------------------------------------------------------------------------
+
+    def check_integrity(self) -> IntegrityReport:
+        """Check the whole current state against the declared dependencies."""
+        if self._checker is None:
+            return IntegrityReport(ok=True)
+        return self._checker.check_state(self._tables)
+
+    def satisfies_dependencies(self) -> bool:
+        return self.check_integrity().ok
+
+    # -- conversion --------------------------------------------------------------------------
+
+    def to_database(self) -> Database:
+        """Snapshot the current state as a plain Database value."""
+        database = Database(self._schema)
+        for table in self:
+            database.add_all(table.name, table.rows())
+        return database
+
+    @classmethod
+    def from_database(cls, database: Database,
+                      dependencies: Optional[DependencySet] = None,
+                      enforce: bool = False) -> "StorageEngine":
+        """Load a Database value into a fresh engine."""
+        engine = cls(database.schema, dependencies=dependencies, enforce=enforce)
+        for relation in database:
+            engine.insert_many(relation.name, relation.rows())
+        return engine
+
+    # -- reporting ------------------------------------------------------------------------------
+
+    def statistics(self) -> Dict[str, Any]:
+        return {name: table.statistics() for name, table in self._tables.items()}
+
+    def describe(self) -> str:
+        lines = [f"storage engine over {len(self._tables)} tables, "
+                 f"{self.total_rows()} rows, "
+                 f"{len(self._dependencies)} dependencies"]
+        for name, table in self._tables.items():
+            lines.append(f"  {name}: {len(table)} rows, indexes {table.index_names()}")
+        return "\n".join(lines)

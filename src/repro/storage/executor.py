@@ -1,0 +1,132 @@
+"""Join-based evaluation of conjunctive queries over the storage engine.
+
+This is a classical select-project-join pipeline: conjuncts are joined one
+at a time in a greedy smallest-table-first order, using the tables' hash
+indexes for the join lookups.  Its answers must coincide with the
+homomorphism-based evaluator in :mod:`repro.queries.evaluation` — the test
+suite asserts exactly that on random databases, which cross-validates both
+the executor and the homomorphism engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import EvaluationError
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.database import Database
+from repro.storage.engine import StorageEngine
+from repro.terms.term import Constant, Term, Variable
+
+Binding = Dict[Variable, Any]
+
+
+class JoinExecutor:
+    """Evaluates conjunctive queries against a :class:`StorageEngine`."""
+
+    def __init__(self, engine: StorageEngine):
+        self._engine = engine
+
+    # -- planning --------------------------------------------------------------
+
+    def _ordered_conjuncts(self, query: ConjunctiveQuery) -> List[Conjunct]:
+        """Greedy join order: start from the smallest table, then prefer
+        conjuncts sharing variables with what has been joined already."""
+        remaining = list(query.conjuncts)
+        if not remaining:
+            return []
+        remaining.sort(key=lambda c: len(self._engine.table(c.relation)))
+        ordered = [remaining.pop(0)]
+        bound: Set[Variable] = set(ordered[0].variables())
+        while remaining:
+            def connectivity(conjunct: Conjunct) -> Tuple[int, int]:
+                shared = len(conjunct.variables() & bound)
+                return (-shared, len(self._engine.table(conjunct.relation)))
+
+            remaining.sort(key=connectivity)
+            chosen = remaining.pop(0)
+            ordered.append(chosen)
+            bound |= chosen.variables()
+        return ordered
+
+    # -- execution ----------------------------------------------------------------
+
+    def _extend(self, conjunct: Conjunct, binding: Binding) -> Iterator[Binding]:
+        """All extensions of ``binding`` matching one conjunct against its table."""
+        table = self._engine.table(conjunct.relation)
+        fixed_positions: List[int] = []
+        fixed_values: List[Any] = []
+        for position, term in enumerate(conjunct.terms):
+            if isinstance(term, Constant):
+                fixed_positions.append(position)
+                fixed_values.append(term.value)
+            elif term in binding:
+                fixed_positions.append(position)
+                fixed_values.append(binding[term])
+        if fixed_positions:
+            attribute_refs = [position + 1 for position in fixed_positions]
+            table.create_index(attribute_refs)
+            candidates: Iterable[Tuple[Any, ...]] = table.lookup(attribute_refs, fixed_values)
+        else:
+            candidates = table.scan()
+        for row in candidates:
+            extension = dict(binding)
+            consistent = True
+            for position, term in enumerate(conjunct.terms):
+                value = row[position]
+                if isinstance(term, Constant):
+                    if term.value != value:
+                        consistent = False
+                        break
+                    continue
+                if term in extension and extension[term] != value:
+                    consistent = False
+                    break
+                extension[term] = value
+            if consistent:
+                yield extension
+
+    def bindings(self, query: ConjunctiveQuery) -> Iterator[Binding]:
+        """All variable bindings satisfying the query body."""
+        self._validate(query)
+        ordered = self._ordered_conjuncts(query)
+        partial: List[Binding] = [{}]
+        for conjunct in ordered:
+            next_partial: List[Binding] = []
+            for binding in partial:
+                next_partial.extend(self._extend(conjunct, binding))
+            if not next_partial:
+                return
+            partial = next_partial
+        yield from partial
+
+    def evaluate(self, query: ConjunctiveQuery) -> Set[Tuple[Any, ...]]:
+        """The answer relation Q(B) as a set of value tuples."""
+        answers: Set[Tuple[Any, ...]] = set()
+        for binding in self.bindings(query):
+            row = tuple(
+                entry.value if isinstance(entry, Constant) else binding[entry]
+                for entry in query.summary_row
+            )
+            answers.add(row)
+        return answers
+
+    def count(self, query: ConjunctiveQuery) -> int:
+        """Number of distinct answers."""
+        return len(self.evaluate(query))
+
+    # -- validation -----------------------------------------------------------------
+
+    def _validate(self, query: ConjunctiveQuery) -> None:
+        for relation in query.relations_used():
+            if relation not in self._engine:
+                raise EvaluationError(
+                    f"storage engine has no table {relation!r} used by query {query.name}"
+                )
+
+
+def evaluate_with_joins(query: ConjunctiveQuery, database: Database) -> Set[Tuple[Any, ...]]:
+    """One-shot convenience: load ``database`` into an engine and evaluate."""
+    engine = StorageEngine.from_database(database)
+    return JoinExecutor(engine).evaluate(query)

@@ -1,0 +1,125 @@
+"""Integrity enforcement for the storage engine.
+
+The checker answers, for a proposed insert, whether the dependency set
+stays satisfied — FDs can be violated immediately by an insert, while INDs
+can only *become* satisfied by inserts into the referenced relation, so an
+IND violation is reported against the current state (deferred checking is
+also supported, mirroring how real engines treat foreign keys).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.exceptions import IntegrityError
+from repro.relational.schema import DatabaseSchema
+
+
+@dataclass
+class IntegrityReport:
+    """Outcome of checking one insert or one whole state."""
+
+    ok: bool
+    messages: List[str] = field(default_factory=list)
+
+    def raise_if_violated(self) -> None:
+        if not self.ok:
+            raise IntegrityError("; ".join(self.messages))
+
+
+class IntegrityChecker:
+    """Checks FDs and INDs against the tables of a storage engine."""
+
+    def __init__(self, schema: DatabaseSchema, dependencies: DependencySet):
+        dependencies.validate(schema)
+        self._schema = schema
+        self._dependencies = dependencies
+
+    @property
+    def dependencies(self) -> DependencySet:
+        return self._dependencies
+
+    # -- insert-time checks -------------------------------------------------------
+
+    def check_insert(self, tables: Dict[str, Any], relation: str,
+                     row: Sequence[Any], enforce_inds: bool = False) -> IntegrityReport:
+        """Would inserting ``row`` into ``relation`` violate any FD?
+
+        With ``enforce_inds`` the row's IND obligations must already be met
+        by the current state (immediate foreign-key checking); without it,
+        IND checking is deferred to :meth:`check_state`.
+        """
+        messages: List[str] = []
+        values = tuple(row)
+        for fd in self._dependencies.functional_dependencies():
+            if fd.relation != relation:
+                continue
+            table = tables[relation]
+            lhs_positions = fd.lhs_positions(table.schema)
+            rhs_position = fd.rhs_position(table.schema)
+            key = tuple(values[p] for p in lhs_positions)
+            for existing in table.lookup(fd.lhs, key):
+                if existing[rhs_position] != values[rhs_position]:
+                    messages.append(
+                        f"FD {fd} violated by inserting {values}: conflicts with {existing}"
+                    )
+                    break
+        if enforce_inds:
+            for ind in self._dependencies.inclusion_dependencies():
+                if ind.lhs_relation != relation:
+                    continue
+                lhs_positions = ind.lhs_positions(self._schema)
+                subtuple = tuple(values[p] for p in lhs_positions)
+                target = tables[ind.rhs_relation]
+                if not target.lookup(ind.rhs_attributes, subtuple):
+                    messages.append(
+                        f"IND {ind} violated by inserting {values}: no matching tuple "
+                        f"in {ind.rhs_relation}"
+                    )
+        return IntegrityReport(ok=not messages, messages=messages)
+
+    # -- whole-state checks ---------------------------------------------------------
+
+    def check_state(self, tables: Dict[str, Any]) -> IntegrityReport:
+        """Check every dependency against the full current state."""
+        messages: List[str] = []
+        for fd in self._dependencies.functional_dependencies():
+            messages.extend(self._check_fd_state(tables, fd))
+        for ind in self._dependencies.inclusion_dependencies():
+            messages.extend(self._check_ind_state(tables, ind))
+        return IntegrityReport(ok=not messages, messages=messages)
+
+    def _check_fd_state(self, tables: Dict[str, Any], fd: FunctionalDependency) -> List[str]:
+        table = tables[fd.relation]
+        lhs_positions = fd.lhs_positions(table.schema)
+        rhs_position = fd.rhs_position(table.schema)
+        seen: Dict[Tuple[Any, ...], Any] = {}
+        messages: List[str] = []
+        for row in table:
+            key = tuple(row[p] for p in lhs_positions)
+            value = row[rhs_position]
+            if key in seen and seen[key] != value:
+                messages.append(f"FD {fd} violated: key {key} maps to both "
+                                f"{seen[key]!r} and {value!r}")
+            seen.setdefault(key, value)
+        return messages
+
+    def _check_ind_state(self, tables: Dict[str, Any], ind: InclusionDependency) -> List[str]:
+        source = tables[ind.lhs_relation]
+        target = tables[ind.rhs_relation]
+        lhs_positions = ind.lhs_positions(self._schema)
+        rhs_positions = ind.rhs_positions(self._schema)
+        available = {tuple(row[p] for p in rhs_positions) for row in target}
+        messages: List[str] = []
+        for row in source:
+            subtuple = tuple(row[p] for p in lhs_positions)
+            if subtuple not in available:
+                messages.append(
+                    f"IND {ind} violated: {subtuple} from {ind.lhs_relation} has no "
+                    f"match in {ind.rhs_relation}"
+                )
+        return messages

@@ -1,0 +1,157 @@
+"""Hash-indexed tuple storage for one relation."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.exceptions import SchemaError
+from repro.relational.schema import AttributeRef, RelationSchema
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """A set of rows over one relation schema with secondary hash indexes.
+
+    Indexes are declared per attribute set (by name or 1-based position)
+    and maintained incrementally on insert and delete.  Lookups on indexed
+    attribute sets are O(1) per matching row; lookups on other attribute
+    sets fall back to a scan.  The conjunctive-query executor creates
+    single-column indexes on demand for its join attributes.
+    """
+
+    def __init__(self, schema: RelationSchema,
+                 indexes: Optional[Iterable[Sequence[AttributeRef]]] = None):
+        self._schema = schema
+        self._rows: Set[Row] = set()
+        self._indexes: Dict[Tuple[int, ...], Dict[Tuple[Any, ...], Set[Row]]] = {}
+        for index_spec in indexes or ():
+            self.create_index(index_spec)
+
+    # -- schema -----------------------------------------------------------------
+
+    @property
+    def schema(self) -> RelationSchema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._schema.name
+
+    @property
+    def arity(self) -> int:
+        return self._schema.arity
+
+    # -- indexes -----------------------------------------------------------------
+
+    def create_index(self, attributes: Sequence[AttributeRef]) -> Tuple[int, ...]:
+        """Create (or return) a hash index over the given attributes."""
+        positions = self._schema.positions_of(attributes)
+        if positions not in self._indexes:
+            index: Dict[Tuple[Any, ...], Set[Row]] = {}
+            for row in self._rows:
+                index.setdefault(tuple(row[p] for p in positions), set()).add(row)
+            self._indexes[positions] = index
+        return positions
+
+    def has_index(self, attributes: Sequence[AttributeRef]) -> bool:
+        return self._schema.positions_of(attributes) in self._indexes
+
+    def index_names(self) -> List[Tuple[str, ...]]:
+        """The indexed attribute-name sets (for introspection and tests)."""
+        return [
+            tuple(self._schema.attribute_name_at(p) for p in positions)
+            for positions in self._indexes
+        ]
+
+    # -- mutation -----------------------------------------------------------------
+
+    def insert(self, row: Sequence[Any]) -> bool:
+        """Insert one row; returns True if it was not already present."""
+        values = self._schema.validate_row(row)
+        if values in self._rows:
+            return False
+        self._rows.add(values)
+        for positions, index in self._indexes.items():
+            index.setdefault(tuple(values[p] for p in positions), set()).add(values)
+        return True
+
+    def insert_many(self, rows: Iterable[Sequence[Any]]) -> int:
+        """Insert many rows; returns how many were new."""
+        return sum(1 for row in rows if self.insert(row))
+
+    def delete(self, row: Sequence[Any]) -> bool:
+        """Delete one row; returns True if it was present."""
+        values = tuple(row)
+        if values not in self._rows:
+            return False
+        self._rows.remove(values)
+        for positions, index in self._indexes.items():
+            key = tuple(values[p] for p in positions)
+            bucket = index.get(key)
+            if bucket is not None:
+                bucket.discard(values)
+                if not bucket:
+                    del index[key]
+        return True
+
+    def clear(self) -> None:
+        self._rows.clear()
+        for index in self._indexes.values():
+            index.clear()
+
+    # -- queries ---------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self._rows)
+
+    def __contains__(self, row: Sequence[Any]) -> bool:
+        return tuple(row) in self._rows
+
+    def rows(self) -> FrozenSet[Row]:
+        return frozenset(self._rows)
+
+    def scan(self) -> Iterator[Row]:
+        """Full scan, in arbitrary order."""
+        return iter(self._rows)
+
+    def lookup(self, attributes: Sequence[AttributeRef], values: Sequence[Any]) -> List[Row]:
+        """Rows whose ``attributes`` equal ``values`` (index or scan).
+
+        The attribute list and value list must have the same length.
+        """
+        positions = self._schema.positions_of(attributes)
+        key = tuple(values)
+        if len(positions) != len(key):
+            raise SchemaError(
+                f"lookup on {self.name}: {len(positions)} attributes but {len(key)} values"
+            )
+        index = self._indexes.get(positions)
+        if index is not None:
+            return list(index.get(key, ()))
+        return [
+            row for row in self._rows
+            if tuple(row[p] for p in positions) == key
+        ]
+
+    def project(self, attributes: Sequence[AttributeRef]) -> Set[Tuple[Any, ...]]:
+        positions = self._schema.positions_of(attributes)
+        return {tuple(row[p] for p in positions) for row in self._rows}
+
+    def distinct_values(self, attribute: AttributeRef) -> Set[Any]:
+        position = self._schema.position_of(attribute)
+        return {row[position] for row in self._rows}
+
+    def statistics(self) -> Dict[str, Any]:
+        """Cardinality and per-column distinct counts (used by the executor)."""
+        return {
+            "rows": len(self._rows),
+            "distinct": {
+                name: len(self.distinct_values(name))
+                for name in self._schema.attribute_names
+            },
+            "indexes": self.index_names(),
+        }

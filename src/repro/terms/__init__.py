@@ -1,0 +1,34 @@
+"""Term system: constants, variables, ordering, naming, substitutions.
+
+The paper's chase machinery manipulates three kinds of symbols — constants,
+distinguished variables (DVs, the output variables of a query), and
+nondistinguished variables (NDVs, the existential variables).  The chase
+rules depend on a total *lexicographic* order over variables in which every
+DV precedes every NDV and every NDV created during the chase follows every
+previously existing symbol.  This package provides those symbols, the
+order, the naming scheme used for chase-created NDVs, and substitutions
+(symbol mappings) used by homomorphisms and the FD chase rule.
+"""
+
+from repro.terms.term import (
+    Constant,
+    DistinguishedVariable,
+    NonDistinguishedVariable,
+    Term,
+    Variable,
+    term_sort_key,
+)
+from repro.terms.naming import FreshVariableFactory, NDVProvenance
+from repro.terms.substitution import Substitution
+
+__all__ = [
+    "Constant",
+    "DistinguishedVariable",
+    "FreshVariableFactory",
+    "NDVProvenance",
+    "NonDistinguishedVariable",
+    "Substitution",
+    "Term",
+    "Variable",
+    "term_sort_key",
+]

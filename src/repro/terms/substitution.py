@@ -1,0 +1,135 @@
+"""Substitutions: finite mappings over terms.
+
+A substitution is the data underlying both homomorphisms (query → query,
+query → database) and the symbol identifications performed by the FD chase
+rule.  It maps variables to terms, is the identity on everything it does
+not mention, and always maps constants to themselves (attempting to bind a
+constant raises :class:`~repro.exceptions.QueryError`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from repro.exceptions import QueryError
+from repro.terms.term import Constant, Term, Variable
+
+
+class Substitution:
+    """An immutable finite mapping from variables to terms.
+
+    Instances behave like read-only mappings.  ``apply`` extends the
+    mapping to arbitrary terms (identity outside the domain) and to tuples
+    of terms; ``bind`` returns a new substitution with one extra binding,
+    refusing inconsistent re-bindings; ``compose`` composes two
+    substitutions in diagram order.
+    """
+
+    __slots__ = ("_mapping",)
+
+    def __init__(self, mapping: Optional[Mapping[Variable, Term]] = None):
+        items: Dict[Variable, Term] = {}
+        if mapping:
+            for key, value in mapping.items():
+                if isinstance(key, Constant):
+                    raise QueryError(f"cannot bind constant {key} in a substitution")
+                items[key] = value
+        self._mapping = items
+
+    # -- mapping protocol -------------------------------------------------
+
+    def __contains__(self, variable: Variable) -> bool:
+        return variable in self._mapping
+
+    def __getitem__(self, variable: Variable) -> Term:
+        return self._mapping[variable]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._mapping)
+
+    def __len__(self) -> int:
+        return len(self._mapping)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._mapping == other._mapping
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._mapping.items()))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        pairs = ", ".join(f"{k} -> {v}" for k, v in self.items())
+        return f"Substitution({{{pairs}}})"
+
+    def items(self) -> Iterable[Tuple[Variable, Term]]:
+        return self._mapping.items()
+
+    def as_dict(self) -> Dict[Variable, Term]:
+        """Return a copy of the underlying mapping."""
+        return dict(self._mapping)
+
+    # -- construction ------------------------------------------------------
+
+    def bind(self, variable: Variable, value: Term) -> "Substitution":
+        """Return a new substitution that additionally maps ``variable``.
+
+        Raises :class:`QueryError` if ``variable`` is already bound to a
+        different value or if ``variable`` is a constant.
+        """
+        if isinstance(variable, Constant):
+            raise QueryError(f"cannot bind constant {variable}")
+        existing = self._mapping.get(variable)
+        if existing is not None and existing != value:
+            raise QueryError(
+                f"inconsistent binding for {variable}: {existing} vs {value}"
+            )
+        new_mapping = dict(self._mapping)
+        new_mapping[variable] = value
+        return Substitution(new_mapping)
+
+    def compose(self, after: "Substitution") -> "Substitution":
+        """Return the substitution "first self, then ``after``".
+
+        For every term ``t``, ``compose(after).apply(t) ==
+        after.apply(self.apply(t))``.
+        """
+        combined: Dict[Variable, Term] = {}
+        for variable, value in self._mapping.items():
+            combined[variable] = after.apply(value)
+        for variable, value in after._mapping.items():
+            combined.setdefault(variable, value)
+        return Substitution(combined)
+
+    @classmethod
+    def identity(cls) -> "Substitution":
+        """The empty substitution."""
+        return cls()
+
+    # -- application -------------------------------------------------------
+
+    def apply(self, term: Term) -> Term:
+        """Apply the substitution to one term (identity on constants)."""
+        if isinstance(term, Constant):
+            return term
+        return self._mapping.get(term, term)
+
+    def apply_tuple(self, terms: Iterable[Term]) -> Tuple[Term, ...]:
+        """Apply the substitution componentwise to a tuple of terms."""
+        return tuple(self.apply(term) for term in terms)
+
+    # -- properties ---------------------------------------------------------
+
+    def is_injective_on(self, variables: Iterable[Variable]) -> bool:
+        """True if the listed variables are mapped to pairwise distinct terms."""
+        seen = set()
+        for variable in variables:
+            image = self.apply(variable)
+            if image in seen:
+                return False
+            seen.add(image)
+        return True
+
+    def maps_constants_to_themselves(self) -> bool:
+        """Always true by construction; provided for invariant checks."""
+        return all(not isinstance(k, Constant) for k in self._mapping)

@@ -1,0 +1,153 @@
+"""Symbols used in conjunctive queries and chases.
+
+Three kinds of terms appear in a conjunctive query (Section 2 of the
+paper): constants, distinguished variables (DVs) and nondistinguished
+variables (NDVs).  The FD chase rule (Section 3) merges two symbols and
+needs a deterministic choice of survivor:
+
+* if both symbols are constants the chase fails (the query is
+  unsatisfiable under the dependencies);
+* if exactly one is a constant, the constant survives;
+* if both are variables, the *lexicographically first* survives, where
+  "DVs are assumed always to precede NDVs in lexicographic order" and
+  chase-created NDVs follow all previously introduced symbols.
+
+The order is realised by :func:`term_sort_key`: each variable carries a
+``rank`` (0 for DVs, 1 for NDVs written in the original query, 2 for NDVs
+created during a chase) and a ``serial`` breaking ties inside a rank.  NDVs
+created by the chase receive strictly increasing serial numbers from
+:class:`repro.terms.naming.FreshVariableFactory`, so creation order equals
+lexicographic order exactly as the paper's naming scheme requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Tuple, Union
+
+
+@dataclass(frozen=True)
+class Constant:
+    """A constant symbol (an element of some attribute domain).
+
+    Constants compare equal iff their values are equal.  Homomorphisms are
+    required to map every constant to itself, and the FD chase rule never
+    replaces a constant by a variable.
+    """
+
+    value: Any
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+    @property
+    def is_constant(self) -> bool:
+        return True
+
+    @property
+    def is_variable(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True)
+class Variable:
+    """Base class for query variables.
+
+    A variable is identified by its ``name`` together with its concrete
+    class (distinguished vs. nondistinguished), so a DV named ``x`` and an
+    NDV named ``x`` are different symbols.  ``rank`` and ``serial`` realise
+    the paper's lexicographic order; see the module docstring.
+    """
+
+    name: str
+    serial: Tuple[Any, ...] = field(default=(), compare=False)
+
+    #: position of this variable class in the lexicographic order
+    rank: int = field(default=1, init=False, repr=False, compare=False)
+
+    def __str__(self) -> str:
+        return self.name
+
+    @property
+    def is_constant(self) -> bool:
+        return False
+
+    @property
+    def is_variable(self) -> bool:
+        return True
+
+    @property
+    def is_distinguished(self) -> bool:
+        return isinstance(self, DistinguishedVariable)
+
+    def sort_key(self) -> Tuple[Any, ...]:
+        """Key realising the paper's lexicographic order on variables."""
+        tiebreak = self.serial if self.serial else (self.name,)
+        return (self.rank,) + tuple(tiebreak)
+
+
+@dataclass(frozen=True)
+class DistinguishedVariable(Variable):
+    """A distinguished (output) variable of a conjunctive query.
+
+    DVs are the variables that may appear in the summary row.  In the
+    paper's lexicographic order every DV precedes every NDV.
+    """
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rank", 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"DV({self.name})"
+
+
+@dataclass(frozen=True)
+class NonDistinguishedVariable(Variable):
+    """A nondistinguished (existential) variable.
+
+    NDVs written in the original query have rank 1; NDVs created by the
+    IND chase rule are produced by
+    :class:`repro.terms.naming.FreshVariableFactory` with rank 2 and a
+    strictly increasing serial, so they follow every previously existing
+    symbol in the lexicographic order.
+    """
+
+    created: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "rank", 2 if self.created else 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        flag = ", created" if self.created else ""
+        return f"NDV({self.name}{flag})"
+
+
+Term = Union[Constant, Variable]
+
+
+def term_sort_key(term: Term) -> Tuple[Any, ...]:
+    """Total order used to pick survivors and order chase applications.
+
+    Constants sort before all variables.  This choice never actually
+    decides an FD merge between a constant and a variable (the chase rule
+    handles that case explicitly), but it gives the library a single total
+    order usable for deterministic iteration over mixed collections of
+    terms.
+    """
+    if isinstance(term, Constant):
+        return (-1, repr(term.value))
+    return term.sort_key()
+
+
+def lexicographic_min(first: Variable, second: Variable) -> Variable:
+    """Return the lexicographically first of two variables.
+
+    This is the survivor chosen by the FD chase rule when both merged
+    symbols are variables.
+    """
+    if first.sort_key() <= second.sort_key():
+        return first
+    return second

@@ -1,0 +1,36 @@
+"""Workload generators and the paper's named examples.
+
+The benchmarks sweep over query size, dependency-set size, and IND width;
+this package provides deterministic (seeded) generators for
+
+* schemas (uniform arity or mixed),
+* conjunctive queries (chain joins, star joins, random shapes),
+* dependency sets (IND-only with a width bound, key-based sets whose keys
+  and foreign keys follow the paper's definition),
+* finite database instances (random, optionally repaired to satisfy Σ),
+
+plus :mod:`repro.workloads.paper_examples`, which packages the three
+worked examples of the paper (the EMP/DEP intro example, the Figure 1
+chase, and the Section 4 finite-vs-infinite counterexample) as ready-made
+objects used by the examples, tests, and benchmarks.
+"""
+
+from repro.workloads.schema_generator import SchemaGenerator
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.dependency_generator import DependencyGenerator
+from repro.workloads.database_generator import DatabaseGenerator
+from repro.workloads.paper_examples import (
+    figure1_example,
+    intro_example,
+    section4_example,
+)
+
+__all__ = [
+    "DatabaseGenerator",
+    "DependencyGenerator",
+    "QueryGenerator",
+    "SchemaGenerator",
+    "figure1_example",
+    "intro_example",
+    "section4_example",
+]

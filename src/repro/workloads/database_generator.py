@@ -1,0 +1,102 @@
+"""Random (seeded) finite database generation.
+
+Used by the finite-containment experiments (Section 4) and by the tests
+that cross-validate the two evaluators.  Databases can be generated
+free-form, forced to satisfy a dependency set by chase repair, or built to
+satisfy a key-based set directly (keys unique by construction, foreign
+keys resolved by construction).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.chase.instance_chase import chase_instance
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.violations import database_satisfies
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+
+
+class DatabaseGenerator:
+    """Generates finite database instances over a given schema."""
+
+    def __init__(self, schema: DatabaseSchema, seed: int = 0):
+        self._schema = schema
+        self._rng = random.Random(seed)
+
+    def random(self, tuples_per_relation: int = 5, domain_size: int = 6) -> Database:
+        """A uniformly random database over an integer domain."""
+        database = Database(self._schema)
+        for relation in self._schema:
+            for _ in range(tuples_per_relation):
+                row = tuple(self._rng.randrange(domain_size) for _ in range(relation.arity))
+                database.add(relation.name, row)
+        return database
+
+    def satisfying(self, dependencies: DependencySet,
+                   tuples_per_relation: int = 4, domain_size: int = 6,
+                   attempts: int = 25, repair_steps: int = 500) -> Optional[Database]:
+        """A random database that satisfies Σ, or ``None`` after ``attempts`` tries.
+
+        Each attempt draws a random database and, when it violates Σ, tries
+        to repair it with the instance chase; attempts whose repair fails
+        (hard FD violation) or does not terminate within ``repair_steps``
+        are discarded.
+        """
+        for attempt in range(attempts):
+            database = self.random(tuples_per_relation, domain_size)
+            if database_satisfies(database, dependencies):
+                return database
+            repaired = chase_instance(database, dependencies, max_steps=repair_steps)
+            if repaired.succeeded:
+                return repaired.database
+        return None
+
+    def key_based_instance(self, dependencies: DependencySet,
+                           tuples_per_relation: int = 5, domain_size: int = 20) -> Database:
+        """A database satisfying a *key-based* Σ by construction.
+
+        Keys are made unique by numbering them; every foreign-key value is
+        drawn from the referenced relation's existing key values, so all
+        INDs hold, and key uniqueness makes all FDs hold.
+        """
+        if not dependencies.is_key_based(self._schema):
+            raise ValueError("key_based_instance requires a key-based dependency set")
+        database = Database(self._schema)
+        keys: Dict[str, List[Any]] = {}
+
+        # First pass: populate every relation with unique keys and random payloads.
+        for relation in self._schema:
+            key_attributes = dependencies.key_of(relation.name, self._schema) or set()
+            key_positions = {relation.position_of(a) for a in key_attributes}
+            keys[relation.name] = []
+            for row_index in range(tuples_per_relation):
+                row = []
+                for position in range(relation.arity):
+                    if position in key_positions:
+                        row.append(f"{relation.name}:{row_index}")
+                    else:
+                        row.append(self._rng.randrange(domain_size))
+                database.add(relation.name, row)
+
+        # Second pass: rewrite foreign-key columns to reference existing keys.
+        for ind in dependencies.inclusion_dependencies():
+            source = database.relation(ind.lhs_relation)
+            target = database.relation(ind.rhs_relation)
+            lhs_positions = ind.lhs_positions(self._schema)
+            rhs_positions = ind.rhs_positions(self._schema)
+            target_values = [tuple(row[p] for p in rhs_positions) for row in target]
+            if not target_values:
+                continue
+            rewritten = []
+            for row in source.rows():
+                chosen = self._rng.choice(target_values)
+                new_row = list(row)
+                for offset, position in enumerate(lhs_positions):
+                    new_row[position] = chosen[offset]
+                rewritten.append(tuple(new_row))
+            source.clear()
+            source.add_all(rewritten)
+        return database

@@ -1,0 +1,140 @@
+"""Random (seeded) dependency-set generation.
+
+Two families matter for the paper's experiments:
+
+* **IND-only sets** with a controllable maximum width (Theorem 2(i));
+* **key-based sets** built the way real schemas are: each relation gets a
+  key (the first column by default) and foreign keys from non-key columns
+  of one relation into the key of another (Theorem 2(ii)).
+
+Both generators only produce dependency sets that pass the corresponding
+classification test, which the unit tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class DependencyGenerator:
+    """Generates FD/IND sets over a given schema."""
+
+    def __init__(self, schema: DatabaseSchema, seed: int = 0):
+        self._schema = schema
+        self._rng = random.Random(seed)
+
+    # -- IND-only sets -----------------------------------------------------------
+
+    def random_ind(self, max_width: int = 1) -> InclusionDependency:
+        """One random IND between two relations of the schema.
+
+        The width is drawn between 1 and ``max_width`` (capped by the two
+        relations' arities); attribute positions on each side are distinct
+        and randomly chosen.
+        """
+        relations = list(self._schema)
+        source = self._rng.choice(relations)
+        target = self._rng.choice(relations)
+        width = self._rng.randint(1, max(1, min(max_width, source.arity, target.arity)))
+        lhs = self._rng.sample(range(1, source.arity + 1), width)
+        rhs = self._rng.sample(range(1, target.arity + 1), width)
+        return InclusionDependency(source.name, lhs, target.name, rhs)
+
+    def ind_only(self, count: int, max_width: int = 1,
+                 avoid_trivial: bool = True) -> DependencySet:
+        """``count`` random INDs (no FDs), optionally skipping trivial ones."""
+        dependencies = DependencySet(schema=self._schema)
+        attempts = 0
+        while len(dependencies) < count and attempts < count * 50:
+            attempts += 1
+            ind = self.random_ind(max_width=max_width)
+            if avoid_trivial and ind.is_trivial:
+                continue
+            dependencies.add(ind)
+        return dependencies
+
+    def cyclic_ind_chain(self, relation_names: Optional[Sequence[str]] = None,
+                         width: int = 1) -> DependencySet:
+        """A cycle ``R1[..] ⊆ R2[..] ⊆ ... ⊆ R1[..]`` — guaranteed infinite chases.
+
+        Each IND copies the last ``width`` columns of its source into the
+        first ``width`` columns of its target, which (with fresh NDVs in the
+        other columns) never saturates: this is the Figure 1 pattern
+        generalised, used by the chase-growth benchmarks.
+        """
+        names = list(relation_names) if relation_names else self._schema.relation_names
+        dependencies = DependencySet(schema=self._schema)
+        for index, name in enumerate(names):
+            source = self._schema.relation(name)
+            target = self._schema.relation(names[(index + 1) % len(names)])
+            effective = max(1, min(width, source.arity, target.arity))
+            lhs = list(range(source.arity - effective + 1, source.arity + 1))
+            rhs = list(range(1, effective + 1))
+            dependencies.add(InclusionDependency(source.name, lhs, target.name, rhs))
+        return dependencies
+
+    # -- key-based sets ----------------------------------------------------------------
+
+    def key_fds(self, relation: RelationSchema, key_width: int = 1) -> List[FunctionalDependency]:
+        """FDs declaring the first ``key_width`` columns the key of the relation."""
+        key = [relation.attribute_name_at(i) for i in range(min(key_width, relation.arity - 1))]
+        if not key:
+            key = [relation.attribute_name_at(0)]
+        return FunctionalDependency.key(relation, key)
+
+    def key_based(self, foreign_key_count: int, key_width: int = 1) -> DependencySet:
+        """A key-based set: keys for every relation plus random foreign keys.
+
+        Foreign keys go from non-key columns of one relation into (a prefix
+        of) the key of another, so conditions (a) and (b) of the paper's
+        definition hold by construction; the unit tests assert
+        ``is_key_based`` on every generated set.
+        """
+        dependencies = DependencySet(schema=self._schema)
+        keys = {}
+        for relation in self._schema:
+            fds = self.key_fds(relation, key_width=key_width)
+            keys[relation.name] = [relation.attribute_name_at(i)
+                                   for i in range(min(key_width, relation.arity - 1)) ] or \
+                                  [relation.attribute_name_at(0)]
+            for fd in fds:
+                dependencies.add(fd)
+
+        relations = list(self._schema)
+        attempts = 0
+        added = 0
+        while added < foreign_key_count and attempts < foreign_key_count * 50:
+            attempts += 1
+            source = self._rng.choice(relations)
+            target = self._rng.choice(relations)
+            source_key = set(keys[source.name])
+            non_key_columns = [a for a in source.attribute_names if a not in source_key]
+            if not non_key_columns:
+                continue
+            target_key = keys[target.name]
+            width = self._rng.randint(1, min(len(non_key_columns), len(target_key)))
+            lhs = self._rng.sample(non_key_columns, width)
+            rhs = target_key[:width]
+            ind = InclusionDependency(source.name, lhs, target.name, rhs)
+            if ind not in dependencies:
+                dependencies.add(ind)
+                added += 1
+        return dependencies
+
+    def foreign_key(self, source: str, source_columns: Sequence[str],
+                    target: str, key_width: Optional[int] = None) -> DependencySet:
+        """Key FDs for ``target`` plus one IND from ``source_columns`` into its key."""
+        target_schema = self._schema.relation(target)
+        width = key_width if key_width is not None else len(source_columns)
+        key = [target_schema.attribute_name_at(i) for i in range(width)]
+        dependencies = DependencySet(schema=self._schema)
+        for fd in FunctionalDependency.key(target_schema, key):
+            dependencies.add(fd)
+        dependencies.add(InclusionDependency(source, list(source_columns), target, key))
+        return dependencies

@@ -1,0 +1,122 @@
+"""The paper's worked examples as ready-made objects.
+
+Three examples appear in the paper and recur throughout the library's
+tests, examples, and benchmarks:
+
+* the **intro example** (Section 1): EMP/DEP with the foreign key
+  ``EMP[department] ⊆ DEP[department]`` making Q1 and Q2 equivalent;
+* the **Figure 1 example** (Section 3): the single-atom query whose
+  O-chase and R-chase are both infinite under the three INDs
+  ``R[1] ⊆ T[1]``, ``R[1,3] ⊆ S[1,2]``, ``S[1,3] ⊆ R[1,2]``;
+* the **Section 4 example**: Σ = {R: 2 → 1, R[2] ⊆ R[1]} with two queries
+  equivalent over finite databases but not over all databases.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.containment.finite import Section4Example, section4_counterexample
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.queries.builder import QueryBuilder
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+
+
+class IntroExample(NamedTuple):
+    """Section 1's EMP/DEP example."""
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    q1: ConjunctiveQuery
+    q2: ConjunctiveQuery
+
+
+def intro_example() -> IntroExample:
+    """EMP(emp, sal, dept), DEP(dept, loc) with EMP[dept] ⊆ DEP[dept].
+
+    Q1 asks for employees that have a department *with a location*; Q2
+    asks only for employees.  Under the IND they are equivalent; without
+    it only ``Q1 ⊆ Q2`` holds.
+    """
+    schema = DatabaseSchema.from_dict({
+        "EMP": ["emp", "sal", "dept"],
+        "DEP": ["dept", "loc"],
+    })
+    dependencies = DependencySet(
+        [InclusionDependency("EMP", ["dept"], "DEP", ["dept"])], schema=schema)
+    q1 = (
+        QueryBuilder(schema, "Q1")
+        .head("e")
+        .atom("EMP", "e", "s", "d")
+        .atom("DEP", "d", "l")
+        .build()
+    )
+    q2 = (
+        QueryBuilder(schema, "Q2")
+        .head("e")
+        .atom("EMP", "e", "s", "d")
+        .build()
+    )
+    return IntroExample(schema=schema, dependencies=dependencies, q1=q1, q2=q2)
+
+
+def intro_example_key_based() -> IntroExample:
+    """The intro example upgraded to a key-based set.
+
+    DEP's key is ``dept`` (an FD ``DEP: dept → loc``), and the foreign key
+    ``EMP[dept] ⊆ DEP[dept]`` targets that key while staying off EMP's key
+    ``emp`` — the canonical key-based shape.  The same containment facts
+    hold as in :func:`intro_example`.
+    """
+    base = intro_example()
+    dependencies = DependencySet(
+        [
+            FunctionalDependency("DEP", ["dept"], "loc"),
+            FunctionalDependency("EMP", ["emp"], "sal"),
+            FunctionalDependency("EMP", ["emp"], "dept"),
+            InclusionDependency("EMP", ["dept"], "DEP", ["dept"]),
+        ],
+        schema=base.schema,
+    )
+    return IntroExample(schema=base.schema, dependencies=dependencies,
+                        q1=base.q1, q2=base.q2)
+
+
+class Figure1Example(NamedTuple):
+    """Section 3's Figure 1: a query with infinite O- and R-chases."""
+
+    schema: DatabaseSchema
+    dependencies: DependencySet
+    query: ConjunctiveQuery
+
+
+def figure1_example() -> Figure1Example:
+    """{(c): ∃a, b R(a, b, c)} under R[1]⊆T[1], R[1,3]⊆S[1,2], S[1,3]⊆R[1,2]."""
+    schema = DatabaseSchema.from_dict({
+        "R": ["r1", "r2", "r3"],
+        "S": ["s1", "s2", "s3"],
+        "T": ["t1", "t2"],
+    })
+    dependencies = DependencySet(
+        [
+            InclusionDependency("R", [1], "T", [1]),
+            InclusionDependency("R", [1, 3], "S", [1, 2]),
+            InclusionDependency("S", [1, 3], "R", [1, 2]),
+        ],
+        schema=schema,
+    )
+    query = (
+        QueryBuilder(schema, "Qfig1")
+        .head("c")
+        .atom("R", "a", "b", "c")
+        .build()
+    )
+    return Figure1Example(schema=schema, dependencies=dependencies, query=query)
+
+
+def section4_example() -> Section4Example:
+    """Alias of :func:`repro.containment.finite.section4_counterexample`."""
+    return section4_counterexample()

@@ -1,0 +1,174 @@
+"""Random (seeded) conjunctive-query generation.
+
+Three shapes are provided because they stress the containment procedure
+differently:
+
+* **chain** queries ``R1(x0, x1), R2(x1, x2), ...`` — long joins with
+  little branching; containment mappings are forced along the chain;
+* **star** queries ``FACT(x1..xn), DIM1(x1, y1), ...`` — the natural
+  key-based / foreign-key workload;
+* **random** queries — atoms over random relations with variables drawn
+  from a bounded pool, which produces repeated variables and higher
+  homomorphism branching.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+from repro.terms.term import DistinguishedVariable, NonDistinguishedVariable, Term, Variable
+
+
+class QueryGenerator:
+    """Generates conjunctive queries over a given schema."""
+
+    def __init__(self, schema: DatabaseSchema, seed: int = 0):
+        self._schema = schema
+        self._rng = random.Random(seed)
+
+    # -- helpers ----------------------------------------------------------------
+
+    def _variable(self, name: str, distinguished: bool) -> Variable:
+        if distinguished:
+            return DistinguishedVariable(name)
+        return NonDistinguishedVariable(name)
+
+    # -- chain queries ------------------------------------------------------------
+
+    def chain(self, length: int, relation_names: Optional[Sequence[str]] = None,
+              name: str = "Qchain") -> ConjunctiveQuery:
+        """A chain of binary joins over ``length`` atoms.
+
+        Each atom R_i(x_{i-1}, x_i, fresh...) joins its first column to the
+        previous atom's second column; the head returns the two endpoints
+        of the chain.  Relations are taken round-robin from
+        ``relation_names`` (default: all relations of the schema, in order)
+        and must have arity at least 2.
+        """
+        if length < 1:
+            raise ValueError("chain length must be at least 1")
+        names = list(relation_names) if relation_names else self._schema.relation_names
+        start = DistinguishedVariable("x0")
+        end = DistinguishedVariable(f"x{length}")
+        conjuncts: List[Conjunct] = []
+        previous: Variable = start
+        for index in range(1, length + 1):
+            relation = self._schema.relation(names[(index - 1) % len(names)])
+            current: Variable = end if index == length else NonDistinguishedVariable(f"x{index}")
+            terms: List[Term] = [previous, current]
+            for extra in range(2, relation.arity):
+                terms.append(NonDistinguishedVariable(f"z{index}_{extra}"))
+            conjuncts.append(Conjunct(relation.name, terms[:relation.arity]))
+            previous = current
+        return ConjunctiveQuery(
+            input_schema=self._schema, conjuncts=conjuncts,
+            summary_row=(start, end), name=name,
+        )
+
+    # -- star queries ----------------------------------------------------------------
+
+    def star(self, fact_relation: str, dimension_relations: Sequence[str],
+             name: str = "Qstar") -> ConjunctiveQuery:
+        """A star join: the fact atom joined to each dimension on one column.
+
+        The i-th dimension joins on the fact's i-th column; the head
+        returns the fact's join columns.
+        """
+        fact = self._schema.relation(fact_relation)
+        if len(dimension_relations) > fact.arity:
+            raise ValueError("more dimensions than fact columns")
+        join_variables = [DistinguishedVariable(f"x{i + 1}")
+                          for i in range(len(dimension_relations))]
+        fact_terms: List[Term] = list(join_variables)
+        for extra in range(len(join_variables), fact.arity):
+            fact_terms.append(NonDistinguishedVariable(f"f{extra + 1}"))
+        conjuncts = [Conjunct(fact.name, fact_terms)]
+        for index, dimension_name in enumerate(dimension_relations):
+            dimension = self._schema.relation(dimension_name)
+            terms: List[Term] = [join_variables[index]]
+            for extra in range(1, dimension.arity):
+                terms.append(NonDistinguishedVariable(f"d{index + 1}_{extra}"))
+            conjuncts.append(Conjunct(dimension.name, terms))
+        return ConjunctiveQuery(
+            input_schema=self._schema, conjuncts=conjuncts,
+            summary_row=tuple(join_variables), name=name,
+        )
+
+    # -- random queries -----------------------------------------------------------------
+
+    def random(self, atom_count: int, variable_pool: int = 6,
+               distinguished_count: int = 1, constant_probability: float = 0.0,
+               name: str = "Qrand") -> ConjunctiveQuery:
+        """A random query with ``atom_count`` atoms over a bounded variable pool.
+
+        Variables are reused across atoms (that is what makes containment
+        non-trivial); with ``constant_probability`` > 0, entries are
+        occasionally replaced by small integer constants.  The head uses
+        the first ``distinguished_count`` pool variables, and an atom
+        containing each head variable is appended if needed so the query
+        stays safe.
+        """
+        if atom_count < 1:
+            raise ValueError("atom_count must be at least 1")
+        distinguished = [DistinguishedVariable(f"x{i + 1}") for i in range(distinguished_count)]
+        pool: List[Variable] = list(distinguished)
+        pool.extend(NonDistinguishedVariable(f"y{i + 1}")
+                    for i in range(max(variable_pool - distinguished_count, 1)))
+        relation_names = self._schema.relation_names
+
+        def random_term() -> Term:
+            if self._rng.random() < constant_probability:
+                from repro.terms.term import Constant
+                return Constant(self._rng.randint(0, 2))
+            return self._rng.choice(pool)
+
+        conjuncts: List[Conjunct] = []
+        for _ in range(atom_count):
+            relation = self._schema.relation(self._rng.choice(relation_names))
+            conjuncts.append(Conjunct(relation.name, [random_term() for _ in range(relation.arity)]))
+
+        # Keep the query safe: every head variable must occur in the body.
+        used = {term for conjunct in conjuncts for term in conjunct.terms}
+        for variable in distinguished:
+            if variable not in used:
+                relation = self._schema.relation(self._rng.choice(relation_names))
+                terms: List[Term] = [variable]
+                terms.extend(self._rng.choice(pool) for _ in range(relation.arity - 1))
+                conjuncts.append(Conjunct(relation.name, terms))
+        return ConjunctiveQuery(
+            input_schema=self._schema, conjuncts=conjuncts,
+            summary_row=tuple(distinguished), name=name,
+        )
+
+    # -- derived queries ------------------------------------------------------------------
+
+    def weakened(self, query: ConjunctiveQuery, drop_count: int = 1,
+                 name: Optional[str] = None) -> ConjunctiveQuery:
+        """Drop ``drop_count`` random conjuncts (producing a containing query).
+
+        The result always contains the original (fewer conjuncts means a
+        weaker query), so pairs ``(query, weakened(query))`` are known
+        positive containment instances for the benchmarks.
+        """
+        if drop_count >= len(query):
+            raise ValueError("cannot drop all conjuncts")
+        labels = [conjunct.label for conjunct in query.conjuncts]
+        to_drop = set(self._rng.sample(labels, drop_count))
+        kept = [conjunct for conjunct in query.conjuncts if conjunct.label not in to_drop]
+        # Dropping atoms can make the query unsafe; put back any atom whose
+        # removal would orphan a head variable.
+        used = {term for conjunct in kept for term in conjunct.terms}
+        for conjunct in query.conjuncts:
+            if conjunct.label in to_drop:
+                if any(entry not in used and not entry.is_constant
+                       for entry in query.summary_row):
+                    kept.append(conjunct)
+                    used |= conjunct.symbols()
+        return ConjunctiveQuery(
+            input_schema=query.input_schema, conjuncts=kept,
+            summary_row=query.summary_row, name=name or f"{query.name}_weak",
+        )

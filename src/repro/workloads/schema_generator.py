@@ -1,0 +1,51 @@
+"""Random (seeded) database schema generation."""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class SchemaGenerator:
+    """Generates database schemas with controllable size and arity."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def relation(self, name: str, arity: int) -> RelationSchema:
+        """One relation ``name(a1, ..., a<arity>)``."""
+        return RelationSchema(name, [f"a{i}" for i in range(1, arity + 1)])
+
+    def uniform(self, relation_count: int, arity: int, prefix: str = "R") -> DatabaseSchema:
+        """``relation_count`` relations, all with the same arity."""
+        schema = DatabaseSchema()
+        for index in range(1, relation_count + 1):
+            schema.add(self.relation(f"{prefix}{index}", arity))
+        return schema
+
+    def mixed(self, relation_count: int, min_arity: int = 2, max_arity: int = 4,
+              prefix: str = "R") -> DatabaseSchema:
+        """Relations with arities drawn uniformly from [min_arity, max_arity]."""
+        schema = DatabaseSchema()
+        for index in range(1, relation_count + 1):
+            arity = self._rng.randint(min_arity, max_arity)
+            schema.add(self.relation(f"{prefix}{index}", arity))
+        return schema
+
+    def star(self, satellite_count: int, fact_arity: Optional[int] = None) -> DatabaseSchema:
+        """A star schema: one fact relation plus ``satellite_count`` dimensions.
+
+        The fact relation's first ``satellite_count`` columns are foreign
+        keys (one per dimension); each dimension has a 2-column schema
+        (key, payload).  This is the natural key-based workload shape.
+        """
+        arity = fact_arity if fact_arity is not None else satellite_count + 1
+        if arity < satellite_count:
+            raise ValueError("fact arity must be at least the number of satellites")
+        schema = DatabaseSchema()
+        schema.add_relation("FACT", [f"f{i}" for i in range(1, arity + 1)])
+        for index in range(1, satellite_count + 1):
+            schema.add_relation(f"DIM{index}", [f"k{index}", f"p{index}"])
+        return schema

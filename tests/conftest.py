@@ -1,0 +1,75 @@
+"""Shared fixtures: the paper's examples and a few small schemas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import (
+    Database,
+    DatabaseSchema,
+    DependencySet,
+    FunctionalDependency,
+    InclusionDependency,
+    QueryBuilder,
+)
+from repro.workloads.paper_examples import (
+    figure1_example,
+    intro_example,
+    intro_example_key_based,
+    section4_example,
+)
+
+
+@pytest.fixture
+def emp_dep_schema() -> DatabaseSchema:
+    """The EMP/DEP schema of the paper's introduction."""
+    return DatabaseSchema.from_dict({
+        "EMP": ["emp", "sal", "dept"],
+        "DEP": ["dept", "loc"],
+    })
+
+
+@pytest.fixture
+def emp_dep_database(emp_dep_schema) -> Database:
+    """A small concrete EMP/DEP instance (violates the intro IND on purpose:
+    employee e3 works in a department with no location)."""
+    return Database(emp_dep_schema, {
+        "EMP": [("e1", 100, "d1"), ("e2", 90, "d1"), ("e3", 80, "d9")],
+        "DEP": [("d1", "NYC"), ("d2", "LA")],
+    })
+
+
+@pytest.fixture
+def intro():
+    """The Section 1 example: Q1, Q2, and the EMP[dept] ⊆ DEP[dept] IND."""
+    return intro_example()
+
+
+@pytest.fixture
+def intro_key_based():
+    """The intro example with a key-based dependency set."""
+    return intro_example_key_based()
+
+
+@pytest.fixture
+def figure1():
+    """The Figure 1 example: a query with infinite O- and R-chases."""
+    return figure1_example()
+
+
+@pytest.fixture
+def section4():
+    """The Section 4 finite-vs-infinite counterexample."""
+    return section4_example()
+
+
+@pytest.fixture
+def binary_r_schema() -> DatabaseSchema:
+    """A single binary relation R(a1, a2), used all over the chase tests."""
+    return DatabaseSchema.from_dict({"R": ["a1", "a2"]})
+
+
+@pytest.fixture
+def two_relation_schema() -> DatabaseSchema:
+    """Two binary relations R and S."""
+    return DatabaseSchema.from_dict({"R": ["a1", "a2"], "S": ["b1", "b2"]})

@@ -1,0 +1,164 @@
+"""Unit tests for the chase graph container, traces, and the instance chase."""
+
+import pytest
+
+from repro.chase.chase_graph import ChaseGraph
+from repro.chase.engine import o_chase, r_chase
+from repro.chase.events import ChaseTrace, FDApplication, INDApplication
+from repro.chase.instance_chase import LabelledNull, chase_instance
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.violations import database_satisfies
+from repro.exceptions import ChaseError
+from repro.queries.conjunct import Conjunct
+from repro.relational.database import Database
+from repro.terms.term import DistinguishedVariable, NonDistinguishedVariable
+
+
+X = DistinguishedVariable("x")
+Y = NonDistinguishedVariable("y")
+
+
+class TestChaseGraph:
+    def _ind(self):
+        return InclusionDependency("R", ["a1"], "S", ["b1"])
+
+    def test_new_node_and_labels(self):
+        graph = ChaseGraph()
+        node = graph.new_node(Conjunct("R", [X, Y]), level=0)
+        assert node.label == "n0"
+        assert node.is_root
+        assert len(graph) == 1
+
+    def test_ordinary_arc_requires_parent_and_ind(self):
+        graph = ChaseGraph()
+        root = graph.new_node(Conjunct("R", [X, Y]), level=0)
+        child = graph.new_node(Conjunct("S", [X, Y]), level=1, parent=root.node_id,
+                               via=self._ind())
+        assert len(graph.ordinary_arcs()) == 1
+        assert graph.children(root.node_id) == [child]
+        with pytest.raises(ChaseError):
+            graph.new_node(Conjunct("S", [X, Y]), level=1, parent=root.node_id)
+        with pytest.raises(ChaseError):
+            graph.new_node(Conjunct("S", [X, Y]), level=1, parent=99, via=self._ind())
+
+    def test_cross_arcs(self):
+        graph = ChaseGraph()
+        first = graph.new_node(Conjunct("R", [X, Y]), level=0)
+        second = graph.new_node(Conjunct("S", [X, Y]), level=0)
+        arc = graph.add_cross_arc(first.node_id, second.node_id, self._ind())
+        assert arc.is_cross and not arc.is_ordinary
+        with pytest.raises(ChaseError):
+            graph.add_cross_arc(0, 42, self._ind())
+
+    def test_retire_and_live_views(self):
+        graph = ChaseGraph()
+        first = graph.new_node(Conjunct("R", [X, Y]), level=0)
+        second = graph.new_node(Conjunct("R", [Y, X]), level=0)
+        graph.retire_node(second.node_id)
+        assert len(graph) == 1
+        assert len(graph.nodes(include_dead=True)) == 2
+        assert graph.nodes_for_relation("R") == [first]
+
+    def test_levels_and_histogram(self):
+        graph = ChaseGraph()
+        root = graph.new_node(Conjunct("R", [X, Y]), level=0)
+        graph.new_node(Conjunct("S", [X, Y]), level=1, parent=root.node_id, via=self._ind())
+        assert graph.max_level() == 1
+        assert graph.level_histogram() == {0: 1, 1: 1}
+        assert len(graph.nodes_at_level(1)) == 1
+
+    def test_missing_node_lookup(self):
+        with pytest.raises(ChaseError):
+            ChaseGraph().node(0)
+
+
+class TestChaseTrace:
+    def test_trace_partitions_by_kind(self, figure1):
+        result = o_chase(figure1.query, figure1.dependencies, max_level=3)
+        trace = result.trace
+        assert len(trace) == len(trace.fd_applications()) + len(trace.ind_applications())
+        assert len(trace.ind_applications()) == result.statistics.ind_steps
+
+    def test_trace_describe(self, figure1):
+        result = r_chase(figure1.query, figure1.dependencies, max_level=3)
+        text = result.trace.describe(limit=2)
+        assert "chase trace" in text
+        assert "more steps" in text or len(result.trace) <= 2
+
+    def test_application_describe(self):
+        ind = InclusionDependency("R", ["a"], "S", ["b"])
+        created = INDApplication(dependency=ind, source_conjunct="n0",
+                                 created_conjunct="n1", existing_conjunct=None, level=1)
+        satisfied = INDApplication(dependency=ind, source_conjunct="n0",
+                                   created_conjunct=None, existing_conjunct="n2", level=0)
+        assert created.created and "created" in created.describe()
+        assert not satisfied.created and "cross arc" in satisfied.describe()
+        fd = FunctionalDependency("R", ["a"], "b")
+        halt = FDApplication(dependency=fd, first_conjunct="n0", second_conjunct="n1",
+                             merged_away=None, survivor=None, halted=True)
+        assert "halts" in halt.describe()
+
+    def test_trace_disabled(self, figure1):
+        from repro.chase.engine import ChaseConfig, ChaseVariant, chase
+        config = ChaseConfig(variant=ChaseVariant.RESTRICTED, max_level=3, record_trace=False)
+        result = chase(figure1.query, figure1.dependencies, config)
+        assert len(result.trace) == 0
+        assert result.statistics.ind_steps > 0
+
+
+class TestInstanceChase:
+    def test_ind_repair_adds_witness_tuples(self, intro, emp_dep_database):
+        result = chase_instance(emp_dep_database, intro.dependencies)
+        assert result.succeeded
+        assert result.satisfied
+        assert database_satisfies(result.database, intro.dependencies)
+        # d9 needed a DEP row; its location is a labelled null.
+        d9_rows = result.database.relation("DEP").select_equal("dept", "d9")
+        assert len(d9_rows) == 1
+        assert isinstance(d9_rows[0][1], LabelledNull)
+
+    def test_original_database_untouched(self, intro, emp_dep_database):
+        before = emp_dep_database.total_rows()
+        chase_instance(emp_dep_database, intro.dependencies)
+        assert emp_dep_database.total_rows() == before
+
+    def test_fd_repair_merges_nulls(self, emp_dep_schema):
+        sigma = DependencySet([
+            InclusionDependency("EMP", ["dept"], "DEP", ["dept"]),
+            FunctionalDependency("DEP", ["dept"], "loc"),
+        ], schema=emp_dep_schema)
+        database = Database(emp_dep_schema, {
+            "EMP": [("e1", 1, "d1")],
+            "DEP": [("d1", "NYC")],
+        })
+        result = chase_instance(database, sigma)
+        assert result.succeeded
+        # The required DEP tuple already exists, so no null is ever created.
+        assert result.nulls_created == 0
+
+    def test_hard_fd_violation_fails(self, emp_dep_schema):
+        sigma = DependencySet([FunctionalDependency("DEP", ["dept"], "loc")],
+                              schema=emp_dep_schema)
+        database = Database(emp_dep_schema, {
+            "DEP": [("d1", "NYC"), ("d1", "LA")],
+        })
+        result = chase_instance(database, sigma)
+        assert result.failed
+        assert not result.succeeded
+
+    def test_non_terminating_repair_exhausts_budget(self, section4):
+        # Σ = {R: 2 -> 1, R[2] ⊆ R[1]} chases a single fact into an
+        # ever-growing chain of labelled nulls.
+        database = Database(section4.schema, {"R": [(1, 2)]})
+        result = chase_instance(database, section4.dependencies, max_steps=50)
+        assert result.exhausted
+        assert not result.satisfied
+
+    def test_labelled_null_identity(self):
+        first = LabelledNull()
+        second = LabelledNull()
+        assert first == first
+        assert first != second
+        assert len({first, second, first}) == 2

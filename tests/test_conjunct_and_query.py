@@ -1,0 +1,206 @@
+"""Unit tests for conjuncts, conjunctive queries, and the query builder."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.queries.builder import QueryBuilder, query
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+from repro.terms.substitution import Substitution
+from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable
+
+
+X = DistinguishedVariable("x")
+Y = NonDistinguishedVariable("y")
+Z = NonDistinguishedVariable("z")
+
+
+class TestConjunct:
+    def test_basic_accessors(self):
+        conjunct = Conjunct("R", [X, Y, Constant(1)])
+        assert conjunct.arity == 3
+        assert conjunct.term_at(0) == X
+        assert conjunct.terms_at([2, 0]) == (Constant(1), X)
+        assert str(conjunct) == "R(x, y, 1)"
+
+    def test_symbol_sets(self):
+        conjunct = Conjunct("R", [X, Y, Constant(1)])
+        assert conjunct.variables() == {X, Y}
+        assert conjunct.constants() == {Constant(1)}
+        assert conjunct.symbols() == {X, Y, Constant(1)}
+
+    def test_positions_of_and_repeats(self):
+        conjunct = Conjunct("R", [X, X, Y])
+        assert conjunct.positions_of(X) == (0, 1)
+        assert conjunct.has_repeated_variable()
+        assert not Conjunct("R", [X, Y, Z]).has_repeated_variable()
+
+    def test_substitute(self):
+        conjunct = Conjunct("R", [X, Y])
+        substituted = conjunct.substitute(Substitution({Y: Constant(3)}))
+        assert substituted.terms == (X, Constant(3))
+        assert substituted.relation == "R"
+
+    def test_same_atom_ignores_labels(self):
+        first = Conjunct("R", [X, Y], label="c1")
+        second = Conjunct("R", [X, Y], label="c2")
+        assert first != second
+        assert first.same_atom_as(second)
+
+    def test_invalid_conjuncts(self):
+        with pytest.raises(QueryError):
+            Conjunct("", [X])
+        with pytest.raises(QueryError):
+            Conjunct("R", [])
+
+    def test_term_at_out_of_range(self):
+        with pytest.raises(QueryError):
+            Conjunct("R", [X]).term_at(5)
+
+
+class TestConjunctiveQuery:
+    def _schema(self):
+        return DatabaseSchema.from_dict({"R": ["a", "b"], "S": ["c", "d"]})
+
+    def test_construction_and_sizes(self):
+        schema = self._schema()
+        q = ConjunctiveQuery(schema, [Conjunct("R", [X, Y]), Conjunct("S", [Y, Z])], (X,))
+        assert len(q) == 2
+        assert q.size() == 2
+        assert q.output_arity == 1
+        assert q.total_symbol_occurrences() == 5
+
+    def test_labels_are_unique(self):
+        schema = self._schema()
+        q = ConjunctiveQuery(schema, [Conjunct("R", [X, Y]), Conjunct("R", [X, Y])], (X,))
+        labels = [c.label for c in q.conjuncts]
+        assert len(set(labels)) == 2
+
+    def test_symbol_accessors(self):
+        schema = self._schema()
+        q = ConjunctiveQuery(schema, [Conjunct("R", [X, Y]), Conjunct("S", [Y, Constant(1)])], (X,))
+        assert q.distinguished_variables() == {X}
+        assert q.nondistinguished_variables() == {Y}
+        assert q.constants() == {Constant(1)}
+        assert q.relations_used() == {"R", "S"}
+
+    def test_rejects_unknown_relation(self):
+        schema = self._schema()
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(schema, [Conjunct("T", [X, Y])], (X,))
+
+    def test_rejects_wrong_arity(self):
+        schema = self._schema()
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(schema, [Conjunct("R", [X, Y, Z])], (X,))
+
+    def test_rejects_unsafe_summary_row(self):
+        schema = self._schema()
+        w = DistinguishedVariable("w")
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (w,))
+
+    def test_rejects_ndv_in_summary(self):
+        schema = self._schema()
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (Y,))
+
+    def test_rejects_empty_body(self):
+        schema = self._schema()
+        with pytest.raises(QueryError):
+            ConjunctiveQuery(schema, [], (X,))
+
+    def test_constant_summary_is_boolean(self):
+        schema = self._schema()
+        q = ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (Constant(1),))
+        assert q.is_boolean()
+
+    def test_substitute_rewrites_summary(self):
+        schema = self._schema()
+        q = ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (X,))
+        substituted = q.substitute(Substitution({X: Constant(9)}))
+        assert substituted.summary_row == (Constant(9),)
+        assert substituted.conjuncts[0].terms == (Constant(9), Y)
+
+    def test_without_conjunct(self):
+        schema = self._schema()
+        q = ConjunctiveQuery(schema, [Conjunct("R", [X, Y]), Conjunct("S", [X, Z])], (X,))
+        label = q.conjuncts[1].label
+        reduced = q.without_conjunct(label)
+        assert len(reduced) == 1
+        with pytest.raises(QueryError):
+            q.without_conjunct("missing")
+        with pytest.raises(QueryError):
+            reduced.without_conjunct(reduced.conjuncts[0].label)
+
+    def test_same_interface(self):
+        schema = self._schema()
+        q1 = ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (X,))
+        q2 = ConjunctiveQuery(schema, [Conjunct("S", [X, Z])], (X,))
+        q3 = ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (X, X))
+        assert q1.same_interface_as(q2)
+        assert not q1.same_interface_as(q3)
+        with pytest.raises(QueryError):
+            q1.require_same_interface(q3)
+
+    def test_equality_is_structural(self):
+        schema = self._schema()
+        q1 = ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (X,), name="A")
+        q2 = ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (X,), name="B")
+        assert q1 == q2
+        assert hash(q1) == hash(q2)
+
+    def test_str_rendering(self):
+        schema = self._schema()
+        q = ConjunctiveQuery(schema, [Conjunct("R", [X, Y])], (X,), name="Q")
+        assert "Q(x) :- R(x, y)" == str(q)
+
+
+class TestQueryBuilder:
+    def test_builder_matches_manual_construction(self, emp_dep_schema):
+        built = (
+            QueryBuilder(emp_dep_schema, "Q1")
+            .head("e")
+            .atom("EMP", "e", "s", "d")
+            .atom("DEP", "d", "l")
+            .build()
+        )
+        assert built.output_arity == 1
+        assert len(built) == 2
+        assert built.distinguished_variables() == {DistinguishedVariable("e")}
+        assert NonDistinguishedVariable("d") in built.nondistinguished_variables()
+
+    def test_constants_via_marker_and_non_strings(self, emp_dep_schema):
+        built = (
+            QueryBuilder(emp_dep_schema)
+            .head("e")
+            .atom("EMP", "e", 100, QueryBuilder.constant("sales"))
+            .build()
+        )
+        constants = built.constants()
+        assert Constant(100) in constants
+        assert Constant("sales") in constants
+
+    def test_unknown_relation_rejected(self, emp_dep_schema):
+        with pytest.raises(QueryError):
+            QueryBuilder(emp_dep_schema).atom("NOPE", "x")
+
+    def test_empty_build_rejected(self, emp_dep_schema):
+        with pytest.raises(QueryError):
+            QueryBuilder(emp_dep_schema).head("x").build()
+
+    def test_one_shot_query_helper(self, emp_dep_schema):
+        q = query(emp_dep_schema, ["e"], [("EMP", "e", "s", "d"), ("DEP", "d", "l")])
+        assert len(q) == 2
+        assert str(q).startswith("Q(e)")
+
+    def test_output_attribute_names(self, emp_dep_schema):
+        q = (
+            QueryBuilder(emp_dep_schema)
+            .head("e")
+            .output("employee")
+            .atom("EMP", "e", "s", "d")
+            .build()
+        )
+        assert q.output_attributes == ("employee",)

@@ -1,0 +1,203 @@
+"""Unit tests for FDs, INDs, dependency sets, and the key-based test."""
+
+import pytest
+
+from repro.dependencies.dependency_set import DependencyClass, DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.exceptions import DependencyError
+from repro.relational.schema import DatabaseSchema
+
+
+class TestFunctionalDependency:
+    def test_construction_and_rendering(self):
+        fd = FunctionalDependency("EMP", ["emp"], "sal")
+        assert str(fd) == "EMP: emp -> sal"
+        assert not fd.is_trivial
+        assert FunctionalDependency("R", ["a"], "a").is_trivial
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DependencyError):
+            FunctionalDependency("", ["a"], "b")
+        with pytest.raises(DependencyError):
+            FunctionalDependency("R", [], "b")
+        with pytest.raises(DependencyError):
+            FunctionalDependency("R", ["a", "a"], "b")
+
+    def test_validate_against_schema(self, emp_dep_schema):
+        FunctionalDependency("EMP", ["emp"], "sal").validate(emp_dep_schema)
+        with pytest.raises(DependencyError):
+            FunctionalDependency("NOPE", ["a"], "b").validate(emp_dep_schema)
+        with pytest.raises(Exception):
+            FunctionalDependency("EMP", ["missing"], "sal").validate(emp_dep_schema)
+
+    def test_positions_and_names(self, emp_dep_schema):
+        fd = FunctionalDependency("EMP", [1], 2)  # positional references
+        relation = emp_dep_schema.relation("EMP")
+        assert fd.lhs_positions(relation) == (0,)
+        assert fd.rhs_position(relation) == 1
+        assert fd.lhs_names(emp_dep_schema) == frozenset({"emp"})
+        assert fd.rhs_name(emp_dep_schema) == "sal"
+
+    def test_key_constructor(self, emp_dep_schema):
+        fds = FunctionalDependency.key(emp_dep_schema.relation("EMP"), ["emp"])
+        assert len(fds) == 2
+        rhs = {fd.rhs for fd in fds}
+        assert rhs == {"sal", "dept"}
+
+    def test_expand_multi_rhs(self):
+        fds = FunctionalDependency.expand_multi_rhs("R", ["a"], ["b", "c"])
+        assert len(fds) == 2
+        assert all(fd.lhs == ("a",) for fd in fds)
+
+
+class TestInclusionDependency:
+    def test_construction_width_and_rendering(self):
+        ind = InclusionDependency("EMP", ["dept"], "DEP", ["dept"])
+        assert ind.width == 1
+        assert ind.is_unary
+        assert not ind.is_trivial
+        assert str(ind) == "EMP[dept] <= DEP[dept]"
+
+    def test_trivial_ind(self):
+        assert InclusionDependency("R", ["a"], "R", ["a"]).is_trivial
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(DependencyError):
+            InclusionDependency("R", ["a", "b"], "S", ["c"])
+        with pytest.raises(DependencyError):
+            InclusionDependency("R", [], "S", [])
+        with pytest.raises(DependencyError):
+            InclusionDependency("R", ["a", "a"], "S", ["b", "c"])
+
+    def test_validate_and_positions(self, emp_dep_schema):
+        ind = InclusionDependency("EMP", [3], "DEP", [1])
+        ind.validate(emp_dep_schema)
+        assert ind.lhs_positions(emp_dep_schema) == (2,)
+        assert ind.rhs_positions(emp_dep_schema) == (0,)
+        assert ind.lhs_names(emp_dep_schema) == frozenset({"dept"})
+        assert ind.rhs_names(emp_dep_schema) == frozenset({"dept"})
+
+    def test_projection_axiom(self):
+        ind = InclusionDependency("R", ["a", "b", "c"], "S", ["x", "y", "z"])
+        projected = ind.projected([2, 0])
+        assert projected.lhs_attributes == ("c", "a")
+        assert projected.rhs_attributes == ("z", "x")
+        with pytest.raises(DependencyError):
+            ind.projected([0, 0])
+        with pytest.raises(DependencyError):
+            ind.projected([5])
+
+    def test_transitivity_axiom(self):
+        first = InclusionDependency("R", ["a"], "S", ["b"])
+        second = InclusionDependency("S", ["b"], "T", ["c"])
+        composed = first.composed_with(second)
+        assert composed.lhs_relation == "R" and composed.rhs_relation == "T"
+        with pytest.raises(DependencyError):
+            second.composed_with(first)
+
+    def test_reflexivity_axiom(self):
+        assert InclusionDependency.reflexive("R", ["a", "b"]).is_trivial
+
+
+class TestDependencySet:
+    def test_ordering_and_dedup(self):
+        fd = FunctionalDependency("R", ["a1"], "a2")
+        ind = InclusionDependency("R", ["a2"], "R", ["a1"])
+        sigma = DependencySet([fd, ind, fd])
+        assert len(sigma) == 2
+        assert sigma.functional_dependencies() == [fd]
+        assert sigma.inclusion_dependencies() == [ind]
+        assert fd in sigma
+
+    def test_views_and_sizes(self, intro_key_based):
+        sigma = intro_key_based.dependencies
+        assert sigma.max_ind_width() == 1
+        assert len(sigma.fds_for("EMP")) == 2
+        assert len(sigma.inds_from("EMP")) == 1
+        assert len(sigma.inds_into("DEP")) == 1
+        assert sigma.fd_part().is_fd_only()
+        assert sigma.ind_part().is_ind_only()
+
+    def test_classification_empty_fd_ind(self, binary_r_schema):
+        assert DependencySet().classify() is DependencyClass.EMPTY
+        fd_only = DependencySet([FunctionalDependency("R", ["a1"], "a2")],
+                                schema=binary_r_schema)
+        assert fd_only.classify() is DependencyClass.FD_ONLY
+        ind_only = DependencySet([InclusionDependency("R", ["a2"], "R", ["a1"])],
+                                 schema=binary_r_schema)
+        assert ind_only.classify() is DependencyClass.IND_ONLY
+
+    def test_intro_ind_only_and_key_based_variants(self, intro, intro_key_based):
+        assert intro.dependencies.classify(intro.schema) is DependencyClass.IND_ONLY
+        assert intro_key_based.dependencies.is_key_based(intro_key_based.schema)
+        assert intro_key_based.dependencies.classify(
+            intro_key_based.schema) is DependencyClass.KEY_BASED
+
+    def test_section4_set_is_general(self, section4):
+        # The counterexample's IND targets a non-key column, so the set is
+        # deliberately outside the key-based class.
+        sigma = section4.dependencies
+        assert sigma.classify(section4.schema) is DependencyClass.GENERAL
+        assert not sigma.is_key_based(section4.schema)
+        assert not sigma.supports_exact_containment(section4.schema)
+        assert not sigma.is_finitely_controllable(section4.schema)
+
+    def test_key_based_fails_when_non_key_attribute_uncovered(self, emp_dep_schema):
+        sigma = DependencySet([
+            FunctionalDependency("EMP", ["emp"], "sal"),
+            # dept is neither in the key nor covered by an FD.
+            InclusionDependency("EMP", ["dept"], "DEP", ["dept"]),
+            FunctionalDependency("DEP", ["dept"], "loc"),
+        ], schema=emp_dep_schema)
+        assert not sigma.is_key_based(emp_dep_schema)
+
+    def test_key_based_fails_when_ind_leaves_key(self, emp_dep_schema):
+        sigma = DependencySet([
+            FunctionalDependency("EMP", ["emp"], "sal"),
+            FunctionalDependency("EMP", ["emp"], "dept"),
+            FunctionalDependency("DEP", ["dept"], "loc"),
+            # The IND's left-hand side overlaps EMP's key.
+            InclusionDependency("EMP", ["emp"], "DEP", ["dept"]),
+        ], schema=emp_dep_schema)
+        assert not sigma.is_key_based(emp_dep_schema)
+
+    def test_key_based_fails_with_differing_lhs(self, emp_dep_schema):
+        sigma = DependencySet([
+            FunctionalDependency("EMP", ["emp"], "sal"),
+            FunctionalDependency("EMP", ["dept"], "sal"),
+            InclusionDependency("EMP", ["sal"], "DEP", ["dept"]),
+            FunctionalDependency("DEP", ["dept"], "loc"),
+        ], schema=emp_dep_schema)
+        assert not sigma.is_key_based(emp_dep_schema)
+
+    def test_finitely_controllable_classes(self, intro, intro_key_based, binary_r_schema):
+        assert intro.dependencies.is_finitely_controllable(intro.schema)  # width-1 INDs
+        assert intro_key_based.dependencies.is_finitely_controllable(intro_key_based.schema)
+        wide = DependencySet(
+            [InclusionDependency("R", ["a1", "a2"], "R", ["a2", "a1"])],
+            schema=binary_r_schema)
+        assert not wide.is_finitely_controllable(binary_r_schema)
+        assert wide.supports_exact_containment(binary_r_schema)
+
+    def test_union_and_equality(self, binary_r_schema):
+        fd = FunctionalDependency("R", ["a1"], "a2")
+        ind = InclusionDependency("R", ["a2"], "R", ["a1"])
+        first = DependencySet([fd], schema=binary_r_schema)
+        second = DependencySet([ind], schema=binary_r_schema)
+        merged = first.union(second)
+        assert len(merged) == 2
+        assert merged == DependencySet([ind, fd])
+
+    def test_add_rejects_non_dependency(self):
+        with pytest.raises(DependencyError):
+            DependencySet(["not a dependency"])  # type: ignore[list-item]
+
+    def test_validation_needs_schema(self):
+        sigma = DependencySet([FunctionalDependency("R", ["a"], "b")])
+        with pytest.raises(DependencyError):
+            sigma.validate()
+
+    def test_describe_lists_dependencies(self, intro_key_based):
+        text = intro_key_based.dependencies.describe()
+        assert "FD" in text and "IND" in text

@@ -1,0 +1,147 @@
+"""Unit tests for equivalence, minimality under Σ, and containment certificates."""
+
+import pytest
+
+from repro.containment.certificates import build_certificate
+from repro.containment.decision import is_contained
+from repro.containment.equivalence import (
+    are_equivalent,
+    equivalence_results,
+    is_minimal_under,
+    minimize_under,
+    removable_conjuncts_under,
+)
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.inclusion import InclusionDependency
+from repro.queries.builder import QueryBuilder
+from repro.queries.minimization import is_minimal
+
+
+class TestEquivalence:
+    def test_intro_queries_equivalent_only_under_ind(self, intro):
+        assert are_equivalent(intro.q1, intro.q2, intro.dependencies)
+        assert not are_equivalent(intro.q1, intro.q2)
+
+    def test_key_based_intro_agrees(self, intro_key_based):
+        assert are_equivalent(intro_key_based.q1, intro_key_based.q2,
+                              intro_key_based.dependencies)
+
+    def test_equivalence_results_expose_both_directions(self, intro):
+        forward, backward = equivalence_results(intro.q1, intro.q2)
+        assert forward.holds          # Q1 ⊆ Q2 with no dependencies
+        assert not backward.holds     # Q2 ⊄ Q1 without the IND
+
+    def test_equivalence_reflexive(self, intro, figure1):
+        assert are_equivalent(intro.q1, intro.q1, intro.dependencies)
+        assert are_equivalent(figure1.query, figure1.query, figure1.dependencies)
+
+
+class TestMinimalityUnderDependencies:
+    def test_intro_q1_minimal_without_but_not_with_ind(self, intro):
+        # Without the IND both atoms of Q1 are needed; with it the DEP atom
+        # is redundant (the paper's motivating optimization).
+        assert is_minimal(intro.q1)
+        assert is_minimal_under(intro.q1)
+        assert not is_minimal_under(intro.q1, intro.dependencies)
+        removable = removable_conjuncts_under(intro.q1, intro.dependencies)
+        assert len(removable) == 1
+        dropped = intro.q1.conjunct_by_label(removable[0])
+        assert dropped.relation == "DEP"
+
+    def test_minimize_under_drops_dep_atom(self, intro):
+        minimized = minimize_under(intro.q1, intro.dependencies)
+        assert len(minimized) == 1
+        assert minimized.conjuncts[0].relation == "EMP"
+        assert are_equivalent(minimized, intro.q1, intro.dependencies)
+
+    def test_minimize_under_no_dependencies_matches_core(self, binary_r_schema):
+        q = (
+            QueryBuilder(binary_r_schema)
+            .head("x")
+            .atom("R", "x", "y")
+            .atom("R", "x", "z")
+            .build()
+        )
+        assert len(minimize_under(q)) == 1
+        assert not is_minimal_under(q)
+
+    def test_minimal_query_unchanged(self, intro):
+        minimized = minimize_under(intro.q2, intro.dependencies)
+        assert minimized == intro.q2
+
+    def test_key_based_minimization(self, intro_key_based):
+        minimized = minimize_under(intro_key_based.q1, intro_key_based.dependencies)
+        assert len(minimized) == 1
+
+
+class TestCertificates:
+    def test_certificate_verifies_for_intro_example(self, intro):
+        result = is_contained(intro.q2, intro.q1, intro.dependencies,
+                              with_certificate=True)
+        assert result.holds
+        certificate = result.certificate
+        assert certificate is not None
+        assert certificate.verify()
+        assert certificate.verification_errors() == []
+        assert certificate.proof_size() >= 2
+        assert certificate.max_image_level() <= result.level_bound
+
+    def test_certificate_verifies_for_figure1(self, figure1):
+        q_prime = (
+            QueryBuilder(figure1.schema, "Qp")
+            .head("c")
+            .atom("R", "a", "b", "c")
+            .atom("S", "a", "c", "w")
+            .atom("T", "a", "t")
+            .build()
+        )
+        result = is_contained(figure1.query, q_prime, figure1.dependencies,
+                              with_certificate=True)
+        assert result.holds
+        certificate = result.certificate
+        assert certificate is not None
+        assert certificate.verify()
+        # The image uses created conjuncts, so the proof contains non-roots.
+        assert any(not step.is_root for step in certificate.steps)
+        assert "containment certificate" in certificate.describe()
+
+    def test_tampered_certificate_fails_verification(self, intro):
+        result = is_contained(intro.q2, intro.q1, intro.dependencies,
+                              with_certificate=True)
+        certificate = result.certificate
+        assert certificate is not None
+        # Corrupt the homomorphism: map everything to the first chase symbol.
+        first_symbol = next(iter(certificate.steps[0].conjunct.terms))
+        broken = dict(certificate.homomorphism)
+        for key in broken:
+            broken[key] = first_symbol
+        certificate.homomorphism = broken
+        assert not certificate.verify()
+
+    def test_certificate_cites_only_declared_inds(self, intro):
+        result = is_contained(intro.q2, intro.q1, intro.dependencies,
+                              with_certificate=True)
+        certificate = result.certificate
+        assert certificate is not None
+        declared = {str(d) for d in intro.dependencies.inclusion_dependencies()}
+        for step in certificate.steps:
+            if not step.is_root:
+                assert step.dependency in declared
+
+    def test_certificate_with_deeper_image(self, figure1):
+        # Force an image at level >= 2: Q' needs the level-2 R conjunct.
+        q_prime = (
+            QueryBuilder(figure1.schema, "Qp")
+            .head("c")
+            .atom("R", "a", "b", "c")
+            .atom("S", "a", "c", "w")
+            .atom("R", "a", "w", "v")
+            .build()
+        )
+        result = is_contained(figure1.query, q_prime, figure1.dependencies,
+                              with_certificate=True)
+        assert result.holds
+        certificate = result.certificate
+        assert certificate is not None
+        assert certificate.verify()
+        assert certificate.max_image_level() >= 2

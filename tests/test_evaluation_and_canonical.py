@@ -1,0 +1,190 @@
+"""Unit tests for query evaluation, canonical databases, the query graph,
+and dependency-free minimization."""
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.queries.builder import QueryBuilder
+from repro.queries.canonical import canonical_database, frozen_summary_row
+from repro.queries.evaluation import answer_contains, answers_contained_in, evaluate
+from repro.queries.graph import SUMMARY_VERTEX, QueryGraph
+from repro.queries.minimization import (
+    core_of,
+    is_minimal,
+    minimization_report,
+    minimize,
+    removable_conjuncts,
+)
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema
+
+
+class TestEvaluation:
+    def test_intro_queries_on_concrete_database(self, intro, emp_dep_database):
+        # e3's department d9 has no location, so Q1 (which requires one)
+        # excludes it while Q2 keeps it.
+        q1_answers = evaluate(intro.q1, emp_dep_database)
+        q2_answers = evaluate(intro.q2, emp_dep_database)
+        assert q1_answers == {("e1",), ("e2",)}
+        assert q2_answers == {("e1",), ("e2",), ("e3",)}
+        assert q1_answers < q2_answers
+
+    def test_constants_in_query_filter_rows(self, emp_dep_schema, emp_dep_database):
+        q = (
+            QueryBuilder(emp_dep_schema)
+            .head("e")
+            .atom("EMP", "e", 100, "d")
+            .build()
+        )
+        assert evaluate(q, emp_dep_database) == {("e1",)}
+
+    def test_boolean_query(self, emp_dep_schema, emp_dep_database):
+        q = (
+            QueryBuilder(emp_dep_schema)
+            .head(QueryBuilder.constant("yes"))
+            .atom("DEP", "d", "l")
+            .build()
+        )
+        assert evaluate(q, emp_dep_database) == {("yes",)}
+
+    def test_empty_answer(self, emp_dep_schema):
+        empty = Database(emp_dep_schema)
+        q = QueryBuilder(emp_dep_schema).head("e").atom("EMP", "e", "s", "d").build()
+        assert evaluate(q, empty) == set()
+
+    def test_answer_contains_membership(self, intro, emp_dep_database):
+        assert answer_contains(intro.q1, emp_dep_database, ("e1",))
+        assert not answer_contains(intro.q1, emp_dep_database, ("e3",))
+        assert not answer_contains(intro.q1, emp_dep_database, ("e1", "extra"))
+
+    def test_answers_contained_in(self, intro, emp_dep_database):
+        assert answers_contained_in(intro.q1, intro.q2, emp_dep_database)
+        assert not answers_contained_in(intro.q2, intro.q1, emp_dep_database)
+
+    def test_incompatible_database_rejected(self, intro):
+        other = Database(DatabaseSchema.from_dict({"OTHER": ["x"]}))
+        with pytest.raises(EvaluationError):
+            evaluate(intro.q1, other)
+
+    def test_repeated_variable_forces_equality(self, binary_r_schema):
+        q = QueryBuilder(binary_r_schema).head("x").atom("R", "x", "x").build()
+        database = Database(binary_r_schema, {"R": [(1, 1), (1, 2), (3, 3)]})
+        assert evaluate(q, database) == {(1,), (3,)}
+
+
+class TestCanonicalDatabase:
+    def test_each_conjunct_becomes_a_row(self, intro):
+        database, freezing = canonical_database(intro.q1)
+        assert database.total_rows() == 2
+        assert len(freezing) == len(intro.q1.symbols())
+
+    def test_query_answers_contain_frozen_summary(self, intro):
+        database, _ = canonical_database(intro.q1)
+        frozen = frozen_summary_row(intro.q1)
+        assert frozen in evaluate(intro.q1, database)
+
+    def test_constants_freeze_to_their_values(self, emp_dep_schema):
+        q = (
+            QueryBuilder(emp_dep_schema)
+            .head("e")
+            .atom("EMP", "e", 100, "d")
+            .build()
+        )
+        database, _ = canonical_database(q)
+        rows = list(database.relation("EMP"))
+        assert rows[0][1] == 100
+
+
+class TestQueryGraph:
+    def test_connected_intro_query(self, intro):
+        graph = QueryGraph(intro.q1)
+        assert graph.is_connected()
+        assert graph.diameter() >= 1
+        assert SUMMARY_VERTEX in graph.vertices
+
+    def test_disconnected_boolean_part(self, emp_dep_schema):
+        # DEP(d, l) shares nothing with the head or the EMP atom: Boolean part.
+        q = (
+            QueryBuilder(emp_dep_schema)
+            .head("e")
+            .atom("EMP", "e", "s", "d1")
+            .atom("DEP", "d2", "l")
+            .build()
+        )
+        graph = QueryGraph(q)
+        assert not graph.is_connected()
+        components = graph.connected_components()
+        assert len(components) == 2
+        summary_component = graph.component_containing_summary()
+        assert summary_component is not None
+        assert len(summary_component) == 2
+
+    def test_describe_mentions_components(self, intro):
+        text = QueryGraph(intro.q2).describe()
+        assert "component" in text
+
+
+class TestMinimization:
+    def test_redundant_conjunct_removed(self, binary_r_schema):
+        # R(x, y), R(x, z) folds onto R(x, y): the second atom is redundant.
+        q = (
+            QueryBuilder(binary_r_schema)
+            .head("x")
+            .atom("R", "x", "y")
+            .atom("R", "x", "z")
+            .build()
+        )
+        minimized = minimize(q)
+        assert len(minimized) == 1
+        assert not is_minimal(q)
+        assert is_minimal(minimized)
+
+    def test_non_redundant_chain_kept(self, binary_r_schema):
+        q = (
+            QueryBuilder(binary_r_schema)
+            .head("x")
+            .atom("R", "x", "y")
+            .atom("R", "y", "z")
+            .build()
+        )
+        assert is_minimal(q)
+        assert len(minimize(q)) == 2
+
+    def test_intro_q1_is_minimal(self, intro):
+        assert is_minimal(intro.q1)
+        assert core_of(intro.q1) == intro.q1
+
+    def test_removable_conjuncts_and_report(self, binary_r_schema):
+        q = (
+            QueryBuilder(binary_r_schema)
+            .head("x")
+            .atom("R", "x", "y")
+            .atom("R", "x", "z")
+            .atom("R", "x", "w")
+            .build()
+        )
+        removable = removable_conjuncts(q)
+        assert len(removable) == 3  # any one of the three can go
+        minimized, removed = minimization_report(q)
+        assert len(minimized) == 1
+        assert len(removed) == 2
+
+    def test_constants_block_folding(self, binary_r_schema):
+        q = (
+            QueryBuilder(binary_r_schema)
+            .head("x")
+            .atom("R", "x", "y")
+            .atom("R", "x", QueryBuilder.constant("k"))
+            .build()
+        )
+        # The constant atom cannot be folded onto R(x, y), and R(x, y) CAN be
+        # folded onto the constant atom, so exactly one conjunct is removable.
+        minimized = minimize(q)
+        assert len(minimized) == 1
+        kept = minimized.conjuncts[0]
+        assert kept.constants() != set()
+
+    def test_single_conjunct_query_is_minimal(self, binary_r_schema):
+        q = QueryBuilder(binary_r_schema).head("x").atom("R", "x", "y").build()
+        assert is_minimal(q)
+        assert minimize(q) == q

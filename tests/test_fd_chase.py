@@ -1,0 +1,136 @@
+"""Unit tests for the classical FD-only chase."""
+
+import pytest
+
+from repro.chase.fd_chase import (
+    ConstantClash,
+    FDChaseResult,
+    fd_chase_query,
+    fd_only_chase,
+    find_applicable_fd,
+    resolve_merge,
+)
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.exceptions import ChaseError
+from repro.queries.builder import QueryBuilder
+from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable
+
+
+class TestResolveMerge:
+    def test_constant_beats_variable(self):
+        survivor, loser = resolve_merge(Constant(1), NonDistinguishedVariable("y"))
+        assert survivor == Constant(1)
+        assert loser == NonDistinguishedVariable("y")
+        survivor, loser = resolve_merge(NonDistinguishedVariable("y"), Constant(1))
+        assert survivor == Constant(1)
+
+    def test_dv_beats_ndv(self):
+        survivor, _ = resolve_merge(NonDistinguishedVariable("a"), DistinguishedVariable("z"))
+        assert survivor == DistinguishedVariable("z")
+
+    def test_two_constants_clash(self):
+        with pytest.raises(ConstantClash):
+            resolve_merge(Constant(1), Constant(2))
+
+    def test_equal_terms_are_a_no_op(self):
+        survivor, loser = resolve_merge(Constant(1), Constant(1))
+        assert survivor == loser == Constant(1)
+
+
+class TestFDChase:
+    def test_merges_symbols_forced_equal(self, emp_dep_schema):
+        # Two EMP atoms with the same emp value must agree on sal and dept.
+        q = (
+            QueryBuilder(emp_dep_schema, "Q")
+            .head("e")
+            .atom("EMP", "e", "s1", "d1")
+            .atom("EMP", "e", "s2", "d2")
+            .atom("DEP", "d1", "l")
+            .build()
+        )
+        fds = [
+            FunctionalDependency("EMP", ["emp"], "sal"),
+            FunctionalDependency("EMP", ["emp"], "dept"),
+        ]
+        result = fd_only_chase(q, fds)
+        assert result.succeeded
+        chased = result.query
+        assert chased is not None
+        # The two EMP atoms collapse into one.
+        assert len(chased.conjuncts_for("EMP")) == 1
+        assert len(chased) == 2
+        assert result.steps == 2
+
+    def test_constant_clash_gives_empty_query(self, emp_dep_schema):
+        q = (
+            QueryBuilder(emp_dep_schema, "Q")
+            .head("e")
+            .atom("EMP", "e", 100, "d")
+            .atom("EMP", "e", 200, "d")
+            .build()
+        )
+        result = fd_only_chase(q, [FunctionalDependency("EMP", ["emp"], "sal")])
+        assert result.failed
+        assert result.query is None
+        assert fd_chase_query(q, [FunctionalDependency("EMP", ["emp"], "sal")]) is None
+        assert result.trace.fd_applications()[-1].halted
+
+    def test_constant_propagates_to_summary_row(self, emp_dep_schema):
+        # The chase merges the head variable with a constant: the summary row
+        # must now carry that constant.
+        q = (
+            QueryBuilder(emp_dep_schema, "Q")
+            .head("s")
+            .atom("EMP", "e", "s", "d")
+            .atom("EMP", "e", 100, "d2")
+            .build()
+        )
+        result = fd_only_chase(q, [FunctionalDependency("EMP", ["emp"], "sal")])
+        assert result.succeeded
+        assert result.query is not None
+        assert result.query.summary_row == (Constant(100),)
+
+    def test_no_applicable_fd_returns_same_query(self, intro):
+        result = fd_only_chase(intro.q1, [FunctionalDependency("DEP", ["dept"], "loc")])
+        assert result.succeeded
+        assert result.steps == 0
+        assert result.query == intro.q1
+
+    def test_dv_survives_merge_with_ndv(self, emp_dep_schema):
+        q = (
+            QueryBuilder(emp_dep_schema, "Q")
+            .head("e", "s")
+            .atom("EMP", "e", "s", "d")
+            .atom("EMP", "e", "t", "d2")
+            .build()
+        )
+        result = fd_only_chase(q, [FunctionalDependency("EMP", ["emp"], "sal")])
+        assert result.succeeded
+        s = DistinguishedVariable("s")
+        assert s in result.query.symbols()
+        assert NonDistinguishedVariable("t") not in result.query.symbols()
+
+    def test_rejects_inds(self, intro):
+        with pytest.raises(ChaseError):
+            fd_only_chase(intro.q1, intro.dependencies)
+
+    def test_find_applicable_fd_order(self, emp_dep_schema):
+        q = (
+            QueryBuilder(emp_dep_schema, "Q")
+            .head("e")
+            .atom("EMP", "e", "s1", "d1")
+            .atom("EMP", "e", "s2", "d2")
+            .build()
+        )
+        fds = [
+            FunctionalDependency("EMP", ["emp"], "dept"),
+            FunctionalDependency("EMP", ["emp"], "sal"),
+        ]
+        found = find_applicable_fd(list(q.conjuncts), fds, emp_dep_schema)
+        assert found is not None
+        fd, i, j = found
+        # The lexicographically first FD in the given order is chosen.
+        assert fd.rhs == "dept"
+        assert (i, j) == (0, 1)

@@ -1,0 +1,119 @@
+"""Unit tests for Section 4: finite containment, k_Σ, and the counterexample."""
+
+import pytest
+
+from repro.containment.decision import is_contained
+from repro.containment.finite import (
+    enumerate_databases,
+    finite_containment_sample,
+    is_finitely_controllable,
+    k_sigma,
+    sample_database,
+    section4_counterexample,
+)
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.violations import database_satisfies
+from repro.queries.evaluation import answers_contained_in, evaluate
+from repro.relational.schema import DatabaseSchema
+
+
+class TestKSigma:
+    def test_key_based_gives_one(self, intro_key_based):
+        assert k_sigma(intro_key_based.dependencies, intro_key_based.schema) == 1
+
+    def test_width_one_inds_sum_target_arities(self, intro):
+        # Only DEP (arity 2) occurs as the right-hand side of an IND.
+        assert k_sigma(intro.dependencies, intro.schema) == 2
+
+    def test_fd_only_and_empty_give_zero(self, binary_r_schema):
+        assert k_sigma(DependencySet(), binary_r_schema) == 0
+
+    def test_outside_theorem3_gives_none(self, section4, binary_r_schema):
+        assert k_sigma(section4.dependencies, section4.schema) is None
+        wide = DependencySet(
+            [InclusionDependency("R", ["a1", "a2"], "R", ["a2", "a1"])],
+            schema=binary_r_schema)
+        assert k_sigma(wide, binary_r_schema) is None
+
+    def test_finite_controllability_flags(self, intro, intro_key_based, section4):
+        assert is_finitely_controllable(intro.dependencies, intro.schema)
+        assert is_finitely_controllable(intro_key_based.dependencies, intro_key_based.schema)
+        assert not is_finitely_controllable(section4.dependencies, section4.schema)
+
+
+class TestSection4Counterexample:
+    def test_infinite_containment_fails(self, section4):
+        result = is_contained(section4.q1, section4.q2, section4.dependencies)
+        assert not result.holds
+
+    def test_reverse_containment_holds(self, section4):
+        assert is_contained(section4.q2, section4.q1, section4.dependencies).holds
+
+    def test_finite_containment_holds_exhaustively(self, section4):
+        # Every Σ-satisfying database over a 3-element domain satisfies
+        # Q1(B) ⊆ Q2(B): the paper's finite-equivalence claim.
+        report = finite_containment_sample(section4.q1, section4.q2,
+                                           section4.dependencies,
+                                           domain_size=3, exhaustive=True)
+        assert report.holds_on_sample
+        assert report.counterexample is None
+        assert report.databases_checked > 0
+        assert "no counterexample" in report.describe()
+
+    def test_without_dependencies_a_finite_counterexample_exists(self, section4):
+        # Dropping Σ breaks the finite equivalence: a single fact R(0, 1)
+        # answers Q1 but not Q2, and the sampler finds such a database.
+        report = finite_containment_sample(section4.q1, section4.q2,
+                                           DependencySet(schema=section4.schema),
+                                           domain_size=2, exhaustive=True)
+        assert not report.holds_on_sample
+        counterexample = report.counterexample
+        assert counterexample is not None
+        assert not answers_contained_in(section4.q1, section4.q2, counterexample)
+
+    def test_example_objects_are_well_formed(self, section4):
+        assert section4.q1.output_arity == section4.q2.output_arity == 1
+        assert len(section4.dependencies) == 2
+        assert section4.dependencies.max_ind_width() == 1
+
+    def test_named_constructor_matches_fixture(self, section4):
+        fresh = section4_counterexample()
+        assert fresh.q1 == section4.q1
+        assert fresh.q2 == section4.q2
+
+
+class TestModelGeneration:
+    def test_enumerate_databases_counts(self, binary_r_schema):
+        databases = list(enumerate_databases(binary_r_schema, [0, 1]))
+        # 2^(2^2) = 16 subsets of the 4 possible binary tuples.
+        assert len(databases) == 16
+
+    def test_enumeration_guard(self, emp_dep_schema):
+        with pytest.raises(ValueError):
+            list(enumerate_databases(emp_dep_schema, [0, 1, 2], max_databases=10))
+
+    def test_sample_database_respects_domain(self, binary_r_schema):
+        import random
+        database = sample_database(binary_r_schema, [0, 1], random.Random(0),
+                                   max_tuples_per_relation=3)
+        for row in database.relation("R"):
+            assert set(row) <= {0, 1}
+
+    def test_sampling_mode_with_repair(self, intro):
+        report = finite_containment_sample(intro.q2, intro.q1, intro.dependencies,
+                                           domain_size=3, exhaustive=False,
+                                           samples=40, repair=True, seed=1)
+        # Q2 ⊆ Q1 holds under the IND over all databases, so certainly over
+        # the sampled finite ones.
+        assert report.holds_on_sample
+        assert report.databases_generated == 40
+
+    def test_theorem3_agreement_for_width_one_inds(self, intro):
+        # Finite controllability: the ⊆∞ decision and the finite sampler agree
+        # in both directions for the width-1 IND set.
+        infinite_forward = is_contained(intro.q2, intro.q1, intro.dependencies).holds
+        sample_forward = finite_containment_sample(
+            intro.q2, intro.q1, intro.dependencies, domain_size=2,
+            exhaustive=False, samples=60, seed=3).holds_on_sample
+        assert infinite_forward == sample_forward is True

@@ -1,0 +1,148 @@
+"""Unit tests for FD inference (closure) and IND inference (CFP axioms)."""
+
+import pytest
+
+from repro.dependencies.fd_inference import (
+    attribute_closure,
+    candidate_keys,
+    equivalent_fd_sets,
+    fd_implies,
+    is_superkey,
+    minimal_cover,
+)
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.ind_inference import (
+    derive_ind_closure,
+    ind_implied_by_axioms,
+    ind_implied_via_containment,
+)
+from repro.exceptions import DependencyError
+from repro.relational.schema import DatabaseSchema
+
+
+@pytest.fixture
+def wide_schema():
+    return DatabaseSchema.from_dict({"R": ["a", "b", "c", "d"]})
+
+
+@pytest.fixture
+def chain_schema():
+    return DatabaseSchema.from_dict({
+        "R": ["a", "b"], "S": ["c", "d"], "T": ["e", "f"],
+    })
+
+
+class TestFDInference:
+    def test_attribute_closure(self, wide_schema):
+        fds = [
+            FunctionalDependency("R", ["a"], "b"),
+            FunctionalDependency("R", ["b"], "c"),
+        ]
+        assert attribute_closure(["a"], fds, wide_schema) == frozenset({"a", "b", "c"})
+        assert attribute_closure(["c"], fds, wide_schema) == frozenset({"c"})
+
+    def test_fd_implies_transitivity(self, wide_schema):
+        fds = [
+            FunctionalDependency("R", ["a"], "b"),
+            FunctionalDependency("R", ["b"], "c"),
+        ]
+        assert fd_implies(fds, FunctionalDependency("R", ["a"], "c"), wide_schema)
+        assert not fd_implies(fds, FunctionalDependency("R", ["c"], "a"), wide_schema)
+        assert fd_implies([], FunctionalDependency("R", ["a"], "a"), wide_schema)
+
+    def test_superkey_and_candidate_keys(self, wide_schema):
+        relation = wide_schema.relation("R")
+        fds = [
+            FunctionalDependency("R", ["a"], "b"),
+            FunctionalDependency("R", ["a"], "c"),
+            FunctionalDependency("R", ["a"], "d"),
+        ]
+        assert is_superkey(["a"], relation, fds, wide_schema)
+        assert not is_superkey(["b"], relation, fds, wide_schema)
+        keys = candidate_keys(relation, fds, wide_schema)
+        assert frozenset({"a"}) in keys
+        assert all(not frozenset({"a"}) < key for key in keys)
+
+    def test_candidate_keys_composite(self, wide_schema):
+        relation = wide_schema.relation("R")
+        fds = [
+            FunctionalDependency("R", ["a", "b"], "c"),
+            FunctionalDependency("R", ["a", "b"], "d"),
+        ]
+        keys = candidate_keys(relation, fds, wide_schema)
+        assert keys == [frozenset({"a", "b"})]
+
+    def test_minimal_cover_removes_redundancy(self, wide_schema):
+        fds = [
+            FunctionalDependency("R", ["a"], "b"),
+            FunctionalDependency("R", ["b"], "c"),
+            FunctionalDependency("R", ["a"], "c"),   # implied by the first two
+            FunctionalDependency("R", ["a", "d"], "b"),  # left side reducible
+        ]
+        cover = minimal_cover(fds, wide_schema)
+        assert len(cover) == 2
+        assert equivalent_fd_sets(fds, cover, wide_schema)
+
+    def test_cross_relation_inference_rejected(self, chain_schema):
+        fds = [
+            FunctionalDependency("R", ["a"], "b"),
+            FunctionalDependency("S", ["c"], "d"),
+        ]
+        with pytest.raises(DependencyError):
+            attribute_closure(["a"], fds, chain_schema)
+
+
+class TestINDInference:
+    def test_reflexivity(self, chain_schema):
+        candidate = InclusionDependency("R", ["a"], "R", ["a"])
+        assert ind_implied_by_axioms([], candidate, chain_schema)
+
+    def test_transitivity_chain(self, chain_schema):
+        given = [
+            InclusionDependency("R", ["a"], "S", ["c"]),
+            InclusionDependency("S", ["c"], "T", ["e"]),
+        ]
+        assert ind_implied_by_axioms(given, InclusionDependency("R", ["a"], "T", ["e"]),
+                                     chain_schema)
+        assert not ind_implied_by_axioms(given, InclusionDependency("T", ["e"], "R", ["a"]),
+                                         chain_schema)
+
+    def test_projection_and_permutation(self, chain_schema):
+        given = [InclusionDependency("R", ["a", "b"], "S", ["c", "d"])]
+        assert ind_implied_by_axioms(given, InclusionDependency("R", ["a"], "S", ["c"]),
+                                     chain_schema)
+        assert ind_implied_by_axioms(given, InclusionDependency("R", ["b", "a"], "S", ["d", "c"]),
+                                     chain_schema)
+        assert not ind_implied_by_axioms(given, InclusionDependency("R", ["a"], "S", ["d"]),
+                                         chain_schema)
+
+    def test_closure_contains_projections(self, chain_schema):
+        given = [InclusionDependency("R", ["a", "b"], "S", ["c", "d"])]
+        closure = derive_ind_closure(given, chain_schema, max_width=2)
+        assert ("R", ("a",), "S", ("c",)) in closure
+        assert ("R", ("b", "a"), "S", ("d", "c")) in closure
+
+    def test_closure_budget(self, chain_schema):
+        given = [InclusionDependency("R", ["a", "b"], "S", ["c", "d"])]
+        with pytest.raises(DependencyError):
+            derive_ind_closure(given, chain_schema, max_width=2, max_derived=2)
+
+    def test_containment_reduction_agrees_with_axioms(self, chain_schema):
+        given = [
+            InclusionDependency("R", ["a"], "S", ["c"]),
+            InclusionDependency("S", ["c"], "T", ["e"]),
+        ]
+        derivable = InclusionDependency("R", ["a"], "T", ["e"])
+        underivable = InclusionDependency("T", ["e"], "S", ["c"])
+        assert ind_implied_via_containment(given, derivable, chain_schema)
+        assert not ind_implied_via_containment(given, underivable, chain_schema)
+        assert ind_implied_by_axioms(given, derivable, chain_schema) == \
+            ind_implied_via_containment(given, derivable, chain_schema)
+
+    def test_containment_reduction_positional_attributes(self, chain_schema):
+        # Same facts expressed with positional attribute references.
+        given = [InclusionDependency("R", [1], "S", [2])]
+        candidate = InclusionDependency("R", ["a"], "S", ["d"])
+        assert ind_implied_by_axioms(given, candidate, chain_schema)
+        assert ind_implied_via_containment(given, candidate, chain_schema)

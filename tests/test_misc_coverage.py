@@ -1,0 +1,113 @@
+"""Smaller units not covered elsewhere: results, reports, exceptions, API surface."""
+
+import pytest
+
+from repro import __all__ as public_api
+from repro.analysis.statistics import SweepPoint, containment_sweep
+from repro.chase.engine import r_chase
+from repro.containment.result import ContainmentResult
+from repro.exceptions import (
+    ChaseBudgetExceeded,
+    ContainmentUndecided,
+    ParseError,
+    ReproError,
+)
+from repro.relational.attribute import Domain
+from repro.workloads.paper_examples import figure1_example, intro_example
+
+
+class TestPublicAPI:
+    def test_all_names_resolve(self):
+        import repro
+        for name in public_api:
+            assert hasattr(repro, name), f"{name} exported but missing"
+
+    def test_version_is_set(self):
+        import repro
+        assert repro.__version__
+
+    def test_quickstart_docstring_example_runs(self):
+        # The usage shown in the package docstring must keep working.
+        from repro import (DatabaseSchema, DependencySet, InclusionDependency,
+                           QueryBuilder, is_contained)
+        schema = DatabaseSchema.from_dict(
+            {"EMP": ["emp", "sal", "dept"], "DEP": ["dept", "loc"]})
+        q1 = (QueryBuilder(schema, "Q1").head("e")
+              .atom("EMP", "e", "s", "d").atom("DEP", "d", "l").build())
+        q2 = (QueryBuilder(schema, "Q2").head("e")
+              .atom("EMP", "e", "s", "d").build())
+        sigma = DependencySet(
+            [InclusionDependency("EMP", ["dept"], "DEP", ["dept"])], schema=schema)
+        assert is_contained(q2, q1, sigma).holds
+        assert is_contained(q2, q1).holds is False
+
+
+class TestExceptions:
+    def test_hierarchy(self):
+        assert issubclass(ContainmentUndecided, ReproError)
+        assert issubclass(ChaseBudgetExceeded, ReproError)
+        assert issubclass(ParseError, ReproError)
+
+    def test_parse_error_position_rendering(self):
+        error = ParseError("bad token", text="abc", position=2)
+        assert "position 2" in str(error)
+        assert ParseError("bad").position == -1
+
+    def test_chase_budget_carries_partial(self):
+        error = ChaseBudgetExceeded("over budget", partial="partial-chase")
+        assert error.partial == "partial-chase"
+
+
+class TestContainmentResultObject:
+    def test_uncertain_result_refuses_bool(self):
+        result = ContainmentResult(holds=False, certain=False, method="bounded-chase",
+                                   reason="budget exhausted")
+        with pytest.raises(ContainmentUndecided):
+            bool(result)
+        with pytest.raises(ContainmentUndecided):
+            result.require_certain()
+
+    def test_certain_result_is_boolish(self):
+        positive = ContainmentResult(holds=True, certain=True, method="fd-chase")
+        negative = ContainmentResult(holds=False, certain=True, method="fd-chase")
+        assert bool(positive) and not bool(negative)
+        assert positive.require_certain() is positive
+        assert "fd-chase" in positive.describe()
+
+
+class TestChaseResultViews:
+    def test_conjuncts_up_to_level(self):
+        example = figure1_example()
+        result = r_chase(example.query, example.dependencies, max_level=4)
+        shallow = result.conjuncts_up_to_level(1)
+        assert len(shallow) == 3
+        assert len(result.conjuncts_up_to_level(0)) == 1
+        assert len(result.conjuncts_up_to_level(4)) == len(result)
+
+
+class TestAnalysisObjects:
+    def test_sweep_point_row_rendering(self):
+        example = intro_example()
+        points = containment_sweep([
+            ("case", {"n": 1}, example.q2, example.q1, example.dependencies),
+        ])
+        row = points[0].as_row()
+        assert row[0] == "case"
+        assert "yes" in row or "yes" in row[2]
+
+    def test_sweep_point_dataclass(self):
+        point = SweepPoint(label="x", parameters={}, holds=True, certain=True,
+                           seconds=0.001, chase_size=3, levels_built=1, level_bound=4)
+        rendered = point.as_row()
+        assert rendered[2] == "yes" and rendered[3] == "exact"
+
+
+class TestDomains:
+    def test_enumerated_with_predicate(self):
+        domain = Domain(name="even", values=(0, 2, 4), predicate=lambda v: v % 2 == 0)
+        assert 2 in domain
+        assert 3 not in domain
+        assert 6 not in domain  # not in the enumerated values
+
+    def test_anything_sample(self):
+        assert len(Domain.anything().sample(4)) == 4

@@ -1,0 +1,136 @@
+"""Unit tests for the NDV naming scheme and substitutions."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.terms.naming import FreshVariableFactory, NDVProvenance
+from repro.terms.substitution import Substitution
+from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable
+
+
+class TestFreshVariableFactory:
+    def test_fresh_variables_are_distinct(self):
+        factory = FreshVariableFactory()
+        first = factory.fresh()
+        second = factory.fresh()
+        assert first != second
+
+    def test_fresh_variables_follow_creation_order_lexicographically(self):
+        factory = FreshVariableFactory()
+        created = [factory.fresh() for _ in range(10)]
+        keys = [v.sort_key() for v in created]
+        assert keys == sorted(keys)
+
+    def test_created_flag_set(self):
+        factory = FreshVariableFactory()
+        assert factory.fresh().created is True
+
+    def test_created_ndvs_follow_all_original_symbols(self):
+        factory = FreshVariableFactory()
+        original = NonDistinguishedVariable("zzzz")
+        dv = DistinguishedVariable("zzzz")
+        fresh = factory.fresh()
+        assert original.sort_key() < fresh.sort_key()
+        assert dv.sort_key() < fresh.sort_key()
+
+    def test_provenance_encoded_in_name(self):
+        factory = FreshVariableFactory()
+        provenance = NDVProvenance(attribute="loc", source_conjunct="n3",
+                                   dependency="EMP[dept] <= DEP[dept]", level=2)
+        fresh = factory.fresh(provenance)
+        assert "loc" in fresh.name
+        assert "n3" in fresh.name
+        assert "L2" in fresh.name
+
+    def test_fresh_batch_counts(self):
+        factory = FreshVariableFactory()
+        batch = factory.fresh_batch(5)
+        assert len(batch) == 5
+        assert len(set(batch)) == 5
+
+    def test_created_so_far(self):
+        factory = FreshVariableFactory()
+        factory.fresh()
+        factory.fresh()
+        assert factory.created_so_far == 2
+        # Reading the counter must not disturb subsequent names.
+        third = factory.fresh()
+        assert third.serial == (2,)
+
+
+class TestSubstitution:
+    def test_identity_outside_domain(self):
+        x = DistinguishedVariable("x")
+        y = NonDistinguishedVariable("y")
+        substitution = Substitution({x: y})
+        z = NonDistinguishedVariable("z")
+        assert substitution.apply(z) == z
+
+    def test_apply_maps_bound_variable(self):
+        x = DistinguishedVariable("x")
+        c = Constant(5)
+        substitution = Substitution({x: c})
+        assert substitution.apply(x) == c
+
+    def test_constants_map_to_themselves(self):
+        substitution = Substitution({DistinguishedVariable("x"): Constant(1)})
+        assert substitution.apply(Constant(7)) == Constant(7)
+
+    def test_cannot_bind_constant(self):
+        with pytest.raises(QueryError):
+            Substitution({Constant(1): Constant(2)})
+
+    def test_apply_tuple(self):
+        x = DistinguishedVariable("x")
+        y = NonDistinguishedVariable("y")
+        substitution = Substitution({x: y})
+        assert substitution.apply_tuple((x, y, Constant(3))) == (y, y, Constant(3))
+
+    def test_bind_returns_new_substitution(self):
+        x = DistinguishedVariable("x")
+        y = NonDistinguishedVariable("y")
+        base = Substitution()
+        extended = base.bind(x, y)
+        assert x not in base
+        assert extended.apply(x) == y
+
+    def test_bind_rejects_conflicting_rebinding(self):
+        x = DistinguishedVariable("x")
+        base = Substitution({x: Constant(1)})
+        with pytest.raises(QueryError):
+            base.bind(x, Constant(2))
+
+    def test_bind_allows_identical_rebinding(self):
+        x = DistinguishedVariable("x")
+        base = Substitution({x: Constant(1)})
+        assert base.bind(x, Constant(1)) == base
+
+    def test_compose_order(self):
+        x = DistinguishedVariable("x")
+        y = NonDistinguishedVariable("y")
+        z = NonDistinguishedVariable("z")
+        first = Substitution({x: y})
+        second = Substitution({y: z})
+        composed = first.compose(second)
+        assert composed.apply(x) == z
+        assert composed.apply(y) == z
+
+    def test_injectivity_check(self):
+        x = DistinguishedVariable("x")
+        y = NonDistinguishedVariable("y")
+        z = NonDistinguishedVariable("z")
+        merge = Substitution({x: z, y: z})
+        assert not merge.is_injective_on([x, y])
+        assert merge.is_injective_on([x])
+
+    def test_equality_and_hash(self):
+        x = DistinguishedVariable("x")
+        assert Substitution({x: Constant(1)}) == Substitution({x: Constant(1)})
+        assert hash(Substitution({x: Constant(1)})) == hash(Substitution({x: Constant(1)}))
+
+    def test_as_dict_is_a_copy(self):
+        x = DistinguishedVariable("x")
+        substitution = Substitution({x: Constant(1)})
+        exported = substitution.as_dict()
+        exported[x] = Constant(2)
+        assert substitution.apply(x) == Constant(1)

@@ -1,0 +1,134 @@
+"""Unit tests for the query-optimization pipeline."""
+
+import pytest
+
+from repro.containment.equivalence import are_equivalent
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.optimizer.pipeline import (
+    eliminate_redundant_joins,
+    optimize,
+    simplify_with_fds,
+)
+from repro.queries.builder import QueryBuilder
+
+
+class TestSimplifyWithFDs:
+    def test_merges_and_coalesces(self, emp_dep_schema):
+        sigma = DependencySet([
+            FunctionalDependency("EMP", ["emp"], "sal"),
+            FunctionalDependency("EMP", ["emp"], "dept"),
+        ], schema=emp_dep_schema)
+        q = (
+            QueryBuilder(emp_dep_schema, "Q")
+            .head("e")
+            .atom("EMP", "e", "s1", "d1")
+            .atom("EMP", "e", "s2", "d2")
+            .build()
+        )
+        steps = []
+        simplified = simplify_with_fds(q, sigma, steps)
+        assert simplified is not None
+        assert len(simplified) == 1
+        assert steps and steps[0].stage == "fd-simplify"
+
+    def test_unsatisfiable_query_detected(self, emp_dep_schema):
+        sigma = DependencySet([FunctionalDependency("EMP", ["emp"], "sal")],
+                              schema=emp_dep_schema)
+        q = (
+            QueryBuilder(emp_dep_schema, "Q")
+            .head("e")
+            .atom("EMP", "e", 1, "d")
+            .atom("EMP", "e", 2, "d")
+            .build()
+        )
+        assert simplify_with_fds(q, sigma, []) is None
+        report = optimize(q, sigma)
+        assert report.unsatisfiable
+        assert report.verify()
+
+    def test_no_fds_is_identity(self, intro):
+        assert simplify_with_fds(intro.q1, intro.dependencies, []) == intro.q1
+
+
+class TestJoinElimination:
+    def test_intro_example_dep_join_removed(self, intro):
+        steps = []
+        reduced = eliminate_redundant_joins(intro.q1, intro.dependencies, steps)
+        assert len(reduced) == 1
+        assert reduced.conjuncts[0].relation == "EMP"
+        assert len(steps) == 1
+        assert steps[0].removed_conjunct is not None
+        assert steps[0].justification is not None and steps[0].justification.holds
+
+    def test_nothing_removed_without_dependencies(self, intro):
+        steps = []
+        reduced = eliminate_redundant_joins(intro.q1, DependencySet(schema=intro.schema), steps)
+        assert len(reduced) == len(intro.q1)
+        assert steps == []
+
+
+class TestOptimizePipeline:
+    def test_full_pipeline_on_intro_example(self, intro):
+        report = optimize(intro.q1, intro.dependencies)
+        assert len(report.optimized) == 1
+        assert report.conjuncts_removed == 1
+        assert report.verify()
+        assert "join-elimination" in report.describe()
+        assert report.optimized.name.endswith("_optimized")
+
+    def test_pipeline_combines_fd_and_ind_rewrites(self, intro_key_based):
+        schema = intro_key_based.schema
+        q = (
+            QueryBuilder(schema, "Q")
+            .head("e")
+            .atom("EMP", "e", "s1", "d1")
+            .atom("EMP", "e", "s2", "d2")
+            .atom("DEP", "d1", "l")
+            .build()
+        )
+        report = optimize(q, intro_key_based.dependencies)
+        assert len(report.optimized) == 1
+        assert report.optimized.conjuncts[0].relation == "EMP"
+        stages = {step.stage for step in report.steps}
+        assert "fd-simplify" in stages and "join-elimination" in stages
+        assert report.verify()
+
+    def test_core_stage_removes_structural_redundancy(self, binary_r_schema):
+        q = (
+            QueryBuilder(binary_r_schema, "Q")
+            .head("x")
+            .atom("R", "x", "y")
+            .atom("R", "x", "z")
+            .build()
+        )
+        report = optimize(q)  # no dependencies at all
+        assert len(report.optimized) == 1
+        assert any(step.stage in ("core", "join-elimination") for step in report.steps)
+        assert report.verify()
+
+    def test_minimal_query_untouched(self, intro):
+        report = optimize(intro.q2, intro.dependencies)
+        assert report.conjuncts_removed == 0
+        assert report.optimized.size() == intro.q2.size()
+        assert are_equivalent(report.optimized, intro.q2, intro.dependencies)
+
+    def test_star_schema_foreign_keys(self):
+        from repro.workloads.schema_generator import SchemaGenerator
+        from repro.workloads.query_generator import QueryGenerator
+        schema = SchemaGenerator().star(3)
+        fact = schema.relation("FACT")
+        sigma = DependencySet(schema=schema)
+        for index in range(1, 4):
+            dimension = schema.relation(f"DIM{index}")
+            for fd in FunctionalDependency.key(dimension, [f"k{index}"]):
+                sigma.add(fd)
+            sigma.add(InclusionDependency(
+                "FACT", [fact.attribute_name_at(index - 1)], f"DIM{index}", [f"k{index}"]))
+        query = QueryGenerator(schema, seed=1).star("FACT", ["DIM1", "DIM2", "DIM3"])
+        report = optimize(query, sigma)
+        assert len(report.optimized) == 1
+        assert report.conjuncts_removed == 3
+        assert report.verify()
+        assert len(report.removed_conjuncts()) == 3

@@ -1,0 +1,162 @@
+"""End-to-end tests of the paper's claims (the integration layer).
+
+Each test corresponds to a statement in the paper and exercises the full
+pipeline (parser or builder -> dependencies -> chase -> containment),
+mirroring the experiment index in DESIGN.md.
+"""
+
+import pytest
+
+from repro import (
+    ChaseVariant,
+    DependencySet,
+    are_equivalent,
+    is_contained,
+    o_chase,
+    r_chase,
+)
+from repro.containment.bounds import theorem2_level_bound
+from repro.containment.finite import finite_containment_sample, k_sigma
+from repro.containment.equivalence import minimize_under
+from repro.dependencies.ind_inference import (
+    ind_implied_by_axioms,
+    ind_implied_via_containment,
+)
+from repro.dependencies.inclusion import InclusionDependency
+from repro.queries.builder import QueryBuilder
+from repro.queries.evaluation import evaluate
+from repro.relational.database import Database
+
+
+class TestSection1IntroExample:
+    """Q1 and Q2 are equivalent iff the foreign key IND holds."""
+
+    def test_equivalence_only_under_the_ind(self, intro):
+        assert are_equivalent(intro.q1, intro.q2, intro.dependencies)
+        assert is_contained(intro.q1, intro.q2).holds
+        assert not is_contained(intro.q2, intro.q1).holds
+
+    def test_concrete_databases_witness_the_difference(self, intro, emp_dep_database):
+        # emp_dep_database violates the IND (d9 has no location) and indeed
+        # separates the two queries.
+        assert evaluate(intro.q1, emp_dep_database) != evaluate(intro.q2, emp_dep_database)
+        repaired = emp_dep_database.copy()
+        repaired.add("DEP", ("d9", "CHI"))
+        assert evaluate(intro.q1, repaired) == evaluate(intro.q2, repaired)
+
+    def test_optimization_use_case(self, intro):
+        # The practical payoff: under the IND, Q1's DEP join can be removed.
+        optimized = minimize_under(intro.q1, intro.dependencies)
+        assert len(optimized) == 1
+        assert are_equivalent(optimized, intro.q1, intro.dependencies)
+
+
+class TestSection3Theorem1and2:
+    """The chase-based containment test and its bounded version."""
+
+    def test_figure1_chases_are_infinite(self, figure1):
+        for variant_chase in (r_chase, o_chase):
+            shallow = variant_chase(figure1.query, figure1.dependencies, max_level=3)
+            deeper = variant_chase(figure1.query, figure1.dependencies, max_level=6)
+            assert shallow.truncated and deeper.truncated
+            assert len(deeper) > len(shallow)
+
+    def test_theorem2_bound_is_sufficient_for_positives(self, figure1):
+        # For every positive instance we can certify, the witnessing image
+        # already lies within the Theorem 2 bound (Lemma 5).
+        q_prime = (
+            QueryBuilder(figure1.schema, "Qp")
+            .head("c")
+            .atom("R", "a", "b", "c")
+            .atom("S", "a", "c", "w")
+            .atom("R", "a", "w", "v")
+            .atom("S", "a", "v", "u")
+            .build()
+        )
+        bound = theorem2_level_bound(q_prime, figure1.dependencies)
+        result = is_contained(figure1.query, q_prime, figure1.dependencies,
+                              with_certificate=True)
+        assert result.holds
+        assert result.certificate is not None
+        assert result.certificate.max_image_level() <= bound
+
+    def test_ind_only_and_key_based_answers_are_exact(self, intro, intro_key_based):
+        for example in (intro, intro_key_based):
+            forward = is_contained(example.q2, example.q1, example.dependencies)
+            backward = is_contained(example.q1, example.q2, example.dependencies)
+            assert forward.certain and backward.certain
+            assert forward.holds and backward.holds
+
+    def test_corollary_2_3_inference_reduction(self, emp_dep_schema):
+        given = [InclusionDependency("EMP", ["dept"], "DEP", ["dept"])]
+        derivable = InclusionDependency("EMP", ["dept"], "DEP", ["dept"])
+        underivable = InclusionDependency("DEP", ["dept"], "EMP", ["dept"])
+        for candidate, expected in ((derivable, True), (underivable, False)):
+            axiomatic = ind_implied_by_axioms(given, candidate, emp_dep_schema)
+            via_containment = ind_implied_via_containment(given, candidate, emp_dep_schema)
+            assert axiomatic == via_containment == expected
+
+
+class TestSection4FiniteContainment:
+    """Finite vs. unrestricted containment."""
+
+    def test_counterexample_separates_the_two_notions(self, section4):
+        infinite = is_contained(section4.q1, section4.q2, section4.dependencies)
+        finite = finite_containment_sample(section4.q1, section4.q2,
+                                           section4.dependencies,
+                                           domain_size=3, exhaustive=True)
+        assert not infinite.holds          # fails over unrestricted databases
+        assert finite.holds_on_sample      # holds over every small finite model
+
+    def test_finite_witness_of_noncontainment_without_sigma(self, section4):
+        report = finite_containment_sample(section4.q1, section4.q2,
+                                           DependencySet(schema=section4.schema),
+                                           domain_size=2, exhaustive=True)
+        assert not report.holds_on_sample
+
+    def test_theorem3_classes_have_k_sigma(self, intro, intro_key_based, section4):
+        assert k_sigma(intro.dependencies, intro.schema) is not None
+        assert k_sigma(intro_key_based.dependencies, intro_key_based.schema) == 1
+        assert k_sigma(section4.dependencies, section4.schema) is None
+
+    def test_finite_agreement_for_controllable_classes(self, intro_key_based):
+        # Key-based: the ⊆∞ answer and the finite sampler must agree.
+        q1, q2 = intro_key_based.q1, intro_key_based.q2
+        sigma = intro_key_based.dependencies
+        infinite = is_contained(q2, q1, sigma).holds
+        finite = finite_containment_sample(q2, q1, sigma, domain_size=2,
+                                           exhaustive=False, samples=60,
+                                           seed=5).holds_on_sample
+        assert infinite == finite is True
+
+
+class TestCrossValidation:
+    """Independent procedures must agree wherever both apply."""
+
+    def test_chase_variants_agree_on_paper_examples(self, intro, figure1):
+        cases = [
+            (intro.q2, intro.q1, intro.dependencies),
+            (intro.q1, intro.q2, intro.dependencies),
+        ]
+        schema = figure1.schema
+        cases.append((
+            figure1.query,
+            QueryBuilder(schema, "Qp").head("c").atom("R", "a", "b", "c")
+            .atom("T", "a", "w").build(),
+            figure1.dependencies,
+        ))
+        for query, query_prime, sigma in cases:
+            answers = {
+                is_contained(query, query_prime, sigma, variant=variant).holds
+                for variant in (ChaseVariant.RESTRICTED, ChaseVariant.OBLIVIOUS)
+            }
+            assert len(answers) == 1
+
+    def test_containment_respects_evaluation_on_sigma_database(self, intro):
+        # Build a Σ-satisfying database and check the containment claim on it.
+        database = Database(intro.schema, {
+            "EMP": [("e1", 10, "d1"), ("e2", 20, "d2")],
+            "DEP": [("d1", "NYC"), ("d2", "LA")],
+        })
+        assert is_contained(intro.q2, intro.q1, intro.dependencies).holds
+        assert evaluate(intro.q2, database) <= evaluate(intro.q1, database)

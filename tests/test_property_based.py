@@ -1,0 +1,185 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+The strategies build small random schemas, queries, dependency sets, and
+databases, and the properties assert the theorems the implementation is
+supposed to realise:
+
+* evaluation semantics: the homomorphism evaluator and the join executor
+  agree on every database;
+* soundness of containment: whenever the procedure says ``Q ⊆ Q'`` (under
+  Σ), then on every generated Σ-satisfying database ``Q(B) ⊆ Q'(B)``;
+* chase invariants: levels increase by one along ordinary arcs, created
+  NDVs are globally fresh, the chased query obeys Σ when it saturates;
+* minimization: the core is equivalent to the original query and minimal.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.chase.engine import ChaseVariant, o_chase, r_chase
+from repro.containment.decision import is_contained
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.violations import database_satisfies
+from repro.queries.evaluation import answers_contained_in, evaluate
+from repro.queries.minimization import is_minimal, minimize
+from repro.storage.executor import evaluate_with_joins
+from repro.workloads.database_generator import DatabaseGenerator
+from repro.workloads.dependency_generator import DependencyGenerator
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+SETTINGS = settings(max_examples=25, deadline=None,
+                    suppress_health_check=[HealthCheck.too_slow])
+
+
+def _schema(seed: int, relations: int = 2, arity: int = 2):
+    return SchemaGenerator(seed=seed).uniform(relations, arity)
+
+
+def _drop_one_conjunct_safely(query):
+    """Drop some conjunct whose removal keeps the query safe, or None."""
+    from repro.exceptions import QueryError
+    if len(query) <= 1:
+        return None
+    for conjunct in query.conjuncts:
+        try:
+            return query.without_conjunct(conjunct.label)
+        except QueryError:
+            continue
+    return None
+
+
+@st.composite
+def random_query_and_database(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    schema = _schema(seed)
+    query = QueryGenerator(schema, seed=seed).random(
+        atom_count=draw(st.integers(min_value=1, max_value=4)),
+        variable_pool=draw(st.integers(min_value=2, max_value=5)),
+    )
+    database = DatabaseGenerator(schema, seed=seed + 1).random(
+        tuples_per_relation=draw(st.integers(min_value=0, max_value=5)),
+        domain_size=3,
+    )
+    return query, database
+
+
+@st.composite
+def query_pair_with_inds(draw):
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    schema = _schema(seed, relations=2, arity=2)
+    queries = QueryGenerator(schema, seed=seed)
+    query = queries.random(atom_count=draw(st.integers(min_value=1, max_value=3)),
+                           variable_pool=3)
+    query_prime = queries.random(atom_count=draw(st.integers(min_value=1, max_value=2)),
+                                 variable_pool=3, name="Qp")
+    sigma = DependencyGenerator(schema, seed=seed + 7).ind_only(
+        draw(st.integers(min_value=1, max_value=3)), max_width=1)
+    return query, query_prime, sigma
+
+
+class TestEvaluationProperties:
+    @SETTINGS
+    @given(random_query_and_database())
+    def test_join_executor_agrees_with_homomorphism_evaluator(self, case):
+        query, database = case
+        assert evaluate(query, database) == evaluate_with_joins(query, database)
+
+    @SETTINGS
+    @given(random_query_and_database())
+    def test_removing_a_conjunct_only_adds_answers(self, case):
+        query, database = case
+        weaker = _drop_one_conjunct_safely(query)
+        if weaker is None:
+            return
+        assert evaluate(query, database) <= evaluate(weaker, database)
+
+
+class TestContainmentSoundness:
+    @SETTINGS
+    @given(query_pair_with_inds())
+    def test_positive_answers_hold_on_sigma_databases(self, case):
+        query, query_prime, sigma = case
+        result = is_contained(query, query_prime, sigma, max_conjuncts=2_000)
+        if not (result.certain and result.holds):
+            return
+        generator = DatabaseGenerator(query.input_schema, seed=99)
+        for attempt in range(5):
+            database = generator.satisfying(sigma, tuples_per_relation=3, domain_size=3)
+            if database is None:
+                continue
+            assert database_satisfies(database, sigma)
+            assert answers_contained_in(query, query_prime, database)
+
+    @SETTINGS
+    @given(query_pair_with_inds())
+    def test_containment_is_reflexive_and_monotone(self, case):
+        query, _, sigma = case
+        assert is_contained(query, query, sigma, max_conjuncts=2_000).holds
+        weaker = _drop_one_conjunct_safely(query)
+        if weaker is not None:
+            assert is_contained(query, weaker, sigma, max_conjuncts=2_000).holds
+
+    @SETTINGS
+    @given(query_pair_with_inds())
+    def test_no_dependency_containment_implies_dependency_containment(self, case):
+        query, query_prime, sigma = case
+        plain = is_contained(query, query_prime)
+        if plain.holds:
+            under_sigma = is_contained(query, query_prime, sigma, max_conjuncts=2_000)
+            assert under_sigma.holds
+
+
+class TestChaseProperties:
+    @SETTINGS
+    @given(query_pair_with_inds())
+    def test_chase_structure_invariants(self, case):
+        query, _, sigma = case
+        result = r_chase(query, sigma, max_level=4, max_conjuncts=500)
+        assert not result.failed  # no FDs, so the chase cannot fail
+        for arc in result.graph.ordinary_arcs():
+            assert result.graph.node(arc.target).level == \
+                result.graph.node(arc.source).level + 1
+        created = [
+            variable
+            for application in result.trace.ind_applications()
+            for variable in application.fresh_variables
+        ]
+        assert len(created) == len(set(created))
+
+    @SETTINGS
+    @given(query_pair_with_inds())
+    def test_saturated_chase_satisfies_sigma_as_database(self, case):
+        query, _, sigma = case
+        result = r_chase(query, sigma, max_level=6, max_conjuncts=500)
+        if not result.saturated:
+            return
+        # View the chase as a database of frozen symbols; it must obey Σ.
+        from repro.queries.canonical import canonical_database
+        database, _ = canonical_database(result.as_query())
+        assert database_satisfies(database, sigma)
+
+    @SETTINGS
+    @given(query_pair_with_inds())
+    def test_o_chase_contains_r_chase_conjunct_count(self, case):
+        query, _, sigma = case
+        r_result = r_chase(query, sigma, max_level=3, max_conjuncts=500)
+        o_result = o_chase(query, sigma, max_level=3, max_conjuncts=500)
+        assert len(o_result) >= len(r_result)
+
+
+class TestMinimizationProperties:
+    @SETTINGS
+    @given(random_query_and_database())
+    def test_core_is_equivalent_and_minimal(self, case):
+        query, database = case
+        core = minimize(query)
+        assert is_minimal(core)
+        assert is_contained(query, core).holds
+        assert is_contained(core, query).holds
+        assert evaluate(query, database) == evaluate(core, database)

@@ -1,0 +1,222 @@
+"""Unit tests for the relational model: attributes, schemas, relations, databases."""
+
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.attribute import Attribute, Domain
+from repro.relational.database import Database
+from repro.relational.relation import RelationInstance
+from repro.relational.schema import DatabaseSchema, RelationSchema
+
+
+class TestDomain:
+    def test_enumerated_domain_membership(self):
+        domain = Domain.enumerated("colour", ["red", "green"])
+        assert "red" in domain
+        assert "blue" not in domain
+        assert domain.is_finite
+
+    def test_open_domain_accepts_anything(self):
+        domain = Domain.anything()
+        assert 42 in domain
+        assert "x" in domain
+        assert not domain.is_finite
+
+    def test_predicate_domain(self):
+        domain = Domain.integers()
+        assert 5 in domain
+        assert "5" not in domain
+
+    def test_sample_enumerated(self):
+        domain = Domain.enumerated("d", [1, 2, 3, 4])
+        assert domain.sample(2) == (1, 2)
+
+    def test_sample_open_domain_is_synthetic(self):
+        domain = Domain.strings("name")
+        values = domain.sample(3)
+        assert len(values) == 3
+        assert len(set(values)) == 3
+
+
+class TestAttribute:
+    def test_coerce_string(self):
+        attribute = Attribute.coerce("dept")
+        assert attribute.name == "dept"
+        assert attribute.accepts("anything")
+
+    def test_coerce_passthrough(self):
+        attribute = Attribute("age", Domain.integers())
+        assert Attribute.coerce(attribute) is attribute
+        assert attribute.accepts(30)
+        assert not attribute.accepts("thirty")
+
+
+class TestRelationSchema:
+    def test_basic_properties(self):
+        schema = RelationSchema("EMP", ["emp", "sal", "dept"])
+        assert schema.arity == 3
+        assert schema.attribute_names == ("emp", "sal", "dept")
+        assert str(schema) == "EMP(emp, sal, dept)"
+
+    def test_rejects_duplicate_attributes(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", ["a", "a"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(SchemaError):
+            RelationSchema("R", [])
+        with pytest.raises(SchemaError):
+            RelationSchema("", ["a"])
+
+    def test_position_by_name_and_number(self):
+        schema = RelationSchema("R", ["a", "b", "c"])
+        assert schema.position_of("b") == 1
+        assert schema.position_of(1) == 0
+        assert schema.position_of(3) == 2
+
+    def test_position_errors(self):
+        schema = RelationSchema("R", ["a", "b"])
+        with pytest.raises(SchemaError):
+            schema.position_of("z")
+        with pytest.raises(SchemaError):
+            schema.position_of(0)
+        with pytest.raises(SchemaError):
+            schema.position_of(3)
+
+    def test_validate_row_arity(self):
+        schema = RelationSchema("R", ["a", "b"])
+        assert schema.validate_row((1, 2)) == (1, 2)
+        with pytest.raises(SchemaError):
+            schema.validate_row((1, 2, 3))
+
+    def test_validate_row_domains(self):
+        schema = RelationSchema("R", [Attribute("a", Domain.integers()), "b"])
+        assert schema.validate_row((1, "x"), check_domains=True) == (1, "x")
+        with pytest.raises(SchemaError):
+            schema.validate_row(("no", "x"), check_domains=True)
+
+
+class TestDatabaseSchema:
+    def test_from_dict_and_lookup(self, emp_dep_schema):
+        assert "EMP" in emp_dep_schema
+        assert emp_dep_schema.relation("DEP").arity == 2
+        assert emp_dep_schema.relation_names == ["EMP", "DEP"]
+
+    def test_duplicate_relation_rejected(self):
+        schema = DatabaseSchema.from_dict({"R": ["a"]})
+        with pytest.raises(SchemaError):
+            schema.add_relation("R", ["b"])
+
+    def test_missing_relation_raises(self, emp_dep_schema):
+        with pytest.raises(SchemaError):
+            emp_dep_schema.relation("NOPE")
+
+    def test_restricted_to(self, emp_dep_schema):
+        restricted = emp_dep_schema.restricted_to(["DEP"])
+        assert "DEP" in restricted
+        assert "EMP" not in restricted
+
+    def test_merged_with_conflict(self):
+        first = DatabaseSchema.from_dict({"R": ["a", "b"]})
+        second = DatabaseSchema.from_dict({"R": ["a", "c"]})
+        with pytest.raises(SchemaError):
+            first.merged_with(second)
+
+    def test_merged_with_disjoint(self):
+        first = DatabaseSchema.from_dict({"R": ["a"]})
+        second = DatabaseSchema.from_dict({"S": ["b"]})
+        merged = first.merged_with(second)
+        assert set(merged.relation_names) == {"R", "S"}
+
+
+class TestRelationInstance:
+    def test_add_and_membership(self):
+        schema = RelationSchema("R", ["a", "b"])
+        relation = RelationInstance(schema)
+        relation.add((1, 2))
+        assert (1, 2) in relation
+        assert len(relation) == 1
+
+    def test_duplicate_rows_collapse(self):
+        schema = RelationSchema("R", ["a", "b"])
+        relation = RelationInstance(schema, [(1, 2), (1, 2)])
+        assert len(relation) == 1
+
+    def test_arity_checked(self):
+        schema = RelationSchema("R", ["a", "b"])
+        relation = RelationInstance(schema)
+        with pytest.raises(SchemaError):
+            relation.add((1,))
+
+    def test_project_and_select(self):
+        schema = RelationSchema("R", ["a", "b"])
+        relation = RelationInstance(schema, [(1, 2), (1, 3), (2, 3)])
+        assert relation.project(["a"]) == {(1,), (2,)}
+        assert sorted(relation.select_equal("a", 1)) == [(1, 2), (1, 3)]
+        assert relation.select_matching({"a": 1, "b": 3}) == [(1, 3)]
+
+    def test_active_domain_and_columns(self):
+        schema = RelationSchema("R", ["a", "b"])
+        relation = RelationInstance(schema, [(1, 2), (3, 2)])
+        assert relation.active_domain() == {1, 2, 3}
+        assert relation.column_values("b") == {2}
+
+    def test_union_difference_subset(self):
+        schema = RelationSchema("R", ["a"])
+        first = RelationInstance(schema, [(1,), (2,)])
+        second = RelationInstance(schema, [(2,), (3,)])
+        assert first.union(second).rows() == {(1,), (2,), (3,)}
+        assert first.difference(second).rows() == {(1,)}
+        assert RelationInstance(schema, [(1,)]).is_subset_of(first)
+
+    def test_schema_mismatch_rejected(self):
+        first = RelationInstance(RelationSchema("R", ["a"]), [(1,)])
+        second = RelationInstance(RelationSchema("S", ["a"]), [(1,)])
+        with pytest.raises(SchemaError):
+            first.union(second)
+
+    def test_copy_is_independent(self):
+        schema = RelationSchema("R", ["a"])
+        original = RelationInstance(schema, [(1,)])
+        clone = original.copy()
+        clone.add((2,))
+        assert len(original) == 1
+        assert len(clone) == 2
+
+
+class TestDatabase:
+    def test_every_relation_present_even_if_empty(self, emp_dep_schema):
+        database = Database(emp_dep_schema)
+        assert len(database.relation("EMP")) == 0
+        assert database.is_empty()
+
+    def test_from_dict_and_totals(self, emp_dep_database):
+        assert emp_dep_database.total_rows() == 5
+        assert not emp_dep_database.is_empty()
+        assert ("d1", "NYC") in emp_dep_database.relation("DEP")
+
+    def test_unknown_relation_raises(self, emp_dep_database):
+        with pytest.raises(SchemaError):
+            emp_dep_database.relation("NOPE")
+
+    def test_active_domain(self, emp_dep_database):
+        domain = emp_dep_database.active_domain()
+        assert "e1" in domain and "NYC" in domain and 100 in domain
+
+    def test_copy_independent(self, emp_dep_database):
+        clone = emp_dep_database.copy()
+        clone.add("DEP", ("d3", "SF"))
+        assert ("d3", "SF") not in emp_dep_database.relation("DEP")
+
+    def test_contains_database_and_union(self, emp_dep_schema):
+        small = Database(emp_dep_schema, {"DEP": [("d1", "NYC")]})
+        big = Database(emp_dep_schema, {"DEP": [("d1", "NYC"), ("d2", "LA")]})
+        assert big.contains_database(small)
+        assert not small.contains_database(big)
+        merged = small.union(big)
+        assert merged.total_rows() == 2
+
+    def test_as_dict_sorted(self, emp_dep_database):
+        exported = emp_dep_database.as_dict()
+        assert set(exported) == {"EMP", "DEP"}
+        assert ("d1", "NYC") in exported["DEP"]

@@ -1,0 +1,252 @@
+"""Unit tests for certificate/query serialization and the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import EXIT_ERROR, EXIT_NO, EXIT_YES, main
+from repro.containment.decision import is_contained
+from repro.containment.serialization import (
+    SerializationError,
+    certificate_from_dict,
+    certificate_from_json,
+    certificate_to_dict,
+    certificate_to_json,
+    dependency_from_dict,
+    dependency_set_from_dict,
+    dependency_set_to_dict,
+    query_from_dict,
+    query_to_dict,
+    schema_from_dict,
+    schema_to_dict,
+    term_from_dict,
+    term_to_dict,
+)
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable
+
+
+SCHEMA_TEXT = "EMP(emp, sal, dept)\nDEP(dept, loc)\n"
+DEPS_TEXT = "EMP[dept] <= DEP[dept]\n"
+
+
+class TestTermAndQuerySerialization:
+    def test_term_roundtrip(self):
+        terms = [
+            Constant(7),
+            Constant("x"),
+            DistinguishedVariable("x"),
+            NonDistinguishedVariable("y"),
+            NonDistinguishedVariable("n3", serial=(3,), created=True),
+        ]
+        for term in terms:
+            assert term_from_dict(term_to_dict(term)) == term
+
+    def test_unknown_term_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            term_from_dict({"kind": "mystery"})
+
+    def test_schema_roundtrip(self, emp_dep_schema):
+        assert schema_from_dict(schema_to_dict(emp_dep_schema)) == emp_dep_schema
+
+    def test_query_roundtrip(self, intro):
+        restored = query_from_dict(query_to_dict(intro.q1))
+        assert restored == intro.q1
+        assert restored.name == intro.q1.name
+
+    def test_dependency_roundtrip(self, intro_key_based):
+        data = dependency_set_to_dict(intro_key_based.dependencies)
+        restored = dependency_set_from_dict(data, schema=intro_key_based.schema)
+        assert restored == intro_key_based.dependencies
+
+    def test_unknown_dependency_kind_rejected(self):
+        with pytest.raises(SerializationError):
+            dependency_from_dict({"kind": "nope"})
+
+
+class TestCertificateSerialization:
+    def _certificate(self, intro):
+        result = is_contained(intro.q2, intro.q1, intro.dependencies,
+                              with_certificate=True)
+        assert result.certificate is not None
+        return result.certificate
+
+    def test_dict_roundtrip_preserves_verification(self, intro):
+        certificate = self._certificate(intro)
+        restored = certificate_from_dict(certificate_to_dict(certificate))
+        assert restored.verify()
+        assert restored.proof_size() == certificate.proof_size()
+        assert restored.max_image_level() == certificate.max_image_level()
+
+    def test_json_roundtrip(self, intro):
+        certificate = self._certificate(intro)
+        text = certificate_to_json(certificate)
+        parsed = json.loads(text)
+        assert parsed["format_version"] == 1
+        restored = certificate_from_json(text)
+        assert restored.verify()
+
+    def test_tampered_json_fails_verification(self, intro):
+        certificate = self._certificate(intro)
+        data = certificate_to_dict(certificate)
+        # Claim the created conjunct was produced by an undeclared IND.
+        for step in data["steps"]:
+            if step["dependency"] is not None:
+                step["dependency"] = "DEP[loc] <= EMP[sal]"
+        restored = certificate_from_dict(data)
+        assert not restored.verify()
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            certificate_from_json("{not json")
+
+    def test_unsupported_version_rejected(self, intro):
+        data = certificate_to_dict(self._certificate(intro))
+        data["format_version"] = 999
+        with pytest.raises(SerializationError):
+            certificate_from_dict(data)
+
+
+class TestCLI:
+    def _write_inputs(self, tmp_path):
+        schema_file = tmp_path / "schema.txt"
+        schema_file.write_text(SCHEMA_TEXT)
+        deps_file = tmp_path / "deps.txt"
+        deps_file.write_text(DEPS_TEXT)
+        return schema_file, deps_file
+
+    def test_contain_yes_and_certificate(self, tmp_path, capsys):
+        schema_file, deps_file = self._write_inputs(tmp_path)
+        certificate_file = tmp_path / "certificate.json"
+        status = main([
+            "contain",
+            "--schema", str(schema_file),
+            "--deps", str(deps_file),
+            "--query", "Q2(e) :- EMP(e, s, d)",
+            "--query-prime", "Q1(e) :- EMP(e, s, d), DEP(d, l)",
+            "--certificate", str(certificate_file),
+        ])
+        output = capsys.readouterr().out
+        assert status == EXIT_YES
+        assert "containment holds" in output
+        restored = certificate_from_json(certificate_file.read_text())
+        assert restored.verify()
+
+    def test_contain_no_without_dependencies(self, tmp_path, capsys):
+        schema_file, _ = self._write_inputs(tmp_path)
+        status = main([
+            "contain",
+            "--schema", str(schema_file),
+            "--query", "Q2(e) :- EMP(e, s, d)",
+            "--query-prime", "Q1(e) :- EMP(e, s, d), DEP(d, l)",
+        ])
+        assert status == EXIT_NO
+        assert "does not hold" in capsys.readouterr().out
+
+    def test_chase_command(self, tmp_path, capsys):
+        schema_file, deps_file = self._write_inputs(tmp_path)
+        status = main([
+            "chase",
+            "--schema", str(schema_file),
+            "--deps", str(deps_file),
+            "--query", "Q(e) :- EMP(e, s, d)",
+            "--max-level", "2",
+            "--variant", "O",
+            "--trace",
+        ])
+        output = capsys.readouterr().out
+        assert status == EXIT_YES
+        assert "O-chase" in output and "chase trace" in output
+
+    def test_minimize_command(self, tmp_path, capsys):
+        schema_file, deps_file = self._write_inputs(tmp_path)
+        status = main([
+            "minimize",
+            "--schema", str(schema_file),
+            "--deps", str(deps_file),
+            "--query", "Q1(e) :- EMP(e, s, d), DEP(d, l)",
+        ])
+        output = capsys.readouterr().out
+        assert status == EXIT_YES
+        assert "2 -> 1 conjuncts" in output
+
+    def test_minimize_command_nothing_to_remove(self, tmp_path, capsys):
+        schema_file, deps_file = self._write_inputs(tmp_path)
+        status = main([
+            "minimize",
+            "--schema", str(schema_file),
+            "--deps", str(deps_file),
+            "--query", "Q2(e) :- EMP(e, s, d)",
+        ])
+        assert status == EXIT_NO
+
+    def test_infer_ind_command(self, tmp_path, capsys):
+        schema_file, deps_file = self._write_inputs(tmp_path)
+        implied = main([
+            "infer-ind",
+            "--schema", str(schema_file),
+            "--deps", str(deps_file),
+            "--candidate", "EMP[dept] <= DEP[dept]",
+        ])
+        not_implied = main([
+            "infer-ind",
+            "--schema", str(schema_file),
+            "--deps", str(deps_file),
+            "--candidate", "DEP[dept] <= EMP[dept]",
+        ])
+        assert implied == EXIT_YES
+        assert not_implied == EXIT_NO
+
+    def test_inline_schema_and_query_text(self, capsys):
+        status = main([
+            "contain",
+            "--schema", SCHEMA_TEXT,
+            "--deps", DEPS_TEXT,
+            "--query", "Q2(e) :- EMP(e, s, d)",
+            "--query-prime", "Q1(e) :- EMP(e, s, d), DEP(d, l)",
+        ])
+        assert status == EXIT_YES
+
+    def test_error_exit_code_on_bad_input(self, tmp_path, capsys):
+        schema_file, deps_file = self._write_inputs(tmp_path)
+        status = main([
+            "contain",
+            "--schema", str(schema_file),
+            "--deps", str(deps_file),
+            "--query", "Q2(e) : EMP(e, s, d)",       # malformed (missing ':-')
+            "--query-prime", "Q1(e) :- EMP(e, s, d)",
+        ])
+        assert status == EXIT_ERROR
+
+    def test_infer_ind_rejects_fd_candidate(self, tmp_path, capsys):
+        schema_file, deps_file = self._write_inputs(tmp_path)
+        status = main([
+            "infer-ind",
+            "--schema", str(schema_file),
+            "--deps", str(deps_file),
+            "--candidate", "EMP: emp -> sal",
+        ])
+        assert status == EXIT_ERROR
+
+
+class TestDeepeningAblation:
+    def test_single_shot_agrees_with_deepening(self, intro, figure1):
+        from repro.queries.builder import QueryBuilder
+        q_prime = (
+            QueryBuilder(figure1.schema, "Qp")
+            .head("c")
+            .atom("R", "a", "b", "c")
+            .atom("S", "a", "c", "w")
+            .build()
+        )
+        cases = [
+            (intro.q2, intro.q1, intro.dependencies),
+            (intro.q1, intro.q2, intro.dependencies),
+            (figure1.query, q_prime, figure1.dependencies),
+        ]
+        for query, query_prime, sigma in cases:
+            with_deepening = is_contained(query, query_prime, sigma, deepening=True)
+            single_shot = is_contained(query, query_prime, sigma, deepening=False)
+            assert with_deepening.holds == single_shot.holds
+            assert single_shot.certain

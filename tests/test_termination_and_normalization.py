@@ -1,0 +1,142 @@
+"""Unit tests for chase-termination analysis and schema-design tooling."""
+
+import pytest
+
+from repro.chase.engine import r_chase
+from repro.chase.termination import (
+    analyse_ind_termination,
+    chase_guaranteed_finite,
+    ind_position_graph,
+)
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.normalization import (
+    diagnose_key_based,
+    relation_design_report,
+    suggest_key_based_repair,
+)
+from repro.queries.builder import QueryBuilder
+from repro.relational.schema import DatabaseSchema
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+class TestTerminationAnalysis:
+    def test_intro_example_is_weakly_acyclic(self, intro):
+        report = analyse_ind_termination(intro.dependencies, intro.schema)
+        assert report.weakly_acyclic
+        assert report.witness_cycle is None
+        assert chase_guaranteed_finite(intro.dependencies, intro.schema)
+        assert "terminates" in report.describe()
+
+    def test_figure1_is_not_weakly_acyclic(self, figure1):
+        report = analyse_ind_termination(figure1.dependencies, figure1.schema)
+        assert not report.weakly_acyclic
+        assert report.witness_cycle is not None
+        assert not chase_guaranteed_finite(figure1.dependencies, figure1.schema)
+        assert "witness cycle" in report.describe()
+
+    def test_section4_is_not_weakly_acyclic(self, section4):
+        assert not chase_guaranteed_finite(section4.dependencies, section4.schema)
+
+    def test_fd_only_sets_always_terminate(self, emp_dep_schema):
+        sigma = DependencySet([FunctionalDependency("EMP", ["emp"], "sal")],
+                              schema=emp_dep_schema)
+        assert chase_guaranteed_finite(sigma, emp_dep_schema)
+
+    def test_position_graph_shape(self, intro):
+        graph = ind_position_graph(intro.dependencies.inclusion_dependencies(),
+                                   intro.schema)
+        # One copy edge EMP.dept -> DEP.dept and one existential edge to DEP.loc.
+        assert len(graph.copy_edges()) == 1
+        assert len(graph.existential_edges()) == 1
+        assert ("EMP", 2) in graph.positions and ("DEP", 0) in graph.positions
+
+    def test_weak_acyclicity_predicts_saturation(self, intro):
+        # The analysis guarantees every chase terminates: verify on random
+        # queries over the intro schema with the intro INDs.
+        generator = QueryGenerator(intro.schema, seed=4)
+        for index in range(5):
+            query = generator.random(atom_count=3, variable_pool=4, name=f"Q{index}")
+            result = r_chase(query, intro.dependencies, max_conjuncts=500)
+            assert result.saturated
+
+    def test_non_weakly_acyclic_witnessed_by_infinite_chase(self, figure1):
+        result = r_chase(figure1.query, figure1.dependencies, max_level=10)
+        assert result.truncated
+
+    def test_requires_schema(self):
+        sigma = DependencySet([InclusionDependency("R", [1], "R", [2])])
+        with pytest.raises(ValueError):
+            analyse_ind_termination(sigma)
+
+
+class TestNormalization:
+    def _schema(self):
+        return DatabaseSchema.from_dict({"R": ["a", "b", "c"]})
+
+    def test_bcnf_relation(self):
+        schema = self._schema()
+        fds = [FunctionalDependency("R", ["a"], "b"),
+               FunctionalDependency("R", ["a"], "c")]
+        report = relation_design_report(schema.relation("R"), fds, schema)
+        assert report.in_bcnf and report.in_3nf
+        assert frozenset({"a"}) in report.candidate_keys
+
+    def test_non_bcnf_relation(self):
+        schema = self._schema()
+        fds = [FunctionalDependency("R", ["a", "b"], "c"),
+               FunctionalDependency("R", ["c"], "b")]
+        report = relation_design_report(schema.relation("R"), fds, schema)
+        assert not report.in_bcnf
+        # c -> b has a prime attribute on the right, so 3NF still holds.
+        assert report.in_3nf
+
+    def test_non_3nf_relation(self):
+        schema = self._schema()
+        fds = [FunctionalDependency("R", ["a"], "b"),
+               FunctionalDependency("R", ["b"], "c")]
+        report = relation_design_report(schema.relation("R"), fds, schema)
+        assert not report.in_bcnf
+        assert not report.in_3nf
+
+    def test_diagnose_key_based_positive(self, intro_key_based):
+        diagnosis = diagnose_key_based(intro_key_based.dependencies,
+                                       intro_key_based.schema)
+        assert diagnosis.key_based
+        assert diagnosis.keys["DEP"] == frozenset({"dept"})
+        assert "key-based" in diagnosis.describe()
+
+    def test_diagnose_key_based_explains_problems(self, section4):
+        diagnosis = diagnose_key_based(section4.dependencies, section4.schema)
+        assert not diagnosis.key_based
+        assert diagnosis.problems
+        assert any("right-hand side" in problem for problem in diagnosis.problems)
+
+    def test_diagnose_agrees_with_dependency_set(self, intro, intro_key_based, section4):
+        for example in (intro, intro_key_based, section4):
+            diagnosis = diagnose_key_based(example.dependencies, example.schema)
+            assert diagnosis.key_based == example.dependencies.is_key_based(example.schema)
+
+    def test_suggest_repair_completes_condition_a(self, emp_dep_schema):
+        # Only the foreign key and DEP's key FD are declared; EMP's non-key
+        # attributes are not covered, and DEP is fine.
+        sigma = DependencySet([
+            FunctionalDependency("EMP", ["emp"], "sal"),
+            FunctionalDependency("DEP", ["dept"], "loc"),
+            InclusionDependency("EMP", ["dept"], "DEP", ["dept"]),
+        ], schema=emp_dep_schema)
+        assert not sigma.is_key_based(emp_dep_schema)
+        additions = suggest_key_based_repair(sigma, emp_dep_schema)
+        repaired = DependencySet(list(sigma) + additions, schema=emp_dep_schema)
+        assert repaired.is_key_based(emp_dep_schema)
+        assert any(fd.rhs == "dept" and fd.relation == "EMP" for fd in additions)
+
+    def test_suggest_repair_for_keyless_ind_target(self, emp_dep_schema):
+        sigma = DependencySet([
+            InclusionDependency("EMP", ["dept"], "DEP", ["dept"]),
+        ], schema=emp_dep_schema)
+        additions = suggest_key_based_repair(sigma, emp_dep_schema)
+        # DEP needs a key over 'dept' so the IND can target it.
+        assert any(fd.relation == "DEP" and fd.rhs == "loc" for fd in additions)

@@ -1,0 +1,86 @@
+"""Unit tests for the term system: constants, variables, ordering."""
+
+import pytest
+
+from repro.terms.term import (
+    Constant,
+    DistinguishedVariable,
+    NonDistinguishedVariable,
+    lexicographic_min,
+    term_sort_key,
+)
+
+
+class TestConstant:
+    def test_equal_constants_compare_equal(self):
+        assert Constant(1) == Constant(1)
+        assert Constant("a") == Constant("a")
+
+    def test_distinct_constants_differ(self):
+        assert Constant(1) != Constant(2)
+        assert Constant(1) != Constant("1")
+
+    def test_constant_flags(self):
+        c = Constant("x")
+        assert c.is_constant
+        assert not c.is_variable
+
+    def test_constant_is_hashable(self):
+        assert len({Constant(1), Constant(1), Constant(2)}) == 2
+
+    def test_str_shows_value(self):
+        assert str(Constant("d1")) == "'d1'"
+        assert str(Constant(3)) == "3"
+
+
+class TestVariables:
+    def test_dv_and_ndv_with_same_name_are_different(self):
+        assert DistinguishedVariable("x") != NonDistinguishedVariable("x")
+
+    def test_same_class_same_name_equal(self):
+        assert DistinguishedVariable("x") == DistinguishedVariable("x")
+        assert NonDistinguishedVariable("y") == NonDistinguishedVariable("y")
+
+    def test_variable_flags(self):
+        v = NonDistinguishedVariable("y")
+        assert v.is_variable
+        assert not v.is_constant
+        assert not v.is_distinguished
+        assert DistinguishedVariable("x").is_distinguished
+
+    def test_hashable_and_usable_in_sets(self):
+        variables = {DistinguishedVariable("x"), DistinguishedVariable("x"),
+                     NonDistinguishedVariable("x")}
+        assert len(variables) == 2
+
+
+class TestLexicographicOrder:
+    def test_dvs_precede_ndvs(self):
+        dv = DistinguishedVariable("z")
+        ndv = NonDistinguishedVariable("a")
+        assert dv.sort_key() < ndv.sort_key()
+        assert lexicographic_min(dv, ndv) == dv
+        assert lexicographic_min(ndv, dv) == dv
+
+    def test_original_ndvs_precede_created_ndvs(self):
+        original = NonDistinguishedVariable("zzz")
+        created = NonDistinguishedVariable("aaa", serial=(0,), created=True)
+        assert original.sort_key() < created.sort_key()
+
+    def test_created_ndvs_ordered_by_serial(self):
+        first = NonDistinguishedVariable("n0", serial=(0,), created=True)
+        second = NonDistinguishedVariable("n1", serial=(1,), created=True)
+        assert first.sort_key() < second.sort_key()
+        assert lexicographic_min(second, first) == first
+
+    def test_dvs_ordered_by_name(self):
+        assert DistinguishedVariable("a").sort_key() < DistinguishedVariable("b").sort_key()
+
+    def test_term_sort_key_places_constants_first(self):
+        assert term_sort_key(Constant(1)) < term_sort_key(DistinguishedVariable("x"))
+        assert term_sort_key(DistinguishedVariable("x")) < term_sort_key(
+            NonDistinguishedVariable("x"))
+
+    def test_lexicographic_min_same_variable(self):
+        v = DistinguishedVariable("x")
+        assert lexicographic_min(v, v) == v

@@ -1,0 +1,165 @@
+"""Unit tests for violation checking, the storage engine, and the join executor."""
+
+import pytest
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.functional import FunctionalDependency
+from repro.dependencies.inclusion import InclusionDependency
+from repro.dependencies.violations import (
+    check_database,
+    database_satisfies,
+    fd_violations,
+    ind_violations,
+)
+from repro.exceptions import EvaluationError, IntegrityError, SchemaError
+from repro.queries.builder import QueryBuilder
+from repro.queries.evaluation import evaluate
+from repro.relational.database import Database
+from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.storage.engine import StorageEngine
+from repro.storage.executor import JoinExecutor, evaluate_with_joins
+from repro.storage.table import Table
+from repro.workloads.database_generator import DatabaseGenerator
+from repro.workloads.query_generator import QueryGenerator
+from repro.workloads.schema_generator import SchemaGenerator
+
+
+class TestViolations:
+    def test_fd_violation_detected(self, emp_dep_schema):
+        database = Database(emp_dep_schema, {"EMP": [("e1", 100, "d1"), ("e1", 90, "d1")]})
+        fd = FunctionalDependency("EMP", ["emp"], "sal")
+        violations = fd_violations(database, fd)
+        assert len(violations) == 1
+        assert "FD" in str(violations[0])
+
+    def test_fd_satisfied(self, emp_dep_database):
+        fd = FunctionalDependency("EMP", ["emp"], "sal")
+        assert fd_violations(emp_dep_database, fd) == []
+
+    def test_ind_violation_detected(self, intro, emp_dep_database):
+        ind = intro.dependencies.inclusion_dependencies()[0]
+        violations = ind_violations(emp_dep_database, ind)
+        # e3 works in department d9 which has no DEP row.
+        assert len(violations) == 1
+        assert violations[0].witness[0][2] == "d9"
+
+    def test_check_database_and_satisfies(self, intro, emp_dep_database):
+        assert not database_satisfies(emp_dep_database, intro.dependencies)
+        fixed = emp_dep_database.copy()
+        fixed.add("DEP", ("d9", "CHI"))
+        assert database_satisfies(fixed, intro.dependencies)
+        assert check_database(fixed, intro.dependencies) == []
+
+    def test_violation_limit(self, emp_dep_schema):
+        database = Database(emp_dep_schema, {
+            "EMP": [("e1", 1, "d1"), ("e2", 2, "d2"), ("e3", 3, "d3")],
+        })
+        ind = InclusionDependency("EMP", ["dept"], "DEP", ["dept"])
+        assert len(ind_violations(database, ind, limit=2)) == 2
+        assert len(check_database(database, [ind], limit_per_dependency=1)) == 1
+
+
+class TestTable:
+    def _table(self):
+        return Table(RelationSchema("R", ["a", "b"]))
+
+    def test_insert_and_duplicates(self):
+        table = self._table()
+        assert table.insert((1, 2))
+        assert not table.insert((1, 2))
+        assert len(table) == 1
+        assert (1, 2) in table
+
+    def test_indexed_lookup_matches_scan(self):
+        table = self._table()
+        table.insert_many([(1, 2), (1, 3), (2, 3)])
+        before = table.lookup(["a"], (1,))
+        table.create_index(["a"])
+        after = table.lookup(["a"], (1,))
+        assert sorted(before) == sorted(after) == [(1, 2), (1, 3)]
+        assert table.has_index(["a"])
+        assert ("a",) in table.index_names()
+
+    def test_delete_maintains_indexes(self):
+        table = self._table()
+        table.create_index(["a"])
+        table.insert_many([(1, 2), (1, 3)])
+        assert table.delete((1, 2))
+        assert not table.delete((1, 2))
+        assert table.lookup(["a"], (1,)) == [(1, 3)]
+
+    def test_lookup_arity_mismatch(self):
+        table = self._table()
+        with pytest.raises(SchemaError):
+            table.lookup(["a"], (1, 2))
+
+    def test_project_distinct_statistics(self):
+        table = self._table()
+        table.insert_many([(1, 2), (1, 3), (2, 3)])
+        assert table.project(["a"]) == {(1,), (2,)}
+        assert table.distinct_values("b") == {2, 3}
+        stats = table.statistics()
+        assert stats["rows"] == 3
+        assert stats["distinct"]["a"] == 2
+
+
+class TestStorageEngine:
+    def test_load_and_convert(self, intro, emp_dep_database):
+        engine = StorageEngine.from_database(emp_dep_database, dependencies=intro.dependencies)
+        assert engine.total_rows() == emp_dep_database.total_rows()
+        assert engine.to_database() == emp_dep_database
+        assert not engine.satisfies_dependencies()  # d9 has no DEP row
+        engine.insert("DEP", ("d9", "CHI"))
+        assert engine.satisfies_dependencies()
+
+    def test_fd_enforcement_on_insert(self, emp_dep_schema):
+        sigma = DependencySet([FunctionalDependency("EMP", ["emp"], "sal")],
+                              schema=emp_dep_schema)
+        engine = StorageEngine(emp_dep_schema, dependencies=sigma, enforce=True)
+        engine.insert("EMP", ("e1", 100, "d1"))
+        with pytest.raises(IntegrityError):
+            engine.insert("EMP", ("e1", 200, "d1"))
+        # Same key with the same salary is fine (set semantics / new dept).
+        engine.insert("EMP", ("e1", 100, "d2"))
+
+    def test_unknown_table(self, emp_dep_schema):
+        engine = StorageEngine(emp_dep_schema)
+        with pytest.raises(SchemaError):
+            engine.table("NOPE")
+
+    def test_describe_and_statistics(self, emp_dep_schema):
+        engine = StorageEngine(emp_dep_schema)
+        engine.load({"EMP": [("e1", 1, "d1")], "DEP": [("d1", "NYC")]})
+        assert "EMP" in engine.describe()
+        assert engine.statistics()["DEP"]["rows"] == 1
+
+
+class TestJoinExecutor:
+    def test_matches_homomorphism_evaluator_on_intro(self, intro, emp_dep_database):
+        assert evaluate_with_joins(intro.q1, emp_dep_database) == evaluate(intro.q1, emp_dep_database)
+        assert evaluate_with_joins(intro.q2, emp_dep_database) == evaluate(intro.q2, emp_dep_database)
+
+    def test_matches_homomorphism_evaluator_on_random_workloads(self):
+        schema = SchemaGenerator(seed=5).uniform(3, 2)
+        queries = QueryGenerator(schema, seed=6)
+        databases = DatabaseGenerator(schema, seed=7)
+        for index in range(5):
+            q = queries.random(atom_count=3, variable_pool=4, distinguished_count=1,
+                               name=f"Q{index}")
+            database = databases.random(tuples_per_relation=4, domain_size=3)
+            assert evaluate_with_joins(q, database) == evaluate(q, database)
+
+    def test_constants_and_repeated_variables(self, binary_r_schema):
+        q = QueryBuilder(binary_r_schema).head("x").atom("R", "x", "x").build()
+        database = Database(binary_r_schema, {"R": [(1, 1), (1, 2)]})
+        assert evaluate_with_joins(q, database) == {(1,)}
+
+    def test_unknown_relation_rejected(self, binary_r_schema, emp_dep_schema):
+        q = QueryBuilder(emp_dep_schema).head("e").atom("EMP", "e", "s", "d").build()
+        engine = StorageEngine(binary_r_schema)
+        with pytest.raises(EvaluationError):
+            JoinExecutor(engine).evaluate(q)
+
+    def test_count(self, intro, emp_dep_database):
+        engine = StorageEngine.from_database(emp_dep_database)
+        assert JoinExecutor(engine).count(intro.q2) == 3

@@ -1,0 +1,69 @@
+"""Unit tests for non-containment witnesses (the constructive side of Theorem 1)."""
+
+import pytest
+
+from repro.containment.witness import non_containment_witness
+from repro.dependencies.dependency_set import DependencySet
+from repro.queries.builder import QueryBuilder
+
+
+class TestNonContainmentWitness:
+    def test_intro_example_without_the_ind(self, intro):
+        # Without the IND, Q2 ⊄ Q1: the canonical database of Q2 (one EMP
+        # row, no DEP row) separates them.
+        witness = non_containment_witness(intro.q2, intro.q1,
+                                          DependencySet(schema=intro.schema))
+        assert witness is not None
+        assert witness.chase_saturated
+        assert witness.sigma_satisfied
+        assert witness.separates(intro.q2, intro.q1)
+        assert len(witness.database.relation("EMP")) == 1
+        assert len(witness.database.relation("DEP")) == 0
+
+    def test_no_witness_when_containment_holds(self, intro):
+        assert non_containment_witness(intro.q2, intro.q1, intro.dependencies) is None
+        assert non_containment_witness(intro.q1, intro.q2) is None
+
+    def test_saturating_ind_case(self, intro):
+        # Under the IND, Q1 ⊄ the stricter query asking for a *specific*
+        # location constant; the chase saturates so the witness satisfies Σ.
+        strict = (
+            QueryBuilder(intro.schema, "Qstrict")
+            .head("e")
+            .atom("EMP", "e", "s", "d")
+            .atom("DEP", "d", QueryBuilder.constant("NYC"))
+            .build()
+        )
+        witness = non_containment_witness(intro.q1, strict, intro.dependencies)
+        assert witness is not None
+        assert witness.sigma_satisfied
+        assert witness.separates(intro.q1, strict)
+
+    def test_figure1_prefix_witness(self, figure1):
+        # Q ⊄ Q' where Q' needs T(c, ·); the chase is infinite, so the
+        # materialised witness is a prefix and is flagged accordingly.
+        q_prime = (
+            QueryBuilder(figure1.schema, "Qp")
+            .head("c")
+            .atom("R", "a", "b", "c")
+            .atom("T", "c", "w")
+            .build()
+        )
+        witness = non_containment_witness(figure1.query, q_prime, figure1.dependencies,
+                                          max_level=6)
+        assert witness is not None
+        assert not witness.chase_saturated
+        assert not witness.sigma_satisfied
+        assert witness.separates(figure1.query, q_prime)
+
+    def test_describe_lists_rows(self, intro):
+        witness = non_containment_witness(intro.q2, intro.q1,
+                                          DependencySet(schema=intro.schema))
+        text = witness.describe()
+        assert "EMP" in text and "witness" in text
+
+    def test_uncertain_cases_give_no_witness(self, section4):
+        # Σ is outside the decidable classes; the negative answer is not
+        # certain, so no witness is claimed.
+        assert non_containment_witness(section4.q1, section4.q2,
+                                       section4.dependencies) is None
