@@ -13,12 +13,28 @@ from __future__ import annotations
 
 import pytest
 
+from repro.api import Solver, SolverConfig, reset_default_solver, set_default_solver
 from repro.workloads.paper_examples import (
     figure1_example,
     intro_example,
     intro_example_key_based,
     section4_example,
 )
+
+
+@pytest.fixture(autouse=True)
+def uncached_default_solver():
+    """Disable the default solver's cross-call caches during benchmarks.
+
+    The legacy entry points delegate to a shared caching Solver; left on,
+    every benchmark iteration after the first would time a cache lookup
+    instead of the procedure under measurement.  Benchmarks that study the
+    caches themselves build their own Solver instances.
+    """
+    set_default_solver(Solver(SolverConfig(
+        containment_cache_size=0, chase_cache_size=0)))
+    yield
+    reset_default_solver()
 
 
 @pytest.fixture(scope="session")

@@ -14,11 +14,12 @@ Section 4 finite-containment tooling, plus an in-memory storage engine, a
 textual parser, and workload generators used by the examples and
 benchmarks.
 
-Quickstart::
+Quickstart — build one :class:`~repro.api.Solver` per session and submit
+typed requests; answers are cached across calls::
 
     from repro import (
         DatabaseSchema, QueryBuilder, DependencySet, InclusionDependency,
-        is_contained,
+        ContainmentRequest, Solver,
     )
 
     schema = DatabaseSchema.from_dict(
@@ -29,6 +30,17 @@ Quickstart::
           .atom("EMP", "e", "s", "d").build())
     sigma = DependencySet(
         [InclusionDependency("EMP", ["dept"], "DEP", ["dept"])], schema=schema)
+
+    solver = Solver()
+    response = solver.solve(ContainmentRequest(q2, q1, sigma))
+    assert response.holds                 # needs the IND
+    assert not response.cache_hit         # first time: computed
+    assert solver.solve(ContainmentRequest(q2, q1, sigma)).cache_hit
+
+The classic functional API works as before (and now shares a default
+Solver's caches behind the scenes)::
+
+    from repro import is_contained
 
     assert is_contained(q2, q1, sigma).holds      # needs the IND
     assert is_contained(q2, q1).holds is False    # fails without it
@@ -107,20 +119,38 @@ from repro.containment import (
     theorem2_level_bound,
 )
 from repro.optimizer import OptimizationReport, optimize
+from repro.api import (
+    ChaseRequest,
+    ChaseResponse,
+    ContainmentRequest,
+    ContainmentResponse,
+    OptimizeRequest,
+    OptimizeResponse,
+    PairwiseContainment,
+    Solver,
+    SolverConfig,
+    get_default_solver,
+    reset_default_solver,
+    set_default_solver,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Attribute",
     "ChaseBudgetExceeded",
     "ChaseConfig",
     "ChaseError",
+    "ChaseRequest",
+    "ChaseResponse",
     "ChaseResult",
     "ChaseVariant",
     "Conjunct",
     "ConjunctiveQuery",
     "Constant",
     "ContainmentCertificate",
+    "ContainmentRequest",
+    "ContainmentResponse",
     "ContainmentResult",
     "ContainmentUndecided",
     "Database",
@@ -136,6 +166,9 @@ __all__ = [
     "IntegrityError",
     "NonDistinguishedVariable",
     "OptimizationReport",
+    "OptimizeRequest",
+    "OptimizeResponse",
+    "PairwiseContainment",
     "ParseError",
     "QueryBuilder",
     "QueryError",
@@ -144,6 +177,8 @@ __all__ = [
     "RelationSchema",
     "ReproError",
     "SchemaError",
+    "Solver",
+    "SolverConfig",
     "Substitution",
     "Variable",
     "are_equivalent",
@@ -159,6 +194,7 @@ __all__ = [
     "fd_chase_query",
     "fd_implies",
     "finite_containment_sample",
+    "get_default_solver",
     "ind_implied_by_axioms",
     "is_contained",
     "is_minimal",
@@ -169,6 +205,8 @@ __all__ = [
     "o_chase",
     "optimize",
     "r_chase",
+    "reset_default_solver",
     "section4_counterexample",
+    "set_default_solver",
     "theorem2_level_bound",
 ]

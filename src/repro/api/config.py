@@ -1,0 +1,145 @@
+"""The unified tuning surface for every Johnson–Klug procedure.
+
+Historically each entry point re-declared the same tuning keywords
+(``variant``, ``level_bound``, ``max_conjuncts``, ``record_trace``,
+``with_certificate``, ``deepening``) with per-module defaults.
+:class:`SolverConfig` gathers them in one frozen dataclass whose defaults
+mirror the legacy keyword defaults exactly, adds the session-level knobs
+(cache sizes, batch parallelism), and is the only configuration object a
+:class:`~repro.api.solver.Solver` reads.
+
+The config is immutable so it can participate in cache keys; derive
+variations with :meth:`SolverConfig.derive`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.chase.engine import ChaseConfig, ChaseVariant
+from repro.exceptions import ReproError
+
+#: The executors ``Solver.solve_many`` understands.
+EXECUTORS = ("serial", "thread", "process")
+
+#: The legacy keyword names every containment entry point used to take,
+#: in their historical order.  ``SolverConfig`` has one field per name
+#: with an identical default; tests assert this stays true.
+LEGACY_CONTAINMENT_KWARGS = (
+    "variant", "level_bound", "max_conjuncts",
+    "record_trace", "with_certificate", "deepening",
+)
+
+
+@dataclass(frozen=True)
+class SolverConfig:
+    """Every tuning knob of the containment/chase/optimization stack.
+
+    Containment knobs (defaults mirror the legacy ``is_contained``):
+
+    variant:
+        Which chase the bounded procedure builds (R-chase by default).
+    level_bound:
+        Override for the Theorem 2 level bound; ``None`` computes it.
+    max_conjuncts:
+        Chase size budget used by containment decisions.
+    record_trace:
+        Record the chase application trace during containment decisions.
+    with_certificate:
+        Attach verifiable certificates to positive containment answers.
+    deepening:
+        Use the iterative-deepening level schedule.
+
+    Stand-alone chase knobs (defaults mirror ``repro.chase.chase``):
+
+    chase_max_level / chase_max_conjuncts / chase_max_steps /
+    chase_record_trace:
+        Budgets for :class:`~repro.api.requests.ChaseRequest` runs and the
+        legacy ``chase()`` wrapper.
+
+    Session knobs:
+
+    containment_cache_size / chase_cache_size:
+        LRU capacities for the cross-call result and chase caches
+        (``0`` disables the cache).
+    parallelism:
+        Default worker count for ``solve_many`` (``None`` = sequential).
+    executor:
+        ``"serial"``, ``"thread"``, or ``"process"``.
+    """
+
+    variant: ChaseVariant = ChaseVariant.RESTRICTED
+    level_bound: Optional[int] = None
+    max_conjuncts: int = 20_000
+    record_trace: bool = False
+    with_certificate: bool = False
+    deepening: bool = True
+
+    chase_max_level: Optional[int] = None
+    chase_max_conjuncts: int = 5_000
+    chase_max_steps: Optional[int] = None
+    chase_record_trace: bool = True
+
+    containment_cache_size: int = 1_024
+    chase_cache_size: int = 256
+    parallelism: Optional[int] = None
+    executor: str = "thread"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.variant, str):
+            # Accept the enum values "R"/"O" as shorthand.
+            object.__setattr__(self, "variant", ChaseVariant(self.variant))
+        if self.max_conjuncts <= 0:
+            raise ReproError("max_conjuncts must be positive")
+        if self.chase_max_conjuncts <= 0:
+            raise ReproError("chase_max_conjuncts must be positive")
+        if self.level_bound is not None and self.level_bound < 0:
+            raise ReproError("level_bound must be non-negative")
+        if self.containment_cache_size < 0 or self.chase_cache_size < 0:
+            raise ReproError("cache sizes must be non-negative")
+        if self.parallelism is not None and self.parallelism <= 0:
+            raise ReproError("parallelism must be positive (or None for sequential)")
+        if self.executor not in EXECUTORS:
+            raise ReproError(
+                f"unknown executor {self.executor!r}; expected one of {EXECUTORS}")
+
+    # -- derivation ----------------------------------------------------------
+
+    def derive(self, **changes) -> "SolverConfig":
+        """A copy of this config with the given fields replaced."""
+        return dataclasses.replace(self, **changes)
+
+    def with_legacy_kwargs(self, **kwargs) -> "SolverConfig":
+        """Apply legacy containment keyword arguments as overrides.
+
+        Unknown keywords raise, exactly as they would have on the old
+        function signatures.
+        """
+        unknown = set(kwargs) - set(LEGACY_CONTAINMENT_KWARGS)
+        if unknown:
+            raise TypeError(
+                f"unexpected containment option(s): {', '.join(sorted(unknown))}")
+        return self.derive(**kwargs) if kwargs else self
+
+    # -- projections ---------------------------------------------------------
+
+    def containment_key(self) -> Tuple:
+        """The fields that can change a containment answer (cache key part)."""
+        return (self.variant, self.level_bound, self.max_conjuncts,
+                self.record_trace, self.with_certificate, self.deepening)
+
+    def chase_config(self, max_level: Optional[int] = None) -> ChaseConfig:
+        """A :class:`ChaseConfig` for stand-alone chase runs.
+
+        ``max_level`` overrides ``chase_max_level`` when given (the legacy
+        ``r_chase``/``o_chase`` wrappers pass it explicitly).
+        """
+        return ChaseConfig(
+            variant=self.variant,
+            max_level=self.chase_max_level if max_level is None else max_level,
+            max_conjuncts=self.chase_max_conjuncts,
+            max_steps=self.chase_max_steps,
+            record_trace=self.chase_record_trace,
+        )

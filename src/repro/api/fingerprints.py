@@ -1,0 +1,69 @@
+"""Canonical fingerprints for queries and schemas.
+
+The solver's cross-call caches need keys that are (a) stable across
+processes, (b) insensitive to incidental object identity, and (c) exactly
+as fine-grained as query equality: two :class:`ConjunctiveQuery` objects
+that compare equal (same schema, same summary row, same *set* of labelled
+conjuncts — conjunct order is immaterial) must fingerprint identically,
+and unequal queries must not collide in practice.
+
+Terms are rendered with a kind tag so a constant ``"x"``, a distinguished
+variable ``x``, and a nondistinguished variable ``x`` stay distinct.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable, Term
+
+
+def term_signature(term: Term) -> str:
+    if isinstance(term, Constant):
+        return f"c:{type(term.value).__name__}:{term.value!r}"
+    if isinstance(term, DistinguishedVariable):
+        return f"dv:{term.name}"
+    if isinstance(term, NonDistinguishedVariable):
+        return f"ndv:{term.name}:{term.serial!r}:{term.created}"
+    return f"t:{term!r}"
+
+
+def conjunct_signature(conjunct: Conjunct) -> str:
+    terms = ",".join(term_signature(term) for term in conjunct.terms)
+    return f"{conjunct.label}|{conjunct.relation}({terms})"
+
+
+def schema_signature(schema: Optional[DatabaseSchema]) -> str:
+    if schema is None:
+        return "-"
+    return ";".join(
+        f"{name}({','.join(attributes)})"
+        for name, attributes in schema.signature()
+    )
+
+
+def query_fingerprint(query: ConjunctiveQuery) -> str:
+    """A stable digest of a query's content (name-insensitive).
+
+    The display name is excluded (renaming a query does not change what it
+    computes); everything equality looks at is included, with conjuncts
+    sorted so insertion order cannot split the cache.
+    """
+    payload = "\n".join((
+        schema_signature(query.input_schema),
+        ",".join(term_signature(term) for term in query.summary_row),
+        "\n".join(sorted(conjunct_signature(c) for c in query.conjuncts)),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def dependency_fingerprint(dependencies: Optional[DependencySet]) -> str:
+    """Fingerprint of Σ; the empty / absent set has a fixed digest."""
+    if dependencies is None:
+        return DependencySet().fingerprint()
+    return dependencies.fingerprint()

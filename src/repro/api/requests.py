@@ -1,0 +1,189 @@
+"""Typed requests and enriched responses for the :class:`Solver` facade.
+
+A request names the operation and its operands; per-request ``config``
+overrides the solver's session config for that call only.  A response
+wraps the underlying result object (the same classes the legacy functional
+API returns) and adds the session-level telemetry a service needs: wall
+time, whether the answer came from a cache, and how much of the configured
+budget the computation consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.api.config import SolverConfig
+from repro.chase.engine import ChaseResult
+from repro.containment.result import ContainmentResult
+from repro.dependencies.dependency_set import DependencySet
+from repro.optimizer.pipeline import OptimizationReport
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+# ---------------------------------------------------------------------------
+# Requests
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ContainmentRequest:
+    """Decide ``Σ ⊨ query ⊆∞ query_prime``."""
+
+    query: ConjunctiveQuery
+    query_prime: ConjunctiveQuery
+    dependencies: Optional[DependencySet] = None
+    config: Optional[SolverConfig] = None
+    #: Opaque correlation id echoed back on the response (batch workloads).
+    tag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ChaseRequest:
+    """Build a bounded chase of ``query`` under ``dependencies``.
+
+    ``None`` budget fields fall back to the solver config's ``chase_*``
+    defaults.
+    """
+
+    query: ConjunctiveQuery
+    dependencies: Optional[DependencySet] = None
+    max_level: Optional[int] = None
+    config: Optional[SolverConfig] = None
+    tag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class OptimizeRequest:
+    """Run the full rewrite pipeline (FD simplify, join elimination, core)."""
+
+    query: ConjunctiveQuery
+    dependencies: Optional[DependencySet] = None
+    name: Optional[str] = None
+    config: Optional[SolverConfig] = None
+    tag: Optional[str] = None
+
+
+SolveRequest = Union[ContainmentRequest, ChaseRequest, OptimizeRequest]
+
+
+# ---------------------------------------------------------------------------
+# Responses
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BudgetUsage:
+    """How much of the configured budgets one answer consumed."""
+
+    chase_size: int = 0
+    max_conjuncts: Optional[int] = None
+    levels_built: int = 0
+    level_bound: Optional[int] = None
+
+    @property
+    def conjunct_utilisation(self) -> float:
+        """Fraction of the conjunct budget used (0.0 when unbounded)."""
+        if not self.max_conjuncts:
+            return 0.0
+        return self.chase_size / self.max_conjuncts
+
+    @property
+    def level_utilisation(self) -> float:
+        if not self.level_bound:
+            return 0.0
+        return self.levels_built / self.level_bound
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "chase_size": self.chase_size,
+            "max_conjuncts": self.max_conjuncts,
+            "levels_built": self.levels_built,
+            "level_bound": self.level_bound,
+            "conjunct_utilisation": round(self.conjunct_utilisation, 4),
+            "level_utilisation": round(self.level_utilisation, 4),
+        }
+
+
+@dataclass(frozen=True)
+class SolveResponse:
+    """Telemetry shared by every response kind."""
+
+    elapsed_s: float
+    cache_hit: bool
+    config: SolverConfig
+    budget: BudgetUsage = field(default_factory=BudgetUsage)
+    tag: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ContainmentResponse(SolveResponse):
+    result: ContainmentResult = None  # type: ignore[assignment]
+
+    @property
+    def holds(self) -> bool:
+        return self.result.holds
+
+    @property
+    def certain(self) -> bool:
+        return self.result.certain
+
+    def describe(self) -> str:
+        origin = "cache" if self.cache_hit else "computed"
+        return f"{self.result.describe()} [{origin}, {self.elapsed_s * 1e3:.2f} ms]"
+
+
+@dataclass(frozen=True)
+class ChaseResponse(SolveResponse):
+    result: ChaseResult = None  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        origin = "cache" if self.cache_hit else "computed"
+        return f"{self.result.describe()}\n[{origin}, {self.elapsed_s * 1e3:.2f} ms]"
+
+
+@dataclass(frozen=True)
+class OptimizeResponse(SolveResponse):
+    report: OptimizationReport = None  # type: ignore[assignment]
+
+    def describe(self) -> str:
+        return f"{self.report.describe()}\n[{self.elapsed_s * 1e3:.2f} ms]"
+
+
+# ---------------------------------------------------------------------------
+# Pairwise containment
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class PairwiseContainment:
+    """All ordered containment answers among one list of queries."""
+
+    queries: Tuple[ConjunctiveQuery, ...]
+    responses: Dict[Tuple[int, int], ContainmentResponse]
+
+    def response(self, i: int, j: int) -> ContainmentResponse:
+        return self.responses[(i, j)]
+
+    def holds(self, i: int, j: int) -> bool:
+        return self.responses[(i, j)].holds
+
+    def equivalent_pairs(self) -> List[Tuple[int, int]]:
+        """Index pairs (i < j) whose queries are certainly equivalent."""
+        pairs = []
+        for i in range(len(self.queries)):
+            for j in range(i + 1, len(self.queries)):
+                forward, backward = self.responses[(i, j)], self.responses[(j, i)]
+                if (forward.certain and forward.holds
+                        and backward.certain and backward.holds):
+                    pairs.append((i, j))
+        return pairs
+
+    def describe(self) -> str:
+        lines = [f"pairwise containment over {len(self.queries)} queries:"]
+        for (i, j), response in sorted(self.responses.items()):
+            verdict = "⊆" if response.holds else "⊄"
+            certainty = "" if response.certain else " (uncertain)"
+            lines.append(
+                f"  {self.queries[i].name} {verdict} {self.queries[j].name}{certainty}")
+        return "\n".join(lines)

@@ -1,0 +1,407 @@
+"""The :class:`Solver` facade — one session object for every procedure.
+
+A Solver owns a :class:`SolverConfig` and two cross-call LRU caches:
+
+* a **containment cache** keyed on the canonical fingerprints of
+  (Q, Q', Σ) plus the config fields that can change the answer, so a
+  repeated question returns the identical
+  :class:`~repro.containment.result.ContainmentResult` without rebuilding
+  anything;
+* a **chase cache** keyed on (query, Σ, chase budgets), shared between
+  stand-alone chase requests and the bounded-chase containment procedure,
+  so deciding many ``Q ⊆ Q'_k`` questions against one Q re-uses each chase
+  prefix instead of rebuilding it per question.
+
+Work is submitted either through the typed request objects
+(:meth:`Solver.solve`, :meth:`Solver.solve_many`,
+:meth:`Solver.contains_all_pairs`) or through the legacy-shaped
+convenience methods (:meth:`Solver.is_contained`, :meth:`Solver.chase`,
+:meth:`Solver.optimize`, :meth:`Solver.minimize_under`), which the old
+module-level functions now delegate to.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.api.cache import CacheInfo, LRUCache
+from repro.api.config import SolverConfig
+from repro.api.fingerprints import dependency_fingerprint, query_fingerprint
+from repro.api.requests import (
+    BudgetUsage,
+    ChaseRequest,
+    ChaseResponse,
+    ContainmentRequest,
+    ContainmentResponse,
+    OptimizeRequest,
+    OptimizeResponse,
+    PairwiseContainment,
+    SolveRequest,
+    SolveResponse,
+)
+from repro.chase.engine import ChaseConfig, ChaseEngine, ChaseResult
+from repro.containment.fd_containment import contained_under_fds
+from repro.containment.ind_containment import contained_under_bounded_chase
+from repro.containment.no_dependencies import contained_without_dependencies
+from repro.containment.result import ContainmentResult
+from repro.dependencies.dependency_set import DependencyClass, DependencySet
+from repro.exceptions import ReproError
+from repro.optimizer.pipeline import OptimizationReport
+from repro.optimizer.pipeline import optimize as pipeline_optimize
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+
+@dataclass
+class SolverStats:
+    """Per-solver request counters (cache counters live on the caches).
+
+    Increments go through :meth:`count` so concurrent ``solve_many``
+    workers sharing one solver cannot lose updates.
+    """
+
+    containment_requests: int = 0
+    chase_requests: int = 0
+    optimize_requests: int = 0
+    batch_calls: int = 0
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+    def count(self, counter: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    @property
+    def total_requests(self) -> int:
+        return (self.containment_requests + self.chase_requests
+                + self.optimize_requests)
+
+
+class Solver:
+    """A configured, caching session over the Johnson–Klug procedures."""
+
+    def __init__(self, config: Optional[SolverConfig] = None):
+        self._config = config or SolverConfig()
+        self._containment_cache = LRUCache(self._config.containment_cache_size)
+        self._chase_cache = LRUCache(self._config.chase_cache_size)
+        self.stats = SolverStats()
+
+    @property
+    def config(self) -> SolverConfig:
+        return self._config
+
+    # -- cache plumbing ------------------------------------------------------
+
+    def cache_info(self) -> Dict[str, CacheInfo]:
+        return {"containment": self._containment_cache.info(),
+                "chase": self._chase_cache.info()}
+
+    def clear_caches(self) -> None:
+        self._containment_cache.clear()
+        self._chase_cache.clear()
+
+    def _cached_chase(self, query: ConjunctiveQuery,
+                      dependencies: DependencySet,
+                      config: ChaseConfig) -> Tuple[ChaseResult, bool]:
+        if self._chase_cache.maxsize == 0:
+            return ChaseEngine(query, dependencies, config).run(), False
+        # The display name rides along because ChaseResult.query (and the
+        # reports derived from it) surface it; content fingerprints alone
+        # would conflate equal queries with different names.
+        key = (
+            query.name,
+            query_fingerprint(query),
+            dependency_fingerprint(dependencies),
+            config.variant,
+            config.max_level,
+            config.max_conjuncts,
+            config.max_steps,
+            config.record_trace,
+        )
+        cached = self._chase_cache.get(key)
+        if cached is not None:
+            return cached, True
+        result = ChaseEngine(query, dependencies, config).run()
+        self._chase_cache.put(key, result)
+        return result, False
+
+    def _chase_fn(self, query: ConjunctiveQuery, dependencies: DependencySet,
+                  config: ChaseConfig) -> ChaseResult:
+        """The chase callable threaded into the containment procedure."""
+        result, _ = self._cached_chase(query, dependencies, config)
+        return result
+
+    # -- containment ---------------------------------------------------------
+
+    def is_contained(self, query: ConjunctiveQuery,
+                     query_prime: ConjunctiveQuery,
+                     dependencies: Optional[DependencySet] = None,
+                     **options) -> ContainmentResult:
+        """Legacy-shaped containment decision (see the old ``is_contained``).
+
+        ``options`` are the historical keyword arguments (``variant``,
+        ``level_bound``, ``max_conjuncts``, ``record_trace``,
+        ``with_certificate``, ``deepening``); they override the session
+        config for this call.
+        """
+        result, _ = self._decide(query, query_prime, dependencies,
+                                 self._config.with_legacy_kwargs(**options))
+        return result
+
+    def _decide(self, query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
+                dependencies: Optional[DependencySet],
+                config: SolverConfig) -> Tuple[ContainmentResult, bool]:
+        self.stats.count("containment_requests")
+        sigma = dependencies if dependencies is not None else DependencySet()
+        # Results carrying certificates are never cached: certificates are
+        # standalone artifacts a caller may legitimately mutate (tampering
+        # experiments, redaction before shipping), so sharing one object
+        # across calls would let one caller corrupt another's proof.
+        cacheable = (not config.with_certificate
+                     and self._containment_cache.maxsize > 0)
+        key = (
+            (query.name, query_fingerprint(query)),
+            (query_prime.name, query_fingerprint(query_prime)),
+            dependency_fingerprint(sigma),
+            config.containment_key(),
+        ) if cacheable else None
+        if cacheable:
+            cached = self._containment_cache.get(key)
+            if cached is not None:
+                return cached, True
+
+        classification = sigma.classify(query.input_schema)
+        if classification is DependencyClass.EMPTY:
+            result = contained_without_dependencies(query, query_prime)
+        elif classification is DependencyClass.FD_ONLY:
+            result = contained_under_fds(query, query_prime, sigma)
+        else:
+            exact = classification in (DependencyClass.IND_ONLY,
+                                       DependencyClass.KEY_BASED)
+            result = contained_under_bounded_chase(
+                query, query_prime, sigma,
+                variant=config.variant,
+                level_bound=config.level_bound,
+                max_conjuncts=config.max_conjuncts,
+                exact=exact,
+                record_trace=config.record_trace,
+                with_certificate=config.with_certificate,
+                deepening=config.deepening,
+                chase_fn=self._chase_fn,
+            )
+        if cacheable:
+            self._containment_cache.put(key, result)
+        return result, False
+
+    # -- chase ---------------------------------------------------------------
+
+    def chase(self, query: ConjunctiveQuery,
+              dependencies: Optional[DependencySet] = None,
+              config: Optional[ChaseConfig] = None) -> ChaseResult:
+        """Legacy-shaped chase (see the old module-level ``chase``).
+
+        ``config=None`` falls back to the session's ``chase_*`` knobs
+        (which default to the historical ``ChaseConfig()`` values).
+        """
+        self.stats.count("chase_requests")
+        sigma = dependencies if dependencies is not None else DependencySet()
+        chase_config = config or self._config.chase_config()
+        result, _ = self._cached_chase(query, sigma, chase_config)
+        return result
+
+    # -- optimization --------------------------------------------------------
+
+    def optimize(self, query: ConjunctiveQuery,
+                 dependencies: Optional[DependencySet] = None,
+                 name: Optional[str] = None,
+                 **containment_options) -> OptimizationReport:
+        """Legacy-shaped rewrite pipeline (see the old ``optimize``)."""
+        self.stats.count("optimize_requests")
+        return pipeline_optimize(query, dependencies, name=name, solver=self,
+                                 **containment_options)
+
+    def minimize_under(self, query: ConjunctiveQuery,
+                       dependencies: Optional[DependencySet] = None,
+                       name: Optional[str] = None,
+                       **options) -> ConjunctiveQuery:
+        """Minimization under Σ, routed through this solver's caches."""
+        from repro.containment.equivalence import minimize_under as legacy_minimize
+        return legacy_minimize(query, dependencies, name=name, solver=self,
+                               **options)
+
+    # -- the request/response surface ----------------------------------------
+
+    def solve(self, request: SolveRequest) -> SolveResponse:
+        """Execute one typed request and return its enriched response."""
+        if isinstance(request, ContainmentRequest):
+            return self._solve_containment(request)
+        if isinstance(request, ChaseRequest):
+            return self._solve_chase(request)
+        if isinstance(request, OptimizeRequest):
+            return self._solve_optimize(request)
+        raise ReproError(
+            f"unknown request type {type(request).__name__}; expected "
+            "ContainmentRequest, ChaseRequest, or OptimizeRequest")
+
+    def _solve_containment(self, request: ContainmentRequest) -> ContainmentResponse:
+        config = request.config or self._config
+        started = time.perf_counter()
+        result, cache_hit = self._decide(
+            request.query, request.query_prime, request.dependencies, config)
+        elapsed = time.perf_counter() - started
+        budget = BudgetUsage(
+            chase_size=result.chase_size,
+            max_conjuncts=config.max_conjuncts,
+            levels_built=result.levels_built,
+            level_bound=result.level_bound,
+        )
+        return ContainmentResponse(
+            elapsed_s=elapsed, cache_hit=cache_hit, config=config,
+            budget=budget, tag=request.tag, result=result)
+
+    def _solve_chase(self, request: ChaseRequest) -> ChaseResponse:
+        config = request.config or self._config
+        chase_config = config.chase_config(max_level=request.max_level)
+        sigma = (request.dependencies if request.dependencies is not None
+                 else DependencySet())
+        self.stats.count("chase_requests")
+        started = time.perf_counter()
+        result, cache_hit = self._cached_chase(request.query, sigma, chase_config)
+        elapsed = time.perf_counter() - started
+        budget = BudgetUsage(
+            chase_size=len(result),
+            max_conjuncts=chase_config.max_conjuncts,
+            levels_built=result.max_level(),
+            level_bound=chase_config.max_level,
+        )
+        return ChaseResponse(
+            elapsed_s=elapsed, cache_hit=cache_hit, config=config,
+            budget=budget, tag=request.tag, result=result)
+
+    def _solve_optimize(self, request: OptimizeRequest) -> OptimizeResponse:
+        config = request.config or self._config
+        self.stats.count("optimize_requests")
+        # A per-request config overrides the session for the pipeline's
+        # internal containment checks.
+        options = {}
+        if request.config is not None:
+            options = {
+                "variant": config.variant,
+                "level_bound": config.level_bound,
+                "max_conjuncts": config.max_conjuncts,
+                "record_trace": config.record_trace,
+                "with_certificate": config.with_certificate,
+                "deepening": config.deepening,
+            }
+        started = time.perf_counter()
+        report = pipeline_optimize(
+            request.query, request.dependencies, name=request.name, solver=self,
+            **options)
+        elapsed = time.perf_counter() - started
+        return OptimizeResponse(
+            elapsed_s=elapsed, cache_hit=False, config=config,
+            tag=request.tag, report=report)
+
+    # -- batch execution -----------------------------------------------------
+
+    def solve_many(self, requests: Sequence[SolveRequest],
+                   parallelism: Optional[int] = None,
+                   executor: Optional[str] = None) -> List[SolveResponse]:
+        """Execute many requests, preserving input order.
+
+        ``parallelism``/``executor`` default to the session config.  The
+        thread executor shares this solver's caches (useful when requests
+        overlap); the process executor trades cache sharing for true CPU
+        parallelism by solving each request in a fresh worker solver.
+        """
+        self.stats.count("batch_calls")
+        requests = list(requests)
+        workers = parallelism if parallelism is not None else self._config.parallelism
+        mode = executor if executor is not None else self._config.executor
+        if mode not in ("serial", "thread", "process"):
+            raise ReproError(f"unknown executor {mode!r}")
+        if workers is None or workers <= 1 or len(requests) <= 1 or mode == "serial":
+            return [self.solve(request) for request in requests]
+
+        import concurrent.futures as futures
+        if mode == "thread":
+            pool_cls = futures.ThreadPoolExecutor
+            with pool_cls(max_workers=workers) as pool:
+                return list(pool.map(self.solve, requests))
+        with futures.ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(_solve_in_worker,
+                                 ((request, self._config) for request in requests)))
+
+    def contains_all_pairs(self, queries: Sequence[ConjunctiveQuery],
+                           dependencies: Optional[DependencySet] = None,
+                           parallelism: Optional[int] = None,
+                           executor: Optional[str] = None) -> PairwiseContainment:
+        """All ordered containment questions among ``queries`` under Σ.
+
+        The chase cache makes this markedly cheaper than n·(n−1)
+        independent calls: each query is chased once per level budget, not
+        once per opponent.
+        """
+        queries = tuple(queries)
+        pairs = [(i, j) for i in range(len(queries))
+                 for j in range(len(queries)) if i != j]
+        requests = [
+            ContainmentRequest(queries[i], queries[j], dependencies,
+                               tag=f"{i}->{j}")
+            for i, j in pairs
+        ]
+        responses = self.solve_many(requests, parallelism=parallelism,
+                                    executor=executor)
+        return PairwiseContainment(
+            queries=queries,
+            responses={pair: response for pair, response in zip(pairs, responses)},
+        )
+
+
+def _solve_in_worker(payload: Tuple[SolveRequest, SolverConfig]) -> SolveResponse:
+    """Process-pool entry point: solve one request in a fresh solver."""
+    request, config = payload
+    return Solver(config.derive(parallelism=None, executor="serial")).solve(request)
+
+
+# ---------------------------------------------------------------------------
+# The process-wide default solver the legacy functional API delegates to
+# ---------------------------------------------------------------------------
+
+_default_solver: Optional[Solver] = None
+_default_solver_lock = threading.Lock()
+
+
+def get_default_solver() -> Solver:
+    """The lazily-created solver behind ``is_contained``/``chase``/… ."""
+    global _default_solver
+    if _default_solver is None:
+        with _default_solver_lock:
+            if _default_solver is None:
+                _default_solver = Solver()
+    return _default_solver
+
+
+def resolve_solver(solver: Optional[Solver]) -> Solver:
+    """``solver`` itself, or the process-wide default when ``None``.
+
+    The helper the optional ``solver=`` parameters across the library
+    (optimizer pipeline, equivalence, minimization) resolve through.
+    """
+    return solver if solver is not None else get_default_solver()
+
+
+def set_default_solver(solver: Solver) -> Solver:
+    """Install a configured solver as the process-wide default."""
+    global _default_solver
+    with _default_solver_lock:
+        _default_solver = solver
+    return solver
+
+
+def reset_default_solver() -> None:
+    """Drop the default solver (a fresh one is created on next use)."""
+    global _default_solver
+    with _default_solver_lock:
+        _default_solver = None

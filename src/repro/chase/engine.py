@@ -98,6 +98,11 @@ class ChaseStatistics:
 class ChaseResult:
     """Outcome of a chase run.
 
+    Results may be shared across calls by a solver's chase cache (the
+    module-level :func:`chase` serves them), so treat a result — graph,
+    statistics, and trace included — as immutable once returned;
+    instantiate :class:`ChaseEngine` directly for a private, fresh run.
+
     ``failed`` means an FD application tried to merge two distinct
     constants; following the paper, the chased query is then the empty
     query (no conjuncts), which returns the empty answer on every database
@@ -513,8 +518,15 @@ class ChaseEngine:
 
 def chase(query: ConjunctiveQuery, dependencies: DependencySet,
           config: Optional[ChaseConfig] = None) -> ChaseResult:
-    """Chase ``query`` with respect to ``dependencies`` under ``config``."""
-    return ChaseEngine(query, dependencies, config).run()
+    """Chase ``query`` with respect to ``dependencies`` under ``config``.
+
+    Thin wrapper over the process-wide default
+    :class:`~repro.api.solver.Solver`: identical (query, Σ, config)
+    requests are served from its chase cache.  Instantiate
+    :class:`ChaseEngine` directly to force a fresh, uncached run.
+    """
+    from repro.api.solver import get_default_solver
+    return get_default_solver().chase(query, dependencies, config)
 
 
 def r_chase(query: ConjunctiveQuery, dependencies: DependencySet,

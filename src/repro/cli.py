@@ -11,26 +11,45 @@ driven from a shell::
                     --query "Q(c) :- R(a, b, c)" --max-level 4 --variant O
     repro minimize  --schema schema.txt --deps deps.txt --query "..."
     repro infer-ind --schema schema.txt --deps deps.txt --candidate "R[a] <= S[b]"
+    repro batch     --schema schema.txt --deps deps.txt --input questions.jsonl
+
+Every subcommand accepts ``--json`` for machine-readable output, so the
+CLI composes with scripts.  One :class:`~repro.api.solver.Solver` is built
+per invocation and shared by whatever the command does, so multi-question
+commands (``batch``, ``minimize``) reuse chases and classifications across
+their internal containment calls.
+
+``batch`` reads containment questions as JSON lines — objects with
+``query`` and ``query_prime`` keys and an optional ``id`` — and emits one
+JSON result line per question (``-`` reads stdin).
 
 Exit status: 0 when the asked question's answer is "yes" (contained /
-implied / some conjunct removed), 1 when it is "no", 2 on usage or input
-errors.  ``--deps`` may be omitted for the dependency-free case.
+implied / some conjunct removed / every batch question holds), 1 when it
+is "no", 2 on usage or input errors.  ``--deps`` may be omitted for the
+dependency-free case.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.chase.engine import ChaseVariant, o_chase, r_chase
-from repro.containment.decision import is_contained
-from repro.containment.serialization import certificate_to_json
+from repro.api.config import SolverConfig
+from repro.api.requests import ContainmentRequest
+from repro.api.solver import Solver
+from repro.containment.serialization import (
+    certificate_to_json,
+    chase_result_to_dict,
+    containment_result_to_dict,
+    optimization_report_to_dict,
+)
+from repro.chase.engine import ChaseConfig, ChaseVariant
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.ind_inference import ind_implied_by_axioms
 from repro.exceptions import ReproError
-from repro.optimizer.pipeline import optimize
 from repro.parser.dependency_parser import parse_dependencies, parse_dependency
 from repro.parser.query_parser import parse_query
 from repro.parser.schema_parser import parse_schema
@@ -63,11 +82,18 @@ def _load_dependencies(argument: Optional[str], schema) -> DependencySet:
     return parse_dependencies(_read_text(argument), schema)
 
 
-def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+def _emit_json(data) -> None:
+    print(json.dumps(data, indent=2, sort_keys=True, default=str))
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser,
+                          json_help: str = "emit a machine-readable JSON document "
+                                           "instead of prose") -> None:
     parser.add_argument("--schema", required=True,
                         help="schema file or inline text (one relation per line)")
     parser.add_argument("--deps", default=None,
                         help="dependency file or inline text (FDs and INDs, one per line)")
+    parser.add_argument("--json", action="store_true", help=json_help)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,49 +133,74 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(infer)
     infer.add_argument("--candidate", required=True,
                        help="the candidate IND, e.g. 'R[a] <= S[b]'")
+
+    batch = subparsers.add_parser(
+        "batch", help="answer many containment questions from a JSON-lines file")
+    _add_common_arguments(
+        batch, json_help="accepted for symmetry; batch output is always JSON lines")
+    batch.add_argument("--input", required=True,
+                       help="JSON-lines file of {\"query\": ..., \"query_prime\": ..., "
+                            "\"id\": ...} questions, or '-' for stdin")
+    batch.add_argument("--max-conjuncts", type=int, default=20_000,
+                       help="chase size budget per question (default 20000)")
+    batch.add_argument("--parallelism", type=int, default=None,
+                       help="worker threads for the batch (default: sequential)")
+    batch.add_argument("--summary", action="store_true",
+                       help="print a run summary (counts, cache hit rate) to stderr")
     return parser
 
 
-def _command_contain(options: argparse.Namespace) -> int:
+def _command_contain(options: argparse.Namespace, solver: Solver) -> int:
     schema = _load_schema(options.schema)
     sigma = _load_dependencies(options.deps, schema)
     query = parse_query(_read_text(options.query), schema)
     query_prime = parse_query(_read_text(options.query_prime), schema)
-    result = is_contained(query, query_prime, sigma,
-                          max_conjuncts=options.max_conjuncts,
-                          with_certificate=options.certificate is not None)
-    print(result.describe())
+    result = solver.is_contained(query, query_prime, sigma,
+                                 max_conjuncts=options.max_conjuncts,
+                                 with_certificate=options.certificate is not None)
+    if options.json:
+        _emit_json(containment_result_to_dict(result))
+    else:
+        print(result.describe())
     if result.holds and options.certificate and result.certificate is not None:
         Path(options.certificate).write_text(certificate_to_json(result.certificate))
-        print(f"certificate written to {options.certificate}")
-    if not result.certain:
+        if not options.json:
+            print(f"certificate written to {options.certificate}")
+    if not result.certain and not options.json:
         print("warning: the answer is not certain (budget exhausted or Σ outside "
               "the decidable classes)")
     return EXIT_YES if result.holds else EXIT_NO
 
 
-def _command_chase(options: argparse.Namespace) -> int:
+def _command_chase(options: argparse.Namespace, solver: Solver) -> int:
     schema = _load_schema(options.schema)
     sigma = _load_dependencies(options.deps, schema)
     query = parse_query(_read_text(options.query), schema)
-    builder = r_chase if options.variant == "R" else o_chase
-    result = builder(query, sigma, max_level=options.max_level)
-    print(result.describe())
-    if options.trace:
-        print(result.trace.describe())
+    variant = ChaseVariant.RESTRICTED if options.variant == "R" else ChaseVariant.OBLIVIOUS
+    config = ChaseConfig(variant=variant, max_level=options.max_level)
+    result = solver.chase(query, sigma, config)
+    if options.json:
+        _emit_json(chase_result_to_dict(result, include_trace=options.trace))
+    else:
+        print(result.describe())
+        if options.trace:
+            print(result.trace.describe())
     return EXIT_YES
 
 
-def _command_minimize(options: argparse.Namespace) -> int:
+def _command_minimize(options: argparse.Namespace, solver: Solver) -> int:
     schema = _load_schema(options.schema)
     sigma = _load_dependencies(options.deps, schema)
     query = parse_query(_read_text(options.query), schema)
-    report = optimize(query, sigma)
-    print(report.describe())
+    report = solver.optimize(query, sigma)
+    if options.json:
+        _emit_json(optimization_report_to_dict(report))
+    else:
+        print(report.describe())
     return EXIT_YES if report.conjuncts_removed > 0 else EXIT_NO
 
 
-def _command_infer_ind(options: argparse.Namespace) -> int:
+def _command_infer_ind(options: argparse.Namespace, solver: Solver) -> int:
     schema = _load_schema(options.schema)
     sigma = _load_dependencies(options.deps, schema)
     parsed = parse_dependency(_read_text(options.candidate))
@@ -160,8 +211,91 @@ def _command_infer_ind(options: argparse.Namespace) -> int:
         return EXIT_ERROR
     candidate = candidates[0]
     implied = ind_implied_by_axioms(sigma.inclusion_dependencies(), candidate, schema)
-    print(f"{candidate}: {'implied' if implied else 'not implied'} by the declared INDs")
+    if options.json:
+        _emit_json({"candidate": str(candidate), "implied": implied})
+    else:
+        print(f"{candidate}: {'implied' if implied else 'not implied'} by the declared INDs")
     return EXIT_YES if implied else EXIT_NO
+
+
+# -- batch ------------------------------------------------------------------
+
+
+def _iter_batch_questions(text: str) -> Iterator[Tuple[int, dict]]:
+    """Parse JSON-lines questions, skipping blanks and ``#`` comments."""
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            raise ReproError(
+                f"input line {line_number} is not valid JSON: {error}") from error
+        if not isinstance(record, dict) or "query" not in record or "query_prime" not in record:
+            raise ReproError(
+                f"input line {line_number} must be an object with 'query' and "
+                "'query_prime' keys")
+        for key in ("query", "query_prime"):
+            if not isinstance(record[key], str):
+                raise ReproError(
+                    f"input line {line_number}: {key!r} must be a string, "
+                    f"got {type(record[key]).__name__}")
+        yield line_number, record
+
+
+def _command_batch(options: argparse.Namespace, solver: Solver) -> int:
+    schema = _load_schema(options.schema)
+    sigma = _load_dependencies(options.deps, schema)
+    text = sys.stdin.read() if options.input == "-" else _read_text(options.input)
+
+    requests: List[ContainmentRequest] = []
+    identifiers: List[str] = []
+    config = solver.config.derive(max_conjuncts=options.max_conjuncts)
+    for line_number, record in _iter_batch_questions(text):
+        try:
+            query = parse_query(record["query"], schema)
+            query_prime = parse_query(record["query_prime"], schema)
+        except ReproError as error:
+            raise ReproError(f"input line {line_number}: {error}") from error
+        identifier = str(record.get("id", line_number))
+        identifiers.append(identifier)
+        requests.append(ContainmentRequest(
+            query, query_prime, sigma, config=config, tag=identifier))
+
+    responses = solver.solve_many(
+        requests, parallelism=options.parallelism,
+        executor="thread" if options.parallelism else "serial")
+
+    all_hold = True
+    for identifier, request, response in zip(identifiers, requests, responses):
+        result = response.result
+        all_hold = all_hold and result.holds
+        print(json.dumps({
+            "id": identifier,
+            "query": str(request.query),
+            "query_prime": str(request.query_prime),
+            "holds": result.holds,
+            "certain": result.certain,
+            "method": result.method,
+            "reason": result.reason,
+            "chase_size": result.chase_size,
+            "elapsed_s": round(response.elapsed_s, 6),
+            "cache_hit": response.cache_hit,
+        }, sort_keys=True))
+
+    if options.summary:
+        info = solver.cache_info()["containment"]
+        print(
+            f"batch: {len(responses)} questions, "
+            f"{sum(1 for r in responses if r.holds)} hold, "
+            f"{sum(1 for r in responses if not r.certain)} uncertain, "
+            f"containment cache hit rate {info.hit_rate:.0%}",
+            file=sys.stderr)
+    if not responses:
+        print("error: the input contained no questions", file=sys.stderr)
+        return EXIT_ERROR
+    return EXIT_YES if all_hold else EXIT_NO
 
 
 _COMMANDS = {
@@ -169,15 +303,21 @@ _COMMANDS = {
     "chase": _command_chase,
     "minimize": _command_minimize,
     "infer-ind": _command_infer_ind,
+    "batch": _command_batch,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Entry point; returns the process exit status."""
+    """Entry point; returns the process exit status.
+
+    One Solver serves the whole invocation, so commands that ask several
+    containment questions internally share its chase and result caches.
+    """
     parser = build_parser()
     options = parser.parse_args(argv)
+    solver = Solver(SolverConfig())
     try:
-        return _COMMANDS[options.command](options)
+        return _COMMANDS[options.command](options, solver)
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_ERROR

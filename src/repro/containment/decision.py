@@ -15,44 +15,45 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.chase.engine import ChaseVariant
-from repro.containment.fd_containment import contained_under_fds
-from repro.containment.ind_containment import contained_under_bounded_chase
-from repro.containment.no_dependencies import contained_without_dependencies
 from repro.containment.result import ContainmentResult
-from repro.dependencies.dependency_set import DependencyClass, DependencySet
+from repro.dependencies.dependency_set import DependencySet
 from repro.queries.conjunctive_query import ConjunctiveQuery
-
 
 def is_contained(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
                  dependencies: Optional[DependencySet] = None,
-                 variant: ChaseVariant = ChaseVariant.RESTRICTED,
+                 variant: Optional[ChaseVariant] = None,
                  level_bound: Optional[int] = None,
-                 max_conjuncts: int = 20_000,
-                 record_trace: bool = False,
-                 with_certificate: bool = False,
-                 deepening: bool = True) -> ContainmentResult:
+                 max_conjuncts: Optional[int] = None,
+                 record_trace: Optional[bool] = None,
+                 with_certificate: Optional[bool] = None,
+                 deepening: Optional[bool] = None) -> ContainmentResult:
     """Decide ``Σ ⊨ Q ⊆∞ Q'`` and return a detailed result object.
 
     ``dependencies=None`` (or an empty set) is the dependency-free case.
     The result's ``holds``/``certain`` flags carry the answer; its
     ``homomorphism`` field carries the witnessing containment mapping when
     containment holds.
+
+    This is a thin wrapper over the process-wide default
+    :class:`~repro.api.solver.Solver`; repeated questions are answered
+    from its cross-call caches.  Each tuning argument defaults to ``None``,
+    meaning "use the default solver's session config" — whose own defaults
+    are the historical ones (R-chase, computed level bound, 20 000-conjunct
+    budget, no trace, no certificate, iterative deepening) — while an
+    explicitly passed value overrides the session for this call.  Build a
+    dedicated ``Solver`` for isolated cache lifetimes or per-session
+    configuration.
     """
-    sigma = dependencies if dependencies is not None else DependencySet()
-    classification = sigma.classify(query.input_schema)
-
-    if classification is DependencyClass.EMPTY:
-        return contained_without_dependencies(query, query_prime)
-    if classification is DependencyClass.FD_ONLY:
-        return contained_under_fds(query, query_prime, sigma)
-
-    exact = classification in (DependencyClass.IND_ONLY, DependencyClass.KEY_BASED)
-    return contained_under_bounded_chase(
-        query, query_prime, sigma,
-        variant=variant, level_bound=level_bound,
-        max_conjuncts=max_conjuncts, exact=exact, record_trace=record_trace,
-        with_certificate=with_certificate, deepening=deepening,
-    )
+    from repro.api.solver import get_default_solver
+    supplied = {
+        "variant": variant, "level_bound": level_bound,
+        "max_conjuncts": max_conjuncts, "record_trace": record_trace,
+        "with_certificate": with_certificate, "deepening": deepening,
+    }
+    overrides = {key: value for key, value in supplied.items()
+                 if value is not None}
+    return get_default_solver().is_contained(
+        query, query_prime, dependencies, **overrides)
 
 
 def contains(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,

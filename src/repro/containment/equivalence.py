@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.containment.decision import is_contained
 from repro.containment.result import ContainmentResult
 from repro.dependencies.dependency_set import DependencySet
 from repro.exceptions import QueryError
@@ -33,56 +32,71 @@ def _without_conjunct_or_none(query: ConjunctiveQuery, label: str) -> Optional[C
 
 def are_equivalent(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
                    dependencies: Optional[DependencySet] = None,
+                   solver=None,
                    **options) -> bool:
     """``Σ ⊨ Q ≡∞ Q'``: containment in both directions.
 
     Raises :class:`~repro.exceptions.ContainmentUndecided` if either
-    direction could not be decided with certainty.
+    direction could not be decided with certainty.  ``solver`` is the
+    :class:`~repro.api.solver.Solver` whose caches back the checks;
+    ``None`` uses the process-wide default.
     """
-    forward = is_contained(query, query_prime, dependencies, **options)
+    from repro.api.solver import resolve_solver
+    session = resolve_solver(solver)
+    forward = session.is_contained(query, query_prime, dependencies, **options)
     if forward.certain and not forward.holds:
         return False
-    backward = is_contained(query_prime, query, dependencies, **options)
+    backward = session.is_contained(query_prime, query, dependencies, **options)
     return bool(forward) and bool(backward)
 
 
 def equivalence_results(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
                         dependencies: Optional[DependencySet] = None,
+                        solver=None,
                         **options) -> Tuple[ContainmentResult, ContainmentResult]:
     """Both directions' full results (for reports and benchmarks)."""
-    forward = is_contained(query, query_prime, dependencies, **options)
-    backward = is_contained(query_prime, query, dependencies, **options)
+    from repro.api.solver import resolve_solver
+    session = resolve_solver(solver)
+    forward = session.is_contained(query, query_prime, dependencies, **options)
+    backward = session.is_contained(query_prime, query, dependencies, **options)
     return forward, backward
 
 
 def removable_conjuncts_under(query: ConjunctiveQuery,
                               dependencies: Optional[DependencySet] = None,
+                              solver=None,
                               **options) -> List[str]:
     """Labels of conjuncts removable without changing the query under Σ.
 
     A conjunct c is removable iff ``Σ ⊨ (Q without c) ⊆ Q`` — the other
     direction always holds because removing a conjunct weakens the query.
     """
+    from repro.api.solver import resolve_solver
+    session = resolve_solver(solver)
     removable: List[str] = []
     if len(query) <= 1:
         return removable
     for conjunct in query.conjuncts:
         reduced = _without_conjunct_or_none(query, conjunct.label)
-        if reduced is not None and bool(is_contained(reduced, query, dependencies, **options)):
+        if reduced is not None and bool(
+                session.is_contained(reduced, query, dependencies, **options)):
             removable.append(conjunct.label)
     return removable
 
 
 def is_minimal_under(query: ConjunctiveQuery,
                      dependencies: Optional[DependencySet] = None,
+                     solver=None,
                      **options) -> bool:
     """True if no single conjunct can be dropped without changing Q under Σ."""
-    return not removable_conjuncts_under(query, dependencies, **options)
+    return not removable_conjuncts_under(query, dependencies, solver=solver,
+                                         **options)
 
 
 def minimize_under(query: ConjunctiveQuery,
                    dependencies: Optional[DependencySet] = None,
                    name: Optional[str] = None,
+                   solver=None,
                    **options) -> ConjunctiveQuery:
     """Greedily drop removable conjuncts until the query is minimal under Σ.
 
@@ -90,13 +104,16 @@ def minimize_under(query: ConjunctiveQuery,
     final query is an equivalent minimal form.  (Unlike the dependency-free
     core it need not be unique, but it is always correct.)
     """
+    from repro.api.solver import resolve_solver
+    session = resolve_solver(solver)
     current = query
     changed = True
     while changed and len(current) > 1:
         changed = False
         for conjunct in current.conjuncts:
             reduced = _without_conjunct_or_none(current, conjunct.label)
-            if reduced is not None and bool(is_contained(reduced, query, dependencies, **options)):
+            if reduced is not None and bool(
+                    session.is_contained(reduced, query, dependencies, **options)):
                 current = reduced
                 changed = True
                 break

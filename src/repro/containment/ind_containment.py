@@ -22,9 +22,12 @@ holds vacuously.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.chase.engine import ChaseConfig, ChaseResult, ChaseVariant, chase
+
+#: Builds (or fetches from a cache) the chase of a query under a config.
+ChaseFn = Callable[["ConjunctiveQuery", "DependencySet", ChaseConfig], ChaseResult]
 from repro.containment.bounds import theorem2_level_bound
 from repro.containment.certificates import build_certificate
 from repro.containment.result import ContainmentResult
@@ -59,7 +62,8 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
                                   exact: bool = True,
                                   record_trace: bool = False,
                                   with_certificate: bool = False,
-                                  deepening: bool = True) -> ContainmentResult:
+                                  deepening: bool = True,
+                                  chase_fn: Optional[ChaseFn] = None) -> ContainmentResult:
     """The Theorem 2 decision procedure (sound semi-decision for general Σ).
 
     Parameters
@@ -83,16 +87,22 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
         Use the iterative-deepening schedule (default).  With ``False`` the
         chase is built straight to the level bound in one shot — the
         ablation benchmarked in experiment E13.
+    chase_fn:
+        How to obtain the chase of Q for a given config.  A
+        :class:`~repro.api.solver.Solver` passes its caching chase here so
+        chase prefixes are shared across containment questions; ``None``
+        uses the module-level :func:`~repro.chase.engine.chase`.
     """
     query.require_same_interface(query_prime)
     bound = level_bound if level_bound is not None else theorem2_level_bound(query_prime, dependencies)
+    build_chase = chase_fn if chase_fn is not None else chase
 
     schedule = _deepening_schedule(bound) if deepening else [bound]
     last_chase: Optional[ChaseResult] = None
     for level in schedule:
         config = ChaseConfig(variant=variant, max_level=level,
                              max_conjuncts=max_conjuncts, record_trace=record_trace)
-        chase_result = chase(query, dependencies, config)
+        chase_result = build_chase(query, dependencies, config)
         last_chase = chase_result
 
         if chase_result.failed:

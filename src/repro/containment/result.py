@@ -12,6 +12,11 @@ from repro.exceptions import ContainmentUndecided
 class ContainmentResult:
     """Outcome of testing ``Σ ⊨ Q ⊆∞ Q'``.
 
+    Results may be shared across calls by a solver's cross-call cache, so
+    treat them (including the ``homomorphism`` mapping) as immutable; copy
+    before annotating.  Certificates are exempt — a result carrying one is
+    never served from a cache precisely so the certificate can be mutated.
+
     Attributes
     ----------
     holds:

@@ -221,6 +221,94 @@ def certificate_from_dict(data: Dict[str, Any]) -> ContainmentCertificate:
     )
 
 
+# ---------------------------------------------------------------------------
+# Results and reports (the CLI's --json output)
+# ---------------------------------------------------------------------------
+
+
+def homomorphism_to_dict(mapping: Dict[Any, Any]) -> List[Dict[str, Any]]:
+    """A containment mapping as a list of tagged (variable, image) pairs."""
+    return [
+        {"variable": term_to_dict(variable), "image": term_to_dict(image)}
+        for variable, image in mapping.items()
+    ]
+
+
+def containment_result_to_dict(result: "ContainmentResult") -> Dict[str, Any]:
+    """A :class:`ContainmentResult` as plain JSON-ready data.
+
+    The certificate, when present, is embedded in its own versioned
+    format (the one :func:`certificate_to_dict` produces).
+    """
+    data: Dict[str, Any] = {
+        "holds": result.holds,
+        "certain": result.certain,
+        "method": result.method,
+        "reason": result.reason,
+        "levels_built": result.levels_built,
+        "chase_size": result.chase_size,
+        "level_bound": result.level_bound,
+    }
+    if result.homomorphism is not None:
+        data["homomorphism"] = homomorphism_to_dict(result.homomorphism)
+    if result.certificate is not None:
+        data["certificate"] = certificate_to_dict(result.certificate)
+    return data
+
+
+def chase_result_to_dict(result: "ChaseResult",
+                         include_trace: bool = False) -> Dict[str, Any]:
+    """A chase outcome (status, statistics, per-level conjuncts) as data.
+
+    ``include_trace`` adds the application trace as one human-readable
+    line per recorded step (empty when the run had ``record_trace`` off).
+    """
+    data: Dict[str, Any] = {
+        "query": result.query.name,
+        "variant": result.variant.value,
+        "failed": result.failed,
+        "saturated": result.saturated,
+        "truncated": result.truncated,
+        "max_level": result.max_level(),
+        "statistics": {
+            "fd_steps": result.statistics.fd_steps,
+            "ind_steps": result.statistics.ind_steps,
+            "redundant_ind_applications": result.statistics.redundant_ind_applications,
+            "merged_conjuncts": result.statistics.merged_conjuncts,
+        },
+        "level_histogram": {str(level): count for level, count
+                            in sorted(result.level_histogram().items())},
+        "conjuncts": [] if result.failed else [
+            dict(conjunct_to_dict(node.conjunct), level=node.level)
+            for node in result.graph
+        ],
+    }
+    if include_trace:
+        data["trace"] = [step.describe() for step in result.trace]
+    return data
+
+
+def optimization_report_to_dict(report: "OptimizationReport") -> Dict[str, Any]:
+    """An :class:`OptimizationReport` as data (queries fully serialized)."""
+    return {
+        "original": query_to_dict(report.original),
+        "optimized": query_to_dict(report.optimized),
+        "original_text": str(report.original),
+        "optimized_text": str(report.optimized),
+        "unsatisfiable": report.unsatisfiable,
+        "conjuncts_removed": report.conjuncts_removed,
+        "steps": [
+            {
+                "stage": step.stage,
+                "description": step.description,
+                "removed_conjunct": (conjunct_to_dict(step.removed_conjunct)
+                                     if step.removed_conjunct is not None else None),
+            }
+            for step in report.steps
+        ],
+    }
+
+
 def certificate_to_json(certificate: ContainmentCertificate, indent: int = 2) -> str:
     """Export a certificate as a JSON string."""
     return json.dumps(certificate_to_dict(certificate), indent=indent, sort_keys=True)

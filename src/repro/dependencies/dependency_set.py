@@ -17,6 +17,7 @@ the key-based test exactly as defined in Section 2.
 
 from __future__ import annotations
 
+import hashlib
 from enum import Enum
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -51,6 +52,8 @@ class DependencySet:
         self._dependencies: List[Dependency] = []
         self._seen: Set[Dependency] = set()
         self._schema = schema
+        self._classify_cache: Dict[Optional[Tuple], DependencyClass] = {}
+        self._fingerprint: Optional[str] = None
         for dependency in dependencies or ():
             self.add(dependency)
 
@@ -67,6 +70,8 @@ class DependencySet:
                 dependency.validate(self._schema)
             self._dependencies.append(dependency)
             self._seen.add(dependency)
+            self._classify_cache.clear()
+            self._fingerprint = None
         return self
 
     def union(self, other: "DependencySet") -> "DependencySet":
@@ -142,6 +147,29 @@ class DependencySet:
     def size(self) -> int:
         """|Σ|: the number of dependencies."""
         return len(self._dependencies)
+
+    # -- identity -----------------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable content hash of Σ, usable as a cache key.
+
+        Two DependencySets that compare equal (same dependencies, in any
+        insertion order) have the same fingerprint; the digest is stable
+        across processes, so it can key on-disk or cross-service caches.
+        Mutating the set via :meth:`add` invalidates the memoised value.
+        """
+        if self._fingerprint is None:
+            lines = sorted(
+                f"{type(dependency).__name__}|{dependency}"
+                for dependency in self._dependencies
+            )
+            digest = hashlib.sha256("\n".join(lines).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    @staticmethod
+    def _schema_signature(schema: Optional[DatabaseSchema]) -> Optional[Tuple]:
+        return schema.signature() if schema is not None else None
 
     # -- validation ---------------------------------------------------------------------------
 
@@ -235,14 +263,29 @@ class DependencySet:
         return True
 
     def classify(self, schema: Optional[DatabaseSchema] = None) -> DependencyClass:
-        """Which of the paper's cases Σ falls into."""
+        """Which of the paper's cases Σ falls into.
+
+        The answer depends only on the dependencies and the schema, both of
+        which are classified per content, so it is memoised: a frozen Σ
+        re-used across many containment calls is classified once.  The
+        cache is invalidated whenever :meth:`add` changes the set.
+        """
+        target = schema or self._schema
+        key = self._schema_signature(target)
+        cached = self._classify_cache.get(key)
+        if cached is not None:
+            return cached
+        classification = self._classify_uncached(target)
+        self._classify_cache[key] = classification
+        return classification
+
+    def _classify_uncached(self, target: Optional[DatabaseSchema]) -> DependencyClass:
         if self.is_empty():
             return DependencyClass.EMPTY
         if self.is_fd_only():
             return DependencyClass.FD_ONLY
         if self.is_ind_only():
             return DependencyClass.IND_ONLY
-        target = schema or self._schema
         if target is not None and self.is_key_based(target):
             return DependencyClass.KEY_BASED
         return DependencyClass.GENERAL

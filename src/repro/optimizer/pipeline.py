@@ -26,7 +26,6 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.chase.fd_chase import fd_only_chase
-from repro.containment.decision import is_contained
 from repro.containment.equivalence import are_equivalent
 from repro.containment.result import ContainmentResult
 from repro.dependencies.dependency_set import DependencySet
@@ -122,6 +121,7 @@ def simplify_with_fds(query: ConjunctiveQuery, dependencies: DependencySet,
 
 def eliminate_redundant_joins(query: ConjunctiveQuery, dependencies: DependencySet,
                               steps: Optional[List[RewriteStep]] = None,
+                              solver=None,
                               **containment_options) -> ConjunctiveQuery:
     """Stage 2: drop conjuncts whose existence Σ guarantees.
 
@@ -129,6 +129,8 @@ def eliminate_redundant_joins(query: ConjunctiveQuery, dependencies: DependencyS
     original under Σ (the reverse containment is automatic).  Conjuncts
     whose removal would make the query unsafe are never candidates.
     """
+    from repro.api.solver import resolve_solver
+    session = resolve_solver(solver)
     current = query
     changed = True
     while changed and len(current) > 1:
@@ -138,7 +140,8 @@ def eliminate_redundant_joins(query: ConjunctiveQuery, dependencies: DependencyS
                 reduced = current.without_conjunct(conjunct.label)
             except QueryError:
                 continue
-            verdict = is_contained(reduced, query, dependencies, **containment_options)
+            verdict = session.is_contained(reduced, query, dependencies,
+                                           **containment_options)
             if verdict.certain and verdict.holds:
                 if steps is not None:
                     steps.append(RewriteStep(
@@ -155,8 +158,14 @@ def eliminate_redundant_joins(query: ConjunctiveQuery, dependencies: DependencyS
 
 
 def optimize(query: ConjunctiveQuery, dependencies: Optional[DependencySet] = None,
-             name: Optional[str] = None, **containment_options) -> OptimizationReport:
-    """Run the full pipeline and return the audited report."""
+             name: Optional[str] = None, solver=None,
+             **containment_options) -> OptimizationReport:
+    """Run the full pipeline and return the audited report.
+
+    ``solver`` is the :class:`~repro.api.solver.Solver` whose caches back
+    the join-elimination containment checks; ``None`` uses the process-wide
+    default solver.
+    """
     sigma = dependencies if dependencies is not None else DependencySet()
     steps: List[RewriteStep] = []
 
@@ -168,6 +177,7 @@ def optimize(query: ConjunctiveQuery, dependencies: Optional[DependencySet] = No
         )
 
     eliminated = eliminate_redundant_joins(simplified, sigma, steps,
+                                           solver=solver,
                                            **containment_options)
 
     before_core = len(eliminated)

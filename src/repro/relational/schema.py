@@ -182,6 +182,17 @@ class DatabaseSchema:
     def relation_names(self) -> List[str]:
         return list(self._relations)
 
+    def signature(self) -> Tuple[Tuple[str, Tuple[str, ...]], ...]:
+        """A hashable content projection of the schema.
+
+        Two schemas whose relations have the same names and attribute
+        names (in order) share a signature; content-addressed caches
+        (dependency classification, the solver's fingerprints) key on it
+        so mutating a schema in place cannot serve stale entries.
+        """
+        return tuple(
+            (relation.name, relation.attribute_names) for relation in self)
+
     def restricted_to(self, names: Iterable[str]) -> "DatabaseSchema":
         """A new schema containing only the listed relations."""
         return DatabaseSchema(self.relation(name) for name in names)
