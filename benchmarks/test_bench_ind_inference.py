@@ -13,7 +13,6 @@ from repro.dependencies.ind_inference import (
     ind_implied_by_axioms,
     ind_implied_via_containment,
 )
-from repro.relational.schema import DatabaseSchema
 from repro.workloads.schema_generator import SchemaGenerator
 
 

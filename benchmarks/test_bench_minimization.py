@@ -13,7 +13,6 @@ from repro.containment.equivalence import is_minimal_under, minimize_under
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
-from repro.queries.builder import QueryBuilder
 from repro.queries.minimization import is_minimal
 from repro.workloads.query_generator import QueryGenerator
 from repro.workloads.schema_generator import SchemaGenerator

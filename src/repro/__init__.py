@@ -57,6 +57,7 @@ from repro.exceptions import (
     QueryError,
     ReproError,
     SchemaError,
+    ViewError,
 )
 from repro.relational import (
     Attribute,
@@ -119,6 +120,14 @@ from repro.containment import (
     theorem2_level_bound,
 )
 from repro.optimizer import OptimizationReport, optimize
+from repro.views import (
+    RewriteReport,
+    Rewriting,
+    View,
+    ViewCatalog,
+    expand_query,
+    rewrite_with_views,
+)
 from repro.api import (
     ChaseRequest,
     ChaseResponse,
@@ -127,6 +136,8 @@ from repro.api import (
     OptimizeRequest,
     OptimizeResponse,
     PairwiseContainment,
+    RewriteRequest,
+    RewriteResponse,
     Solver,
     SolverConfig,
     get_default_solver,
@@ -134,7 +145,7 @@ from repro.api import (
     set_default_solver,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Attribute",
@@ -176,11 +187,18 @@ __all__ = [
     "RelationInstance",
     "RelationSchema",
     "ReproError",
+    "RewriteReport",
+    "RewriteRequest",
+    "RewriteResponse",
+    "Rewriting",
     "SchemaError",
     "Solver",
     "SolverConfig",
     "Substitution",
     "Variable",
+    "View",
+    "ViewCatalog",
+    "ViewError",
     "are_equivalent",
     "attribute_closure",
     "canonical_database",
@@ -191,6 +209,7 @@ __all__ = [
     "core_of",
     "database_satisfies",
     "evaluate",
+    "expand_query",
     "fd_chase_query",
     "fd_implies",
     "finite_containment_sample",
@@ -206,6 +225,7 @@ __all__ = [
     "optimize",
     "r_chase",
     "reset_default_solver",
+    "rewrite_with_views",
     "section4_counterexample",
     "set_default_solver",
     "theorem2_level_bound",

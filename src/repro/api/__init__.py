@@ -20,7 +20,12 @@ gains the cross-call caches.
 
 from repro.api.cache import CacheInfo, LRUCache
 from repro.api.config import LEGACY_CONTAINMENT_KWARGS, SolverConfig
-from repro.api.fingerprints import dependency_fingerprint, query_fingerprint
+from repro.api.fingerprints import (
+    catalog_fingerprint,
+    dependency_fingerprint,
+    query_fingerprint,
+    view_fingerprint,
+)
 from repro.api.requests import (
     BudgetUsage,
     ChaseRequest,
@@ -30,6 +35,8 @@ from repro.api.requests import (
     OptimizeRequest,
     OptimizeResponse,
     PairwiseContainment,
+    RewriteRequest,
+    RewriteResponse,
     SolveRequest,
     SolveResponse,
 )
@@ -54,15 +61,19 @@ __all__ = [
     "OptimizeRequest",
     "OptimizeResponse",
     "PairwiseContainment",
+    "RewriteRequest",
+    "RewriteResponse",
     "SolveRequest",
     "SolveResponse",
     "Solver",
     "SolverConfig",
     "SolverStats",
+    "catalog_fingerprint",
     "dependency_fingerprint",
     "get_default_solver",
     "query_fingerprint",
     "reset_default_solver",
     "resolve_solver",
     "set_default_solver",
+    "view_fingerprint",
 ]

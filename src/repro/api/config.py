@@ -59,11 +59,23 @@ class SolverConfig:
         Budgets for :class:`~repro.api.requests.ChaseRequest` runs and the
         legacy ``chase()`` wrapper.
 
+    View-rewriting knobs (used by :meth:`Solver.rewrite`):
+
+    rewrite_max_images:
+        Cap on the number of view images collected from the chase.
+    rewrite_max_combination_size:
+        Most view atoms a candidate rewriting may combine.
+    rewrite_max_candidates:
+        Cap on the number of candidates submitted for certification.
+    rewrite_chase_level:
+        Chase depth for view matching; ``None`` sizes it from the
+        catalog's largest view body.
+
     Session knobs:
 
-    containment_cache_size / chase_cache_size:
-        LRU capacities for the cross-call result and chase caches
-        (``0`` disables the cache).
+    containment_cache_size / chase_cache_size / rewrite_cache_size:
+        LRU capacities for the cross-call result, chase, and rewrite
+        caches (``0`` disables the cache).
     parallelism:
         Default worker count for ``solve_many`` (``None`` = sequential).
     executor:
@@ -82,8 +94,14 @@ class SolverConfig:
     chase_max_steps: Optional[int] = None
     chase_record_trace: bool = True
 
+    rewrite_max_images: int = 64
+    rewrite_max_combination_size: int = 2
+    rewrite_max_candidates: int = 256
+    rewrite_chase_level: Optional[int] = None
+
     containment_cache_size: int = 1_024
     chase_cache_size: int = 256
+    rewrite_cache_size: int = 256
     parallelism: Optional[int] = None
     executor: str = "thread"
 
@@ -97,8 +115,14 @@ class SolverConfig:
             raise ReproError("chase_max_conjuncts must be positive")
         if self.level_bound is not None and self.level_bound < 0:
             raise ReproError("level_bound must be non-negative")
-        if self.containment_cache_size < 0 or self.chase_cache_size < 0:
+        if (self.containment_cache_size < 0 or self.chase_cache_size < 0
+                or self.rewrite_cache_size < 0):
             raise ReproError("cache sizes must be non-negative")
+        if (self.rewrite_max_images <= 0 or self.rewrite_max_combination_size <= 0
+                or self.rewrite_max_candidates <= 0):
+            raise ReproError("rewrite budgets must be positive")
+        if self.rewrite_chase_level is not None and self.rewrite_chase_level < 0:
+            raise ReproError("rewrite_chase_level must be non-negative")
         if self.parallelism is not None and self.parallelism <= 0:
             raise ReproError("parallelism must be positive (or None for sequential)")
         if self.executor not in EXECUTORS:
@@ -129,6 +153,20 @@ class SolverConfig:
         """The fields that can change a containment answer (cache key part)."""
         return (self.variant, self.level_bound, self.max_conjuncts,
                 self.record_trace, self.with_certificate, self.deepening)
+
+    def rewrite_key(self) -> Tuple:
+        """The fields that can change a rewrite report (cache key part).
+
+        Includes the containment key (certification goes through the
+        containment procedure) and the matching chase's conjunct budget.
+        """
+        return self.containment_key() + (
+            self.chase_max_conjuncts,
+            self.rewrite_max_images,
+            self.rewrite_max_combination_size,
+            self.rewrite_max_candidates,
+            self.rewrite_chase_level,
+        )
 
     def chase_config(self, max_level: Optional[int] = None) -> ChaseConfig:
         """A :class:`ChaseConfig` for stand-alone chase runs.

@@ -67,3 +67,27 @@ def dependency_fingerprint(dependencies: Optional[DependencySet]) -> str:
     if dependencies is None:
         return DependencySet().fingerprint()
     return dependencies.fingerprint()
+
+
+def view_fingerprint(view) -> str:
+    """Digest of one view: its name plus its defining query's content.
+
+    The name is included — unlike a query's display name it is semantic,
+    because rewritings contain atoms over it.
+    """
+    payload = f"{view.name}\n{query_fingerprint(view.definition)}"
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def catalog_fingerprint(catalog) -> str:
+    """Digest of a view catalog (insertion-order insensitive).
+
+    Keys the solver's rewrite cache together with the query and Σ
+    fingerprints; two catalogs holding the same views over the same base
+    schema fingerprint identically.
+    """
+    payload = "\n".join((
+        schema_signature(catalog.base_schema),
+        "\n".join(sorted(view_fingerprint(view) for view in catalog)),
+    ))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -19,6 +19,9 @@ from repro.containment.result import ContainmentResult
 from repro.dependencies.dependency_set import DependencySet
 from repro.optimizer.pipeline import OptimizationReport
 from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.views.cost import CostModel
+from repro.views.rewriting import RewriteReport, Rewriting
+from repro.views.view import ViewCatalog
 
 
 # ---------------------------------------------------------------------------
@@ -64,7 +67,24 @@ class OptimizeRequest:
     tag: Optional[str] = None
 
 
-SolveRequest = Union[ContainmentRequest, ChaseRequest, OptimizeRequest]
+@dataclass(frozen=True)
+class RewriteRequest:
+    """Rewrite ``query`` over the ``catalog``'s views via chase & backchase.
+
+    A non-default ``cost_model`` disables the rewrite cache for this call
+    (callables have no content fingerprint).
+    """
+
+    query: ConjunctiveQuery
+    catalog: ViewCatalog
+    dependencies: Optional[DependencySet] = None
+    cost_model: Optional[CostModel] = None
+    config: Optional[SolverConfig] = None
+    tag: Optional[str] = None
+
+
+SolveRequest = Union[ContainmentRequest, ChaseRequest, OptimizeRequest,
+                     RewriteRequest]
 
 
 # ---------------------------------------------------------------------------
@@ -148,6 +168,24 @@ class OptimizeResponse(SolveResponse):
 
     def describe(self) -> str:
         return f"{self.report.describe()}\n[{self.elapsed_s * 1e3:.2f} ms]"
+
+
+@dataclass(frozen=True)
+class RewriteResponse(SolveResponse):
+    report: RewriteReport = None  # type: ignore[assignment]
+
+    @property
+    def best(self) -> Optional[Rewriting]:
+        """The cheapest certified rewriting, if any."""
+        return self.report.best
+
+    @property
+    def found(self) -> bool:
+        return bool(self.report.rewritings)
+
+    def describe(self) -> str:
+        origin = "cache" if self.cache_hit else "computed"
+        return f"{self.report.describe()}\n[{origin}, {self.elapsed_s * 1e3:.2f} ms]"
 
 
 # ---------------------------------------------------------------------------

@@ -25,11 +25,15 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.cache import CacheInfo, LRUCache
 from repro.api.config import SolverConfig
-from repro.api.fingerprints import dependency_fingerprint, query_fingerprint
+from repro.api.fingerprints import (
+    catalog_fingerprint,
+    dependency_fingerprint,
+    query_fingerprint,
+)
 from repro.api.requests import (
     BudgetUsage,
     ChaseRequest,
@@ -39,6 +43,8 @@ from repro.api.requests import (
     OptimizeRequest,
     OptimizeResponse,
     PairwiseContainment,
+    RewriteRequest,
+    RewriteResponse,
     SolveRequest,
     SolveResponse,
 )
@@ -52,6 +58,9 @@ from repro.exceptions import ReproError
 from repro.optimizer.pipeline import OptimizationReport
 from repro.optimizer.pipeline import optimize as pipeline_optimize
 from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.views.cost import CostModel
+from repro.views.rewriting import RewriteReport, rewrite_with_views
+from repro.views.view import ViewCatalog
 
 
 @dataclass
@@ -65,6 +74,7 @@ class SolverStats:
     containment_requests: int = 0
     chase_requests: int = 0
     optimize_requests: int = 0
+    rewrite_requests: int = 0
     batch_calls: int = 0
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -75,7 +85,7 @@ class SolverStats:
     @property
     def total_requests(self) -> int:
         return (self.containment_requests + self.chase_requests
-                + self.optimize_requests)
+                + self.optimize_requests + self.rewrite_requests)
 
 
 class Solver:
@@ -85,6 +95,7 @@ class Solver:
         self._config = config or SolverConfig()
         self._containment_cache = LRUCache(self._config.containment_cache_size)
         self._chase_cache = LRUCache(self._config.chase_cache_size)
+        self._rewrite_cache = LRUCache(self._config.rewrite_cache_size)
         self.stats = SolverStats()
 
     @property
@@ -95,11 +106,35 @@ class Solver:
 
     def cache_info(self) -> Dict[str, CacheInfo]:
         return {"containment": self._containment_cache.info(),
-                "chase": self._chase_cache.info()}
+                "chase": self._chase_cache.info(),
+                "rewrite": self._rewrite_cache.info()}
+
+    def cache_stats(self) -> Dict[str, Dict]:
+        """Aggregated counters for every internal cache, JSON-ready.
+
+        One entry per cache (containment, chase, rewrite) plus a
+        ``total`` aggregate; surfaced in the CLI's ``--json`` output so
+        services can monitor hit rates without touching the objects.
+        """
+        infos = self.cache_info()
+        stats: Dict[str, Dict] = {name: info.as_dict()
+                                  for name, info in infos.items()}
+        hits = sum(info.hits for info in infos.values())
+        misses = sum(info.misses for info in infos.values())
+        requests = hits + misses
+        stats["total"] = {
+            "hits": hits,
+            "misses": misses,
+            "size": sum(info.size for info in infos.values()),
+            "maxsize": sum(info.maxsize for info in infos.values()),
+            "hit_rate": round(hits / requests, 4) if requests else 0.0,
+        }
+        return stats
 
     def clear_caches(self) -> None:
         self._containment_cache.clear()
         self._chase_cache.clear()
+        self._rewrite_cache.clear()
 
     def _cached_chase(self, query: ConjunctiveQuery,
                       dependencies: DependencySet,
@@ -230,6 +265,69 @@ class Solver:
         return legacy_minimize(query, dependencies, name=name, solver=self,
                                **options)
 
+    # -- view rewriting ------------------------------------------------------
+
+    def rewrite(self, query: ConjunctiveQuery, catalog: ViewCatalog,
+                dependencies: Optional[DependencySet] = None,
+                cost_model: Optional[CostModel] = None,
+                config: Optional[SolverConfig] = None) -> RewriteReport:
+        """Chase & backchase rewriting of ``query`` over ``catalog``'s views.
+
+        Reports are cached across calls keyed on the canonical
+        fingerprints of (query, catalog, Σ) plus the config fields that
+        shape the search, so re-rewriting a repeated workload costs one
+        LRU lookup.  A non-default ``cost_model`` bypasses the cache
+        (callables have no content fingerprint); the inner containment
+        and chase calls still hit their own caches either way.
+        """
+        report, _ = self._cached_rewrite(query, catalog, dependencies,
+                                         cost_model, config or self._config)
+        return report
+
+    def _cached_rewrite(self, query: ConjunctiveQuery, catalog: ViewCatalog,
+                        dependencies: Optional[DependencySet],
+                        cost_model: Optional[CostModel],
+                        config: SolverConfig) -> Tuple[RewriteReport, bool]:
+        self.stats.count("rewrite_requests")
+        sigma = dependencies if dependencies is not None else DependencySet()
+        # Mirrors _decide: certificate-bearing results are never cached
+        # (the report's rewritings embed both directions' containment
+        # results, and certificates are standalone artifacts a caller may
+        # legitimately mutate).  Cached reports are shared objects —
+        # treat them as immutable, like cached ChaseResults.
+        cacheable = (cost_model is None
+                     and not config.with_certificate
+                     and self._rewrite_cache.maxsize > 0)
+        key = (
+            (query.name, query_fingerprint(query)),
+            catalog_fingerprint(catalog),
+            dependency_fingerprint(sigma),
+            config.rewrite_key(),
+        ) if cacheable else None
+        if cacheable:
+            cached = self._rewrite_cache.get(key)
+            if cached is not None:
+                return cached, True
+        report = rewrite_with_views(
+            query, catalog, sigma, solver=self, cost_model=cost_model,
+            max_images=config.rewrite_max_images,
+            max_combination_size=config.rewrite_max_combination_size,
+            max_candidates=config.rewrite_max_candidates,
+            chase_level=config.rewrite_chase_level,
+            chase_max_conjuncts=config.chase_max_conjuncts,
+            # Certification must follow the config the cache key reflects,
+            # even when it differs from this solver's session config.
+            variant=config.variant,
+            level_bound=config.level_bound,
+            max_conjuncts=config.max_conjuncts,
+            record_trace=config.record_trace,
+            with_certificate=config.with_certificate,
+            deepening=config.deepening,
+        )
+        if cacheable:
+            self._rewrite_cache.put(key, report)
+        return report, False
+
     # -- the request/response surface ----------------------------------------
 
     def solve(self, request: SolveRequest) -> SolveResponse:
@@ -240,9 +338,12 @@ class Solver:
             return self._solve_chase(request)
         if isinstance(request, OptimizeRequest):
             return self._solve_optimize(request)
+        if isinstance(request, RewriteRequest):
+            return self._solve_rewrite(request)
         raise ReproError(
             f"unknown request type {type(request).__name__}; expected "
-            "ContainmentRequest, ChaseRequest, or OptimizeRequest")
+            "ContainmentRequest, ChaseRequest, OptimizeRequest, or "
+            "RewriteRequest")
 
     def _solve_containment(self, request: ContainmentRequest) -> ContainmentResponse:
         config = request.config or self._config
@@ -301,6 +402,17 @@ class Solver:
         elapsed = time.perf_counter() - started
         return OptimizeResponse(
             elapsed_s=elapsed, cache_hit=False, config=config,
+            tag=request.tag, report=report)
+
+    def _solve_rewrite(self, request: RewriteRequest) -> RewriteResponse:
+        config = request.config or self._config
+        started = time.perf_counter()
+        report, cache_hit = self._cached_rewrite(
+            request.query, request.catalog, request.dependencies,
+            request.cost_model, config)
+        elapsed = time.perf_counter() - started
+        return RewriteResponse(
+            elapsed_s=elapsed, cache_hit=cache_hit, config=config,
             tag=request.tag, report=report)
 
     # -- batch execution -----------------------------------------------------

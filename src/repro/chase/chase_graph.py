@@ -11,13 +11,12 @@ containment certificates and the Figure 1 benchmark serialise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Set
 
 from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import ChaseError
 from repro.queries.conjunct import Conjunct
-from repro.terms.term import Term
 
 
 @dataclass

@@ -30,9 +30,9 @@ so chases with thousands of conjuncts stay close to linear time.
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.chase.chase_graph import ChaseGraph, ChaseNode
 from repro.chase.events import ChaseTrace, FDApplication, INDApplication

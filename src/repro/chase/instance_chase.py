@@ -17,14 +17,12 @@ counterexample exploits).
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple, Union
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.dependencies.dependency_set import DependencySet
-from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
 from repro.dependencies.violations import database_satisfies
-from repro.exceptions import ChaseError
 from repro.relational.database import Database
 
 

@@ -26,7 +26,7 @@ exactly when the relevant part of the chase terminates.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.inclusion import InclusionDependency

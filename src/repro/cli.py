@@ -12,6 +12,8 @@ driven from a shell::
     repro minimize  --schema schema.txt --deps deps.txt --query "..."
     repro infer-ind --schema schema.txt --deps deps.txt --candidate "R[a] <= S[b]"
     repro batch     --schema schema.txt --deps deps.txt --input questions.jsonl
+    repro rewrite   --schema schema.txt --deps deps.txt --views views.txt \
+                    --query "Q1(e) :- EMP(e, s, d), DEP(d, l)"
 
 Every subcommand accepts ``--json`` for machine-readable output, so the
 CLI composes with scripts.  One :class:`~repro.api.solver.Solver` is built
@@ -21,12 +23,17 @@ their internal containment calls.
 
 ``batch`` reads containment questions as JSON lines — objects with
 ``query`` and ``query_prime`` keys and an optional ``id`` — and emits one
-JSON result line per question (``-`` reads stdin).
+JSON result line per question (``-`` reads stdin); with ``--json`` a
+trailing summary line carries counts and the solver's cache statistics.
+
+``rewrite`` searches for equivalent rewritings of the query over a
+catalog of materialized views (``--views``: one ``V(args) :- body``
+definition per line) via chase & backchase.
 
 Exit status: 0 when the asked question's answer is "yes" (contained /
-implied / some conjunct removed / every batch question holds), 1 when it
-is "no", 2 on usage or input errors.  ``--deps`` may be omitted for the
-dependency-free case.
+implied / some conjunct removed / every batch question holds / a
+certified rewriting exists), 1 when it is "no", 2 on usage or input
+errors.  ``--deps`` may be omitted for the dependency-free case.
 """
 
 from __future__ import annotations
@@ -53,6 +60,7 @@ from repro.exceptions import ReproError
 from repro.parser.dependency_parser import parse_dependencies, parse_dependency
 from repro.parser.query_parser import parse_query
 from repro.parser.schema_parser import parse_schema
+from repro.parser.view_parser import parse_views
 
 EXIT_YES = 0
 EXIT_NO = 1
@@ -137,7 +145,8 @@ def build_parser() -> argparse.ArgumentParser:
     batch = subparsers.add_parser(
         "batch", help="answer many containment questions from a JSON-lines file")
     _add_common_arguments(
-        batch, json_help="accepted for symmetry; batch output is always JSON lines")
+        batch, json_help="append a trailing summary line (question counts plus "
+                         "per-cache hit statistics) to the JSON-lines output")
     batch.add_argument("--input", required=True,
                        help="JSON-lines file of {\"query\": ..., \"query_prime\": ..., "
                             "\"id\": ...} questions, or '-' for stdin")
@@ -147,6 +156,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker threads for the batch (default: sequential)")
     batch.add_argument("--summary", action="store_true",
                        help="print a run summary (counts, cache hit rate) to stderr")
+
+    rewrite = subparsers.add_parser(
+        "rewrite", help="rewrite a query over materialized views "
+                        "(chase & backchase)")
+    _add_common_arguments(rewrite)
+    rewrite.add_argument("--query", required=True, help="the query to rewrite")
+    rewrite.add_argument("--views", required=True,
+                         help="view definitions, file or inline text "
+                              "(one 'V(args) :- body' per line)")
+    rewrite.add_argument("--best-only", action="store_true",
+                         help="print only the best certified rewriting")
     return parser
 
 
@@ -218,6 +238,28 @@ def _command_infer_ind(options: argparse.Namespace, solver: Solver) -> int:
     return EXIT_YES if implied else EXIT_NO
 
 
+def _command_rewrite(options: argparse.Namespace, solver: Solver) -> int:
+    schema = _load_schema(options.schema)
+    sigma = _load_dependencies(options.deps, schema)
+    query = parse_query(_read_text(options.query), schema)
+    catalog = parse_views(_read_text(options.views), schema)
+    report = solver.rewrite(query, catalog, sigma)
+    if options.json:
+        document = report.as_dict()
+        if options.best_only:
+            document["rewritings"] = document["rewritings"][:1]
+        document["cache_stats"] = solver.cache_stats()
+        _emit_json(document)
+    elif options.best_only:
+        # Exactly one line when a rewriting exists, nothing otherwise, so
+        # scripts can capture the output without parsing a report header.
+        if report.best is not None:
+            print(report.best.describe())
+    else:
+        print(report.describe())
+    return EXIT_YES if report.rewritings else EXIT_NO
+
+
 # -- batch ------------------------------------------------------------------
 
 
@@ -284,6 +326,17 @@ def _command_batch(options: argparse.Namespace, solver: Solver) -> int:
             "cache_hit": response.cache_hit,
         }, sort_keys=True))
 
+    if options.json:
+        # A trailing summary line (the per-question lines stay unchanged):
+        # counts plus the per-cache hit/miss statistics of the run.
+        print(json.dumps({
+            "summary": {
+                "questions": len(responses),
+                "hold": sum(1 for r in responses if r.holds),
+                "uncertain": sum(1 for r in responses if not r.certain),
+            },
+            "cache_stats": solver.cache_stats(),
+        }, sort_keys=True))
     if options.summary:
         info = solver.cache_info()["containment"]
         print(
@@ -304,6 +357,7 @@ _COMMANDS = {
     "minimize": _command_minimize,
     "infer-ind": _command_infer_ind,
     "batch": _command_batch,
+    "rewrite": _command_rewrite,
 }
 
 

@@ -17,8 +17,8 @@ positive containment answer yields a verifying certificate.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.chase.chase_graph import ChaseGraph, ChaseNode
 from repro.chase.engine import ChaseResult

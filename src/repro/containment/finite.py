@@ -29,7 +29,7 @@ from __future__ import annotations
 import itertools
 import random
 from dataclasses import dataclass
-from typing import Any, Iterable, Iterator, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Any, Iterator, List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.chase.instance_chase import chase_instance
 from repro.dependencies.dependency_set import DependencyClass, DependencySet

@@ -22,18 +22,18 @@ holds vacuously.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, List, Optional
 
 from repro.chase.engine import ChaseConfig, ChaseResult, ChaseVariant, chase
-
-#: Builds (or fetches from a cache) the chase of a query under a config.
-ChaseFn = Callable[["ConjunctiveQuery", "DependencySet", ChaseConfig], ChaseResult]
 from repro.containment.bounds import theorem2_level_bound
 from repro.containment.certificates import build_certificate
 from repro.containment.result import ContainmentResult
 from repro.dependencies.dependency_set import DependencySet
 from repro.homomorphism.query_homomorphism import build_target_index, find_query_homomorphism
 from repro.queries.conjunctive_query import ConjunctiveQuery
+
+#: Builds (or fetches from a cache) the chase of a query under a config.
+ChaseFn = Callable[[ConjunctiveQuery, DependencySet, ChaseConfig], ChaseResult]
 
 
 def _deepening_schedule(bound: int, start: int = 2) -> List[int]:

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.chase.engine import ChaseVariant, r_chase
+from repro.chase.engine import r_chase
 from repro.containment.bounds import theorem2_level_bound
 from repro.containment.decision import is_contained
 from repro.containment.result import ContainmentResult
@@ -30,7 +30,7 @@ from repro.queries.canonical import freeze_symbol
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.queries.evaluation import answer_contains
 from repro.relational.database import Database
-from repro.terms.term import Constant, Term
+from repro.terms.term import Term
 
 
 @dataclass

@@ -19,7 +19,17 @@ from __future__ import annotations
 
 import hashlib
 from enum import Enum
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.exceptions import DependencyError
 from repro.dependencies.functional import FunctionalDependency

@@ -9,7 +9,7 @@ name or 1-based position (resolved against a schema when one is supplied).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, Iterable, List, Optional, Sequence, Tuple
+from typing import FrozenSet, Iterable, List, Sequence, Tuple
 
 from repro.exceptions import DependencyError
 from repro.relational.schema import AttributeRef, DatabaseSchema, RelationSchema

@@ -10,10 +10,10 @@ by the maximum width W.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence, Tuple
+from typing import FrozenSet, Sequence, Tuple
 
 from repro.exceptions import DependencyError
-from repro.relational.schema import AttributeRef, DatabaseSchema, RelationSchema
+from repro.relational.schema import AttributeRef, DatabaseSchema
 
 
 @dataclass(frozen=True)

@@ -18,10 +18,10 @@ declared FD set to that practice:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set
 
 from repro.dependencies.dependency_set import DependencySet
-from repro.dependencies.fd_inference import attribute_closure, candidate_keys, is_superkey
+from repro.dependencies.fd_inference import candidate_keys, is_superkey
 from repro.dependencies.functional import FunctionalDependency
 from repro.relational.schema import DatabaseSchema, RelationSchema
 

@@ -11,7 +11,7 @@ the instance-level chase really repairs a database.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.dependencies.dependency_set import Dependency, DependencySet
 from repro.dependencies.functional import FunctionalDependency

@@ -87,6 +87,16 @@ class EvaluationError(ReproError):
     """A query could not be evaluated against a database instance."""
 
 
+class ViewError(ReproError):
+    """A view definition or view catalog is malformed.
+
+    Raised when a view's head contains anything but pairwise distinct
+    distinguished variables, when a view name collides with a base relation
+    or another view, or when a query handed to the expansion or rewriting
+    machinery does not fit the catalog's extended schema.
+    """
+
+
 class IntegrityError(ReproError):
     """A database instance violates a declared dependency.
 

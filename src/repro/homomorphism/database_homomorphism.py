@@ -9,7 +9,7 @@ summary-row images.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, Optional, Sequence, Set, Tuple
 
 from repro.homomorphism.problem import HomomorphismProblem, TargetIndex
 from repro.homomorphism.search import find_homomorphism, iter_homomorphisms

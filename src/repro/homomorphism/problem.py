@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.exceptions import QueryError
-from repro.terms.term import Constant, Term, Variable
+from repro.terms.term import Constant, Variable
 
 TargetFact = Tuple[Any, ...]
 

@@ -17,9 +17,8 @@ not import the chase package.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, Iterator, Optional, Sequence
 
-from repro.exceptions import QueryError
 from repro.homomorphism.problem import HomomorphismProblem, TargetIndex, constant_matches
 from repro.homomorphism.search import find_homomorphism, iter_homomorphisms
 from repro.terms.term import Constant, Term, Variable

@@ -14,7 +14,7 @@ checked against the target facts during matching.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.homomorphism.problem import HomomorphismProblem, TargetIndex, constant_matches
 from repro.terms.term import Constant, Variable

@@ -128,32 +128,41 @@ def eliminate_redundant_joins(query: ConjunctiveQuery, dependencies: DependencyS
     A conjunct is dropped when the reduced query is still contained in the
     original under Σ (the reverse containment is automatic).  Conjuncts
     whose removal would make the query unsafe are never candidates.
+
+    One forward pass is complete: removing atoms only *strengthens* later
+    tests (a smaller body is a weaker query, so ``(current − c) ⊆ Q``
+    gets harder, never easier, as ``current`` shrinks), hence a conjunct
+    that failed the test once can never pass it later.  The stage is
+    therefore linear in containment calls — at most one per conjunct of
+    the input query — instead of restarting the scan after every drop.
     """
     from repro.api.solver import resolve_solver
     session = resolve_solver(solver)
     current = query
-    changed = True
-    while changed and len(current) > 1:
-        changed = False
-        for conjunct in current.conjuncts:
-            try:
-                reduced = current.without_conjunct(conjunct.label)
-            except QueryError:
-                continue
-            verdict = session.is_contained(reduced, query, dependencies,
-                                           **containment_options)
-            if verdict.certain and verdict.holds:
-                if steps is not None:
-                    steps.append(RewriteStep(
-                        stage="join-elimination",
-                        description=f"dropped {conjunct}: Σ guarantees it "
-                                    f"({verdict.reason})",
-                        removed_conjunct=conjunct,
-                        justification=verdict,
-                    ))
-                current = reduced
-                changed = True
-                break
+    position = 0
+    while len(current) > 1 and position < len(current):
+        conjunct = current.conjuncts[position]
+        try:
+            reduced = current.without_conjunct(conjunct.label)
+        except QueryError:
+            position += 1
+            continue
+        verdict = session.is_contained(reduced, query, dependencies,
+                                       **containment_options)
+        if verdict.certain and verdict.holds:
+            if steps is not None:
+                steps.append(RewriteStep(
+                    stage="join-elimination",
+                    description=f"dropped {conjunct}: Σ guarantees it "
+                                f"({verdict.reason})",
+                    removed_conjunct=conjunct,
+                    justification=verdict,
+                ))
+            current = reduced
+            # The dropped conjunct's successor now sits at ``position``;
+            # stay put instead of rescanning the already-cleared prefix.
+        else:
+            position += 1
     return current
 
 

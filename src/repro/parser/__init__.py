@@ -7,6 +7,7 @@ interactive exploration do not need to construct term objects by hand::
     query:        Q(e) :- EMP(e, s, d), DEP(d, l)
     FD:           EMP: dept -> loc          (multiple RHS split automatically)
     IND:          EMP[dept] <= DEP[dept]    (also accepts the ⊆ character)
+    view:         DEPT_EMP(e, d, l) :- EMP(e, s, d), DEP(d, l)
 
 Variables are lower- or upper-case identifiers; an identifier appearing in
 the query head is distinguished, everything else is nondistinguished.
@@ -17,6 +18,7 @@ from repro.parser.tokenizer import Token, tokenize
 from repro.parser.schema_parser import parse_schema
 from repro.parser.query_parser import parse_query
 from repro.parser.dependency_parser import parse_dependencies, parse_dependency
+from repro.parser.view_parser import parse_view, parse_views
 
 __all__ = [
     "Token",
@@ -24,5 +26,7 @@ __all__ = [
     "parse_dependency",
     "parse_query",
     "parse_schema",
+    "parse_view",
+    "parse_views",
     "tokenize",
 ]

@@ -10,7 +10,7 @@ Syntax::
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional
 
 from repro.dependencies.dependency_set import Dependency, DependencySet
 from repro.dependencies.functional import FunctionalDependency

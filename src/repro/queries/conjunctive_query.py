@@ -11,7 +11,7 @@ need.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.exceptions import QueryError
 from repro.relational.schema import DatabaseSchema

@@ -12,7 +12,7 @@ depth.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, List, Optional, Set
 
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.terms.term import Term, Variable

@@ -2,11 +2,21 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Any,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+)
 
 from repro.exceptions import SchemaError
 from repro.relational.relation import RelationInstance, Row
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.schema import DatabaseSchema
 
 
 class Database:

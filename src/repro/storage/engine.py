@@ -2,10 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, Iterator, Mapping, Optional, Sequence
 
 from repro.dependencies.dependency_set import DependencySet
-from repro.exceptions import IntegrityError, SchemaError
+from repro.exceptions import SchemaError
 from repro.relational.database import Database
 from repro.relational.schema import DatabaseSchema
 from repro.storage.integrity import IntegrityChecker, IntegrityReport

@@ -10,14 +10,14 @@ the executor and the homomorphism engine.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterable, Iterator, List, Set, Tuple
 
 from repro.exceptions import EvaluationError
 from repro.queries.conjunct import Conjunct
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.relational.database import Database
 from repro.storage.engine import StorageEngine
-from repro.terms.term import Constant, Term, Variable
+from repro.terms.term import Constant, Variable
 
 Binding = Dict[Variable, Any]
 

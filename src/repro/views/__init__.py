@@ -1,0 +1,46 @@
+"""repro.views — answering queries using materialized views.
+
+The subsystem packages the paper's containment test into the flagship
+industrial workload built on top of it: rewriting a conjunctive query to
+use **materialized views** under FDs and INDs, via chase & backchase.
+
+* :class:`View` / :class:`ViewCatalog` — named CQ views over a base
+  schema and the extended schema they induce;
+* :func:`expand_query` — unfold view atoms back to base atoms with
+  fresh-variable hygiene;
+* :func:`rewrite_with_views` — the chase & backchase search returning a
+  ranked :class:`RewriteReport` of certified rewritings;
+* :mod:`repro.views.cost` — pluggable ranking (default: fewest atoms,
+  then fewest base-relation accesses).
+
+The session-level entry point is :meth:`repro.api.Solver.rewrite`, which
+adds cross-call caching keyed on (query, catalog, Σ) fingerprints.
+"""
+
+from repro.views.cost import CostModel, default_cost, view_atoms_first
+from repro.views.expansion import expand_query, expand_view_atom
+from repro.views.rewriting import (
+    RewriteReport,
+    Rewriting,
+    ViewImage,
+    find_view_images,
+    match_level,
+    rewrite_with_views,
+)
+from repro.views.view import View, ViewCatalog
+
+__all__ = [
+    "CostModel",
+    "RewriteReport",
+    "Rewriting",
+    "View",
+    "ViewCatalog",
+    "ViewImage",
+    "default_cost",
+    "expand_query",
+    "expand_view_atom",
+    "find_view_images",
+    "match_level",
+    "rewrite_with_views",
+    "view_atoms_first",
+]

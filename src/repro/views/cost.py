@@ -1,0 +1,40 @@
+"""Cost models for ranking certified rewritings.
+
+A cost model is any callable taking (rewriting, expansion) — the candidate
+query over the extended schema and its unfolding over the base schema —
+and returning a sortable value; smaller is better.  The default prefers
+the fewest atoms in the rewriting itself (each atom is one scan of a
+materialized view or base table), breaking ties by the fewest base
+relation accesses its expansion performs (a proxy for how much work the
+views have pre-computed).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.queries.conjunctive_query import ConjunctiveQuery
+
+#: ``cost_model(rewriting, expansion) -> sortable`` — smaller is better.
+CostModel = Callable[[ConjunctiveQuery, ConjunctiveQuery], Tuple]
+
+
+def default_cost(rewriting: ConjunctiveQuery,
+                 expansion: ConjunctiveQuery) -> Tuple[int, int]:
+    """Fewest atoms first, then fewest base-relation accesses."""
+    return (len(rewriting), len(expansion))
+
+
+def view_atoms_first(rewriting: ConjunctiveQuery,
+                     expansion: ConjunctiveQuery) -> Tuple[int, int, int]:
+    """Alternative model: maximise coverage by views, then apply the default.
+
+    Useful when view scans are much cheaper than base scans (e.g. the
+    views are materialized aggregates): among equally small rewritings it
+    prefers the one whose expansion replaces the most base atoms.
+    """
+    base_atoms_kept = sum(
+        1 for conjunct in rewriting.conjuncts
+        if conjunct.relation in expansion.input_schema
+    )
+    return (base_atoms_kept,) + default_cost(rewriting, expansion)

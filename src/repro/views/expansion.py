@@ -1,0 +1,90 @@
+"""View expansion: unfolding view atoms back to base atoms.
+
+A candidate rewriting is a conjunctive query over the catalog's extended
+schema; before it can be certified (or executed against a base database)
+its view atoms must be *expanded*: each atom ``V(t1, ..., tk)`` is
+replaced by the view's body with the i-th head variable substituted by
+``t_i`` and every existential (projected-away) body variable renamed to a
+fresh NDV.  Freshness matters twice over — two expansions of the same view
+must not share existentials, and no expansion may capture a variable of
+the host query — so all renaming goes through one
+:class:`~repro.terms.naming.FreshVariableFactory` per expansion call,
+whose ``created=True`` serial-named NDVs cannot collide with user-written
+variables (``created=False``) or with chase-created ones (distinct
+``v``/``n`` prefixes).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import ViewError
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.terms.naming import FreshVariableFactory
+from repro.terms.substitution import Substitution
+from repro.terms.term import Term, Variable
+from repro.views.view import View, ViewCatalog
+
+#: Prefix for expansion-created NDVs; the chase factory uses ``n``.
+EXPANSION_PREFIX = "v"
+
+
+def expand_view_atom(atom: Conjunct, view: View,
+                     factory: FreshVariableFactory) -> List[Conjunct]:
+    """The base atoms one view atom unfolds to.
+
+    Labels compose the host atom's label with the body labels
+    (``c1.c2``), so every unfolded atom stays attributable to the view
+    occurrence it came from.
+    """
+    if atom.relation != view.name:
+        raise ViewError(
+            f"atom {atom} cannot be expanded with view {view.name!r}")
+    if atom.arity != view.arity:
+        raise ViewError(
+            f"atom {atom} has arity {atom.arity} but view {view.name!r} "
+            f"has arity {view.arity}")
+    mapping: Dict[Variable, Term] = {}
+    for head_variable, term in zip(view.head, atom.terms):
+        mapping[head_variable] = term
+    for existential in view.existential_variables():
+        mapping[existential] = factory.fresh()
+    substitution = Substitution(mapping)
+    return [
+        body_atom.substitute(substitution, label=f"{atom.label}.{body_atom.label}")
+        for body_atom in view.definition.conjuncts
+    ]
+
+
+def expand_query(query: ConjunctiveQuery, catalog: ViewCatalog,
+                 name: Optional[str] = None) -> ConjunctiveQuery:
+    """Unfold every view atom of ``query`` back to the base schema.
+
+    Atoms over base relations are kept as they are; the summary row is
+    unchanged (view heads are substituted by the atom's terms, so head
+    variables of the host query survive expansion).  The result is a query
+    over the catalog's base schema, suitable for containment tests against
+    the original query.
+    """
+    base_schema = catalog.base_schema
+    if base_schema is None:
+        raise ViewError("cannot expand against an empty catalog with no schema")
+    factory = FreshVariableFactory(prefix=EXPANSION_PREFIX)
+    conjuncts: List[Conjunct] = []
+    for atom in query.conjuncts:
+        if catalog.is_view(atom.relation):
+            conjuncts.extend(expand_view_atom(atom, catalog.get(atom.relation), factory))
+        elif atom.relation in base_schema:
+            conjuncts.append(atom)
+        else:
+            raise ViewError(
+                f"atom {atom} is over {atom.relation!r}, which is neither a "
+                "base relation nor a view of the catalog")
+    return ConjunctiveQuery(
+        input_schema=base_schema,
+        conjuncts=conjuncts,
+        summary_row=query.summary_row,
+        output_attributes=query.output_attributes,
+        name=name or f"{query.name}_expanded",
+    )

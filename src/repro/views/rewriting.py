@@ -1,0 +1,374 @@
+"""Chase & backchase: rewriting a query to use materialized views.
+
+The procedure is the classic two-phase search, built from the paper's own
+primitives:
+
+1. **Chase** — the query is chased under Σ (the solver's cached chase,
+   so repeated rewrites of one workload share the work).  Chasing first
+   matters: a dependency can expose a view match that is invisible in the
+   query's own atoms (the intro example's ``Q2(e) :- EMP(e, s, d)``
+   matches the EMP⋈DEP view only after the foreign key adds the DEP
+   atom).  The views' defining queries are then matched into the chase by
+   homomorphism — the repo's dependency language is FDs and INDs, so the
+   view tgds of the textbook backchase are applied here as one-shot match
+   rules rather than as chase dependencies; the outcome (the set of view
+   atoms present in the universal plan) is the same.
+2. **Backchase** — candidate rewritings are built from subsets of the
+   matched view images (each image drops the base atoms it covers, the
+   uncovered atoms ride along), expanded back to the base schema, and kept
+   exactly when the containment engine certifies them equivalent to the
+   original query under Σ, in both directions, with certainty.
+
+Certified rewritings are ranked by a :mod:`~repro.views.cost` model —
+by default fewest atoms, then fewest base-relation accesses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import combinations
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.containment.result import ContainmentResult
+from repro.dependencies.dependency_set import DependencySet
+from repro.exceptions import QueryError, ViewError
+from repro.homomorphism.problem import HomomorphismProblem
+from repro.homomorphism.query_homomorphism import build_target_index
+from repro.homomorphism.search import iter_homomorphisms
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.terms.term import Term, Variable
+from repro.views.cost import CostModel, default_cost
+from repro.views.expansion import expand_query
+from repro.views.view import ViewCatalog
+
+
+@dataclass(frozen=True)
+class ViewImage:
+    """One match of a view's body into the chased query.
+
+    ``atom`` is the view atom the match induces (the view's head under the
+    homomorphism); ``covered_labels`` are the labels of the *level-0* chase
+    conjuncts the body mapped onto — the atoms this image can replace.
+    Matches landing only on chase-created conjuncts cover nothing and are
+    discarded: they could never shrink the query.
+    """
+
+    view_name: str
+    atom: Conjunct
+    covered_labels: FrozenSet[str]
+
+
+@dataclass
+class Rewriting:
+    """One certified rewriting of the original query over the views."""
+
+    query: ConjunctiveQuery          # over the catalog's extended schema
+    expansion: ConjunctiveQuery      # the unfolding, over the base schema
+    view_names: Tuple[str, ...]      # views used, in atom order
+    cost: Tuple
+    forward: ContainmentResult       # Σ ⊨ expansion ⊆ original
+    backward: ContainmentResult      # Σ ⊨ original ⊆ expansion
+
+    @property
+    def certified(self) -> bool:
+        return (self.forward.certain and self.forward.holds
+                and self.backward.certain and self.backward.holds)
+
+    def describe(self) -> str:
+        views = ", ".join(self.view_names)
+        return f"{self.query}   [views: {views}; cost {self.cost}]"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "query": str(self.query),
+            "expansion": str(self.expansion),
+            "views": list(self.view_names),
+            "cost": list(self.cost),
+            "atoms": len(self.query),
+            "base_accesses": len(self.expansion),
+        }
+
+
+@dataclass
+class RewriteReport:
+    """The outcome of one chase & backchase search.
+
+    ``rewritings`` holds every certified rewriting, best cost first.
+    ``unsatisfiable`` flags the degenerate case where the chase failed on
+    an FD constant clash: the query is empty on every Σ-database and the
+    search is skipped.  ``search_truncated`` reports that a budget
+    (``max_images`` or ``max_candidates``) cut the enumeration short, so
+    an empty result is "none found within budget", not "none exists".
+    """
+
+    original: ConjunctiveQuery
+    dependencies: DependencySet
+    catalog_size: int
+    rewritings: List[Rewriting] = field(default_factory=list)
+    images_found: int = 0
+    candidates_tried: int = 0
+    unsatisfiable: bool = False
+    search_truncated: bool = False
+
+    @property
+    def best(self) -> Optional[Rewriting]:
+        """The cheapest certified rewriting, if any."""
+        return self.rewritings[0] if self.rewritings else None
+
+    def describe(self) -> str:
+        lines = [
+            f"rewriting {self.original.name} over {self.catalog_size} view(s): "
+            f"{self.images_found} image(s), {self.candidates_tried} candidate(s), "
+            f"{len(self.rewritings)} certified"
+        ]
+        if self.unsatisfiable:
+            lines.append("  query is unsatisfiable under Σ (FD constant clash)")
+        if self.search_truncated:
+            lines.append("  search truncated by budget")
+        for rank, rewriting in enumerate(self.rewritings, start=1):
+            lines.append(f"  #{rank} {rewriting.describe()}")
+        return "\n".join(lines)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "original": str(self.original),
+            "catalog_size": self.catalog_size,
+            "images_found": self.images_found,
+            "candidates_tried": self.candidates_tried,
+            "unsatisfiable": self.unsatisfiable,
+            "search_truncated": self.search_truncated,
+            "rewritings": [rewriting.as_dict() for rewriting in self.rewritings],
+        }
+
+
+# ---------------------------------------------------------------------------
+# Phase 1: chase + view matching
+# ---------------------------------------------------------------------------
+
+
+def match_level(catalog: ViewCatalog) -> int:
+    """Default chase depth for view matching.
+
+    A view body of b atoms needs at most b chased atoms to map onto, and
+    the restricted chase adds one level per IND application along a path,
+    so chasing to the size of the largest body (with a floor of 2) exposes
+    the matches that single foreign-key steps create.  Deeper matches are
+    possible in contrived schemas; callers can raise the level explicitly.
+    """
+    sizes = [len(view.definition) for view in catalog]
+    return max([2] + sizes)
+
+
+def find_view_images(catalog: ViewCatalog,
+                     chase_atoms: Sequence[Conjunct],
+                     base_labels: Set[str],
+                     max_images: int) -> Tuple[List[ViewImage], bool]:
+    """All (deduplicated) matches of the catalog's views into the chase.
+
+    Returns the images plus a truncation flag.  Images with identical view
+    atoms are merged, their coverage unioned: each underlying homomorphism
+    justifies replacing its own covered atoms, and the certification phase
+    rejects any union that over-reaches.  The merge trades completeness
+    for boundedness — when a rejected union hides a certifiable
+    per-homomorphism sub-candidate (automorphic matches of a symmetric
+    view body covering different atoms), that smaller rewriting is not
+    enumerated; like the budget caps, an empty answer means "none found
+    by this search", not "none exists".
+    """
+    index = build_target_index(chase_atoms)
+    label_by_key: Dict[Tuple[str, Tuple[Term, ...]], str] = {
+        (atom.relation, atom.terms): atom.label
+        for atom in chase_atoms if atom.label in base_labels
+    }
+    merged: Dict[Tuple[str, Tuple[Term, ...]], Set[str]] = {}
+    order: List[Tuple[str, Tuple[Term, ...]]] = []
+    truncated = False
+    capped = False
+    for view in catalog:
+        if capped:
+            break
+        problem = HomomorphismProblem(view.definition.conjuncts, index)
+        # Distinct homomorphisms can collapse to one image (same head
+        # terms), so the enumeration gets its own per-view cap: without it
+        # a view with many automorphic matches could spin without ever
+        # registering a new image.
+        enumeration_budget = max_images * 16
+        for assignment in iter_homomorphisms(problem):
+            enumeration_budget -= 1
+            if enumeration_budget < 0:
+                truncated = True
+                break
+            head_terms = tuple(assignment[variable] for variable in view.head)
+            covered = set()
+            for body_atom in view.definition.conjuncts:
+                image_terms = tuple(
+                    assignment[term] if isinstance(term, Variable) else term
+                    for term in body_atom.terms
+                )
+                label = label_by_key.get((body_atom.relation, image_terms))
+                if label is not None:
+                    covered.add(label)
+            if not covered:
+                continue
+            key = (view.name, head_terms)
+            if key not in merged:
+                if len(order) >= max_images:
+                    truncated = True
+                    capped = True
+                    break
+                merged[key] = covered
+                order.append(key)
+            else:
+                merged[key] |= covered
+    images = [
+        ViewImage(
+            view_name=view_name,
+            atom=Conjunct(view_name, terms, label=f"{view_name}#{position}"),
+            covered_labels=frozenset(merged[(view_name, terms)]),
+        )
+        for position, (view_name, terms) in enumerate(order)
+    ]
+    return images, truncated
+
+
+# ---------------------------------------------------------------------------
+# Phase 2: backchase
+# ---------------------------------------------------------------------------
+
+
+def _is_safe(conjuncts: Sequence[Conjunct], summary_row: Sequence[Term]) -> bool:
+    """True if every summary-row variable occurs in some conjunct."""
+    body_terms = {term for conjunct in conjuncts for term in conjunct.terms}
+    return all(
+        entry in body_terms
+        for entry in summary_row if isinstance(entry, Variable)
+    )
+
+
+def rewrite_with_views(query: ConjunctiveQuery,
+                       catalog: ViewCatalog,
+                       dependencies: Optional[DependencySet] = None,
+                       solver=None,
+                       cost_model: Optional[CostModel] = None,
+                       max_images: int = 64,
+                       max_combination_size: int = 2,
+                       max_candidates: int = 256,
+                       chase_level: Optional[int] = None,
+                       chase_max_conjuncts: Optional[int] = None,
+                       **containment_options) -> RewriteReport:
+    """Chase & backchase search for view-based rewritings of ``query``.
+
+    ``solver`` is the :class:`~repro.api.solver.Solver` whose chase and
+    containment caches back the search (``None`` uses the process-wide
+    default); every certification is a pair of containment calls through
+    it.  ``cost_model`` ranks certified rewritings (default:
+    :func:`~repro.views.cost.default_cost`).  The three budgets bound the
+    number of view images collected, the number of view atoms per
+    candidate, and the number of candidates certified.
+    ``containment_options`` are the legacy containment keywords, passed
+    through to every certification call; the matching chase follows the
+    solver's variant and, unless overridden here, its conjunct budget.
+    """
+    from repro.api.solver import resolve_solver
+    from repro.chase.engine import ChaseConfig
+
+    session = resolve_solver(solver)
+    sigma = dependencies if dependencies is not None else DependencySet()
+    ranking = cost_model if cost_model is not None else default_cost
+    if catalog.base_schema is not None and catalog.base_schema != query.input_schema:
+        raise ViewError(
+            f"query {query.name} is not over the catalog's base schema")
+    report = RewriteReport(original=query, dependencies=sigma,
+                           catalog_size=len(catalog))
+    if len(catalog) == 0:
+        return report
+
+    chase_config = ChaseConfig(
+        variant=containment_options.get("variant", session.config.variant),
+        max_level=chase_level if chase_level is not None else match_level(catalog),
+        max_conjuncts=(chase_max_conjuncts if chase_max_conjuncts is not None
+                       else session.config.chase_max_conjuncts),
+        record_trace=False,
+    )
+    chase_result = session.chase(query, sigma, chase_config)
+    if chase_result.failed:
+        report.unsatisfiable = True
+        return report
+
+    # The FD-normalised original: level-0 conjuncts plus the (possibly
+    # merged) summary row.  Candidates are built from these atoms so FD
+    # merges performed by the chase do not mask coverage.
+    base_conjuncts = chase_result.conjuncts_up_to_level(0)
+    summary_row = chase_result.summary_row
+    base_labels = {conjunct.label for conjunct in base_conjuncts}
+
+    images, truncated = find_view_images(
+        catalog, chase_result.conjuncts(), base_labels, max_images)
+    report.images_found = len(images)
+    report.search_truncated = truncated
+    if not images:
+        return report
+    # Images covering the most atoms first: singletons that replace whole
+    # joins are certified before marginal ones, so a tight candidate
+    # budget still sees the best rewritings.
+    images.sort(key=lambda image: (-len(image.covered_labels),
+                                   image.view_name, image.atom.label))
+
+    extended = catalog.extended_schema()
+    seen_candidates: Set[FrozenSet[Tuple[str, Tuple[Term, ...]]]] = set()
+    certified: List[Rewriting] = []
+    budget_exhausted = False
+    for size in range(1, max(1, max_combination_size) + 1):
+        if budget_exhausted:
+            break
+        for combo in combinations(images, size):
+            if report.candidates_tried >= max_candidates:
+                report.search_truncated = True
+                budget_exhausted = True
+                break
+            covered: Set[str] = set()
+            for image in combo:
+                covered |= image.covered_labels
+            remainder = [c for c in base_conjuncts if c.label not in covered]
+            candidate_conjuncts = [image.atom for image in combo] + remainder
+            candidate_key = frozenset(
+                (c.relation, c.terms) for c in candidate_conjuncts)
+            if candidate_key in seen_candidates:
+                continue
+            seen_candidates.add(candidate_key)
+            if not _is_safe(candidate_conjuncts, summary_row):
+                continue
+            report.candidates_tried += 1
+            try:
+                candidate = ConjunctiveQuery(
+                    input_schema=extended,
+                    conjuncts=candidate_conjuncts,
+                    summary_row=summary_row,
+                    output_attributes=query.output_attributes,
+                    name=f"{query.name}_views",
+                )
+                expansion = expand_query(
+                    candidate, catalog, name=f"{query.name}_views_expanded")
+            except QueryError:
+                continue
+            forward = session.is_contained(expansion, query, sigma,
+                                           **containment_options)
+            if not (forward.certain and forward.holds):
+                continue
+            backward = session.is_contained(query, expansion, sigma,
+                                            **containment_options)
+            if not (backward.certain and backward.holds):
+                continue
+            certified.append(Rewriting(
+                query=candidate,
+                expansion=expansion,
+                view_names=tuple(image.view_name for image in combo),
+                cost=tuple(ranking(candidate, expansion)),
+                forward=forward,
+                backward=backward,
+            ))
+
+    certified.sort(key=lambda rewriting: rewriting.cost)
+    report.rewritings = certified
+    return report

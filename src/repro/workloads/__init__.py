@@ -8,6 +8,8 @@ this package provides deterministic (seeded) generators for
 * dependency sets (IND-only with a width bound, key-based sets whose keys
   and foreign keys follow the paper's definition),
 * finite database instances (random, optionally repaired to satisfy Σ),
+* view catalogs (chain projections, star collapses, key-join collapses)
+  for the :mod:`repro.views` rewriting workloads,
 
 plus :mod:`repro.workloads.paper_examples`, which packages the three
 worked examples of the paper (the EMP/DEP intro example, the Figure 1
@@ -19,6 +21,7 @@ from repro.workloads.schema_generator import SchemaGenerator
 from repro.workloads.query_generator import QueryGenerator
 from repro.workloads.dependency_generator import DependencyGenerator
 from repro.workloads.database_generator import DatabaseGenerator
+from repro.workloads.view_generator import ViewCatalogGenerator
 from repro.workloads.paper_examples import (
     figure1_example,
     intro_example,
@@ -30,6 +33,7 @@ __all__ = [
     "DependencyGenerator",
     "QueryGenerator",
     "SchemaGenerator",
+    "ViewCatalogGenerator",
     "figure1_example",
     "intro_example",
     "section4_example",

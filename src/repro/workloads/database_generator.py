@@ -10,7 +10,7 @@ keys resolved by construction).
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
 from repro.chase.instance_chase import chase_instance
 from repro.dependencies.dependency_set import DependencySet

@@ -1,0 +1,168 @@
+"""Random (seeded) view-catalog generation.
+
+Given any generated schema, the generator derives the view shapes real
+materialization advisors propose:
+
+* **chain projections** — two-atom join segments over consecutive
+  relations with the endpoints projected out (the views that collapse a
+  chain query's middle joins);
+* **star collapses** — the fact relation joined with one dimension, fact
+  join columns plus the dimension payload in the head;
+* **key-join collapses** — for each foreign key ``R[X] ⊆ S[key]`` in a
+  dependency set, the join of R with its target S, exposing R's columns
+  and S's non-key payload (the intro example's DEPT_EMP view is exactly
+  this shape for ``EMP[dept] ⊆ DEP[dept]``).
+
+All heads are pairwise distinct distinguished variables, so every
+generated view passes :class:`~repro.views.view.View` validation; the
+unit tests assert this for every shape.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.dependencies.dependency_set import DependencySet
+from repro.queries.conjunct import Conjunct
+from repro.queries.conjunctive_query import ConjunctiveQuery
+from repro.relational.schema import DatabaseSchema
+from repro.terms.term import DistinguishedVariable, NonDistinguishedVariable, Term
+from repro.views.view import View, ViewCatalog
+from repro.workloads.query_generator import QueryGenerator
+
+
+class ViewCatalogGenerator:
+    """Derives plausible view catalogs from a schema (and optionally Σ)."""
+
+    def __init__(self, schema: DatabaseSchema, seed: int = 0):
+        self._schema = schema
+        self._rng = random.Random(seed)
+        self._queries = QueryGenerator(schema, seed=seed)
+
+    # -- chain projections -------------------------------------------------
+
+    def chain_projections(self, segment_length: int = 2,
+                          relation_names: Optional[Sequence[str]] = None,
+                          prefix: str = "VC") -> List[View]:
+        """One view per consecutive relation pair (round-robin windows).
+
+        The i-th view joins ``segment_length`` relations starting at the
+        i-th name and projects the chain endpoints — the shape that
+        absorbs the middle joins of a chain query.
+        """
+        names = list(relation_names) if relation_names else self._schema.relation_names
+        usable = [name for name in names if self._schema.relation(name).arity >= 2]
+        views: List[View] = []
+        if not usable:
+            return views
+        for index in range(len(usable)):
+            window = [usable[(index + offset) % len(usable)]
+                      for offset in range(segment_length)]
+            definition = self._queries.chain(
+                segment_length, relation_names=window,
+                name=f"{prefix}{index + 1}")
+            views.append(View(f"{prefix}{index + 1}", definition))
+        return views
+
+    # -- star collapses ----------------------------------------------------
+
+    def star_collapses(self, fact_relation: str,
+                       dimension_relations: Sequence[str],
+                       prefix: str = "VS") -> List[View]:
+        """One view per dimension: the fact joined with that dimension.
+
+        The i-th dimension joins on the fact's i-th column (the
+        :meth:`~repro.workloads.query_generator.QueryGenerator.star`
+        convention); the head carries the fact's join columns plus the
+        dimension's payload columns.
+        """
+        fact = self._schema.relation(fact_relation)
+        views: List[View] = []
+        for index, dimension_name in enumerate(dimension_relations):
+            dimension = self._schema.relation(dimension_name)
+            join_variables = [DistinguishedVariable(f"x{i + 1}")
+                              for i in range(len(dimension_relations))]
+            fact_terms: List[Term] = list(join_variables)
+            for extra in range(len(join_variables), fact.arity):
+                fact_terms.append(NonDistinguishedVariable(f"f{extra + 1}"))
+            payload = [DistinguishedVariable(f"p{index + 1}_{i}")
+                       for i in range(1, dimension.arity)]
+            dimension_terms: List[Term] = [join_variables[index], *payload]
+            definition = ConjunctiveQuery(
+                input_schema=self._schema,
+                conjuncts=[Conjunct(fact.name, fact_terms[:fact.arity]),
+                           Conjunct(dimension.name, dimension_terms)],
+                summary_row=tuple(join_variables) + tuple(payload),
+                name=f"{prefix}{index + 1}",
+            )
+            views.append(View(f"{prefix}{index + 1}", definition))
+        return views
+
+    # -- key-join collapses ------------------------------------------------
+
+    def key_join_collapses(self, dependencies: DependencySet,
+                           prefix: str = "VK") -> List[View]:
+        """One view per IND: the source joined with its target on the IND.
+
+        For ``R[X] ⊆ S[Y]`` the view body is ``R(r1..rk), S(..)`` with
+        S's Y-columns bound to R's X-columns; the head exposes all of R's
+        columns plus S's remaining (payload) columns.  Under a key-based
+        Σ this is the join the foreign key makes lossless — the paper's
+        intro optimization packaged as a materialized view.
+        """
+        views: List[View] = []
+        for position, ind in enumerate(dependencies.inclusion_dependencies()):
+            source = self._schema.relation(ind.lhs_relation)
+            target = self._schema.relation(ind.rhs_relation)
+            if source.name == target.name:
+                continue
+            source_terms = [DistinguishedVariable(f"r{i + 1}")
+                            for i in range(source.arity)]
+            lhs = ind.lhs_positions(self._schema)
+            rhs = ind.rhs_positions(self._schema)
+            joined = {target_position: source_terms[source_position]
+                      for source_position, target_position in zip(lhs, rhs)}
+            payload: List[DistinguishedVariable] = []
+            target_terms: List[Term] = []
+            for column in range(target.arity):
+                if column in joined:
+                    target_terms.append(joined[column])
+                else:
+                    variable = DistinguishedVariable(f"s{position + 1}_{column + 1}")
+                    target_terms.append(variable)
+                    payload.append(variable)
+            definition = ConjunctiveQuery(
+                input_schema=self._schema,
+                conjuncts=[Conjunct(source.name, source_terms),
+                           Conjunct(target.name, target_terms)],
+                summary_row=tuple(source_terms) + tuple(payload),
+                name=f"{prefix}{position + 1}",
+            )
+            views.append(View(f"{prefix}{position + 1}", definition))
+        return views
+
+    # -- catalog assembly --------------------------------------------------
+
+    def catalog(self, size: int,
+                dependencies: Optional[DependencySet] = None) -> ViewCatalog:
+        """A catalog of ``size`` views sampled from the schema-generic shapes.
+
+        The pool holds key-join collapses (when ``dependencies`` is
+        given) first — they are the views the dependencies make most
+        useful — then chain projections; the sample is deterministic in
+        the seed.  Star collapses need an explicit fact/dimension
+        designation no bare schema carries, so they are not pooled here —
+        call :meth:`star_collapses` directly and ``add`` the results.
+        """
+        pool: List[View] = []
+        if dependencies is not None:
+            pool.extend(self.key_join_collapses(dependencies))
+        pool.extend(self.chain_projections())
+        if len(pool) > size:
+            indices = sorted(self._rng.sample(range(len(pool)), size))
+            pool = [pool[i] for i in indices]
+        catalog = ViewCatalog(schema=self._schema)
+        for view in pool:
+            catalog.add(view)
+        return catalog

@@ -4,14 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro import (
-    Database,
-    DatabaseSchema,
-    DependencySet,
-    FunctionalDependency,
-    InclusionDependency,
-    QueryBuilder,
-)
+from repro import Database, DatabaseSchema
 from repro.workloads.paper_examples import (
     figure1_example,
     intro_example,

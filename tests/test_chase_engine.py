@@ -2,15 +2,12 @@
 
 import pytest
 
-from repro.chase.chase_graph import ChaseGraph
 from repro.chase.engine import ChaseConfig, ChaseVariant, chase, o_chase, r_chase
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import ChaseError
 from repro.queries.builder import QueryBuilder
-from repro.relational.schema import DatabaseSchema
-from repro.terms.term import Constant
 
 
 class TestChaseBasics:

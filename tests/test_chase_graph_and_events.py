@@ -4,7 +4,7 @@ import pytest
 
 from repro.chase.chase_graph import ChaseGraph
 from repro.chase.engine import o_chase, r_chase
-from repro.chase.events import ChaseTrace, FDApplication, INDApplication
+from repro.chase.events import FDApplication, INDApplication
 from repro.chase.instance_chase import LabelledNull, chase_instance
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency

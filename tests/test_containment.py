@@ -10,10 +10,8 @@ from repro.containment.ind_containment import contained_under_bounded_chase
 from repro.containment.no_dependencies import contained_without_dependencies
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency
-from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import ContainmentUndecided, QueryError
 from repro.queries.builder import QueryBuilder
-from repro.relational.schema import DatabaseSchema
 
 
 class TestLevelBounds:

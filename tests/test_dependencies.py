@@ -6,7 +6,6 @@ from repro.dependencies.dependency_set import DependencyClass, DependencySet
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import DependencyError
-from repro.relational.schema import DatabaseSchema
 
 
 class TestFunctionalDependency:

@@ -1,8 +1,6 @@
 """Unit tests for equivalence, minimality under Σ, and containment certificates."""
 
-import pytest
 
-from repro.containment.certificates import build_certificate
 from repro.containment.decision import is_contained
 from repro.containment.equivalence import (
     are_equivalent,
@@ -11,8 +9,6 @@ from repro.containment.equivalence import (
     minimize_under,
     removable_conjuncts_under,
 )
-from repro.dependencies.dependency_set import DependencySet
-from repro.dependencies.inclusion import InclusionDependency
 from repro.queries.builder import QueryBuilder
 from repro.queries.minimization import is_minimal
 

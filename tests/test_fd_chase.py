@@ -4,15 +4,12 @@ import pytest
 
 from repro.chase.fd_chase import (
     ConstantClash,
-    FDChaseResult,
     fd_chase_query,
     fd_only_chase,
     find_applicable_fd,
     resolve_merge,
 )
-from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency
-from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import ChaseError
 from repro.queries.builder import QueryBuilder
 from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable

@@ -13,9 +13,7 @@ from repro.containment.finite import (
 )
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.inclusion import InclusionDependency
-from repro.dependencies.violations import database_satisfies
-from repro.queries.evaluation import answers_contained_in, evaluate
-from repro.relational.schema import DatabaseSchema
+from repro.queries.evaluation import answers_contained_in
 
 
 class TestKSigma:

@@ -1,6 +1,5 @@
 """Unit tests for the homomorphism engine (generic search and wrappers)."""
 
-import pytest
 
 from repro.homomorphism.problem import HomomorphismProblem, TargetIndex, constant_matches
 from repro.homomorphism.search import (
@@ -24,8 +23,6 @@ from repro.homomorphism.database_homomorphism import (
 )
 from repro.queries.builder import QueryBuilder
 from repro.queries.conjunct import Conjunct
-from repro.relational.database import Database
-from repro.relational.schema import DatabaseSchema
 from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable
 
 

@@ -1,6 +1,5 @@
 """Unit tests for the query-optimization pipeline."""
 
-import pytest
 
 from repro.containment.equivalence import are_equivalent
 from repro.dependencies.dependency_set import DependencySet
@@ -132,3 +131,30 @@ class TestOptimizePipeline:
         assert report.conjuncts_removed == 3
         assert report.verify()
         assert len(report.removed_conjuncts()) == 3
+
+    def test_join_elimination_is_linear_in_containment_calls(self):
+        """Dropping a conjunct must not restart the scan: the stage asks at
+        most one containment question per conjunct of the input query, even
+        when many conjuncts are removable."""
+        from repro.api import Solver, SolverConfig
+        from repro.workloads.schema_generator import SchemaGenerator
+        from repro.workloads.query_generator import QueryGenerator
+        satellites = 5
+        schema = SchemaGenerator().star(satellites)
+        fact = schema.relation("FACT")
+        sigma = DependencySet(schema=schema)
+        for index in range(1, satellites + 1):
+            dimension = schema.relation(f"DIM{index}")
+            for fd in FunctionalDependency.key(dimension, [f"k{index}"]):
+                sigma.add(fd)
+            sigma.add(InclusionDependency(
+                "FACT", [fact.attribute_name_at(index - 1)],
+                f"DIM{index}", [f"k{index}"]))
+        query = QueryGenerator(schema, seed=1).star(
+            "FACT", [f"DIM{i}" for i in range(1, satellites + 1)])
+        # Caches off so every question the stage asks is counted once.
+        solver = Solver(SolverConfig(containment_cache_size=0,
+                                     chase_cache_size=0))
+        eliminated = eliminate_redundant_joins(query, sigma, solver=solver)
+        assert len(eliminated) == 1
+        assert solver.stats.containment_requests <= len(query)

@@ -5,7 +5,6 @@ pipeline (parser or builder -> dependencies -> chase -> containment),
 mirroring the experiment index in DESIGN.md.
 """
 
-import pytest
 
 from repro import (
     ChaseVariant,

@@ -15,14 +15,12 @@ supposed to realise:
 
 from __future__ import annotations
 
-import random
 
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-from repro.chase.engine import ChaseVariant, o_chase, r_chase
+from repro.chase.engine import o_chase, r_chase
 from repro.containment.decision import is_contained
-from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.violations import database_satisfies
 from repro.queries.evaluation import answers_contained_in, evaluate
 from repro.queries.minimization import is_minimal, minimize

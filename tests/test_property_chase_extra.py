@@ -10,7 +10,6 @@ from repro.chase.fd_chase import fd_only_chase
 from repro.chase.engine import r_chase
 from repro.chase.termination import chase_guaranteed_finite
 from repro.containment.witness import non_containment_witness
-from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency
 from repro.workloads.dependency_generator import DependencyGenerator
 from repro.workloads.query_generator import QueryGenerator

@@ -22,8 +22,6 @@ from repro.containment.serialization import (
     term_from_dict,
     term_to_dict,
 )
-from repro.dependencies.functional import FunctionalDependency
-from repro.dependencies.inclusion import InclusionDependency
 from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable
 
 

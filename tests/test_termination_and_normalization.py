@@ -16,10 +16,8 @@ from repro.dependencies.normalization import (
     relation_design_report,
     suggest_key_based_repair,
 )
-from repro.queries.builder import QueryBuilder
 from repro.relational.schema import DatabaseSchema
 from repro.workloads.query_generator import QueryGenerator
-from repro.workloads.schema_generator import SchemaGenerator
 
 
 class TestTerminationAnalysis:

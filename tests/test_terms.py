@@ -1,6 +1,5 @@
 """Unit tests for the term system: constants, variables, ordering."""
 
-import pytest
 
 from repro.terms.term import (
     Constant,

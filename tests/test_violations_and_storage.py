@@ -15,7 +15,7 @@ from repro.exceptions import EvaluationError, IntegrityError, SchemaError
 from repro.queries.builder import QueryBuilder
 from repro.queries.evaluation import evaluate
 from repro.relational.database import Database
-from repro.relational.schema import DatabaseSchema, RelationSchema
+from repro.relational.schema import RelationSchema
 from repro.storage.engine import StorageEngine
 from repro.storage.executor import JoinExecutor, evaluate_with_joins
 from repro.storage.table import Table

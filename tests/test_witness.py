@@ -1,6 +1,5 @@
 """Unit tests for non-containment witnesses (the constructive side of Theorem 1)."""
 
-import pytest
 
 from repro.containment.witness import non_containment_witness
 from repro.dependencies.dependency_set import DependencySet

@@ -8,7 +8,6 @@ from repro.chase.engine import ChaseVariant
 from repro.containment.decision import is_contained
 from repro.dependencies.dependency_set import DependencyClass
 from repro.dependencies.violations import database_satisfies
-from repro.queries.evaluation import evaluate
 from repro.workloads.database_generator import DatabaseGenerator
 from repro.workloads.dependency_generator import DependencyGenerator
 from repro.workloads.paper_examples import (
