@@ -6,12 +6,13 @@ from repro.analysis.statistics import (
     containment_sweep,
     SweepPoint,
 )
-from repro.analysis.reporting import format_table, series_report
+from repro.analysis.reporting import chase_statistics_report, format_table, series_report
 
 __all__ = [
     "ChaseGrowthProfile",
     "SweepPoint",
     "chase_growth_profile",
+    "chase_statistics_report",
     "containment_sweep",
     "format_table",
     "series_report",

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Sequence
+from typing import TYPE_CHECKING, Any, Iterable, List, Mapping, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.chase.engine import ChaseStatistics
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[Any]],
@@ -48,3 +51,33 @@ def series_report(name: str, xs: Sequence[Any], ys: Sequence[Any],
         rows=list(zip(xs, ys)),
         title=name,
     )
+
+
+def chase_statistics_report(statistics_by_engine: Mapping[str, "ChaseStatistics"],
+                            title: str = "chase work accounting") -> str:
+    """Side-by-side work accounting for chase runs, one column per engine.
+
+    Renders every counter a :class:`~repro.chase.engine.ChaseStatistics`
+    carries — rule applications *and* the examined/fired trigger counts —
+    so the incremental-chase benchmark can print legacy and indexed runs
+    of the same workload next to each other.  The derived totals come
+    from the statistics object's own properties, keeping this table
+    truthful by construction.
+    """
+    counters = (
+        ("fd steps", lambda s: s.fd_steps),
+        ("ind steps", lambda s: s.ind_steps),
+        ("redundant ind applications", lambda s: s.redundant_ind_applications),
+        ("merged conjuncts", lambda s: s.merged_conjuncts),
+        ("total steps", lambda s: s.total_steps),
+        ("max level reached", lambda s: s.max_level_reached),
+        ("triggers examined", lambda s: s.triggers_examined),
+        ("triggers fired", lambda s: s.triggers_fired),
+        ("index hits", lambda s: s.index_hits),
+    )
+    engines = list(statistics_by_engine)
+    rows = [
+        [label] + [reader(statistics_by_engine[engine]) for engine in engines]
+        for label, reader in counters
+    ]
+    return format_table(headers=["counter"] + engines, rows=rows, title=title)

@@ -18,7 +18,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.chase.engine import ChaseConfig, ChaseVariant
+from repro.chase.engine import CHASE_ENGINES, ChaseConfig, ChaseVariant, resolve_engine_name
 from repro.exceptions import ReproError
 
 #: The executors ``Solver.solve_many`` understands.
@@ -59,6 +59,16 @@ class SolverConfig:
         Budgets for :class:`~repro.api.requests.ChaseRequest` runs and the
         legacy ``chase()`` wrapper.
 
+    Engine selection (applies to every chase this solver builds,
+    including the ones inside containment decisions and view rewriting):
+
+    chase_engine:
+        ``"indexed"`` (incremental per-relation indexes, the default) or
+        ``"legacy"`` (the seed scan-and-rebuild engine, kept for the
+        differential test harness).  ``None`` defers to the
+        ``REPRO_CHASE_ENGINE`` environment variable and then to
+        ``"indexed"``.
+
     View-rewriting knobs (used by :meth:`Solver.rewrite`):
 
     rewrite_max_images:
@@ -93,6 +103,7 @@ class SolverConfig:
     chase_max_conjuncts: int = 5_000
     chase_max_steps: Optional[int] = None
     chase_record_trace: bool = True
+    chase_engine: Optional[str] = None
 
     rewrite_max_images: int = 64
     rewrite_max_combination_size: int = 2
@@ -123,6 +134,10 @@ class SolverConfig:
             raise ReproError("rewrite budgets must be positive")
         if self.rewrite_chase_level is not None and self.rewrite_chase_level < 0:
             raise ReproError("rewrite_chase_level must be non-negative")
+        if self.chase_engine is not None and self.chase_engine not in CHASE_ENGINES:
+            raise ReproError(
+                f"unknown chase engine {self.chase_engine!r}; "
+                f"expected one of {CHASE_ENGINES}")
         if self.parallelism is not None and self.parallelism <= 0:
             raise ReproError("parallelism must be positive (or None for sequential)")
         if self.executor not in EXECUTORS:
@@ -150,9 +165,16 @@ class SolverConfig:
     # -- projections ---------------------------------------------------------
 
     def containment_key(self) -> Tuple:
-        """The fields that can change a containment answer (cache key part)."""
+        """The fields that can change a containment answer (cache key part).
+
+        The chase engine is part of the key so a differential harness
+        running both engines against one solver never shares answers
+        between them; ``None`` is resolved first so an explicit
+        ``"indexed"`` and the default hit the same entries.
+        """
         return (self.variant, self.level_bound, self.max_conjuncts,
-                self.record_trace, self.with_certificate, self.deepening)
+                self.record_trace, self.with_certificate, self.deepening,
+                resolve_engine_name(self.chase_engine))
 
     def rewrite_key(self) -> Tuple:
         """The fields that can change a rewrite report (cache key part).
@@ -180,4 +202,5 @@ class SolverConfig:
             max_conjuncts=self.chase_max_conjuncts,
             max_steps=self.chase_max_steps,
             record_trace=self.chase_record_trace,
+            engine=self.chase_engine,
         )

@@ -48,7 +48,7 @@ from repro.api.requests import (
     SolveRequest,
     SolveResponse,
 )
-from repro.chase.engine import ChaseConfig, ChaseEngine, ChaseResult
+from repro.chase.engine import ChaseConfig, ChaseResult, build_engine, resolve_engine_name
 from repro.containment.fd_containment import contained_under_fds
 from repro.containment.ind_containment import contained_under_bounded_chase
 from repro.containment.no_dependencies import contained_without_dependencies
@@ -140,10 +140,12 @@ class Solver:
                       dependencies: DependencySet,
                       config: ChaseConfig) -> Tuple[ChaseResult, bool]:
         if self._chase_cache.maxsize == 0:
-            return ChaseEngine(query, dependencies, config).run(), False
+            return build_engine(query, dependencies, config).run(), False
         # The display name rides along because ChaseResult.query (and the
         # reports derived from it) surface it; content fingerprints alone
-        # would conflate equal queries with different names.
+        # would conflate equal queries with different names.  The resolved
+        # engine name is part of the key so legacy and indexed runs of the
+        # differential harness never share a result.
         key = (
             query.name,
             query_fingerprint(query),
@@ -153,11 +155,12 @@ class Solver:
             config.max_conjuncts,
             config.max_steps,
             config.record_trace,
+            resolve_engine_name(config.engine),
         )
         cached = self._chase_cache.get(key)
         if cached is not None:
             return cached, True
-        result = ChaseEngine(query, dependencies, config).run()
+        result = build_engine(query, dependencies, config).run()
         self._chase_cache.put(key, result)
         return result, False
 
@@ -224,6 +227,7 @@ class Solver:
                 with_certificate=config.with_certificate,
                 deepening=config.deepening,
                 chase_fn=self._chase_fn,
+                engine=config.chase_engine,
             )
         if cacheable:
             self._containment_cache.put(key, result)

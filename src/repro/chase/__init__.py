@@ -23,14 +23,19 @@ Figure 1 draws and what Theorem 2's IND-only certificate argument uses.
 from repro.chase.events import ChaseStep, ChaseTrace, FDApplication, INDApplication
 from repro.chase.chase_graph import ChaseArc, ChaseGraph, ChaseNode
 from repro.chase.engine import (
+    CHASE_ENGINES,
     ChaseConfig,
     ChaseEngine,
     ChaseResult,
+    ChaseStatistics,
     ChaseVariant,
+    build_engine,
     chase,
     o_chase,
     r_chase,
+    resolve_engine_name,
 )
+from repro.chase.legacy_engine import LegacyChaseEngine
 from repro.chase.fd_chase import fd_chase_query, fd_only_chase
 from repro.chase.instance_chase import InstanceChaseResult, chase_instance
 from repro.chase.termination import (
@@ -40,21 +45,26 @@ from repro.chase.termination import (
 )
 
 __all__ = [
+    "CHASE_ENGINES",
     "ChaseArc",
     "ChaseConfig",
     "ChaseEngine",
     "ChaseGraph",
     "ChaseNode",
     "ChaseResult",
+    "ChaseStatistics",
     "ChaseStep",
     "ChaseTrace",
     "ChaseVariant",
     "FDApplication",
     "INDApplication",
     "InstanceChaseResult",
+    "LegacyChaseEngine",
     "TerminationReport",
     "analyse_ind_termination",
+    "build_engine",
     "chase",
+    "resolve_engine_name",
     "chase_guaranteed_finite",
     "chase_instance",
     "fd_chase_query",

@@ -84,6 +84,7 @@ class ChaseGraph:
     def __init__(self):
         self._nodes: Dict[int, ChaseNode] = {}
         self._arcs: List[ChaseArc] = []
+        self._ordinary_targets: Dict[int, List[int]] = {}
         self._next_id = 0
 
     # -- construction -------------------------------------------------------
@@ -105,6 +106,7 @@ class ChaseGraph:
                 raise ChaseError("an ordinary arc must be labelled by its IND")
             self._arcs.append(ChaseArc(source=parent, target=node_id,
                                        dependency=via, kind="ordinary"))
+            self._ordinary_targets.setdefault(parent, []).append(node_id)
         return node
 
     def add_cross_arc(self, source: int, target: int,
@@ -195,11 +197,13 @@ class ChaseGraph:
         return chain
 
     def children(self, node_id: int) -> List[ChaseNode]:
-        """Nodes created from ``node_id`` by an IND application."""
-        return [
-            self.node(arc.target) for arc in self._arcs
-            if arc.kind == "ordinary" and arc.source == node_id
-        ]
+        """Nodes created from ``node_id`` by an IND application.
+
+        Served from an adjacency list maintained at arc creation (keyed by
+        the arc's original source, which never changes), so FD merges can
+        redirect a retired node's children without scanning every arc.
+        """
+        return [self.node(target) for target in self._ordinary_targets.get(node_id, ())]
 
     # -- rendering ------------------------------------------------------------------
 

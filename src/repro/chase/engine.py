@@ -19,17 +19,32 @@ The result records whether the chase *saturated* (it is the complete,
 finite chase) or was *truncated* (it is a prefix of a larger, possibly
 infinite, chase).
 
-Implementation notes.  The pending IND applications are kept in a heap
-keyed by ``(level, conjunct id, IND index)``, which realises the paper's
-"minimum level, lexicographically first conjunct, lexicographically first
-IND" choice; requirement checks (R-chase) and duplicate detection use
-hash indexes that are rebuilt whenever an FD application rewrites terms,
-so chases with thousands of conjuncts stay close to linear time.
+Two implementations share this module's configuration and result types:
+
+* :class:`ChaseEngine` (the default, ``engine="indexed"``) maintains
+  persistent per-relation indexes — FD determinant buckets, an exact-atom
+  index, a term-occurrence index, and R-chase requirement buckets — all
+  updated incrementally on node insert/rewrite/merge.  The FD fixpoint is
+  delta-driven (semi-naive): only conjuncts touched since the last
+  fixpoint are probed, and only against the nodes sharing their
+  determinant values, so trigger discovery never rescans the whole chase.
+* :class:`~repro.chase.legacy_engine.LegacyChaseEngine`
+  (``engine="legacy"``) is the seed implementation: pairwise FD scans and
+  full index rebuilds after every FD application.  It is kept as the
+  semantic reference the differential test harness certifies the indexed
+  engine against.
+
+Both follow the identical deterministic policy — minimum level,
+lexicographically first conjunct, lexicographically first dependency —
+so their results agree node for node, not merely up to isomorphism.  The
+pending IND applications are kept in a heap keyed by ``(level, conjunct
+id, IND index)``, which realises the paper's selection rule.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
@@ -48,6 +63,28 @@ from repro.terms.naming import FreshVariableFactory, NDVProvenance
 from repro.terms.substitution import Substitution
 from repro.terms.term import Term, Variable
 
+#: The two chase implementations selectable through ``ChaseConfig.engine``
+#: (and ``SolverConfig.chase_engine``).
+CHASE_ENGINES = ("indexed", "legacy")
+
+#: Environment override for the process-wide default engine, read when a
+#: config leaves ``engine=None``.  CI uses it to run the whole suite under
+#: both implementations.
+CHASE_ENGINE_ENV_VAR = "REPRO_CHASE_ENGINE"
+
+
+def resolve_engine_name(name: Optional[str] = None) -> str:
+    """The concrete engine a config selects.
+
+    ``None`` falls back to ``$REPRO_CHASE_ENGINE`` and then to
+    ``"indexed"``; anything outside :data:`CHASE_ENGINES` raises.
+    """
+    resolved = name or os.environ.get(CHASE_ENGINE_ENV_VAR) or "indexed"
+    if resolved not in CHASE_ENGINES:
+        raise ChaseError(
+            f"unknown chase engine {resolved!r}; expected one of {CHASE_ENGINES}")
+    return resolved
+
 
 class ChaseVariant(Enum):
     """The two ways Section 3 applies the IND chase rule."""
@@ -64,6 +101,8 @@ class ChaseConfig:
     unbounded (use together with ``max_conjuncts``).  ``max_conjuncts``
     bounds the total number of live conjuncts and always applies.
     ``record_trace`` can be switched off for large benchmark runs.
+    ``engine`` selects the implementation (``"indexed"`` or ``"legacy"``);
+    ``None`` defers to ``$REPRO_CHASE_ENGINE`` / the indexed default.
     """
 
     variant: ChaseVariant = ChaseVariant.RESTRICTED
@@ -71,27 +110,76 @@ class ChaseConfig:
     max_conjuncts: int = 5_000
     max_steps: Optional[int] = None
     record_trace: bool = True
+    engine: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.max_conjuncts <= 0:
             raise ChaseError("max_conjuncts must be positive")
         if self.max_level is not None and self.max_level < 0:
             raise ChaseError("max_level must be non-negative")
+        if self.engine is not None and self.engine not in CHASE_ENGINES:
+            raise ChaseError(
+                f"unknown chase engine {self.engine!r}; expected one of {CHASE_ENGINES}")
 
 
 @dataclass
 class ChaseStatistics:
-    """Counters reported with every chase result."""
+    """Counters reported with every chase result.
+
+    Rule applications:
+
+    ``fd_steps``
+        FD chase rule applications (including the halting constant-clash
+        one); each may cascade into several ``merged_conjuncts``.
+    ``ind_steps``
+        IND chase rule applications that created a new conjunct.
+    ``redundant_ind_applications``
+        IND applications that found their conjunct already present
+        verbatim (possible in the O-chase) and created nothing.
+    ``merged_conjuncts``
+        Conjuncts retired because an FD merge made them identical to an
+        earlier conjunct.
+
+    Work accounting (the indexed-vs-legacy benchmark compares these):
+
+    ``triggers_examined``
+        Candidate (dependency, conjunct) triggers the engine inspected:
+        FD pair comparisons during trigger discovery, per-IND scans when
+        registering a conjunct, and pending-queue entries popped.
+    ``index_hits``
+        Lookups answered by a persistent index instead of a scan — a
+        satisfied R-chase requirement, a verbatim duplicate detected on
+        IND application, or an FD determinant bucket with candidates.
+    """
 
     fd_steps: int = 0
     ind_steps: int = 0
     redundant_ind_applications: int = 0
     merged_conjuncts: int = 0
     max_level_reached: int = 0
+    triggers_examined: int = 0
+    index_hits: int = 0
 
     @property
     def total_steps(self) -> int:
-        return self.fd_steps + self.ind_steps
+        """Every chase rule application, productive or not.
+
+        Counts FD applications and *all* IND applications — including the
+        redundant ones the O-chase performs — so the ``max_steps`` budget
+        and the trace agree: ``total_steps == len(trace)`` whenever the
+        trace was recorded.
+        """
+        return self.fd_steps + self.ind_steps + self.redundant_ind_applications
+
+    @property
+    def ind_applications(self) -> int:
+        """IND rule applications, whether or not they created a conjunct."""
+        return self.ind_steps + self.redundant_ind_applications
+
+    @property
+    def triggers_fired(self) -> int:
+        """Examined triggers that led to an actual rule application."""
+        return self.total_steps
 
 
 @dataclass
@@ -125,6 +213,8 @@ class ChaseResult:
     #: opposed to the level budget; containment uses this to distinguish
     #: "exact up to the Theorem 2 level bound" from "ran out of memory".
     hit_conjunct_budget: bool = False
+    #: Which implementation built this result ("indexed" or "legacy").
+    engine: str = "indexed"
 
     def conjuncts(self) -> List[Conjunct]:
         """The live conjuncts of the (partial) chase, in creation order."""
@@ -166,18 +256,61 @@ class ChaseResult:
         """Readable report: status line plus the level-by-level graph."""
         status = "failed" if self.failed else (
             "saturated" if self.saturated else "truncated")
+        stats = self.statistics
+        counters = (
+            f"{stats.fd_steps} FD steps, {stats.ind_steps} IND steps"
+        )
+        if stats.redundant_ind_applications:
+            counters += f" (+{stats.redundant_ind_applications} redundant)"
+        if stats.merged_conjuncts:
+            counters += f", {stats.merged_conjuncts} merged conjuncts"
         header = (
             f"{self.variant.value}-chase of {self.query.name}: {status}, "
             f"{len(self)} conjuncts, max level {self.max_level()}, "
-            f"{self.statistics.fd_steps} FD steps, {self.statistics.ind_steps} IND steps"
+            f"{counters}"
         )
         if self.failed:
             return header
         return header + "\n" + self.graph.describe()
 
 
+class _FdSpec:
+    """One FD with resolved positions and its persistent determinant index.
+
+    ``buckets`` maps a tuple of determinant values to the ids of the live
+    nodes holding those values — the (relation, determinant-positions,
+    determinant-values) → node-bucket index of the indexed engine.
+    ``order`` is the FD's position among its relation's FDs, realising
+    the "lexicographically first FD" tie-break.
+    """
+
+    __slots__ = ("fd", "order", "lhs_positions", "rhs_position", "buckets")
+
+    def __init__(self, fd: FunctionalDependency, order: int,
+                 lhs_positions: Tuple[int, ...], rhs_position: int):
+        self.fd = fd
+        self.order = order
+        self.lhs_positions = lhs_positions
+        self.rhs_position = rhs_position
+        self.buckets: Dict[Tuple[Term, ...], Set[int]] = {}
+
+
 class ChaseEngine:
-    """Builds the chase of one query with respect to one dependency set."""
+    """Builds the chase of one query with incrementally maintained indexes.
+
+    Persistent state (all updated on node insert, rewrite, and merge —
+    never rebuilt from scratch):
+
+    * per-FD determinant buckets (:class:`_FdSpec`), probed only for
+      *dirty* conjuncts during the FD fixpoint (semi-naive evaluation);
+    * an exact-atom index for duplicate detection and merge discovery;
+    * a term-occurrence index so an FD merge rewrites only the conjuncts
+      that actually contain the merged-away variable;
+    * R-chase requirement buckets keyed by (IND, source values);
+    * the pending IND heap keyed by ``(level, conjunct id, IND index)``.
+    """
+
+    engine_name = "indexed"
 
     def __init__(self, query: ConjunctiveQuery, dependencies: DependencySet,
                  config: Optional[ChaseConfig] = None):
@@ -199,23 +332,27 @@ class ChaseEngine:
         # Resolved column positions, one lookup per dependency.
         self._ind_positions: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
         self._inds_by_source: Dict[str, List[int]] = {}
+        self._inds_by_target: Dict[str, List[int]] = {}
         for index, ind in enumerate(self._inds):
             self._ind_positions[index] = (
                 ind.lhs_positions(self._schema), ind.rhs_positions(self._schema))
             self._inds_by_source.setdefault(ind.lhs_relation, []).append(index)
-        self._fd_positions: Dict[FunctionalDependency, Tuple[Tuple[int, ...], int]] = {}
-        self._fds_by_relation: Dict[str, List[FunctionalDependency]] = {}
+            self._inds_by_target.setdefault(ind.rhs_relation, []).append(index)
+        self._fd_specs_by_relation: Dict[str, List[_FdSpec]] = {}
         for fd in self._fds:
             relation = self._schema.relation(fd.relation)
-            self._fd_positions[fd] = (fd.lhs_positions(relation), fd.rhs_position(relation))
-            self._fds_by_relation.setdefault(fd.relation, []).append(fd)
+            specs = self._fd_specs_by_relation.setdefault(fd.relation, [])
+            specs.append(_FdSpec(fd, len(specs),
+                                 fd.lhs_positions(relation), fd.rhs_position(relation)))
 
-        # Work queue and indexes (see module docstring).
+        # Persistent indexes and the work queues (see class docstring).
         self._pending: List[Tuple[int, int, int]] = []        # (level, node_id, ind index)
         self._applied: Set[Tuple[int, int]] = set()            # (node_id, ind index)
-        self._satisfied_by: Dict[Tuple[int, Tuple[Term, ...]], int] = {}  # (ind idx, Y-values) -> node id
-        self._atom_index: Dict[Tuple[str, Tuple[Term, ...]], int] = {}    # (relation, terms) -> node id
-        self._fd_dirty: List[int] = []                          # node ids needing an FD scan
+        self._satisfied: Dict[Tuple[int, Tuple[Term, ...]], Set[int]] = {}
+        self._atom_nodes: Dict[Tuple[str, Tuple[Term, ...]], Set[int]] = {}
+        self._duplicate_keys: Set[Tuple[str, Tuple[Term, ...]]] = set()
+        self._term_nodes: Dict[Variable, Set[int]] = {}
+        self._dirty: Dict[int, None] = {}                      # ordered set of node ids
 
     # -- public entry point ---------------------------------------------------
 
@@ -258,92 +395,140 @@ class ChaseEngine:
             statistics=self._statistics,
             trace=self._trace,
             hit_conjunct_budget=hit_conjunct_budget,
+            engine=self.engine_name,
         )
 
-    # -- node registration and indexes ----------------------------------------
+    # -- node registration and incremental index maintenance -------------------
 
     def _register_node(self, node: ChaseNode) -> None:
         """Enter a new node into every index and enqueue its IND applications."""
-        self._atom_index.setdefault((node.relation, node.conjunct.terms), node.node_id)
-        for index, ind in enumerate(self._inds):
-            if ind.rhs_relation == node.relation:
-                _, rhs_positions = self._ind_positions[index]
-                key = (index, node.conjunct.terms_at(rhs_positions))
-                self._satisfied_by.setdefault(key, node.node_id)
+        self._index_node(node)
         for index in self._inds_by_source.get(node.relation, ()):
             heapq.heappush(self._pending, (node.level, node.node_id, index))
-        self._fd_dirty.append(node.node_id)
+        self._dirty[node.node_id] = None
 
-    def _rebuild_indexes(self) -> None:
-        """Recompute term-keyed indexes after an FD application rewrote terms."""
-        self._atom_index.clear()
-        self._satisfied_by.clear()
-        for node in self._graph.nodes():
-            self._atom_index.setdefault((node.relation, node.conjunct.terms), node.node_id)
-            for index, ind in enumerate(self._inds):
-                if ind.rhs_relation == node.relation:
-                    _, rhs_positions = self._ind_positions[index]
-                    key = (index, node.conjunct.terms_at(rhs_positions))
-                    self._satisfied_by.setdefault(key, node.node_id)
+    def _index_node(self, node: ChaseNode) -> None:
+        """Insert a node's current terms into the persistent indexes."""
+        node_id = node.node_id
+        atoms = self._atom_nodes.setdefault((node.relation, node.conjunct.terms), set())
+        atoms.add(node_id)
+        if len(atoms) > 1:
+            self._duplicate_keys.add((node.relation, node.conjunct.terms))
+        for term in node.conjunct.terms:
+            if isinstance(term, Variable):
+                self._term_nodes.setdefault(term, set()).add(node_id)
+        for spec in self._fd_specs_by_relation.get(node.relation, ()):
+            spec.buckets.setdefault(
+                node.conjunct.terms_at(spec.lhs_positions), set()).add(node_id)
+        for index in self._inds_by_target.get(node.relation, ()):
+            self._statistics.triggers_examined += 1
+            _, rhs_positions = self._ind_positions[index]
+            key = (index, node.conjunct.terms_at(rhs_positions))
+            self._satisfied.setdefault(key, set()).add(node_id)
+
+    def _unindex_node(self, node: ChaseNode) -> None:
+        """Remove a node's current terms from the persistent indexes."""
+        node_id = node.node_id
+        key = (node.relation, node.conjunct.terms)
+        atoms = self._atom_nodes.get(key)
+        if atoms is not None:
+            atoms.discard(node_id)
+            if len(atoms) < 2:
+                self._duplicate_keys.discard(key)
+            if not atoms:
+                del self._atom_nodes[key]
+        for term in node.conjunct.terms:
+            if isinstance(term, Variable):
+                holders = self._term_nodes.get(term)
+                if holders is not None:
+                    holders.discard(node_id)
+                    if not holders:
+                        del self._term_nodes[term]
+        for spec in self._fd_specs_by_relation.get(node.relation, ()):
+            values = node.conjunct.terms_at(spec.lhs_positions)
+            bucket = spec.buckets.get(values)
+            if bucket is not None:
+                bucket.discard(node_id)
+                if not bucket:
+                    del spec.buckets[values]
+        for index in self._inds_by_target.get(node.relation, ()):
+            _, rhs_positions = self._ind_positions[index]
+            skey = (index, node.conjunct.terms_at(rhs_positions))
+            bucket = self._satisfied.get(skey)
+            if bucket is not None:
+                bucket.discard(node_id)
+                if not bucket:
+                    del self._satisfied[skey]
+
+    def _first_atom_node(self, relation: str, terms: Tuple[Term, ...]) -> Optional[int]:
+        """The earliest-created live node holding exactly this atom."""
+        bucket = self._atom_nodes.get((relation, terms))
+        if not bucket:
+            return None
+        return min(bucket)
 
     # -- FD phase -----------------------------------------------------------------
 
     def _apply_fds_to_fixpoint(self) -> None:
         """Apply the FD chase rule until no FD is applicable (step 1 of the policy)."""
         if not self._fds:
-            self._fd_dirty.clear()
+            self._dirty.clear()
             return
         while not self._failed:
             found = self._find_applicable_fd()
             if found is None:
-                self._fd_dirty.clear()
+                self._dirty.clear()
                 return
-            fd, first, second = found
-            self._apply_fd(fd, first, second)
+            spec, first, second = found
+            self._apply_fd(spec, first, second)
 
-    def _find_applicable_fd(self) -> Optional[Tuple[FunctionalDependency, ChaseNode, ChaseNode]]:
+    def _find_applicable_fd(self) -> Optional[Tuple[_FdSpec, ChaseNode, ChaseNode]]:
         """Lexicographically first applicable (FD, pair of conjuncts).
 
         Only pairs involving a *dirty* node (one added or rewritten since
-        the last fixpoint) can be newly applicable, so the scan is
-        restricted accordingly; the chosen pair is still the first in
-        (node id, node id, FD order) among the applicable ones found.
+        the last fixpoint) can be newly applicable.  Each dirty node is
+        probed against its FD determinant buckets — the nodes already
+        agreeing with it on the determinant — so discovery work is
+        proportional to the actual candidates, not to the square of the
+        chase.  The chosen pair is still the first in (node id, node id,
+        FD order) among the applicable ones, exactly the legacy policy.
         """
-        dirty = {node_id for node_id in self._fd_dirty
-                 if self._graph.node(node_id).alive}
-        if not dirty:
-            return None
-        nodes = self._graph.nodes()
-        best: Optional[Tuple[int, int, int, FunctionalDependency, ChaseNode, ChaseNode]] = None
-        for i in range(len(nodes)):
-            first = nodes[i]
-            fds = self._fds_by_relation.get(first.relation)
-            if not fds:
+        best: Optional[Tuple[int, int, int, _FdSpec]] = None
+        for node_id in list(self._dirty):
+            node = self._graph.node(node_id)
+            if not node.alive:
+                del self._dirty[node_id]
                 continue
-            for j in range(i + 1, len(nodes)):
-                second = nodes[j]
-                if second.relation != first.relation:
+            specs = self._fd_specs_by_relation.get(node.relation)
+            if not specs:
+                continue
+            for spec in specs:
+                values = node.conjunct.terms_at(spec.lhs_positions)
+                bucket = spec.buckets.get(values)
+                if bucket is None or len(bucket) < 2:
                     continue
-                if first.node_id not in dirty and second.node_id not in dirty:
-                    continue
-                for fd_order, fd in enumerate(fds):
-                    lhs_positions, rhs_position = self._fd_positions[fd]
-                    if (first.conjunct.terms_at(lhs_positions)
-                            == second.conjunct.terms_at(lhs_positions)
-                            and first.conjunct.term_at(rhs_position)
-                            != second.conjunct.term_at(rhs_position)):
-                        key = (first.node_id, second.node_id, fd_order)
-                        if best is None or key < best[:3]:
-                            best = key + (fd, first, second)
-                        break
+                self._statistics.index_hits += 1
+                own_rhs = node.conjunct.term_at(spec.rhs_position)
+                for other_id in bucket:
+                    if other_id == node_id:
+                        continue
+                    self._statistics.triggers_examined += 1
+                    other = self._graph.node(other_id)
+                    if other.conjunct.term_at(spec.rhs_position) == own_rhs:
+                        continue
+                    first_id, second_id = ((node_id, other_id)
+                                           if node_id < other_id else (other_id, node_id))
+                    candidate = (first_id, second_id, spec.order, spec)
+                    if best is None or candidate[:3] < best[:3]:
+                        best = candidate
         if best is None:
             return None
-        return best[3], best[4], best[5]
+        return best[3], self._graph.node(best[0]), self._graph.node(best[1])
 
-    def _apply_fd(self, fd: FunctionalDependency, first: ChaseNode, second: ChaseNode) -> None:
-        _, rhs_position = self._fd_positions[fd]
-        first_symbol = first.conjunct.term_at(rhs_position)
-        second_symbol = second.conjunct.term_at(rhs_position)
+    def _apply_fd(self, spec: _FdSpec, first: ChaseNode, second: ChaseNode) -> None:
+        fd = spec.fd
+        first_symbol = first.conjunct.term_at(spec.rhs_position)
+        second_symbol = second.conjunct.term_at(spec.rhs_position)
         self._statistics.fd_steps += 1
         try:
             survivor, loser = resolve_merge(first_symbol, second_symbol)
@@ -354,45 +539,50 @@ class ChaseEngine:
             self._failed = True
             for node in self._graph.nodes():
                 self._graph.retire_node(node.node_id)
+            self._dirty.clear()
             return
         self._record(FDApplication(
             dependency=fd, first_conjunct=first.label, second_conjunct=second.label,
             merged_away=loser, survivor=survivor))
         if isinstance(loser, Variable):
             substitution = Substitution({loser: survivor})
-            for node in self._graph.nodes():
-                rewritten = node.conjunct.substitute(substitution)
-                if rewritten.terms != node.conjunct.terms:
-                    node.conjunct = rewritten
-                    self._fd_dirty.append(node.node_id)
+            affected = sorted(self._term_nodes.get(loser, ()))
+            for node_id in affected:
+                node = self._graph.node(node_id)
+                self._unindex_node(node)
+                node.conjunct = node.conjunct.substitute(substitution)
+                self._index_node(node)
+                self._dirty[node_id] = None
             self._summary = substitution.apply_tuple(self._summary)
         self._merge_identical_conjuncts()
-        self._rebuild_indexes()
 
     def _merge_identical_conjuncts(self) -> None:
         """Coalesce nodes that became identical atoms after a merge.
 
-        The surviving node keeps the minimum of the merged levels (the
-        paper's levelling rule); ordinary-arc parents of children of the
-        retired node are redirected to the survivor so ancestor chains stay
-        meaningful.
+        Duplicate groups are read straight off the exact-atom index (any
+        atom key held by two or more live nodes), so only actual
+        collisions are visited.  The surviving node keeps the minimum of
+        the merged levels (the paper's levelling rule); ordinary-arc
+        parents of children of the retired node are redirected to the
+        survivor so ancestor chains stay meaningful.
         """
-        by_atom: Dict[Tuple[str, Tuple[Term, ...]], ChaseNode] = {}
-        for node in self._graph.nodes():
-            key = (node.relation, node.conjunct.terms)
-            existing = by_atom.get(key)
-            if existing is None:
-                by_atom[key] = node
+        while self._duplicate_keys:
+            key = self._duplicate_keys.pop()
+            bucket = self._atom_nodes.get(key)
+            if bucket is None or len(bucket) < 2:
                 continue
-            survivor, retired = (
-                (existing, node) if existing.node_id <= node.node_id else (node, existing)
-            )
-            survivor.level = min(survivor.level, retired.level)
-            for child in self._graph.children(retired.node_id):
-                child.parent = survivor.node_id
-            self._graph.retire_node(retired.node_id)
-            self._statistics.merged_conjuncts += 1
-            by_atom[key] = survivor
+            self._statistics.index_hits += 1
+            ids = sorted(bucket)
+            survivor = self._graph.node(ids[0])
+            for retired_id in ids[1:]:
+                retired = self._graph.node(retired_id)
+                survivor.level = min(survivor.level, retired.level)
+                for child in self._graph.children(retired_id):
+                    child.parent = survivor.node_id
+                self._unindex_node(retired)
+                self._graph.retire_node(retired_id)
+                self._dirty.pop(retired_id, None)
+                self._statistics.merged_conjuncts += 1
 
     # -- IND phase ---------------------------------------------------------------------
 
@@ -411,6 +601,7 @@ class ChaseEngine:
         oblivious = self._config.variant is ChaseVariant.OBLIVIOUS
         while self._pending:
             level, node_id, index = heapq.heappop(self._pending)
+            self._statistics.triggers_examined += 1
             node = self._graph.node(node_id)
             if not node.alive:
                 continue
@@ -420,6 +611,7 @@ class ChaseEngine:
                     continue
             else:
                 if self._requirement_satisfied(node, index):
+                    self._statistics.index_hits += 1
                     continue
             if (self._config.max_level is not None
                     and node.level + 1 > self._config.max_level):
@@ -433,7 +625,7 @@ class ChaseEngine:
         """R-chase: is there already a conjunct c' with c'[Y] = c[X]?"""
         lhs_positions, _ = self._ind_positions[index]
         source_values = node.conjunct.terms_at(lhs_positions)
-        return (index, source_values) in self._satisfied_by
+        return bool(self._satisfied.get((index, source_values)))
 
     def _apply_ind(self, node: ChaseNode, index: int, ind: InclusionDependency) -> None:
         """The IND chase rule: create the new conjunct with fresh NDVs."""
@@ -460,7 +652,7 @@ class ChaseEngine:
                 fresh_terms.append(fresh)
 
         candidate = Conjunct(ind.rhs_relation, terms)
-        duplicate_id = self._atom_index.get((candidate.relation, candidate.terms))
+        duplicate_id = self._first_atom_node(candidate.relation, candidate.terms)
         if duplicate_id is not None:
             # The created conjunct already exists verbatim (only possible
             # when the IND copies every column of the target).  No new node
@@ -468,6 +660,7 @@ class ChaseEngine:
             # done, in the R-chase it would not have been selected.
             duplicate = self._graph.node(duplicate_id)
             self._statistics.redundant_ind_applications += 1
+            self._statistics.index_hits += 1
             self._record(INDApplication(
                 dependency=ind, source_conjunct=node.label,
                 created_conjunct=None, existing_conjunct=duplicate.label,
@@ -502,7 +695,8 @@ class ChaseEngine:
                     continue
                 lhs_positions, _ = self._ind_positions[index]
                 source_values = node.conjunct.terms_at(lhs_positions)
-                target_id = self._satisfied_by.get((index, source_values))
+                bucket = self._satisfied.get((index, source_values))
+                target_id = min(bucket) if bucket else None
                 if target_id is not None and target_id != node.node_id:
                     self._graph.add_cross_arc(node.node_id, target_id, ind)
 
@@ -511,6 +705,16 @@ class ChaseEngine:
     def _record(self, step) -> None:
         if self._config.record_trace:
             self._trace.record(step)
+
+
+def build_engine(query: ConjunctiveQuery, dependencies: DependencySet,
+                 config: Optional[ChaseConfig] = None):
+    """Instantiate the engine a config selects (indexed by default)."""
+    resolved_config = config or ChaseConfig()
+    if resolve_engine_name(resolved_config.engine) == "legacy":
+        from repro.chase.legacy_engine import LegacyChaseEngine
+        return LegacyChaseEngine(query, dependencies, resolved_config)
+    return ChaseEngine(query, dependencies, resolved_config)
 
 
 # -- module-level convenience functions ---------------------------------------------------------

@@ -53,7 +53,7 @@ from repro.containment.serialization import (
     containment_result_to_dict,
     optimization_report_to_dict,
 )
-from repro.chase.engine import ChaseConfig, ChaseVariant
+from repro.chase.engine import CHASE_ENGINES, ChaseConfig, ChaseVariant
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.ind_inference import ind_implied_by_axioms
 from repro.exceptions import ReproError
@@ -128,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument("--query", required=True)
     chase_cmd.add_argument("--max-level", type=int, default=4)
     chase_cmd.add_argument("--variant", choices=["R", "O"], default="R")
+    chase_cmd.add_argument("--engine", choices=list(CHASE_ENGINES), default=None,
+                           help="chase implementation: 'indexed' (incremental "
+                                "indexes, the default) or 'legacy' (the seed "
+                                "scan-and-rebuild engine)")
     chase_cmd.add_argument("--trace", action="store_true",
                            help="also print the application trace")
 
@@ -197,7 +201,8 @@ def _command_chase(options: argparse.Namespace, solver: Solver) -> int:
     sigma = _load_dependencies(options.deps, schema)
     query = parse_query(_read_text(options.query), schema)
     variant = ChaseVariant.RESTRICTED if options.variant == "R" else ChaseVariant.OBLIVIOUS
-    config = ChaseConfig(variant=variant, max_level=options.max_level)
+    config = ChaseConfig(variant=variant, max_level=options.max_level,
+                         engine=options.engine)
     result = solver.chase(query, sigma, config)
     if options.json:
         _emit_json(chase_result_to_dict(result, include_trace=options.trace))

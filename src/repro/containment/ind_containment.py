@@ -63,7 +63,8 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
                                   record_trace: bool = False,
                                   with_certificate: bool = False,
                                   deepening: bool = True,
-                                  chase_fn: Optional[ChaseFn] = None) -> ContainmentResult:
+                                  chase_fn: Optional[ChaseFn] = None,
+                                  engine: Optional[str] = None) -> ContainmentResult:
     """The Theorem 2 decision procedure (sound semi-decision for general Σ).
 
     Parameters
@@ -92,6 +93,11 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
         :class:`~repro.api.solver.Solver` passes its caching chase here so
         chase prefixes are shared across containment questions; ``None``
         uses the module-level :func:`~repro.chase.engine.chase`.
+    engine:
+        Which chase implementation to build with (``"indexed"`` /
+        ``"legacy"``); ``None`` uses the process default.  The verdict is
+        engine-independent — the differential harness asserts exactly
+        that — but the knob lets it ask both sides the same question.
     """
     query.require_same_interface(query_prime)
     bound = level_bound if level_bound is not None else theorem2_level_bound(query_prime, dependencies)
@@ -101,7 +107,8 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
     last_chase: Optional[ChaseResult] = None
     for level in schedule:
         config = ChaseConfig(variant=variant, max_level=level,
-                             max_conjuncts=max_conjuncts, record_trace=record_trace)
+                             max_conjuncts=max_conjuncts, record_trace=record_trace,
+                             engine=engine)
         chase_result = build_chase(query, dependencies, config)
         last_chase = chase_result
 

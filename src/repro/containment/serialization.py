@@ -266,6 +266,7 @@ def chase_result_to_dict(result: "ChaseResult",
     data: Dict[str, Any] = {
         "query": result.query.name,
         "variant": result.variant.value,
+        "engine": result.engine,
         "failed": result.failed,
         "saturated": result.saturated,
         "truncated": result.truncated,
@@ -275,6 +276,9 @@ def chase_result_to_dict(result: "ChaseResult",
             "ind_steps": result.statistics.ind_steps,
             "redundant_ind_applications": result.statistics.redundant_ind_applications,
             "merged_conjuncts": result.statistics.merged_conjuncts,
+            "total_steps": result.statistics.total_steps,
+            "triggers_examined": result.statistics.triggers_examined,
+            "index_hits": result.statistics.index_hits,
         },
         "level_histogram": {str(level): count for level, count
                             in sorted(result.level_histogram().items())},

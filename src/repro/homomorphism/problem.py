@@ -67,7 +67,10 @@ class TargetIndex:
         """Facts of ``relation`` agreeing with the ``(position, value)`` pins.
 
         Uses the most selective column index first, then filters; with no
-        pins it returns all facts of the relation.
+        pins it returns all facts of the relation.  A pin value may be a
+        :class:`~repro.terms.term.Constant`, which matches both the
+        constant itself and (for database targets) its raw value, so
+        search engines can pin an atom's constant positions up front.
         """
         if relation not in self._facts:
             return []
@@ -78,7 +81,7 @@ class TargetIndex:
         for position, value in fixed:
             if position >= len(columns):
                 return []
-            bucket = columns[position].get(value, [])
+            bucket = self._column_bucket(columns, position, value)
             if best is None or len(bucket) < len(best):
                 best = bucket
             if not best:
@@ -86,8 +89,30 @@ class TargetIndex:
         assert best is not None
         return [
             fact for fact in best
-            if all(fact[position] == value for position, value in fixed)
+            if all(self._pin_matches(fact[position], value) for position, value in fixed)
         ]
+
+    @staticmethod
+    def _column_bucket(columns: List[Dict[Any, List[TargetFact]]],
+                       position: int, value: Any) -> List[TargetFact]:
+        """The facts whose column ``position`` can match ``value``.
+
+        A constant pin has two possible index keys — the constant term and
+        its raw value — and a fact's entry is exactly one of them, so the
+        concatenation is duplicate-free.
+        """
+        bucket = columns[position].get(value, [])
+        if isinstance(value, Constant):
+            raw = columns[position].get(value.value, [])
+            if raw:
+                bucket = bucket + raw
+        return bucket
+
+    @staticmethod
+    def _pin_matches(entry: Any, value: Any) -> bool:
+        if isinstance(value, Constant):
+            return constant_matches(value, entry)
+        return entry == value
 
     def relations(self) -> List[str]:
         return list(self._facts)

@@ -1,4 +1,4 @@
-"""Backtracking homomorphism search.
+"""Backtracking homomorphism search with adaptive ordering.
 
 The search maps source atoms onto target facts one atom at a time,
 maintaining a partial variable assignment.  At every step it picks the
@@ -6,6 +6,16 @@ maintaining a partial variable assignment.  At every step it picks the
 target facts given the bindings made so far — which is the classic
 fail-first heuristic and makes the (NP-hard in general) search fast on the
 structured instances produced by chases and benchmarks.
+
+Candidate sets are computed once per atom — seeded from the target's
+per-column indexes using the atom's constants and any pre-bound
+variables — and then *narrowed* monotonically as variables become bound
+(forward checking): binding a variable filters only the candidate lists
+of the unmapped atoms that mention it, and a branch is abandoned as soon
+as any unmapped atom has no candidates left.  The seed implementation
+recomputed every atom's candidates from scratch at every node of the
+search tree; the narrowing strategy visits the same nodes in the same
+order but does strictly less work per node.
 
 Solutions are reported as plain ``dict`` objects mapping source variables
 to target entries.  Constants are never included in the mapping; they are
@@ -22,11 +32,19 @@ from repro.terms.term import Constant, Variable
 Assignment = Dict[Variable, Any]
 
 
-def _fact_candidates(atom: Any, target: TargetIndex, assignment: Assignment) -> List[Tuple[Any, ...]]:
-    """Candidate target facts for one atom under the current assignment."""
+def _initial_candidates(atom: Any, target: TargetIndex,
+                        assignment: Assignment) -> List[Tuple[Any, ...]]:
+    """Candidate target facts for one atom under the initial assignment.
+
+    Pins both the atom's constant positions and its already-bound
+    variables, so the per-column indexes narrow the fact list before any
+    per-fact matching happens.
+    """
     pins = []
     for position, term in enumerate(atom.terms):
-        if isinstance(term, Variable) and term in assignment:
+        if isinstance(term, Constant):
+            pins.append((position, term))
+        elif isinstance(term, Variable) and term in assignment:
             pins.append((position, assignment[term]))
     candidates = target.candidates(atom.relation, pins)
     return [fact for fact in candidates if _matches(atom, fact, assignment) is not None]
@@ -70,10 +88,19 @@ def iter_homomorphisms(problem: HomomorphismProblem) -> Iterator[Assignment]:
     if problem.is_trivially_unsatisfiable():
         return
     atoms = list(problem.source_atoms)
+    atom_variables = [
+        frozenset(term for term in atom.terms if isinstance(term, Variable))
+        for atom in atoms
+    ]
     seen: set = set()
     initial: Assignment = dict(problem.required)
+    candidates: Dict[int, List[Tuple[Any, ...]]] = {
+        index: _initial_candidates(atom, problem.target, initial)
+        for index, atom in enumerate(atoms)
+    }
 
-    def backtrack(remaining: List[Any], assignment: Assignment) -> Iterator[Assignment]:
+    def backtrack(remaining: List[int], assignment: Assignment,
+                  candidates: Dict[int, List[Tuple[Any, ...]]]) -> Iterator[Assignment]:
         if not remaining:
             frozen = frozenset(assignment.items())
             if frozen not in seen:
@@ -81,24 +108,39 @@ def iter_homomorphisms(problem: HomomorphismProblem) -> Iterator[Assignment]:
                 yield dict(assignment)
             return
         # Most-constrained-atom ordering (fail-first heuristic).
-        scored = [
-            (len(_fact_candidates(atom, problem.target, assignment)), index, atom)
-            for index, atom in enumerate(remaining)
-        ]
-        count, index, atom = min(scored, key=lambda item: (item[0], item[1]))
-        if count == 0:
+        chosen = min(remaining, key=lambda index: (len(candidates[index]), index))
+        if not candidates[chosen]:
             return
-        rest = remaining[:index] + remaining[index + 1:]
-        for fact in _fact_candidates(atom, problem.target, assignment):
+        rest = [index for index in remaining if index != chosen]
+        atom = atoms[chosen]
+        for fact in candidates[chosen]:
             new_bindings = _matches(atom, fact, assignment)
             if new_bindings is None:
                 continue
             assignment.update(new_bindings)
-            yield from backtrack(rest, assignment)
+            # Forward checking: narrow only the unmapped atoms that mention
+            # a newly bound variable; fail fast when one runs dry.
+            narrowed = candidates
+            viable = True
+            if new_bindings:
+                bound = new_bindings.keys()
+                narrowed = dict(candidates)
+                for index in rest:
+                    if atom_variables[index].isdisjoint(bound):
+                        continue
+                    narrowed[index] = [
+                        candidate for candidate in candidates[index]
+                        if _matches(atoms[index], candidate, assignment) is not None
+                    ]
+                    if not narrowed[index]:
+                        viable = False
+                        break
+            if viable:
+                yield from backtrack(rest, assignment, narrowed)
             for variable in new_bindings:
                 del assignment[variable]
 
-    yield from backtrack(atoms, initial)
+    yield from backtrack(list(range(len(atoms))), initial, candidates)
 
 
 def find_homomorphism(problem: HomomorphismProblem) -> Optional[Assignment]:

@@ -290,6 +290,7 @@ def rewrite_with_views(query: ConjunctiveQuery,
         max_conjuncts=(chase_max_conjuncts if chase_max_conjuncts is not None
                        else session.config.chase_max_conjuncts),
         record_trace=False,
+        engine=session.config.chase_engine,
     )
     chase_result = session.chase(query, sigma, chase_config)
     if chase_result.failed:

@@ -216,3 +216,87 @@ class TestChaseWithFDs:
         s_nodes = result.graph.nodes_for_relation("S")
         assert len(s_nodes) == 1
         assert s_nodes[0].level == 0
+
+
+class TestEngineSelection:
+    def test_config_rejects_unknown_engine(self):
+        with pytest.raises(ChaseError):
+            ChaseConfig(engine="vectorised")
+
+    def test_build_engine_honours_config(self, intro):
+        from repro.chase.engine import ChaseEngine, build_engine
+        from repro.chase.legacy_engine import LegacyChaseEngine
+        indexed = build_engine(intro.q2, intro.dependencies,
+                               ChaseConfig(engine="indexed"))
+        legacy = build_engine(intro.q2, intro.dependencies,
+                              ChaseConfig(engine="legacy"))
+        assert isinstance(indexed, ChaseEngine)
+        assert isinstance(legacy, LegacyChaseEngine)
+        assert indexed.run().engine == "indexed"
+        assert legacy.run().engine == "legacy"
+
+    def test_environment_variable_sets_default(self, intro, monkeypatch):
+        from repro.chase.engine import CHASE_ENGINE_ENV_VAR, build_engine, resolve_engine_name
+        monkeypatch.setenv(CHASE_ENGINE_ENV_VAR, "legacy")
+        assert resolve_engine_name(None) == "legacy"
+        result = build_engine(intro.q2, intro.dependencies, ChaseConfig()).run()
+        assert result.engine == "legacy"
+        # An explicit config still overrides the environment.
+        assert resolve_engine_name("indexed") == "indexed"
+        monkeypatch.setenv(CHASE_ENGINE_ENV_VAR, "nonsense")
+        with pytest.raises(ChaseError):
+            resolve_engine_name(None)
+
+
+class TestStatisticsConsistency:
+    def test_total_steps_matches_trace_length(self, figure1):
+        # total_steps counts every recorded rule application, so it must
+        # equal the trace length whenever the trace is on — including the
+        # redundant IND applications the O-chase performs.
+        for builder in (r_chase, o_chase):
+            result = builder(figure1.query, figure1.dependencies, max_level=4)
+            assert result.statistics.total_steps == len(result.trace)
+
+    def test_redundant_o_chase_application_counted(self, two_relation_schema):
+        # Both INDs copy every column of S, so the O-chase's second
+        # application finds its conjunct already present: a redundant
+        # application that must appear in total_steps and the trace alike.
+        sigma = DependencySet([
+            InclusionDependency("R", ["a1", "a2"], "S", ["b1", "b2"]),
+            InclusionDependency("S", ["b1", "b2"], "S", ["b2", "b1"]),
+        ], schema=two_relation_schema)
+        q = (
+            QueryBuilder(two_relation_schema, "Q")
+            .head("x")
+            .atom("R", "x", "x")
+            .build()
+        )
+        result = o_chase(q, sigma)
+        stats = result.statistics
+        assert stats.redundant_ind_applications >= 1
+        assert stats.ind_applications == stats.ind_steps + stats.redundant_ind_applications
+        assert stats.total_steps == len(result.trace)
+        assert len(result.trace.ind_applications()) == stats.ind_applications
+        assert "redundant" in result.describe()
+
+    def test_describe_reports_merges(self, two_relation_schema):
+        sigma = DependencySet([
+            InclusionDependency("R", ["a1"], "S", ["b1"]),
+            FunctionalDependency("S", ["b1"], "b2"),
+        ], schema=two_relation_schema)
+        q = (
+            QueryBuilder(two_relation_schema, "Q")
+            .head("x")
+            .atom("R", "x", "y")
+            .atom("S", "x", "c")
+            .build()
+        )
+        result = o_chase(q, sigma)
+        assert result.statistics.merged_conjuncts == 1
+        assert "1 merged conjunct" in result.describe()
+
+    def test_work_counters_populated(self, figure1):
+        result = r_chase(figure1.query, figure1.dependencies, max_level=4)
+        assert result.statistics.triggers_examined > 0
+        assert result.statistics.triggers_fired == result.statistics.total_steps
+        assert result.statistics.triggers_examined >= result.statistics.triggers_fired

@@ -1,0 +1,196 @@
+"""Differential certification of the indexed chase engine.
+
+The indexed engine (`ChaseEngine`) replaces the seed's pairwise FD scans
+and full index rebuilds with incrementally maintained indexes, but it
+must follow the identical deterministic policy — minimum level,
+lexicographically first conjunct/pair, lexicographically first
+dependency.  These tests certify that claim *differentially*: hundreds of
+seeded random (schema, Σ, query) cases from the workload generators are
+chased by both engines and the results compared node for node — ids,
+levels, terms, parents, liveness, arcs, summary row, status flags, rule
+counts, and the full application trace.  That is strictly stronger than
+isomorphism: the engines must agree on every step, not merely on the
+final shape.
+
+Containment verdicts are compared the same way through the public
+``SolverConfig(chase_engine=...)`` knob, so the whole decision pipeline
+(deepening schedule, budgets, homomorphism search) is exercised on both
+sides.
+
+The case families deliberately cover the hard corners: FD-merge cascades
+(key-based Σ over queries with repeated variables), constant clashes
+(failed chases), IND-introduced nulls (fresh NDVs on cyclic, infinite
+chases), and redundant O-chase applications.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Solver, SolverConfig
+from repro.chase.engine import ChaseConfig, ChaseResult, ChaseVariant, build_engine
+from repro.workloads import DependencyGenerator, QueryGenerator, SchemaGenerator
+
+#: Seeds per family; the families below multiply this into 230 differential
+#: cases, comfortably past the 200 the acceptance criteria ask for.
+KEY_BASED_CASES = 60
+IND_ONLY_CASES = 50
+CYCLIC_CASES = 40
+WIDE_IND_CASES = 30
+CONTAINMENT_CASES = 50
+
+
+def snapshot(result: ChaseResult) -> dict:
+    """Everything observable about a chase run except which engine ran it."""
+    return {
+        "failed": result.failed,
+        "saturated": result.saturated,
+        "truncated": result.truncated,
+        "hit_conjunct_budget": result.hit_conjunct_budget,
+        "summary_row": result.summary_row,
+        "nodes": [
+            (node.node_id, node.level, node.relation, node.conjunct.terms,
+             node.parent, node.alive)
+            for node in result.graph.nodes(include_dead=True)
+        ],
+        "arcs": [
+            (arc.source, arc.target, str(arc.dependency), arc.kind)
+            for arc in result.graph.arcs()
+        ],
+        "rule_counts": (
+            result.statistics.fd_steps,
+            result.statistics.ind_steps,
+            result.statistics.redundant_ind_applications,
+            result.statistics.merged_conjuncts,
+            result.statistics.max_level_reached,
+        ),
+        "trace": [step.describe() for step in result.trace],
+    }
+
+
+def run_both(query, sigma, variant, max_level, max_conjuncts=400) -> tuple:
+    results = []
+    for engine in ("indexed", "legacy"):
+        config = ChaseConfig(variant=variant, max_level=max_level,
+                             max_conjuncts=max_conjuncts, engine=engine)
+        results.append(build_engine(query, sigma, config).run())
+    return tuple(results)
+
+
+def assert_identical(query, sigma, variant, max_level, max_conjuncts=400) -> ChaseResult:
+    indexed, legacy = run_both(query, sigma, variant, max_level, max_conjuncts)
+    assert indexed.engine == "indexed" and legacy.engine == "legacy"
+    assert snapshot(indexed) == snapshot(legacy), (
+        f"engines diverged on {query.name} under {list(map(str, sigma))}")
+    return indexed
+
+
+class TestDifferentialChase:
+    @pytest.mark.parametrize("seed", range(KEY_BASED_CASES))
+    def test_key_based_fd_cascades(self, seed):
+        """Key-based Σ over constant-heavy random queries: FD merge
+        cascades, occasional constant clashes (failed chases), and
+        key-directed IND firings must match step for step."""
+        schema = SchemaGenerator(seed=seed).mixed(4, min_arity=2, max_arity=4)
+        sigma = DependencyGenerator(schema, seed=seed + 1_000).key_based(3)
+        query = QueryGenerator(schema, seed=seed).random(
+            5, variable_pool=5, constant_probability=0.3)
+        assert_identical(query, sigma, ChaseVariant.RESTRICTED, max_level=3)
+
+    def test_family_exercises_fd_cascades(self):
+        """Guard: the key-based family must actually hit its hard corners.
+
+        If a workload-generator change made every seed produce zero FD
+        steps, the per-seed differential tests would keep passing while
+        silently losing the FD-merge-cascade coverage this family exists
+        for; this aggregate check fails instead.
+        """
+        fd_steps = merged = failed = 0
+        for seed in range(KEY_BASED_CASES):
+            schema = SchemaGenerator(seed=seed).mixed(4, min_arity=2, max_arity=4)
+            sigma = DependencyGenerator(schema, seed=seed + 1_000).key_based(3)
+            query = QueryGenerator(schema, seed=seed).random(
+                5, variable_pool=5, constant_probability=0.3)
+            config = ChaseConfig(variant=ChaseVariant.RESTRICTED, max_level=3,
+                                 max_conjuncts=400)
+            result = build_engine(query, sigma, config).run()
+            fd_steps += result.statistics.fd_steps
+            merged += result.statistics.merged_conjuncts
+            failed += result.failed
+        assert fd_steps > 0, "no seed applied a single FD"
+        assert merged > 0, "no seed merged conjuncts"
+        assert failed > 0, "no seed hit a constant clash"
+
+    @pytest.mark.parametrize("seed", range(IND_ONLY_CASES))
+    def test_ind_only_chains(self, seed):
+        """IND-only Σ over chain queries, both variants."""
+        schema = SchemaGenerator(seed=seed).uniform(4, 3)
+        sigma = DependencyGenerator(schema, seed=seed + 2_000).ind_only(4, max_width=2)
+        query = QueryGenerator(schema, seed=seed).chain(3)
+        variant = ChaseVariant.OBLIVIOUS if seed % 2 else ChaseVariant.RESTRICTED
+        assert_identical(query, sigma, variant, max_level=4)
+
+    @pytest.mark.parametrize("seed", range(CYCLIC_CASES))
+    def test_cyclic_infinite_chases(self, seed):
+        """Cyclic IND chains: the chase never saturates, so both engines
+        must truncate at the same level with the same fresh NDVs."""
+        schema = SchemaGenerator(seed=seed).uniform(3, 3)
+        sigma = DependencyGenerator(schema, seed=seed + 3_000).cyclic_ind_chain(
+            width=1 + seed % 2)
+        query = QueryGenerator(schema, seed=seed).chain(2)
+        variant = ChaseVariant.OBLIVIOUS if seed % 2 else ChaseVariant.RESTRICTED
+        result = assert_identical(query, sigma, variant, max_level=4)
+        assert result.truncated and not result.saturated
+
+    @pytest.mark.parametrize("seed", range(WIDE_IND_CASES))
+    def test_keys_plus_wide_inds(self, seed):
+        """Key FDs mixed with wide random INDs: IND-introduced nulls feed
+        back into the FD phase (the semi-naive agenda's hardest case)."""
+        schema = SchemaGenerator(seed=seed).mixed(4, min_arity=3, max_arity=4)
+        generator = DependencyGenerator(schema, seed=seed + 4_000)
+        sigma = generator.key_based(2)
+        for ind in generator.ind_only(3, max_width=2):
+            sigma.add(ind)
+        query = QueryGenerator(schema, seed=seed).star(
+            schema.relation_names[0], schema.relation_names[1:3])
+        assert_identical(query, sigma, ChaseVariant.RESTRICTED, max_level=3)
+
+
+class TestDifferentialContainment:
+    @pytest.mark.parametrize("seed", range(CONTAINMENT_CASES))
+    def test_verdicts_agree(self, seed):
+        """Both engines must return the identical containment verdict.
+
+        Half the pairs are known positives (a query against a weakening of
+        itself), half are random pairs where either answer is possible;
+        the assertion is agreement, plus soundness on the known positives.
+        """
+        schema = SchemaGenerator(seed=seed).uniform(4, 3)
+        generator = DependencyGenerator(schema, seed=seed + 5_000)
+        sigma = generator.key_based(2) if seed % 2 else generator.ind_only(3)
+        queries = QueryGenerator(schema, seed=seed)
+        if seed % 2:
+            query = queries.random(4, variable_pool=5)
+            query_prime = queries.weakened(query)
+            known_positive = True
+        else:
+            query = queries.random(4, variable_pool=4)
+            query_prime = queries.random(3, variable_pool=4)
+            known_positive = False
+
+        verdicts = {}
+        for engine in ("indexed", "legacy"):
+            solver = Solver(SolverConfig(chase_engine=engine, max_conjuncts=2_000))
+            result = solver.is_contained(query, query_prime, sigma)
+            verdicts[engine] = (result.holds, result.certain, result.method,
+                                result.reason)
+        assert verdicts["indexed"] == verdicts["legacy"]
+        if known_positive:
+            assert verdicts["indexed"][0], "weakened(Q) must contain Q"
+
+
+def test_case_count_meets_acceptance_floor():
+    """The acceptance criteria require ≥200 seeded differential cases."""
+    total = (KEY_BASED_CASES + IND_ONLY_CASES + CYCLIC_CASES
+             + WIDE_IND_CASES + CONTAINMENT_CASES)
+    assert total >= 200
