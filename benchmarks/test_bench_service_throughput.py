@@ -1,0 +1,146 @@
+"""E17 — service throughput: shard affinity and persistent-cache restarts.
+
+Workload: Zipf-distributed multi-tenant traffic from
+:class:`~repro.workloads.traffic_generator.TrafficGenerator` (6 tenants,
+mixed contain/chase/rewrite ops), replayed through a
+:class:`~repro.service.pool.ShardedSolverPool` in inline mode —
+identical routing and caching to the served modes, with no
+thread-scheduling noise in the measurements.  Claims checked alongside
+the timings:
+
+* **affinity ≥ 2× random routing** — routing by
+  ``hash(schema_fp, deps_fp) % shards`` pins each tenant to one shard,
+  whose caches stay hot; random routing spreads a tenant over every
+  shard, each of which must warm up separately;
+* **warm restart ≥ 2× cold** — a pool pointed at a populated
+  persistent store (a simulated restart: fresh solvers, fresh LRUs,
+  same SQLite file) answers the same stream ≥2× faster than the cold
+  pool that had to compute it, and every answer is a cache hit.
+
+The measured ratios ride into ``BENCH_PR4.json`` via
+``benchmark.extra_info`` (see ``benchmarks/trajectory.py``).
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.api import SolverConfig
+from repro.service import ShardedSolverPool
+from repro.workloads import TrafficGenerator
+
+SHARDS = 4
+UNIQUE_REQUESTS = 40
+PASSES = 4  # repeats are what make affinity pay; real traffic repeats
+
+
+@pytest.fixture(scope="module")
+def traffic():
+    return TrafficGenerator(tenant_count=6, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workload(traffic):
+    stream = traffic.requests(UNIQUE_REQUESTS, stream_seed=1)
+    return stream * PASSES
+
+
+def _run_stream(workload, routing, config=None, routing_seed=0):
+    """One pool lifetime processing the whole stream; returns (dt, envelopes)."""
+    with ShardedSolverPool(shard_count=SHARDS, mode="inline", config=config,
+                           routing_seed=routing_seed) as pool:
+        started = time.perf_counter()
+        envelopes = pool.execute_all(workload, routing=routing)
+        elapsed = time.perf_counter() - started
+    failed = [envelope for envelope in envelopes if not envelope["ok"]]
+    assert not failed, f"requests failed: {failed[:3]}"
+    return elapsed, envelopes
+
+
+@pytest.mark.benchmark(group="E17-service-throughput")
+def test_e17_shard_affinity_beats_random_routing(benchmark, traffic, workload):
+    """Acceptance: warm shard-affinity routing ≥2× throughput vs. random."""
+    affinity_times = []
+
+    def affinity_run():
+        elapsed, envelopes = _run_stream(workload, "affinity")
+        affinity_times.append(elapsed)
+        return envelopes
+
+    envelopes = benchmark.pedantic(affinity_run, rounds=3, iterations=1)
+    # Under affinity every repeated pass is pure cache: each envelope of
+    # the last PASSES-1 passes repeats an earlier request on its shard.
+    repeats = envelopes[UNIQUE_REQUESTS:]
+    assert all(envelope["cache_hit"] for envelope in repeats)
+
+    random_times = [
+        _run_stream(workload, "random", routing_seed=seed)[0]
+        for seed in range(3)
+    ]
+
+    affinity_elapsed = min(affinity_times)
+    random_elapsed = min(random_times)
+    speedup = random_elapsed / affinity_elapsed
+    benchmark.extra_info["experiment"] = "E17-affinity-vs-random"
+    benchmark.extra_info["requests"] = len(workload)
+    benchmark.extra_info["affinity_elapsed_s"] = round(affinity_elapsed, 6)
+    benchmark.extra_info["random_elapsed_s"] = round(random_elapsed, 6)
+    benchmark.extra_info["affinity_speedup"] = round(speedup, 2)
+    benchmark.extra_info["affinity_rps"] = round(len(workload) / affinity_elapsed, 1)
+    assert speedup >= 2, (
+        f"affinity routing ({affinity_elapsed:.4f}s) not ≥2× faster than "
+        f"random routing ({random_elapsed:.4f}s)")
+
+
+@pytest.mark.benchmark(group="E17-service-throughput")
+def test_e17_persistent_warm_restart_beats_cold(benchmark, traffic, tmp_path):
+    """Acceptance: a restarted pool over a warm persistent store ≥2× cold."""
+    stream = traffic.requests(30, stream_seed=2)
+    config = SolverConfig(
+        persistent_cache_path=str(tmp_path / "service-cache.sqlite"))
+
+    # The one cold lifetime: empty store, every answer computed.
+    cold_elapsed, cold_envelopes = _run_stream(stream, "affinity", config=config)
+    # Zipf traffic repeats requests within one lifetime, so in-stream LRU
+    # hits are expected even cold — but not everything can be a hit.
+    assert not all(envelope["cache_hit"] for envelope in cold_envelopes)
+
+    warm_times = []
+
+    def restart_and_replay():
+        # A fresh pool = fresh solvers and fresh LRUs; only the SQLite
+        # file carries over.  This is exactly a worker restart.
+        elapsed, envelopes = _run_stream(stream, "affinity", config=config)
+        warm_times.append(elapsed)
+        return envelopes
+
+    envelopes = benchmark.pedantic(restart_and_replay, rounds=3, iterations=1)
+    assert all(envelope["cache_hit"] for envelope in envelopes)
+
+    warm_elapsed = min(warm_times)
+    speedup = cold_elapsed / warm_elapsed
+    benchmark.extra_info["experiment"] = "E17-warm-restart-vs-cold"
+    benchmark.extra_info["requests"] = len(stream)
+    benchmark.extra_info["cold_elapsed_s"] = round(cold_elapsed, 6)
+    benchmark.extra_info["warm_elapsed_s"] = round(warm_elapsed, 6)
+    benchmark.extra_info["warm_restart_speedup"] = round(speedup, 2)
+    assert speedup >= 2, (
+        f"warm restart ({warm_elapsed:.4f}s) not ≥2× faster than cold "
+        f"({cold_elapsed:.4f}s)")
+
+
+def test_e17_affinity_routing_is_deterministic(traffic, workload):
+    """The affinity route of a record is a pure function of its tenant."""
+    with ShardedSolverPool(shard_count=SHARDS, mode="inline") as first, \
+            ShardedSolverPool(shard_count=SHARDS, mode="inline") as second:
+        routes_first = [first.shard_for_record(record) for record in workload]
+        routes_second = [second.shard_for_record(record) for record in workload]
+    assert routes_first == routes_second
+    by_tenant = {}
+    for record, shard in zip(workload, routes_first):
+        tenant = record["id"].split("/", 1)[0]
+        by_tenant.setdefault(tenant, set()).add(shard)
+    assert all(len(shards) == 1 for shards in by_tenant.values()), (
+        "a tenant's requests must all land on one shard")

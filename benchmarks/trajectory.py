@@ -1,0 +1,155 @@
+"""Post-process pytest-benchmark JSON into the committed trajectory format.
+
+The raw ``--benchmark-json`` document is machine- and run-specific
+(interpreter build, commit info, warmup details); the *trajectory*
+format keeps only what a performance history needs — per-benchmark
+timing statistics and the experiment ratios the benchmarks stash in
+``extra_info`` — so successive ``BENCH_PR<n>.json`` files stay small,
+diffable, and comparable.
+
+Doubles as the CI regression gate: given ``--baseline``, the run fails
+(exit 1) when any benchmark's mean regresses more than ``--tolerance``
+(default 30%) against the checked-in baseline, or when a baselined
+benchmark disappeared.  Regenerate the baseline by copying a trusted
+run's output over ``benchmarks/baseline.json``::
+
+    PYTHONPATH=src python -m pytest benchmarks -q --benchmark-json=bench-raw.json
+    python benchmarks/trajectory.py --input bench-raw.json \\
+        --output BENCH_PR4.json --baseline benchmarks/baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+TRAJECTORY_FORMAT_VERSION = 1
+DEFAULT_TOLERANCE = 0.30
+
+
+def condense(raw: Dict[str, Any], label: str) -> Dict[str, Any]:
+    """The committed-format document for one raw pytest-benchmark run."""
+    benchmarks: Dict[str, Any] = {}
+    for entry in raw.get("benchmarks", []):
+        stats = entry["stats"]
+        benchmarks[entry["fullname"]] = {
+            "group": entry.get("group"),
+            "mean_s": round(stats["mean"], 6),
+            "stddev_s": round(stats["stddev"], 6),
+            "min_s": round(stats["min"], 6),
+            "rounds": stats["rounds"],
+            "extra_info": entry.get("extra_info", {}),
+        }
+    machine = raw.get("machine_info", {})
+    return {
+        "format_version": TRAJECTORY_FORMAT_VERSION,
+        "label": label,
+        "source": "pytest-benchmark",
+        "machine": {
+            "python_version": machine.get("python_version"),
+            "machine": machine.get("machine"),
+            "system": machine.get("system"),
+        },
+        "benchmarks": dict(sorted(benchmarks.items())),
+    }
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            tolerance: float, calibrate: bool = True) -> list:
+    """Regressions of ``current`` against ``baseline`` (empty = pass).
+
+    A regression is a baselined benchmark whose mean grew by more than
+    ``tolerance`` (relative), or one that vanished.  New benchmarks are
+    fine — the trajectory is allowed to grow.
+
+    With ``calibrate`` (the default), each ratio is normalized by the
+    **median** current/baseline ratio across all shared benchmarks
+    before the tolerance applies.  The baseline is measured on whatever
+    machine produced it; a CI runner that is uniformly 2× slower shifts
+    every ratio to ~2 and the median absorbs it, while a genuine
+    regression moves one benchmark far off the pack and still trips the
+    gate.  ``calibrate=False`` compares raw means (same-machine runs).
+    """
+    problems = []
+    current_benchmarks = current["benchmarks"]
+    ratios = {}
+    for name, base in baseline["benchmarks"].items():
+        entry = current_benchmarks.get(name)
+        if entry is None:
+            problems.append(f"MISSING  {name}: present in the baseline but not "
+                            "in this run")
+        elif base["mean_s"] > 0:
+            ratios[name] = entry["mean_s"] / base["mean_s"]
+    if not ratios:
+        return problems
+    scale = 1.0
+    if calibrate and len(ratios) >= 3:
+        ordered = sorted(ratios.values())
+        middle = len(ordered) // 2
+        scale = (ordered[middle] if len(ordered) % 2
+                 else (ordered[middle - 1] + ordered[middle]) / 2.0)
+        scale = max(scale, 1e-9)
+    for name, ratio in sorted(ratios.items()):
+        if ratio / scale > 1.0 + tolerance:
+            base_mean = baseline["benchmarks"][name]["mean_s"]
+            problems.append(
+                f"REGRESSED {name}: mean "
+                f"{current_benchmarks[name]['mean_s']:.6f}s vs baseline "
+                f"{base_mean:.6f}s ({ratio:.2f}x raw, {ratio / scale:.2f}x "
+                f"after machine calibration ×{scale:.2f}, tolerance "
+                f"{1.0 + tolerance:.2f}x)")
+    return problems
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="condense pytest-benchmark JSON into the committed "
+                    "trajectory format and gate regressions")
+    parser.add_argument("--input", required=True,
+                        help="raw pytest-benchmark JSON (--benchmark-json output)")
+    parser.add_argument("--output", required=True,
+                        help="where to write the condensed trajectory document")
+    parser.add_argument("--label", default="BENCH_PR4",
+                        help="label recorded inside the document")
+    parser.add_argument("--baseline", default=None,
+                        help="committed trajectory document to gate against")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed relative mean growth before failing "
+                             "(default 0.30 = +30%%)")
+    parser.add_argument("--no-calibrate", action="store_true",
+                        help="compare raw means instead of normalizing by the "
+                             "median machine-speed ratio (same-machine runs)")
+    options = parser.parse_args(argv)
+
+    raw = json.loads(Path(options.input).read_text())
+    document = condense(raw, options.label)
+    Path(options.output).write_text(
+        json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {options.output}: {len(document['benchmarks'])} benchmarks")
+
+    if options.baseline is None:
+        return 0
+    baseline_path = Path(options.baseline)
+    if not baseline_path.exists():
+        print(f"error: baseline {options.baseline} does not exist; commit one "
+              "from a trusted run", file=sys.stderr)
+        return 1
+    baseline = json.loads(baseline_path.read_text())
+    problems = compare(document, baseline, options.tolerance,
+                       calibrate=not options.no_calibrate)
+    if problems:
+        print(f"\n{len(problems)} benchmark(s) failed the trajectory gate:",
+              file=sys.stderr)
+        for problem in problems:
+            print(f"  {problem}", file=sys.stderr)
+        return 1
+    print(f"trajectory gate passed: no benchmark regressed more than "
+          f"{options.tolerance:.0%} against {options.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""The solver as a service: spin one up in-process and talk to it.
+
+``repro serve`` runs the long-lived sharded solver service; this example
+embeds the same server in the current process (on a Unix socket under a
+temp directory) so it is runnable with no setup, then drives it with
+:class:`~repro.service.client.ServiceClient`:
+
+1. start a 2-shard service with a persistent SQLite cache;
+2. ask the intro example's containment question over the wire — then ask
+   again and watch it come back as a cache hit from the same shard;
+3. chase and rewrite over the same connection;
+4. simulate a restart: tear the service down, start a fresh one on the
+   same SQLite file, and watch the first request arrive warm;
+5. print the merged per-shard cache statistics.
+
+Run with ``python examples/service_client.py``.  Against a real server
+(``repro serve --port 7464 --persist cache.sqlite``), the client half of
+this file works unchanged with ``ServiceClient(port=7464)``.
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import SolverConfig
+from repro.service import ServiceClient, ShardedSolverPool, SolverService
+
+SCHEMA_TEXT = "EMP(emp, sal, dept)\nDEP(dept, loc)"
+DEPENDENCY_TEXT = "EMP[dept] <= DEP[dept]"
+VIEWS_TEXT = "DEPT_EMP(e, d, l) :- EMP(e, s, d), DEP(d, l)"
+Q1 = "Q1(e) :- EMP(e, s, d), DEP(d, l)"
+Q2 = "Q2(e) :- EMP(e, s, d)"
+
+
+def one_service_lifetime(socket_path: str, config: SolverConfig,
+                         label: str) -> None:
+    pool = ShardedSolverPool(shard_count=2, mode="thread", config=config)
+    service = SolverService(pool, unix_path=socket_path)
+    with service.run_in_thread():
+        with ServiceClient(unix_path=socket_path) as client:
+            assert client.ping()
+
+            envelope = client.contain(Q2, Q1, schema=SCHEMA_TEXT,
+                                      deps=DEPENDENCY_TEXT, identifier="intro")
+            print(f"[{label}] Q2 ⊆ Q1 under the foreign key: "
+                  f"holds={envelope['result']['holds']} "
+                  f"cache_hit={envelope['cache_hit']} "
+                  f"shard={envelope['shard']} "
+                  f"({envelope['elapsed_s'] * 1e3:.2f} ms)")
+
+            repeat = client.contain(Q2, Q1, schema=SCHEMA_TEXT,
+                                    deps=DEPENDENCY_TEXT)
+            print(f"[{label}] asked again: cache_hit={repeat['cache_hit']} "
+                  f"same shard={repeat['shard'] == envelope['shard']}")
+
+            chase = client.chase(Q2, schema=SCHEMA_TEXT, deps=DEPENDENCY_TEXT,
+                                 max_level=3)
+            print(f"[{label}] chase of Q2 reaches level "
+                  f"{chase['result']['max_level']} "
+                  f"({chase['result']['statistics']['total_steps']} steps)")
+
+            rewrite = client.rewrite(Q1, VIEWS_TEXT, schema=SCHEMA_TEXT,
+                                     deps=DEPENDENCY_TEXT)
+            best = rewrite["result"]["rewritings"][0]
+            print(f"[{label}] best view rewriting: {best['query']}")
+
+            stats = client.stats()
+            for shard in stats["shards"]:
+                total = shard["cache_stats"]["total"]
+                print(f"[{label}] shard {shard['shard']}: "
+                      f"{shard['requests']} requests, "
+                      f"cache hit rate {total['hit_rate']:.0%}")
+    pool.close()
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as scratch:
+        socket_path = str(Path(scratch) / "repro.sock")
+        config = SolverConfig(
+            persistent_cache_path=str(Path(scratch) / "cache.sqlite"))
+
+        one_service_lifetime(socket_path, config, "cold service")
+        print()
+        # A brand-new service over the same SQLite file: every solver and
+        # LRU is fresh, yet the first answer arrives as a cache hit.
+        one_service_lifetime(socket_path, config, "after restart")
+
+
+if __name__ == "__main__":
+    main()

@@ -24,8 +24,10 @@ from repro.api.fingerprints import (
     catalog_fingerprint,
     dependency_fingerprint,
     query_fingerprint,
+    schema_fingerprint,
     view_fingerprint,
 )
+from repro.api.persistent import PersistentCache, PersistentCacheError
 from repro.api.requests import (
     BudgetUsage,
     ChaseRequest,
@@ -61,6 +63,8 @@ __all__ = [
     "OptimizeRequest",
     "OptimizeResponse",
     "PairwiseContainment",
+    "PersistentCache",
+    "PersistentCacheError",
     "RewriteRequest",
     "RewriteResponse",
     "SolveRequest",
@@ -73,6 +77,7 @@ __all__ = [
     "get_default_solver",
     "query_fingerprint",
     "reset_default_solver",
+    "schema_fingerprint",
     "resolve_solver",
     "set_default_solver",
     "view_fingerprint",

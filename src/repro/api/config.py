@@ -86,6 +86,12 @@ class SolverConfig:
     containment_cache_size / chase_cache_size / rewrite_cache_size:
         LRU capacities for the cross-call result, chase, and rewrite
         caches (``0`` disables the cache).
+    persistent_cache_path:
+        SQLite file mirroring the three caches to disk (``None``
+        disables persistence).  The file may be shared: sibling worker
+        processes pointed at one path warm each other, and a restarted
+        process starts warm.  Not part of any cache key — persistence
+        changes where answers live, never what they are.
     parallelism:
         Default worker count for ``solve_many`` (``None`` = sequential).
     executor:
@@ -113,6 +119,7 @@ class SolverConfig:
     containment_cache_size: int = 1_024
     chase_cache_size: int = 256
     rewrite_cache_size: int = 256
+    persistent_cache_path: Optional[str] = None
     parallelism: Optional[int] = None
     executor: str = "thread"
 

@@ -47,6 +47,17 @@ def schema_signature(schema: Optional[DatabaseSchema]) -> str:
     )
 
 
+def schema_fingerprint(schema: Optional[DatabaseSchema]) -> str:
+    """A stable digest of a schema's relations and attribute names.
+
+    Together with :func:`dependency_fingerprint` this identifies a
+    *tenant* for the service layer's shard routing: requests over the
+    same (schema, Σ) land on the same shard, whose caches stay hot for
+    exactly that tenant's chases and answers.
+    """
+    return hashlib.sha256(schema_signature(schema).encode("utf-8")).hexdigest()
+
+
 def query_fingerprint(query: ConjunctiveQuery) -> str:
     """A stable digest of a query's content (name-insensitive).
 

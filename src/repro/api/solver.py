@@ -29,6 +29,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.api.cache import CacheInfo, LRUCache
 from repro.api.config import SolverConfig
+from repro.api.persistent import PersistentCache
 from repro.api.fingerprints import (
     catalog_fingerprint,
     dependency_fingerprint,
@@ -91,16 +92,49 @@ class SolverStats:
 class Solver:
     """A configured, caching session over the Johnson–Klug procedures."""
 
-    def __init__(self, config: Optional[SolverConfig] = None):
+    def __init__(self, config: Optional[SolverConfig] = None,
+                 persistent_cache: Optional[PersistentCache] = None):
         self._config = config or SolverConfig()
         self._containment_cache = LRUCache(self._config.containment_cache_size)
         self._chase_cache = LRUCache(self._config.chase_cache_size)
         self._rewrite_cache = LRUCache(self._config.rewrite_cache_size)
+        # An explicit store wins over the config path so several solvers
+        # (service shards in one process) can share one connection.
+        if persistent_cache is not None:
+            self._persistent = persistent_cache
+            self._owns_persistent = False
+        elif self._config.persistent_cache_path is not None:
+            self._persistent = PersistentCache(self._config.persistent_cache_path)
+            self._owns_persistent = True
+        else:
+            self._persistent = None
+            self._owns_persistent = False
+        # Per-solver views of the persistent tier: the store may be
+        # shared (service shards, sibling workers), so its own global
+        # counters cannot tell this solver's hit rate apart from its
+        # neighbours'.
+        self._persistent_lock = threading.Lock()
+        self._persistent_hits = 0
+        self._persistent_misses = 0
+        self._persistent_writes = 0
         self.stats = SolverStats()
 
     @property
     def config(self) -> SolverConfig:
         return self._config
+
+    @property
+    def persistent_cache(self) -> Optional[PersistentCache]:
+        return self._persistent
+
+    def close(self) -> None:
+        """Release the persistent store (no-op for purely in-memory solvers).
+
+        Only a store this solver opened itself is closed; an injected
+        shared store belongs to whoever created it.
+        """
+        if self._persistent is not None and self._owns_persistent:
+            self._persistent.close()
 
     # -- cache plumbing ------------------------------------------------------
 
@@ -112,34 +146,89 @@ class Solver:
     def cache_stats(self) -> Dict[str, Dict]:
         """Aggregated counters for every internal cache, JSON-ready.
 
-        One entry per cache (containment, chase, rewrite) plus a
-        ``total`` aggregate; surfaced in the CLI's ``--json`` output so
-        services can monitor hit rates without touching the objects.
+        One entry per cache (containment, chase, rewrite), a
+        ``persistent`` entry when a disk store is attached (its hits and
+        misses also roll into ``total``), plus a ``total`` aggregate;
+        surfaced in the CLI's ``--json`` output and the service's
+        ``stats`` op so one document shows the whole cache picture.
         """
         infos = self.cache_info()
         stats: Dict[str, Dict] = {name: info.as_dict()
                                   for name, info in infos.items()}
         hits = sum(info.hits for info in infos.values())
         misses = sum(info.misses for info in infos.values())
+        size = sum(info.size for info in infos.values())
+        maxsize = sum(info.maxsize for info in infos.values())
+        if self._persistent is not None:
+            store = self._persistent.stats()
+            with self._persistent_lock:
+                local_hits = self._persistent_hits
+                local_misses = self._persistent_misses
+                local_writes = self._persistent_writes
+            local_requests = local_hits + local_misses
+            # hits/misses/writes are THIS solver's probes; the store may
+            # be shared across solvers (service shards), so its global
+            # counters ride along under "store" instead of being folded
+            # into per-solver numbers.
+            stats["persistent"] = {
+                "path": store["path"],
+                "hits": local_hits,
+                "misses": local_misses,
+                "writes": local_writes,
+                "size": store["size"],
+                "hit_rate": (round(local_hits / local_requests, 4)
+                             if local_requests else 0.0),
+                "namespaces": store["namespaces"],
+                "store": {"hits": store["hits"], "misses": store["misses"],
+                          "writes": store["writes"],
+                          "hit_rate": store["hit_rate"]},
+            }
+            hits += local_hits
+            # The store sits behind the LRUs, so every disk probe was
+            # first an LRU miss: a disk hit turns that miss into a hit,
+            # and only the remaining misses were truly unanswered.
+            misses = max(misses - local_hits, 0)
+            size += store["size"]
+            maxsize += store["size"]
         requests = hits + misses
         stats["total"] = {
             "hits": hits,
             "misses": misses,
-            "size": sum(info.size for info in infos.values()),
-            "maxsize": sum(info.maxsize for info in infos.values()),
+            "size": size,
+            "maxsize": maxsize,
             "hit_rate": round(hits / requests, 4) if requests else 0.0,
         }
         return stats
 
-    def clear_caches(self) -> None:
+    def clear_caches(self, persistent: bool = False) -> None:
+        """Empty the in-memory caches; ``persistent=True`` also wipes the disk store."""
         self._containment_cache.clear()
         self._chase_cache.clear()
         self._rewrite_cache.clear()
+        if persistent and self._persistent is not None:
+            self._persistent.clear()
+
+    def _through_persistent(self, namespace: str, key, compute):
+        """Disk-store fallback behind an LRU miss: probe, else compute and store."""
+        if self._persistent is not None:
+            value = self._persistent.get(namespace, key)
+            if value is not None:
+                with self._persistent_lock:
+                    self._persistent_hits += 1
+                return value, True
+            with self._persistent_lock:
+                self._persistent_misses += 1
+        value = compute()
+        if self._persistent is not None:
+            self._persistent.put(namespace, key, value)
+            with self._persistent_lock:
+                self._persistent_writes += 1
+        return value, False
 
     def _cached_chase(self, query: ConjunctiveQuery,
                       dependencies: DependencySet,
                       config: ChaseConfig) -> Tuple[ChaseResult, bool]:
-        if self._chase_cache.maxsize == 0:
+        if self._chase_cache.maxsize == 0 and self._persistent is None:
             return build_engine(query, dependencies, config).run(), False
         # The display name rides along because ChaseResult.query (and the
         # reports derived from it) surface it; content fingerprints alone
@@ -160,9 +249,10 @@ class Solver:
         cached = self._chase_cache.get(key)
         if cached is not None:
             return cached, True
-        result = build_engine(query, dependencies, config).run()
+        result, from_disk = self._through_persistent(
+            "chase", key, lambda: build_engine(query, dependencies, config).run())
         self._chase_cache.put(key, result)
-        return result, False
+        return result, from_disk
 
     def _chase_fn(self, query: ConjunctiveQuery, dependencies: DependencySet,
                   config: ChaseConfig) -> ChaseResult:
@@ -197,7 +287,8 @@ class Solver:
         # experiments, redaction before shipping), so sharing one object
         # across calls would let one caller corrupt another's proof.
         cacheable = (not config.with_certificate
-                     and self._containment_cache.maxsize > 0)
+                     and (self._containment_cache.maxsize > 0
+                          or self._persistent is not None))
         key = (
             (query.name, query_fingerprint(query)),
             (query_prime.name, query_fingerprint(query_prime)),
@@ -209,15 +300,15 @@ class Solver:
             if cached is not None:
                 return cached, True
 
-        classification = sigma.classify(query.input_schema)
-        if classification is DependencyClass.EMPTY:
-            result = contained_without_dependencies(query, query_prime)
-        elif classification is DependencyClass.FD_ONLY:
-            result = contained_under_fds(query, query_prime, sigma)
-        else:
+        def compute() -> ContainmentResult:
+            classification = sigma.classify(query.input_schema)
+            if classification is DependencyClass.EMPTY:
+                return contained_without_dependencies(query, query_prime)
+            if classification is DependencyClass.FD_ONLY:
+                return contained_under_fds(query, query_prime, sigma)
             exact = classification in (DependencyClass.IND_ONLY,
                                        DependencyClass.KEY_BASED)
-            result = contained_under_bounded_chase(
+            return contained_under_bounded_chase(
                 query, query_prime, sigma,
                 variant=config.variant,
                 level_bound=config.level_bound,
@@ -229,9 +320,12 @@ class Solver:
                 chase_fn=self._chase_fn,
                 engine=config.chase_engine,
             )
-        if cacheable:
-            self._containment_cache.put(key, result)
-        return result, False
+
+        if not cacheable:
+            return compute(), False
+        result, from_disk = self._through_persistent("containment", key, compute)
+        self._containment_cache.put(key, result)
+        return result, from_disk
 
     # -- chase ---------------------------------------------------------------
 
@@ -301,7 +395,8 @@ class Solver:
         # treat them as immutable, like cached ChaseResults.
         cacheable = (cost_model is None
                      and not config.with_certificate
-                     and self._rewrite_cache.maxsize > 0)
+                     and (self._rewrite_cache.maxsize > 0
+                          or self._persistent is not None))
         key = (
             (query.name, query_fingerprint(query)),
             catalog_fingerprint(catalog),
@@ -312,25 +407,30 @@ class Solver:
             cached = self._rewrite_cache.get(key)
             if cached is not None:
                 return cached, True
-        report = rewrite_with_views(
-            query, catalog, sigma, solver=self, cost_model=cost_model,
-            max_images=config.rewrite_max_images,
-            max_combination_size=config.rewrite_max_combination_size,
-            max_candidates=config.rewrite_max_candidates,
-            chase_level=config.rewrite_chase_level,
-            chase_max_conjuncts=config.chase_max_conjuncts,
-            # Certification must follow the config the cache key reflects,
-            # even when it differs from this solver's session config.
-            variant=config.variant,
-            level_bound=config.level_bound,
-            max_conjuncts=config.max_conjuncts,
-            record_trace=config.record_trace,
-            with_certificate=config.with_certificate,
-            deepening=config.deepening,
-        )
-        if cacheable:
-            self._rewrite_cache.put(key, report)
-        return report, False
+
+        def compute() -> RewriteReport:
+            return rewrite_with_views(
+                query, catalog, sigma, solver=self, cost_model=cost_model,
+                max_images=config.rewrite_max_images,
+                max_combination_size=config.rewrite_max_combination_size,
+                max_candidates=config.rewrite_max_candidates,
+                chase_level=config.rewrite_chase_level,
+                chase_max_conjuncts=config.chase_max_conjuncts,
+                # Certification must follow the config the cache key reflects,
+                # even when it differs from this solver's session config.
+                variant=config.variant,
+                level_bound=config.level_bound,
+                max_conjuncts=config.max_conjuncts,
+                record_trace=config.record_trace,
+                with_certificate=config.with_certificate,
+                deepening=config.deepening,
+            )
+
+        if not cacheable:
+            return compute(), False
+        report, from_disk = self._through_persistent("rewrite", key, compute)
+        self._rewrite_cache.put(key, report)
+        return report, from_disk
 
     # -- the request/response surface ----------------------------------------
 

@@ -14,6 +14,7 @@ driven from a shell::
     repro batch     --schema schema.txt --deps deps.txt --input questions.jsonl
     repro rewrite   --schema schema.txt --deps deps.txt --views views.txt \
                     --query "Q1(e) :- EMP(e, s, d), DEP(d, l)"
+    repro serve     --port 7464 --shards 4 --persist cache.sqlite
 
 Every subcommand accepts ``--json`` for machine-readable output, so the
 CLI composes with scripts.  One :class:`~repro.api.solver.Solver` is built
@@ -158,6 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="chase size budget per question (default 20000)")
     batch.add_argument("--parallelism", type=int, default=None,
                        help="worker threads for the batch (default: sequential)")
+    batch.add_argument("--persist", default=None, metavar="PATH",
+                       help="SQLite cache file shared across invocations; "
+                            "repeated runs answer from disk (the --json "
+                            "summary reports the persistent tier)")
     batch.add_argument("--summary", action="store_true",
                        help="print a run summary (counts, cache hit rate) to stderr")
 
@@ -171,6 +176,39 @@ def build_parser() -> argparse.ArgumentParser:
                               "(one 'V(args) :- body' per line)")
     rewrite.add_argument("--best-only", action="store_true",
                          help="print only the best certified rewriting")
+
+    serve = subparsers.add_parser(
+        "serve", help="run the long-lived sharded solver service "
+                      "(newline-delimited JSON over TCP or a Unix socket)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=7464,
+                       help="TCP port (default 7464; 0 picks a free port)")
+    serve.add_argument("--socket", default=None, metavar="PATH",
+                       help="serve on a Unix socket at PATH instead of TCP")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="worker count; requests route by "
+                            "hash(schema, deps fingerprints) %% shards "
+                            "(default 4)")
+    serve.add_argument("--mode", choices=["thread", "process"], default="thread",
+                       help="shard execution: worker threads (default) or "
+                            "worker processes")
+    serve.add_argument("--persist", default=None, metavar="PATH",
+                       help="SQLite file mirroring the caches to disk so "
+                            "restarts and sibling workers start warm")
+    serve.add_argument("--schema", default=None,
+                       help="default schema (file or inline) for requests "
+                            "that omit one")
+    serve.add_argument("--deps", default=None,
+                       help="default dependencies (file or inline) for "
+                            "requests that omit them")
+    serve.add_argument("--max-pending", type=int, default=256,
+                       help="admission-control limit on in-flight requests; "
+                            "excess requests get an 'overloaded' envelope "
+                            "(default 256)")
+    serve.add_argument("--max-conjuncts-limit", type=int, default=100_000,
+                       help="ceiling on any request's chase budget "
+                            "(default 100000)")
     return parser
 
 
@@ -292,6 +330,11 @@ def _iter_batch_questions(text: str) -> Iterator[Tuple[int, dict]]:
 
 
 def _command_batch(options: argparse.Namespace, solver: Solver) -> int:
+    if options.persist:
+        # A batch with persistence answers repeated invocations from disk;
+        # its cache_stats (in the --json summary) then include the
+        # persistent tier next to the in-memory LRUs.
+        solver = Solver(solver.config.derive(persistent_cache_path=options.persist))
     schema = _load_schema(options.schema)
     sigma = _load_dependencies(options.deps, schema)
     text = sys.stdin.read() if options.input == "-" else _read_text(options.input)
@@ -356,6 +399,48 @@ def _command_batch(options: argparse.Namespace, solver: Solver) -> int:
     return EXIT_YES if all_hold else EXIT_NO
 
 
+def _command_serve(options: argparse.Namespace, solver: Solver) -> int:
+    """Run the sharded solver service until interrupted."""
+    import asyncio
+
+    from repro.service import (
+        ServiceDefaults,
+        ServiceLimits,
+        ShardedSolverPool,
+        SolverService,
+    )
+
+    defaults = ServiceDefaults(
+        schema_text=_read_text(options.schema) if options.schema else None,
+        deps_text=_read_text(options.deps) if options.deps else None,
+    )
+    limits = ServiceLimits(max_conjuncts=options.max_conjuncts_limit)
+    config = solver.config.derive(persistent_cache_path=options.persist)
+    pool = ShardedSolverPool(
+        shard_count=options.shards, config=config, mode=options.mode,
+        defaults=defaults, limits=limits, max_pending=options.max_pending)
+    service = SolverService(
+        pool, host=options.host, port=options.port, unix_path=options.socket,
+        max_pending=options.max_pending)
+
+    async def run() -> None:
+        await service.start()
+        kind, where = service.address
+        persist = options.persist or "off"
+        print(f"repro service listening on {kind} {where} "
+              f"({options.shards} {options.mode} shards, persistence {persist})",
+              file=sys.stderr)
+        await service.serve_forever()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("repro service stopped", file=sys.stderr)
+    finally:
+        pool.close()
+    return EXIT_YES
+
+
 _COMMANDS = {
     "contain": _command_contain,
     "chase": _command_chase,
@@ -363,6 +448,7 @@ _COMMANDS = {
     "infer-ind": _command_infer_ind,
     "batch": _command_batch,
     "rewrite": _command_rewrite,
+    "serve": _command_serve,
 }
 
 

@@ -1,0 +1,150 @@
+"""A small synchronous client for the solver service.
+
+Speaks the NDJSON protocol over TCP or a Unix socket; one request per
+call, answered in order (the server processes a connection
+sequentially).  The convenience methods mirror the protocol ops::
+
+    with ServiceClient(port=7464) as client:
+        client.ping()
+        envelope = client.contain("Q2(e) :- EMP(e, s, d)",
+                                  "Q1(e) :- EMP(e, s, d), DEP(d, l)",
+                                  schema=schema_text, deps=deps_text)
+        envelope["ok"] and envelope["result"]["holds"]
+
+Raises :class:`ServiceClientError` on transport failures; protocol-level
+failures come back as ordinary ``ok: false`` envelopes, which
+:meth:`ServiceClient.check` converts to exceptions for callers that
+prefer raising.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Dict, Optional
+
+from repro.exceptions import ReproError
+
+
+class ServiceClientError(ReproError):
+    """The connection failed or the server broke the line protocol."""
+
+
+class ServiceClient:
+    """A blocking NDJSON connection to a running solver service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: Optional[int] = None,
+                 unix_path: Optional[str] = None, timeout: float = 60.0):
+        if (port is None) == (unix_path is None):
+            raise ServiceClientError(
+                "specify exactly one of port= (TCP) or unix_path=")
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._timeout = timeout
+        self._socket: Optional[socket.socket] = None
+        self._file = None
+
+    # -- connection ----------------------------------------------------------
+
+    def connect(self) -> "ServiceClient":
+        if self._socket is not None:
+            return self
+        try:
+            if self._unix_path is not None:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self._timeout)
+                sock.connect(self._unix_path)
+            else:
+                sock = socket.create_connection((self._host, self._port),
+                                                timeout=self._timeout)
+        except OSError as error:
+            raise ServiceClientError(f"cannot connect: {error}") from error
+        self._socket = sock
+        self._file = sock.makefile("rwb")
+        return self
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._file = None
+        if self._socket is not None:
+            try:
+                self._socket.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._socket = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self.connect()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- the wire ------------------------------------------------------------
+
+    def request(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one record, wait for its envelope."""
+        self.connect()
+        try:
+            self._file.write(json.dumps(record).encode("utf-8") + b"\n")
+            self._file.flush()
+            line = self._file.readline()
+        except OSError as error:
+            raise ServiceClientError(f"transport error: {error}") from error
+        if not line:
+            raise ServiceClientError("server closed the connection")
+        try:
+            envelope = json.loads(line)
+        except json.JSONDecodeError as error:
+            raise ServiceClientError(
+                f"server sent a non-JSON line: {error}") from error
+        if not isinstance(envelope, dict):
+            raise ServiceClientError("server sent a non-object envelope")
+        return envelope
+
+    @staticmethod
+    def check(envelope: Dict[str, Any]) -> Dict[str, Any]:
+        """The envelope's result, raising on ``ok: false``."""
+        if not envelope.get("ok"):
+            error = envelope.get("error") or {}
+            raise ServiceClientError(
+                f"{error.get('kind', 'unknown')}: {error.get('message', envelope)}")
+        return envelope["result"]
+
+    # -- convenience ops -----------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.check(self.request({"op": "ping"})).get("pong"))
+
+    def stats(self) -> Dict[str, Any]:
+        return self.check(self.request({"op": "stats"}))
+
+    def contain(self, query: str, query_prime: str, *,
+                schema: Optional[str] = None, deps: Optional[str] = None,
+                identifier: Optional[str] = None,
+                **budgets: Any) -> Dict[str, Any]:
+        record = {"op": "contain", "query": query, "query_prime": query_prime,
+                  "schema": schema, "deps": deps, "id": identifier, **budgets}
+        return self.request(_drop_none(record))
+
+    def chase(self, query: str, *, schema: Optional[str] = None,
+              deps: Optional[str] = None, identifier: Optional[str] = None,
+              **budgets: Any) -> Dict[str, Any]:
+        record = {"op": "chase", "query": query, "schema": schema,
+                  "deps": deps, "id": identifier, **budgets}
+        return self.request(_drop_none(record))
+
+    def rewrite(self, query: str, views: str, *, schema: Optional[str] = None,
+                deps: Optional[str] = None, identifier: Optional[str] = None,
+                **budgets: Any) -> Dict[str, Any]:
+        record = {"op": "rewrite", "query": query, "views": views,
+                  "schema": schema, "deps": deps, "id": identifier, **budgets}
+        return self.request(_drop_none(record))
+
+
+def _drop_none(record: Dict[str, Any]) -> Dict[str, Any]:
+    return {key: value for key, value in record.items() if value is not None}

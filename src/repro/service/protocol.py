@@ -1,0 +1,366 @@
+"""The service wire protocol: newline-delimited JSON requests and envelopes.
+
+One request per line, one response envelope per line.  The request
+format extends the ``repro batch`` JSONL question format — an object
+with ``query`` and ``query_prime`` strings is a containment question
+exactly as ``repro batch`` reads it — with an explicit ``op`` field for
+the other procedures and optional inline ``schema``/``deps``/``views``
+texts so one connection can serve many tenants::
+
+    {"id": "1", "query": "Q2(e) :- EMP(e, s, d)",
+     "query_prime": "Q1(e) :- EMP(e, s, d), DEP(d, l)",
+     "schema": "EMP(emp, sal, dept)\\nDEP(dept, loc)",
+     "deps": "EMP[dept] <= DEP[dept]"}
+    {"op": "chase", "query": "...", "max_level": 4, "variant": "R"}
+    {"op": "rewrite", "query": "...", "views": "V(e, d) :- ..."}
+    {"op": "stats"}
+    {"op": "ping"}
+
+A server may carry default schema/deps texts (``repro serve --schema
+--deps``); a request that omits them uses the defaults.  Responses are
+envelopes — ``{"id", "ok", "op", "shard", "elapsed_s", "cache_hit",
+"result"}`` on success, ``{"id", "ok": false, "error": {"kind",
+"message"}}`` on failure — so a client never has to guess whether a
+line is an answer or a diagnostic.
+
+Everything in this module is deliberately free of I/O: the asyncio
+server, the worker pool (thread or process shards), and the tests all
+call the same :func:`parse_line` / :func:`handle_record` /
+:func:`shard_for` functions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple
+
+from repro.api.config import SolverConfig
+from repro.api.fingerprints import dependency_fingerprint, schema_fingerprint
+from repro.api.requests import ChaseRequest, ContainmentRequest, RewriteRequest
+from repro.api.solver import Solver
+from repro.chase.engine import ChaseVariant
+from repro.containment.serialization import (
+    chase_result_to_dict,
+    containment_result_to_dict,
+)
+from repro.dependencies.dependency_set import DependencySet
+from repro.exceptions import ReproError
+from repro.parser.dependency_parser import parse_dependencies
+from repro.parser.query_parser import parse_query
+from repro.parser.schema_parser import parse_schema
+from repro.parser.view_parser import parse_views
+
+PROTOCOL_VERSION = 1
+
+#: The operations a worker understands.  ``contain`` is the default for
+#: records without an ``op`` (the ``repro batch`` question shape).
+OPERATIONS = ("contain", "chase", "rewrite", "stats", "ping")
+
+#: Error kinds carried in error envelopes, coarse enough for a client to
+#: switch on: ``protocol`` (malformed line/record), ``parse`` (schema,
+#: dependency, query, or view text did not parse), ``budget`` (a budget
+#: field is invalid or above the server's limit), ``overloaded``
+#: (admission control rejected the request), ``internal`` (unexpected).
+ERROR_KINDS = ("protocol", "parse", "budget", "overloaded", "internal")
+
+
+class ProtocolError(ReproError):
+    """A request violates the wire protocol (carries an error kind)."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind if kind in ERROR_KINDS else "internal"
+
+
+class ServiceOverloaded(ReproError):
+    """Admission control rejected a request (queues full)."""
+
+
+@dataclass(frozen=True)
+class ServiceDefaults:
+    """Server-side default texts a request may omit."""
+
+    schema_text: Optional[str] = None
+    deps_text: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class ServiceLimits:
+    """Per-request budget ceilings the server enforces.
+
+    Client-supplied budgets are clamped to these, so one tenant cannot
+    buy an unbounded chase on a shared service.
+    """
+
+    max_conjuncts: int = 100_000
+    max_level: int = 64
+
+
+class TenantParser:
+    """Memoised parsing of schema/deps/views texts.
+
+    Tenants repeat: the same schema text arrives on every request of a
+    tenant, so the router and each shard keep a small text→object memo
+    instead of re-tokenizing per request.  Bounded by dropping the
+    oldest half when full (tenant counts are small; precise LRU order
+    is not worth the bookkeeping here).
+    """
+
+    def __init__(self, max_entries: int = 256):
+        self._max_entries = max_entries
+        self._schemas: Dict[str, Any] = {}
+        self._dependencies: Dict[Tuple[str, str], Any] = {}
+        self._catalogs: Dict[Tuple[str, str], Any] = {}
+
+    def _bound(self, memo: Dict) -> None:
+        if len(memo) > self._max_entries:
+            for key in list(memo)[: self._max_entries // 2]:
+                del memo[key]
+
+    def schema(self, text: str):
+        if text not in self._schemas:
+            self._schemas[text] = parse_schema(text)
+            self._bound(self._schemas)
+        return self._schemas[text]
+
+    def dependencies(self, text: Optional[str], schema_text: str) -> DependencySet:
+        key = (text or "", schema_text)
+        if key not in self._dependencies:
+            schema = self.schema(schema_text)
+            if text is None or not text.strip():
+                parsed = DependencySet(schema=schema)
+            else:
+                parsed = parse_dependencies(text, schema)
+            self._dependencies[key] = parsed
+            self._bound(self._dependencies)
+        return self._dependencies[key]
+
+    def catalog(self, text: str, schema_text: str):
+        key = (text, schema_text)
+        if key not in self._catalogs:
+            self._catalogs[key] = parse_views(text, self.schema(schema_text))
+            self._bound(self._catalogs)
+        return self._catalogs[key]
+
+
+# ---------------------------------------------------------------------------
+# Parsing and validation
+# ---------------------------------------------------------------------------
+
+
+def parse_line(line: str) -> Dict[str, Any]:
+    """One wire line → a validated record dict (op resolved and checked)."""
+    stripped = line.strip()
+    if not stripped:
+        raise ProtocolError("protocol", "empty request line")
+    try:
+        record = json.loads(stripped)
+    except json.JSONDecodeError as error:
+        raise ProtocolError("protocol", f"request is not valid JSON: {error}")
+    if not isinstance(record, dict):
+        raise ProtocolError(
+            "protocol", f"request must be a JSON object, got {type(record).__name__}")
+    return validate_record(record)
+
+
+def validate_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Structural validation; returns the record with ``op`` made explicit."""
+    op = record.get("op", "contain")
+    if op not in OPERATIONS:
+        raise ProtocolError(
+            "protocol", f"unknown op {op!r}; expected one of {OPERATIONS}")
+    record = dict(record, op=op)
+    required = {"contain": ("query", "query_prime"),
+                "chase": ("query",),
+                "rewrite": ("query", "views")}.get(op, ())
+    for key in required:
+        if key not in record:
+            raise ProtocolError("protocol", f"op {op!r} requires a {key!r} field")
+    for key in ("query", "query_prime", "schema", "deps", "views"):
+        if key in record and record[key] is not None and not isinstance(record[key], str):
+            raise ProtocolError(
+                "protocol",
+                f"{key!r} must be a string, got {type(record[key]).__name__}")
+    for key in ("max_conjuncts", "max_level"):
+        if key in record and record[key] is not None:
+            if isinstance(record[key], bool) or not isinstance(record[key], int):
+                raise ProtocolError(
+                    "budget",
+                    f"{key!r} must be an integer, got {type(record[key]).__name__}")
+            if record[key] <= 0:
+                raise ProtocolError("budget", f"{key!r} must be positive")
+    variant = record.get("variant")
+    if variant is not None and variant not in ("R", "O"):
+        raise ProtocolError("protocol", f"variant must be 'R' or 'O', got {variant!r}")
+    return record
+
+
+def _schema_text(record: Dict[str, Any], defaults: ServiceDefaults) -> str:
+    text = record.get("schema") or defaults.schema_text
+    if text is None:
+        raise ProtocolError(
+            "protocol",
+            "request carries no 'schema' and the server has no default schema")
+    return text
+
+
+# ---------------------------------------------------------------------------
+# Shard routing
+# ---------------------------------------------------------------------------
+
+
+def routing_fingerprints(record: Dict[str, Any], defaults: ServiceDefaults,
+                         parser: TenantParser) -> Tuple[str, str]:
+    """The (schema, Σ) fingerprints identifying a record's tenant."""
+    schema_text = _schema_text(record, defaults)
+    schema = parser.schema(schema_text)
+    sigma = parser.dependencies(record.get("deps", defaults.deps_text), schema_text)
+    return schema_fingerprint(schema), dependency_fingerprint(sigma)
+
+
+def shard_for(schema_fp: str, deps_fp: str, shard_count: int) -> int:
+    """``hash(schema_fingerprint, dependency_fingerprint) % shard_count``.
+
+    SHA-256 over the two fingerprints rather than ``hash()``: the
+    builtin is salted per process, and routing must agree between the
+    front end, restarted front ends, and the tests.
+    """
+    if shard_count <= 0:
+        raise ValueError("shard_count must be positive")
+    digest = hashlib.sha256(f"{schema_fp}|{deps_fp}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % shard_count
+
+
+# ---------------------------------------------------------------------------
+# Envelopes
+# ---------------------------------------------------------------------------
+
+
+def error_envelope(identifier: Optional[Any], kind: str, message: str,
+                   shard: Optional[int] = None) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {
+        "id": identifier,
+        "ok": False,
+        "error": {"kind": kind if kind in ERROR_KINDS else "internal",
+                  "message": message},
+    }
+    if shard is not None:
+        envelope["shard"] = shard
+    return envelope
+
+
+def _success_envelope(record: Dict[str, Any], result: Dict[str, Any],
+                      elapsed_s: float, cache_hit: Optional[bool],
+                      shard: Optional[int]) -> Dict[str, Any]:
+    envelope: Dict[str, Any] = {
+        "id": record.get("id"),
+        "ok": True,
+        "op": record["op"],
+        "result": result,
+        "elapsed_s": round(elapsed_s, 6),
+    }
+    if cache_hit is not None:
+        envelope["cache_hit"] = cache_hit
+    if shard is not None:
+        envelope["shard"] = shard
+    return envelope
+
+
+# ---------------------------------------------------------------------------
+# Worker-side execution
+# ---------------------------------------------------------------------------
+
+
+def handle_record(record: Dict[str, Any], solver: Solver,
+                  defaults: ServiceDefaults = ServiceDefaults(),
+                  limits: ServiceLimits = ServiceLimits(),
+                  parser: Optional[TenantParser] = None,
+                  shard: Optional[int] = None) -> Dict[str, Any]:
+    """Execute one validated record against a shard's solver.
+
+    Never raises: every failure — unparsable tenant text, budget abuse,
+    an unexpected engine error — becomes an error envelope, because on
+    the wire an exception has nowhere else to go.
+    """
+    parser = parser if parser is not None else TenantParser()
+    identifier = record.get("id")
+    try:
+        record = validate_record(record)
+        return _dispatch(record, solver, defaults, limits, parser, shard)
+    except ProtocolError as error:
+        return error_envelope(identifier, error.kind, str(error), shard)
+    except ReproError as error:
+        return error_envelope(identifier, "parse", str(error), shard)
+    except Exception as error:  # pragma: no cover - defensive: bugs become envelopes
+        return error_envelope(identifier, "internal",
+                              f"{type(error).__name__}: {error}", shard)
+
+
+def _dispatch(record: Dict[str, Any], solver: Solver, defaults: ServiceDefaults,
+              limits: ServiceLimits, parser: TenantParser,
+              shard: Optional[int]) -> Dict[str, Any]:
+    op = record["op"]
+    if op == "ping":
+        return _success_envelope(record, {"pong": True,
+                                          "protocol_version": PROTOCOL_VERSION},
+                                 0.0, None, shard)
+    if op == "stats":
+        return _success_envelope(
+            record,
+            {"cache_stats": solver.cache_stats(),
+             "requests": solver.stats.total_requests},
+            0.0, None, shard)
+
+    schema_text = _schema_text(record, defaults)
+    schema = parser.schema(schema_text)
+    sigma = parser.dependencies(record.get("deps", defaults.deps_text), schema_text)
+    query = parse_query(record["query"], schema)
+    max_conjuncts = min(record.get("max_conjuncts") or limits.max_conjuncts,
+                        limits.max_conjuncts)
+
+    if op == "contain":
+        config = solver.config.derive(max_conjuncts=max_conjuncts)
+        query_prime = parse_query(record["query_prime"], schema)
+        response = solver.solve(ContainmentRequest(
+            query, query_prime, sigma, config=config, tag=record.get("id")))
+        result = containment_result_to_dict(response.result)
+        result["budget"] = response.budget.as_dict()
+        return _success_envelope(record, result, response.elapsed_s,
+                                 response.cache_hit, shard)
+
+    if op == "chase":
+        max_level = min(record.get("max_level") or limits.max_level,
+                        limits.max_level)
+        variant = ChaseVariant(record.get("variant", "R"))
+        config = solver.config.derive(variant=variant,
+                                      chase_max_conjuncts=max_conjuncts)
+        response = solver.solve(ChaseRequest(
+            query, sigma, max_level=max_level, config=config,
+            tag=record.get("id")))
+        result = chase_result_to_dict(response.result,
+                                      include_trace=bool(record.get("trace")))
+        return _success_envelope(record, result, response.elapsed_s,
+                                 response.cache_hit, shard)
+
+    # op == "rewrite"
+    catalog = parser.catalog(record["views"], schema_text)
+    config = solver.config.derive(max_conjuncts=max_conjuncts)
+    response = solver.solve(RewriteRequest(
+        query, catalog, sigma, config=config, tag=record.get("id")))
+    result = response.report.as_dict()
+    return _success_envelope(record, result, response.elapsed_s,
+                             response.cache_hit, shard)
+
+
+def make_worker_solver(config: Optional[SolverConfig] = None,
+                       persistent_cache=None) -> Solver:
+    """One shard's solver: the given config with serial execution forced.
+
+    A shard is itself the unit of parallelism; nested thread pools
+    inside a shard would only fight the other shards for cores.
+    """
+    base = config or SolverConfig()
+    return Solver(base.derive(parallelism=None, executor="serial"),
+                  persistent_cache=persistent_cache)

@@ -1,0 +1,243 @@
+"""The asyncio NDJSON front end over a :class:`ShardedSolverPool`.
+
+One JSON request per line in, one envelope per line out, over TCP or a
+Unix socket.  Requests on one connection are answered in order (the
+handler awaits each answer before reading the next line); concurrency
+comes from serving many connections, each of which may be pinned to a
+different shard by its tenant's fingerprints.
+
+Backpressure is two-layered:
+
+* **global admission control** — at most ``max_pending`` requests may
+  be in flight across all connections; request ``max_pending + 1``
+  is answered immediately with an ``overloaded`` envelope instead of
+  queueing without bound;
+* **bounded shard inboxes** — the pool rejects submissions to a full
+  shard, which likewise surfaces as an ``overloaded`` envelope.
+
+A client that sees ``overloaded`` should back off and retry; nothing
+was executed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Any, Dict, Optional, Tuple
+
+from repro.exceptions import ReproError
+from repro.service.pool import ShardedSolverPool
+from repro.service.protocol import (
+    ProtocolError,
+    ServiceOverloaded,
+    error_envelope,
+    parse_line,
+)
+
+
+class SolverService:
+    """A long-lived NDJSON solver server speaking the service protocol.
+
+    ``unix_path`` selects a Unix socket; otherwise ``host:port`` TCP
+    (``port=0`` binds an ephemeral port, reported by :attr:`address`).
+    ``max_pending=None`` disables global admission control (the shard
+    inboxes still bound the queue).
+    """
+
+    def __init__(self, pool: ShardedSolverPool, host: str = "127.0.0.1",
+                 port: int = 0, unix_path: Optional[str] = None,
+                 max_pending: Optional[int] = None):
+        self._pool = pool
+        self._host = host
+        self._port = port
+        self._unix_path = unix_path
+        self._max_pending = max_pending
+        self._in_flight = 0
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    @property
+    def pool(self) -> ShardedSolverPool:
+        return self._pool
+
+    @property
+    def address(self) -> Tuple[str, Any]:
+        """``("unix", path)`` or ``("tcp", (host, port))`` once started."""
+        if self._unix_path is not None:
+            return ("unix", self._unix_path)
+        if self._server is not None and self._server.sockets:
+            return ("tcp", self._server.sockets[0].getsockname()[:2])
+        return ("tcp", (self._host, self._port))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        if self._unix_path is not None:
+            self._server = await asyncio.start_unix_server(
+                self._handle_connection, path=self._unix_path)
+        else:
+            self._server = await asyncio.start_server(
+                self._handle_connection, host=self._host, port=self._port)
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    # -- the connection handler ----------------------------------------------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                envelope = await self._answer(line.decode("utf-8", "replace"))
+                writer.write(json.dumps(envelope, sort_keys=True,
+                                        default=str).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            # Shutdown cancelled us mid-read; end quietly — a handler
+            # that finishes "cancelled" makes asyncio's stream callback
+            # log a spurious traceback while the loop is closing.
+            pass
+        finally:
+            # No wait_closed(): every response was drained already, and
+            # awaiting the close handshake inside a cancelled task would
+            # re-raise immediately anyway.
+            writer.close()
+
+    async def _answer(self, line: str) -> Dict[str, Any]:
+        try:
+            record = parse_line(line)
+        except ProtocolError as error:
+            return error_envelope(_peek_id(line), error.kind, str(error))
+        if record["op"] == "stats":
+            # Answered by the front end, not one shard: a service-level
+            # stats op merges every shard's cache picture plus the
+            # pool's routing counters into one document.
+            try:
+                return await self._service_stats(record)
+            except ServiceOverloaded as error:
+                return error_envelope(record.get("id"), "overloaded", str(error))
+        if (record["op"] != "ping"  # control plane: answerable under shedding
+                and self._max_pending is not None
+                and self._in_flight >= self._max_pending):
+            return error_envelope(
+                record.get("id"), "overloaded",
+                f"service has {self._in_flight} requests in flight "
+                f"(limit {self._max_pending}); retry later")
+        self._in_flight += 1
+        try:
+            # The pool resolves a concurrent.futures.Future from a worker
+            # thread/process; wrap_future bridges it into this loop.
+            future = self._pool.submit(record)
+            return await asyncio.wrap_future(future)
+        except ServiceOverloaded as error:
+            return error_envelope(record.get("id"), "overloaded", str(error))
+        except ProtocolError as error:
+            return error_envelope(record.get("id"), error.kind, str(error))
+        except ReproError as error:
+            # Affinity routing parses schema/deps before a shard ever
+            # sees the record, so unparsable tenant text surfaces here —
+            # a client input problem, not a server bug.
+            return error_envelope(record.get("id"), "parse", str(error))
+        except Exception as error:
+            return error_envelope(record.get("id"), "internal",
+                                  f"{type(error).__name__}: {error}")
+        finally:
+            self._in_flight -= 1
+
+    async def _service_stats(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        pool = self._pool
+        futures = [shard.submit({"op": "stats"}) for shard in pool.shards]
+        envelopes = [await asyncio.wrap_future(future) for future in futures]
+        return {
+            "id": record.get("id"),
+            "ok": True,
+            "op": "stats",
+            "result": {
+                "pool": pool.counters(),
+                "shards": [pool.shard_snapshot(shard, envelope)
+                           for shard, envelope in zip(pool.shards, envelopes)],
+            },
+        }
+
+    # -- synchronous embedding ----------------------------------------------
+
+    def run_in_thread(self) -> "ServiceThread":
+        """Start the server on a daemon thread; returns a stoppable handle.
+
+        For tests, examples, and embedding the service next to other
+        work — the caller's thread stays free while the loop serves.
+        """
+        return ServiceThread(self)
+
+
+def _peek_id(line: str) -> Optional[Any]:
+    """Best-effort extraction of ``id`` from a line that failed validation."""
+    try:
+        record = json.loads(line)
+        if isinstance(record, dict):
+            return record.get("id")
+    except (json.JSONDecodeError, ValueError):
+        pass
+    return None
+
+
+class ServiceThread:
+    """A :class:`SolverService` running on its own event-loop thread."""
+
+    def __init__(self, service: SolverService):
+        self._service = service
+        self._loop = asyncio.new_event_loop()
+        self._started = threading.Event()
+        self._thread = threading.Thread(target=self._main, name="repro-service",
+                                        daemon=True)
+        self._thread.start()
+        self._started.wait(timeout=30)
+
+    def _main(self) -> None:
+        asyncio.set_event_loop(self._loop)
+        self._loop.run_until_complete(self._service.start())
+        self._started.set()
+        self._loop.run_forever()
+        self._loop.run_until_complete(self._service.stop())
+        # Connection handlers blocked in readline() when the loop stopped
+        # must be cancelled, or closing the loop destroys pending tasks.
+        pending = asyncio.all_tasks(self._loop)
+        for task in pending:
+            task.cancel()
+        if pending:
+            self._loop.run_until_complete(
+                asyncio.gather(*pending, return_exceptions=True))
+        self._loop.close()
+
+    @property
+    def service(self) -> SolverService:
+        return self._service
+
+    @property
+    def address(self) -> Tuple[str, Any]:
+        return self._service.address
+
+    def stop(self) -> None:
+        if self._thread.is_alive():
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=30)
+
+    def __enter__(self) -> "ServiceThread":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()

@@ -10,6 +10,8 @@ this package provides deterministic (seeded) generators for
 * finite database instances (random, optionally repaired to satisfy Σ),
 * view catalogs (chain projections, star collapses, key-join collapses)
   for the :mod:`repro.views` rewriting workloads,
+* multi-tenant service traffic (Zipf-distributed tenants over generated
+  schemas/queries/catalogs) in the :mod:`repro.service` wire format,
 
 plus :mod:`repro.workloads.paper_examples`, which packages the three
 worked examples of the paper (the EMP/DEP intro example, the Figure 1
@@ -22,6 +24,7 @@ from repro.workloads.query_generator import QueryGenerator
 from repro.workloads.dependency_generator import DependencyGenerator
 from repro.workloads.database_generator import DatabaseGenerator
 from repro.workloads.view_generator import ViewCatalogGenerator
+from repro.workloads.traffic_generator import Tenant, TrafficGenerator
 from repro.workloads.paper_examples import (
     figure1_example,
     intro_example,
@@ -33,6 +36,8 @@ __all__ = [
     "DependencyGenerator",
     "QueryGenerator",
     "SchemaGenerator",
+    "Tenant",
+    "TrafficGenerator",
     "ViewCatalogGenerator",
     "figure1_example",
     "intro_example",

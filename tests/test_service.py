@@ -1,0 +1,565 @@
+"""Tests for the service layer: persistence, protocol, routing, serving.
+
+Covers the four satellite requirements of PR 4: ServiceClient
+round-trips for containment/chase/rewrite, shard-routing determinism,
+persistent-cache reuse across a simulated restart, and malformed-request
+error envelopes — plus the protocol/pool/persistent plumbing they sit
+on.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.api import (
+    ContainmentRequest,
+    PersistentCache,
+    Solver,
+    SolverConfig,
+)
+from repro.api.persistent import PersistentCacheError, stable_key_digest
+from repro.chase.engine import ChaseVariant
+from repro.parser import parse_dependencies, parse_query, parse_schema
+from repro.service import (
+    ProtocolError,
+    ServiceClient,
+    ServiceClientError,
+    ServiceDefaults,
+    ServiceLimits,
+    ShardedSolverPool,
+    SolverService,
+    TenantParser,
+    handle_record,
+    parse_line,
+    routing_fingerprints,
+    shard_for,
+    validate_record,
+)
+from repro.workloads import TrafficGenerator
+
+SCHEMA_TEXT = "EMP(emp, sal, dept)\nDEP(dept, loc)"
+DEPS_TEXT = "EMP[dept] <= DEP[dept]"
+VIEWS_TEXT = "DEPT_EMP(e, d, l) :- EMP(e, s, d), DEP(d, l)"
+QUERY = "Q2(e) :- EMP(e, s, d)"
+QUERY_PRIME = "Q1(e) :- EMP(e, s, d), DEP(d, l)"
+
+
+def contain_record(**overrides):
+    record = {"id": "q1", "query": QUERY, "query_prime": QUERY_PRIME,
+              "schema": SCHEMA_TEXT, "deps": DEPS_TEXT}
+    record.update(overrides)
+    return record
+
+
+# ---------------------------------------------------------------------------
+# PersistentCache
+# ---------------------------------------------------------------------------
+
+
+class TestPersistentCache:
+    def test_roundtrip_and_counters(self, tmp_path):
+        with PersistentCache(str(tmp_path / "c.sqlite")) as cache:
+            key = ("a", 1, None, True, ChaseVariant.RESTRICTED)
+            assert cache.get("chase", key) is None
+            cache.put("chase", key, {"payload": [1, 2, 3]})
+            assert cache.get("chase", key) == {"payload": [1, 2, 3]}
+            info = cache.info()
+            assert (info.hits, info.misses, info.size) == (1, 1, 1)
+            assert cache.sizes() == {"containment": 0, "chase": 1, "rewrite": 0}
+
+    def test_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        with PersistentCache(path) as cache:
+            cache.put("containment", ("k",), "answer")
+        with PersistentCache(path) as reopened:
+            assert reopened.get("containment", ("k",)) == "answer"
+            assert len(reopened) == 1
+
+    def test_corrupt_value_becomes_miss_and_is_evicted(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        cache = PersistentCache(path)
+        cache.put("chase", ("k",), "value")
+        digest = stable_key_digest(("k",))
+        with cache._connection:
+            cache._connection.execute(
+                "UPDATE entries SET value = ? WHERE key = ?",
+                (b"not a pickle", digest))
+        assert cache.get("chase", ("k",)) is None
+        assert len(cache) == 0
+        cache.close()
+
+    def test_format_version_mismatch_clears_store(self, tmp_path):
+        path = str(tmp_path / "c.sqlite")
+        cache = PersistentCache(path)
+        cache.put("chase", ("k",), "value")
+        with cache._connection:
+            cache._connection.execute(
+                "UPDATE meta SET value = '0' WHERE key = 'format_version'")
+        cache.close()
+        with PersistentCache(path) as reopened:
+            assert reopened.get("chase", ("k",)) is None
+            assert len(reopened) == 0
+
+    def test_stable_key_digest(self):
+        key = (("Q", "abc"), None, True, 5, ChaseVariant.OBLIVIOUS)
+        assert stable_key_digest(key) == stable_key_digest(
+            (("Q", "abc"), None, True, 5, ChaseVariant.OBLIVIOUS))
+        assert stable_key_digest(key) != stable_key_digest(key[:-1])
+        # bool/int and str/bytes must not collide
+        assert stable_key_digest((1,)) != stable_key_digest((True,))
+        assert stable_key_digest(("a",)) != stable_key_digest((b"a",))
+        with pytest.raises(PersistentCacheError):
+            stable_key_digest((object(),))
+
+    def test_clear(self, tmp_path):
+        with PersistentCache(str(tmp_path / "c.sqlite")) as cache:
+            cache.put("rewrite", ("k",), "v")
+            cache.clear()
+            assert len(cache) == 0
+
+
+class TestSolverPersistence:
+    def make_queries(self):
+        schema = parse_schema(SCHEMA_TEXT)
+        sigma = parse_dependencies(DEPS_TEXT, schema)
+        return (parse_query(QUERY, schema), parse_query(QUERY_PRIME, schema),
+                sigma)
+
+    def test_warm_restart(self, tmp_path):
+        query, query_prime, sigma = self.make_queries()
+        config = SolverConfig(persistent_cache_path=str(tmp_path / "s.sqlite"))
+        first = Solver(config)
+        cold = first.solve(ContainmentRequest(query, query_prime, sigma))
+        assert cold.result.holds and not cold.cache_hit
+        first.close()
+
+        restarted = Solver(config)
+        warm = restarted.solve(ContainmentRequest(query, query_prime, sigma))
+        assert warm.cache_hit
+        assert warm.result.holds == cold.result.holds
+        assert warm.result.method == cold.result.method
+        restarted.close()
+
+    def test_cache_stats_includes_persistent(self, tmp_path):
+        query, query_prime, sigma = self.make_queries()
+        config = SolverConfig(persistent_cache_path=str(tmp_path / "s.sqlite"))
+        solver = Solver(config)
+        solver.is_contained(query, query_prime, sigma)
+        stats = solver.cache_stats()
+        assert stats["persistent"]["writes"] > 0
+        assert stats["persistent"]["namespaces"]["containment"] == 1
+        # a second solver over the same store reports the hit both in the
+        # persistent entry and in the rolled-up total
+        solver.close()
+        second = Solver(config)
+        second.is_contained(query, query_prime, sigma)
+        stats = second.cache_stats()
+        assert stats["persistent"]["hits"] == 1
+        assert stats["total"]["hits"] >= 1
+        second.close()
+
+    def test_without_persistence_no_entry(self):
+        stats = Solver().cache_stats()
+        assert "persistent" not in stats
+        assert set(stats) == {"containment", "chase", "rewrite", "total"}
+
+    def test_clear_caches_can_wipe_store(self, tmp_path):
+        query, query_prime, sigma = self.make_queries()
+        config = SolverConfig(persistent_cache_path=str(tmp_path / "s.sqlite"))
+        solver = Solver(config)
+        solver.is_contained(query, query_prime, sigma)
+        assert len(solver.persistent_cache) > 0
+        solver.clear_caches(persistent=True)
+        assert len(solver.persistent_cache) == 0
+        solver.close()
+
+    def test_shared_store_between_solvers(self, tmp_path):
+        query, query_prime, sigma = self.make_queries()
+        store = PersistentCache(str(tmp_path / "shared.sqlite"))
+        writer = Solver(persistent_cache=store)
+        reader = Solver(persistent_cache=store)
+        writer.is_contained(query, query_prime, sigma)
+        writer_totals = writer.cache_stats()["total"].copy()
+        response = reader.solve(ContainmentRequest(query, query_prime, sigma))
+        assert response.cache_hit
+        # the reader's disk hit is its own: per-solver persistent
+        # counters, not the store's globals, feed each solver's totals
+        assert writer.cache_stats()["total"] == writer_totals
+        reader_stats = reader.cache_stats()["persistent"]
+        assert reader_stats["hits"] == 1 and reader_stats["misses"] == 0
+        assert reader_stats["store"]["hits"] == 1
+        # close() must not steal the shared store from its sibling
+        writer.close()
+        assert reader.solve(ContainmentRequest(query, query_prime, sigma)).result.holds
+        store.close()
+
+
+# ---------------------------------------------------------------------------
+# Protocol
+# ---------------------------------------------------------------------------
+
+
+class TestProtocol:
+    def test_parse_line_defaults_to_contain(self):
+        record = parse_line(json.dumps({"query": QUERY, "query_prime": QUERY_PRIME}))
+        assert record["op"] == "contain"
+
+    @pytest.mark.parametrize("line, kind", [
+        ("", "protocol"),
+        ("not json", "protocol"),
+        ("[1, 2]", "protocol"),
+        (json.dumps({"op": "nope"}), "protocol"),
+        (json.dumps({"op": "contain", "query": QUERY}), "protocol"),
+        (json.dumps({"op": "chase"}), "protocol"),
+        (json.dumps({"op": "rewrite", "query": QUERY}), "protocol"),
+        (json.dumps({"op": "chase", "query": 7}), "protocol"),
+        (json.dumps({"op": "chase", "query": QUERY, "max_level": "x"}), "budget"),
+        (json.dumps({"op": "chase", "query": QUERY, "max_level": 0}), "budget"),
+        (json.dumps({"op": "chase", "query": QUERY, "max_conjuncts": True}), "budget"),
+        (json.dumps({"op": "chase", "query": QUERY, "variant": "Z"}), "protocol"),
+    ])
+    def test_parse_line_rejects(self, line, kind):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse_line(line)
+        assert excinfo.value.kind == kind
+
+    def test_handle_record_never_raises(self):
+        solver = Solver()
+        # schema text that does not parse → parse-kind envelope
+        envelope = handle_record(contain_record(schema="NOT A SCHEMA(("), solver)
+        assert not envelope["ok"] and envelope["error"]["kind"] == "parse"
+        # structurally bad record → protocol-kind envelope
+        envelope = handle_record({"op": "contain"}, solver)
+        assert not envelope["ok"] and envelope["error"]["kind"] == "protocol"
+        # no schema anywhere → protocol-kind envelope
+        envelope = handle_record({"query": QUERY, "query_prime": QUERY_PRIME},
+                                 solver)
+        assert not envelope["ok"] and envelope["error"]["kind"] == "protocol"
+
+    def test_handle_contain_matches_direct_solver(self):
+        solver = Solver()
+        envelope = handle_record(contain_record(), solver, shard=3)
+        assert envelope["ok"] and envelope["op"] == "contain"
+        assert envelope["shard"] == 3 and envelope["id"] == "q1"
+        schema = parse_schema(SCHEMA_TEXT)
+        direct = Solver().is_contained(
+            parse_query(QUERY, schema), parse_query(QUERY_PRIME, schema),
+            parse_dependencies(DEPS_TEXT, schema))
+        assert envelope["result"]["holds"] == direct.holds
+        assert envelope["result"]["method"] == direct.method
+
+    def test_handle_chase_and_rewrite(self):
+        solver = Solver()
+        chase = handle_record({"op": "chase", "query": QUERY,
+                               "schema": SCHEMA_TEXT, "deps": DEPS_TEXT,
+                               "max_level": 3, "variant": "O"}, solver)
+        assert chase["ok"] and chase["result"]["variant"] == "O"
+        assert chase["result"]["max_level"] >= 1
+        rewrite = handle_record({"op": "rewrite", "query": QUERY_PRIME,
+                                 "views": VIEWS_TEXT, "schema": SCHEMA_TEXT,
+                                 "deps": DEPS_TEXT}, solver)
+        assert rewrite["ok"] and rewrite["result"]["rewritings"]
+
+    def test_defaults_supply_schema(self):
+        defaults = ServiceDefaults(schema_text=SCHEMA_TEXT, deps_text=DEPS_TEXT)
+        envelope = handle_record({"query": QUERY, "query_prime": QUERY_PRIME},
+                                 Solver(), defaults)
+        assert envelope["ok"] and envelope["result"]["holds"]
+
+    def test_budget_clamped_to_limits(self):
+        limits = ServiceLimits(max_conjuncts=50, max_level=2)
+        envelope = handle_record(
+            {"op": "chase", "query": QUERY, "schema": SCHEMA_TEXT,
+             "deps": DEPS_TEXT, "max_level": 99, "max_conjuncts": 10 ** 9},
+            Solver(), limits=limits)
+        assert envelope["ok"]
+        assert envelope["result"]["max_level"] <= 2
+
+    def test_ping_and_stats(self):
+        solver = Solver()
+        assert handle_record({"op": "ping"}, solver)["result"]["pong"]
+        stats = handle_record({"op": "stats"}, solver)["result"]
+        assert "cache_stats" in stats and "requests" in stats
+
+
+# ---------------------------------------------------------------------------
+# Shard routing
+# ---------------------------------------------------------------------------
+
+
+class TestRouting:
+    def test_shard_for_is_deterministic_and_in_range(self):
+        assert shard_for("a", "b", 4) == shard_for("a", "b", 4)
+        for count in (1, 2, 7):
+            assert 0 <= shard_for("a", "b", count) < count
+        with pytest.raises(ValueError):
+            shard_for("a", "b", 0)
+
+    def test_routing_fingerprints_track_tenant(self):
+        parser = TenantParser()
+        defaults = ServiceDefaults()
+        base = routing_fingerprints(contain_record(), defaults, parser)
+        same = routing_fingerprints(contain_record(id="other"), defaults, parser)
+        assert base == same
+        other_deps = routing_fingerprints(contain_record(deps=None), defaults,
+                                          parser)
+        assert other_deps != base
+
+    def test_tenants_spread_and_pin(self):
+        traffic = TrafficGenerator(tenant_count=12, seed=5)
+        with ShardedSolverPool(shard_count=4, mode="inline") as pool:
+            routes = {}
+            for record in traffic.requests(60, stream_seed=0):
+                tenant = record["id"].split("/", 1)[0]
+                routes.setdefault(tenant, set()).add(
+                    pool.shard_for_record(record))
+        assert all(len(shards) == 1 for shards in routes.values())
+        assert len({next(iter(s)) for s in routes.values()}) > 1
+
+    def test_control_ops_route_to_shard_zero(self):
+        with ShardedSolverPool(shard_count=3, mode="inline") as pool:
+            assert pool.execute({"op": "ping"})["shard"] == 0
+            assert pool.execute({"op": "stats"})["shard"] == 0
+
+
+# ---------------------------------------------------------------------------
+# The pool
+# ---------------------------------------------------------------------------
+
+
+class TestShardedSolverPool:
+    def test_inline_and_thread_agree(self):
+        records = [contain_record(id=str(index)) for index in range(4)]
+        records.append({"op": "chase", "query": QUERY, "schema": SCHEMA_TEXT,
+                        "deps": DEPS_TEXT, "max_level": 2, "id": "c"})
+        with ShardedSolverPool(shard_count=2, mode="inline") as inline_pool:
+            inline = inline_pool.execute_all(records)
+        with ShardedSolverPool(shard_count=2, mode="thread") as thread_pool:
+            threaded = thread_pool.execute_all(records)
+        for first, second in zip(inline, threaded):
+            assert first["ok"] and second["ok"]
+            assert first["result"] == second["result"]
+            assert first["shard"] == second["shard"]
+
+    def test_process_mode_round_trip(self):
+        with ShardedSolverPool(shard_count=2, mode="process") as pool:
+            envelope = pool.execute(contain_record())
+            assert envelope["ok"] and envelope["result"]["holds"]
+            stats = pool.stats()
+            assert stats["mode"] == "process"
+            assert len(stats["shards"]) == 2
+
+    def test_execute_all_preserves_order(self):
+        records = [contain_record(id=f"r{index}") for index in range(6)]
+        with ShardedSolverPool(shard_count=3, mode="thread") as pool:
+            envelopes = pool.execute_all(records)
+        assert [envelope["id"] for envelope in envelopes] == [
+            record["id"] for record in records]
+
+    def test_invalid_construction(self):
+        from repro.exceptions import ReproError
+        with pytest.raises(ReproError):
+            ShardedSolverPool(shard_count=0)
+        with pytest.raises(ReproError):
+            ShardedSolverPool(mode="quantum")
+        with pytest.raises(ReproError):
+            ShardedSolverPool(max_pending=0)
+
+    def test_explicit_and_bad_routing(self):
+        from repro.exceptions import ReproError
+        with ShardedSolverPool(shard_count=2, mode="inline") as pool:
+            assert pool.execute(contain_record(), routing=1)["shard"] == 1
+            with pytest.raises(ReproError):
+                pool.execute(contain_record(), routing=9)
+            with pytest.raises(ReproError):
+                pool.execute(contain_record(), routing="psychic")
+
+
+# ---------------------------------------------------------------------------
+# Server + client (the full wire)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture()
+def served_pool(tmp_path):
+    """A thread-sharded service on a Unix socket, plus a connected client."""
+    socket_path = str(tmp_path / "repro.sock")
+    pool = ShardedSolverPool(shard_count=2, mode="thread")
+    service = SolverService(pool, unix_path=socket_path)
+    with service.run_in_thread():
+        with ServiceClient(unix_path=socket_path) as client:
+            yield pool, client, socket_path
+    pool.close()
+
+
+class TestServiceWire:
+    def test_round_trips(self, served_pool):
+        _, client, _ = served_pool
+        assert client.ping()
+
+        contain = client.contain(QUERY, QUERY_PRIME, schema=SCHEMA_TEXT,
+                                 deps=DEPS_TEXT, identifier="w1")
+        assert contain["ok"] and contain["result"]["holds"]
+        assert contain["id"] == "w1" and "shard" in contain
+
+        # the repeat is answered by the same shard's cache
+        repeat = client.contain(QUERY, QUERY_PRIME, schema=SCHEMA_TEXT,
+                                deps=DEPS_TEXT)
+        assert repeat["cache_hit"] and repeat["shard"] == contain["shard"]
+
+        chase = client.chase(QUERY, schema=SCHEMA_TEXT, deps=DEPS_TEXT,
+                             max_level=3)
+        assert chase["ok"] and chase["result"]["statistics"]["total_steps"] >= 0
+
+        rewrite = client.rewrite(QUERY_PRIME, VIEWS_TEXT, schema=SCHEMA_TEXT,
+                                 deps=DEPS_TEXT)
+        assert rewrite["ok"] and rewrite["result"]["rewritings"]
+
+        without_deps = client.contain(QUERY, QUERY_PRIME, schema=SCHEMA_TEXT)
+        assert without_deps["ok"] and not without_deps["result"]["holds"]
+
+    def test_malformed_requests_get_error_envelopes(self, served_pool):
+        _, client, socket_path = served_pool
+        envelope = client.request({"op": "contain", "query": QUERY})
+        assert not envelope["ok"] and envelope["error"]["kind"] == "protocol"
+
+        envelope = client.request({"id": "bad", "op": "mystery"})
+        assert not envelope["ok"] and envelope["id"] == "bad"
+
+        envelope = client.contain("Q(x :- broken(", QUERY_PRIME,
+                                  schema=SCHEMA_TEXT)
+        assert not envelope["ok"] and envelope["error"]["kind"] == "parse"
+
+        # unparsable *schema* text fails on the front end (during shard
+        # routing, before any worker runs) — still kind "parse", not
+        # "internal": it is a client input problem either way
+        envelope = client.contain(QUERY, QUERY_PRIME,
+                                  schema="this is :::: not a schema")
+        assert not envelope["ok"] and envelope["error"]["kind"] == "parse"
+
+        raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        raw.connect(socket_path)
+        raw.sendall(b"this is not json\n")
+        reply = json.loads(raw.makefile().readline())
+        raw.close()
+        assert not reply["ok"] and reply["error"]["kind"] == "protocol"
+        with pytest.raises(ServiceClientError):
+            ServiceClient.check(reply)
+
+    def test_stats_merges_all_shards(self, served_pool):
+        pool, client, _ = served_pool
+        client.contain(QUERY, QUERY_PRIME, schema=SCHEMA_TEXT, deps=DEPS_TEXT)
+        stats = client.stats()
+        assert stats["pool"]["shard_count"] == pool.shard_count
+        assert len(stats["shards"]) == pool.shard_count
+        assert all("cache_stats" in shard for shard in stats["shards"])
+
+    def test_admission_control_rejects_when_full(self, tmp_path):
+        socket_path = str(tmp_path / "busy.sock")
+        pool = ShardedSolverPool(shard_count=1, mode="inline")
+        service = SolverService(pool, unix_path=socket_path, max_pending=0)
+        with service.run_in_thread():
+            with ServiceClient(unix_path=socket_path) as client:
+                envelope = client.request(contain_record())
+                assert not envelope["ok"]
+                assert envelope["error"]["kind"] == "overloaded"
+                # control plane ops stay answerable under load shedding
+                assert client.ping()
+        pool.close()
+
+    def test_tcp_transport(self):
+        pool = ShardedSolverPool(shard_count=1, mode="inline")
+        service = SolverService(pool, host="127.0.0.1", port=0)
+        with service.run_in_thread() as handle:
+            _, (host, port) = handle.address
+            with ServiceClient(host=host, port=port) as client:
+                envelope = client.contain(QUERY, QUERY_PRIME,
+                                          schema=SCHEMA_TEXT, deps=DEPS_TEXT)
+                assert envelope["ok"] and envelope["result"]["holds"]
+        pool.close()
+
+    def test_server_side_defaults(self, tmp_path):
+        socket_path = str(tmp_path / "defaults.sock")
+        defaults = ServiceDefaults(schema_text=SCHEMA_TEXT, deps_text=DEPS_TEXT)
+        pool = ShardedSolverPool(shard_count=1, mode="inline", defaults=defaults)
+        service = SolverService(pool, unix_path=socket_path)
+        with service.run_in_thread():
+            with ServiceClient(unix_path=socket_path) as client:
+                envelope = client.contain(QUERY, QUERY_PRIME)
+                assert envelope["ok"] and envelope["result"]["holds"]
+        pool.close()
+
+    def test_persistent_reuse_across_service_restart(self, tmp_path):
+        socket_path = str(tmp_path / "persist.sock")
+        config = SolverConfig(
+            persistent_cache_path=str(tmp_path / "service.sqlite"))
+
+        def one_lifetime():
+            pool = ShardedSolverPool(shard_count=2, mode="thread", config=config)
+            service = SolverService(pool, unix_path=socket_path)
+            with service.run_in_thread():
+                with ServiceClient(unix_path=socket_path) as client:
+                    envelope = client.contain(QUERY, QUERY_PRIME,
+                                              schema=SCHEMA_TEXT,
+                                              deps=DEPS_TEXT)
+            pool.close()
+            return envelope
+
+        cold = one_lifetime()
+        assert cold["ok"] and not cold["cache_hit"]
+        warm = one_lifetime()
+        assert warm["ok"] and warm["cache_hit"]
+        assert warm["result"]["holds"] == cold["result"]["holds"]
+
+
+# ---------------------------------------------------------------------------
+# Traffic generation
+# ---------------------------------------------------------------------------
+
+
+class TestTrafficGenerator:
+    def test_deterministic_streams(self):
+        first = TrafficGenerator(tenant_count=5, seed=9).requests(25)
+        second = TrafficGenerator(tenant_count=5, seed=9).requests(25)
+        assert first == second
+        different = TrafficGenerator(tenant_count=5, seed=9).requests(
+            25, stream_seed=1)
+        assert different != first
+
+    def test_records_validate_and_execute(self):
+        traffic = TrafficGenerator(tenant_count=3, seed=4)
+        records = traffic.requests(12)
+        for record in records:
+            validate_record(record)
+        with ShardedSolverPool(shard_count=2, mode="inline") as pool:
+            envelopes = pool.execute_all(records)
+        assert all(envelope["ok"] for envelope in envelopes)
+        # known-positive containment pairs must actually hold
+        for record, envelope in zip(records, envelopes):
+            if record["op"] == "contain":
+                assert envelope["result"]["holds"]
+
+    def test_zipf_skew(self):
+        traffic = TrafficGenerator(tenant_count=6, seed=3)
+        shares = traffic.tenant_shares(traffic.requests(300))
+        assert shares["tenant-0"] == max(shares.values())
+        assert shares["tenant-0"] > 1.5 * shares["tenant-5"]
+        assert abs(sum(shares.values()) - 1.0) < 1e-9
+
+    def test_mix_controls_ops(self):
+        traffic = TrafficGenerator(tenant_count=2, seed=1)
+        records = traffic.requests(10, mix={"chase": 1.0})
+        assert {record["op"] for record in records} == {"chase"}
+        with pytest.raises(ValueError):
+            traffic.requests(5, mix={"dance": 1.0})
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TrafficGenerator(tenant_count=0)
+        with pytest.raises(ValueError):
+            TrafficGenerator(zipf_exponent=0)
+        with pytest.raises(ValueError):
+            TrafficGenerator(tenant_count=2).requests(-1)
