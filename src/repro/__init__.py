@@ -87,6 +87,8 @@ from repro.queries import (
     minimize,
 )
 from repro.dependencies import (
+    EGD,
+    TGD,
     DependencySet,
     FunctionalDependency,
     InclusionDependency,
@@ -170,6 +172,7 @@ __all__ = [
     "DependencySet",
     "DistinguishedVariable",
     "Domain",
+    "EGD",
     "EvaluationError",
     "FreshVariableFactory",
     "FunctionalDependency",
@@ -195,6 +198,7 @@ __all__ = [
     "Solver",
     "SolverConfig",
     "Substitution",
+    "TGD",
     "Variable",
     "View",
     "ViewCatalog",

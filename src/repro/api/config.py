@@ -51,6 +51,21 @@ class SolverConfig:
         Attach verifiable certificates to positive containment answers.
     deepening:
         Use the iterative-deepening level schedule.
+    certify_termination:
+        For Σ outside the paper's decidable classes (general FD/IND
+        mixes and embedded TGD/EGD sets), run the weak-acyclicity
+        termination analysis and, when it certifies a finite R-chase,
+        deepen to saturation for an *exact* verdict instead of the
+        uncertain-negative bound semantics.  Only applies to the
+        R-chase (the O-chase of general TGDs may diverge even for
+        weakly acyclic Σ).
+    saturation_level_cap:
+        Ceiling on how deep the termination-certified deepening may go;
+        reaching it without saturating returns an uncertain negative,
+        exactly like hitting the Theorem 2 bound for uncertified Σ.
+        ``None`` (the default) deepens until saturation or the conjunct
+        budget.  The service sets this from its ``ServiceLimits`` so one
+        tenant's deeply-saturating Σ cannot monopolise a shard.
 
     Stand-alone chase knobs (defaults mirror ``repro.chase.chase``):
 
@@ -104,6 +119,8 @@ class SolverConfig:
     record_trace: bool = False
     with_certificate: bool = False
     deepening: bool = True
+    certify_termination: bool = True
+    saturation_level_cap: Optional[int] = None
 
     chase_max_level: Optional[int] = None
     chase_max_conjuncts: int = 5_000
@@ -133,6 +150,8 @@ class SolverConfig:
             raise ReproError("chase_max_conjuncts must be positive")
         if self.level_bound is not None and self.level_bound < 0:
             raise ReproError("level_bound must be non-negative")
+        if self.saturation_level_cap is not None and self.saturation_level_cap <= 0:
+            raise ReproError("saturation_level_cap must be positive (or None)")
         if (self.containment_cache_size < 0 or self.chase_cache_size < 0
                 or self.rewrite_cache_size < 0):
             raise ReproError("cache sizes must be non-negative")
@@ -181,6 +200,7 @@ class SolverConfig:
         """
         return (self.variant, self.level_bound, self.max_conjuncts,
                 self.record_trace, self.with_certificate, self.deepening,
+                self.certify_termination, self.saturation_level_cap,
                 resolve_engine_name(self.chase_engine))
 
     def rewrite_key(self) -> Tuple:

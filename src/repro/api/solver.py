@@ -49,7 +49,14 @@ from repro.api.requests import (
     SolveRequest,
     SolveResponse,
 )
-from repro.chase.engine import ChaseConfig, ChaseResult, build_engine, resolve_engine_name
+from repro.chase.engine import (
+    ChaseConfig,
+    ChaseResult,
+    ChaseVariant,
+    build_engine,
+    resolve_engine_name,
+)
+from repro.chase.termination import chase_guaranteed_finite
 from repro.containment.fd_containment import contained_under_fds
 from repro.containment.ind_containment import contained_under_bounded_chase
 from repro.containment.no_dependencies import contained_without_dependencies
@@ -308,6 +315,18 @@ class Solver:
                 return contained_under_fds(query, query_prime, sigma)
             exact = classification in (DependencyClass.IND_ONLY,
                                        DependencyClass.KEY_BASED)
+            # Outside the paper's decidable classes (general FD/IND mixes
+            # and embedded TGD/EGD sets) a weak-acyclicity certificate
+            # upgrades the semi-decision: the R-chase terminates, so
+            # deepening to saturation yields an exact verdict.  The
+            # guarantee covers the restricted chase only.
+            assume_terminating = (
+                not exact
+                and config.certify_termination
+                and config.level_bound is None  # an explicit bound wins
+                and config.variant is ChaseVariant.RESTRICTED
+                and chase_guaranteed_finite(sigma, query.input_schema)
+            )
             return contained_under_bounded_chase(
                 query, query_prime, sigma,
                 variant=config.variant,
@@ -319,6 +338,8 @@ class Solver:
                 deepening=config.deepening,
                 chase_fn=self._chase_fn,
                 engine=config.chase_engine,
+                assume_terminating=assume_terminating,
+                saturation_level_cap=config.saturation_level_cap,
             )
 
         if not cacheable:

@@ -20,7 +20,14 @@ containment procedures default to the smaller R-chase; the O-chase is what
 Figure 1 draws and what Theorem 2's IND-only certificate argument uses.
 """
 
-from repro.chase.events import ChaseStep, ChaseTrace, FDApplication, INDApplication
+from repro.chase.events import (
+    ChaseStep,
+    ChaseTrace,
+    EGDApplication,
+    FDApplication,
+    INDApplication,
+    TGDApplication,
+)
 from repro.chase.chase_graph import ChaseArc, ChaseGraph, ChaseNode
 from repro.chase.engine import (
     CHASE_ENGINES,
@@ -41,7 +48,9 @@ from repro.chase.instance_chase import InstanceChaseResult, chase_instance
 from repro.chase.termination import (
     TerminationReport,
     analyse_ind_termination,
+    analyse_termination,
     chase_guaranteed_finite,
+    dependency_position_graph,
 )
 
 __all__ = [
@@ -56,16 +65,20 @@ __all__ = [
     "ChaseStep",
     "ChaseTrace",
     "ChaseVariant",
+    "EGDApplication",
     "FDApplication",
     "INDApplication",
+    "TGDApplication",
     "InstanceChaseResult",
     "LegacyChaseEngine",
     "TerminationReport",
     "analyse_ind_termination",
+    "analyse_termination",
     "build_engine",
     "chase",
     "resolve_engine_name",
     "chase_guaranteed_finite",
+    "dependency_position_graph",
     "chase_instance",
     "fd_chase_query",
     "fd_only_chase",

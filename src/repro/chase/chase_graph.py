@@ -12,11 +12,14 @@ containment certificates and the Figure 1 benchmark serialise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Any, Dict, Iterator, List, Optional, Set
 
-from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import ChaseError
 from repro.queries.conjunct import Conjunct
+
+#: The dependency labelling an arc: an IND, or a general TGD.  Typed
+#: loosely — the graph only renders it with ``str()``.
+ArcDependency = Any
 
 
 @dataclass
@@ -33,7 +36,7 @@ class ChaseNode:
     conjunct: Conjunct
     level: int
     parent: Optional[int] = None
-    via: Optional[InclusionDependency] = None
+    via: Optional[ArcDependency] = None
     alive: bool = True
 
     @property
@@ -60,7 +63,7 @@ class ChaseArc:
 
     source: int
     target: int
-    dependency: InclusionDependency
+    dependency: ArcDependency
     kind: str  # "ordinary" or "cross"
 
     @property
@@ -91,7 +94,7 @@ class ChaseGraph:
 
     def new_node(self, conjunct: Conjunct, level: int,
                  parent: Optional[int] = None,
-                 via: Optional[InclusionDependency] = None) -> ChaseNode:
+                 via: Optional[ArcDependency] = None) -> ChaseNode:
         """Create and register a node; labels are rewritten to ``n<id>``."""
         node_id = self._next_id
         self._next_id += 1
@@ -110,7 +113,7 @@ class ChaseGraph:
         return node
 
     def add_cross_arc(self, source: int, target: int,
-                      dependency: InclusionDependency) -> ChaseArc:
+                      dependency: ArcDependency) -> ChaseArc:
         """Record that a required application was satisfied by ``target``."""
         if source not in self._nodes or target not in self._nodes:
             raise ChaseError("cross arc endpoints must be existing nodes")

@@ -1,0 +1,226 @@
+"""Deterministic trigger discovery for general TGDs and EGDs.
+
+The chase policy for FDs and INDs is "lexicographically first": minimum
+level, then lowest conjunct ids, then first dependency in insertion
+order.  This module extends that policy to embedded dependencies, whose
+triggers are *homomorphisms* of a multi-atom body into the live chase
+rather than single conjuncts:
+
+* a body match is a tuple of live nodes, one per body atom in order,
+  together with the variable binding it induces; matches are enumerated
+  depth-first with candidate nodes in node-id order, so they surface in
+  lexicographic order of their node-id tuples;
+* an **EGD trigger** is a match whose two equated variables are bound to
+  different symbols; the one applied is the minimum by (node-id tuple,
+  EGD insertion index) — the same shape as the FD rule's
+  (conjunct pair, FD order) policy;
+* a **TGD trigger** is a match that is *active*: in the R-chase, no
+  extension of its frontier binding satisfies the head among the live
+  nodes; in the O-chase, the (TGD, node-id tuple) pair has not been
+  applied yet.  Its level is the maximum level of its image, and the one
+  applied is the minimum by (level, node-id tuple, TGD insertion index)
+  — the multi-node generalisation of the IND heap key.
+
+Both chase engines call these functions, so trigger selection (and the
+``triggers_examined`` accounting) cannot drift between them; the engines
+still differ in how they maintain their indexes and apply the chosen
+trigger, which is what the differential harness certifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.chase.chase_graph import ChaseNode
+from repro.dependencies.embedded import EGD, TGD
+from repro.queries.conjunct import Conjunct
+from repro.terms.term import Constant, Term, Variable
+
+#: Live nodes of one relation, in node-id order.  Duck-typed: the
+#: matcher only reads ``.conjunct``, so any node-alike works — the
+#: engines pass chase nodes, and the instance-level violation checks
+#: (:mod:`repro.dependencies.violations`) pass Constant-wrapped rows.
+NodesForRelation = Callable[[str], Sequence[ChaseNode]]
+
+Binding = Dict[Variable, Term]
+
+
+def _unify_atom(atom: Conjunct, node: ChaseNode,
+                binding: Binding) -> Optional[Binding]:
+    """Extend ``binding`` so the body atom maps onto the node, or None.
+
+    Constants must match themselves; variables bind on first sight and
+    must agree on later occurrences (the usual homomorphism conditions).
+    """
+    extended: Optional[Binding] = None
+    for body_term, node_term in zip(atom.terms, node.conjunct.terms):
+        if isinstance(body_term, Constant):
+            if body_term != node_term:
+                return None
+            continue
+        bound = (extended or binding).get(body_term)
+        if bound is None:
+            if extended is None:
+                extended = dict(binding)
+            extended[body_term] = node_term
+        elif bound != node_term:
+            return None
+    return extended if extended is not None else binding
+
+
+def iter_body_matches(atoms: Sequence[Conjunct],
+                      nodes_for_relation: NodesForRelation,
+                      binding: Optional[Binding] = None
+                      ) -> Iterator[Tuple[Tuple[ChaseNode, ...], Binding]]:
+    """All homomorphisms of the atoms into the live nodes, lexicographically.
+
+    Yields ``(nodes, binding)`` pairs; ``nodes`` has one entry per atom in
+    order, and successive yields are ascending in the node-id tuple, so
+    the first yield of a filtered scan is the policy's canonical choice.
+    A pre-seeded ``binding`` pins variables (used for R-chase head
+    satisfaction checks).
+    """
+    atoms = list(atoms)
+    # The node set is not mutated during one enumeration, so fetch each
+    # atom's candidate list once instead of once per partial binding.
+    candidates = [nodes_for_relation(atom.relation) for atom in atoms]
+
+    def descend(index: int, chosen: List[ChaseNode],
+                current: Binding) -> Iterator[Tuple[Tuple[ChaseNode, ...], Binding]]:
+        if index == len(atoms):
+            yield tuple(chosen), current
+            return
+        for node in candidates[index]:
+            extended = _unify_atom(atoms[index], node, current)
+            if extended is not None:
+                chosen.append(node)
+                yield from descend(index + 1, chosen, extended)
+                chosen.pop()
+
+    yield from descend(0, [], dict(binding or {}))
+
+
+# ---------------------------------------------------------------------------
+# EGD triggers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class EGDTrigger:
+    """The chosen EGD application: its rule, image, and the two symbols."""
+
+    index: int
+    egd: EGD
+    nodes: Tuple[ChaseNode, ...]
+    first: Term
+    second: Term
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(node.node_id for node in self.nodes)
+
+
+def find_egd_trigger(egds: Sequence[EGD],
+                     nodes_for_relation: NodesForRelation,
+                     statistics=None) -> Optional[EGDTrigger]:
+    """The policy-first violated EGD trigger, or None at the fixpoint.
+
+    Minimum by (node-id tuple, EGD insertion index); because matches
+    enumerate in node-id order, the first violating match of each EGD is
+    already that EGD's minimum.
+    """
+    best: Optional[EGDTrigger] = None
+    for index, egd in enumerate(egds):
+        for nodes, binding in iter_body_matches(egd.body, nodes_for_relation):
+            if statistics is not None:
+                statistics.triggers_examined += 1
+            first = binding[egd.lhs]
+            second = binding[egd.rhs]
+            if first == second:
+                continue
+            candidate = EGDTrigger(index, egd, nodes, first, second)
+            if best is None or (candidate.node_ids, index) < (best.node_ids, best.index):
+                best = candidate
+            break
+    return best
+
+
+# ---------------------------------------------------------------------------
+# TGD triggers
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TGDTrigger:
+    """An active TGD application: its rule, image, and frontier binding."""
+
+    index: int
+    tgd: TGD
+    nodes: Tuple[ChaseNode, ...]
+    binding: Tuple[Tuple[Variable, Term], ...]
+
+    @property
+    def node_ids(self) -> Tuple[int, ...]:
+        return tuple(node.node_id for node in self.nodes)
+
+    @property
+    def level(self) -> int:
+        """The trigger's level: the deepest node of its image."""
+        return max(node.level for node in self.nodes)
+
+    @property
+    def applied_key(self) -> Tuple[int, Tuple[int, ...]]:
+        """The O-chase once-per-trigger key (stable under term rewrites)."""
+        return (self.index, self.node_ids)
+
+    def priority(self) -> Tuple[int, Tuple[int, ...], int]:
+        """The selection key: (level, node-id tuple, TGD order)."""
+        return (self.level, self.node_ids, self.index)
+
+    def binding_dict(self) -> Binding:
+        return dict(self.binding)
+
+
+def head_satisfied(tgd: TGD, binding: Binding,
+                   nodes_for_relation: NodesForRelation) -> bool:
+    """R-chase requirement check: does the head already match somewhere?
+
+    The frontier variables are pinned to the body match's values; the
+    existential variables range freely over the live nodes — the
+    multi-atom generalisation of the IND "c'[Y] = c[X]" lookup.
+    """
+    frontier = {variable: binding[variable] for variable in tgd.frontier()}
+    for _ in iter_body_matches(tgd.head, nodes_for_relation, frontier):
+        return True
+    return False
+
+
+def find_tgd_trigger(tgds: Sequence[TGD],
+                     nodes_for_relation: NodesForRelation,
+                     oblivious: bool,
+                     applied: Set[Tuple[int, Tuple[int, ...]]],
+                     statistics=None) -> Optional[TGDTrigger]:
+    """The minimum-priority *active* TGD trigger, or None if none is.
+
+    Unlike the per-EGD shortcut, every match must be inspected: node ids
+    do not order levels (FD merges can lower a survivor's level), so the
+    minimum (level, ids, index) need not be the first match enumerated.
+    """
+    best: Optional[TGDTrigger] = None
+    for index, tgd in enumerate(tgds):
+        for nodes, binding in iter_body_matches(tgd.body, nodes_for_relation):
+            if statistics is not None:
+                statistics.triggers_examined += 1
+            node_ids = tuple(node.node_id for node in nodes)
+            if oblivious:
+                if (index, node_ids) in applied:
+                    continue
+            elif head_satisfied(tgd, binding, nodes_for_relation):
+                if statistics is not None:
+                    statistics.index_hits += 1
+                continue
+            candidate = TGDTrigger(index, tgd, nodes, tuple(binding.items()))
+            if best is None or candidate.priority() < best.priority():
+                best = candidate
+    return best

@@ -50,7 +50,19 @@ from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.chase.chase_graph import ChaseGraph, ChaseNode
-from repro.chase.events import ChaseTrace, FDApplication, INDApplication
+from repro.chase.embedded_triggers import (
+    EGDTrigger,
+    TGDTrigger,
+    find_egd_trigger,
+    find_tgd_trigger,
+)
+from repro.chase.events import (
+    ChaseTrace,
+    EGDApplication,
+    FDApplication,
+    INDApplication,
+    TGDApplication,
+)
 from repro.chase.fd_chase import ConstantClash, resolve_merge
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency
@@ -131,14 +143,19 @@ class ChaseStatistics:
     ``fd_steps``
         FD chase rule applications (including the halting constant-clash
         one); each may cascade into several ``merged_conjuncts``.
+    ``egd_steps``
+        General-EGD applications (the FD rule on arbitrary bodies),
+        including a halting one.
     ``ind_steps``
         IND chase rule applications that created a new conjunct.
-    ``redundant_ind_applications``
-        IND applications that found their conjunct already present
-        verbatim (possible in the O-chase) and created nothing.
+    ``tgd_steps``
+        General-TGD applications that created at least one new conjunct.
+    ``redundant_ind_applications`` / ``redundant_tgd_applications``
+        IND (TGD) applications that found their conjunct(s) already
+        present verbatim (possible in the O-chase) and created nothing.
     ``merged_conjuncts``
-        Conjuncts retired because an FD merge made them identical to an
-        earlier conjunct.
+        Conjuncts retired because an FD/EGD merge made them identical to
+        an earlier conjunct.
 
     Work accounting (the indexed-vs-legacy benchmark compares these):
 
@@ -159,22 +176,32 @@ class ChaseStatistics:
     max_level_reached: int = 0
     triggers_examined: int = 0
     index_hits: int = 0
+    egd_steps: int = 0
+    tgd_steps: int = 0
+    redundant_tgd_applications: int = 0
 
     @property
     def total_steps(self) -> int:
         """Every chase rule application, productive or not.
 
-        Counts FD applications and *all* IND applications — including the
-        redundant ones the O-chase performs — so the ``max_steps`` budget
-        and the trace agree: ``total_steps == len(trace)`` whenever the
-        trace was recorded.
+        Counts FD/EGD applications and *all* IND/TGD applications —
+        including the redundant ones the O-chase performs — so the
+        ``max_steps`` budget and the trace agree: ``total_steps ==
+        len(trace)`` whenever the trace was recorded.
         """
-        return self.fd_steps + self.ind_steps + self.redundant_ind_applications
+        return (self.fd_steps + self.egd_steps
+                + self.ind_steps + self.redundant_ind_applications
+                + self.tgd_steps + self.redundant_tgd_applications)
 
     @property
     def ind_applications(self) -> int:
         """IND rule applications, whether or not they created a conjunct."""
         return self.ind_steps + self.redundant_ind_applications
+
+    @property
+    def tgd_applications(self) -> int:
+        """General-TGD applications, whether or not they created conjuncts."""
+        return self.tgd_steps + self.redundant_tgd_applications
 
     @property
     def triggers_fired(self) -> int:
@@ -215,6 +242,11 @@ class ChaseResult:
     hit_conjunct_budget: bool = False
     #: Which implementation built this result ("indexed" or "legacy").
     engine: str = "indexed"
+    #: On a failed chase: the FD or EGD whose application clashed two
+    #: distinct constants (its ``str`` form), and how many conjuncts were
+    #: live at that moment — the prefix the containment report surfaces.
+    failure_dependency: Optional[str] = None
+    failure_live_conjuncts: int = 0
 
     def conjuncts(self) -> List[Conjunct]:
         """The live conjuncts of the (partial) chase, in creation order."""
@@ -262,6 +294,10 @@ class ChaseResult:
         )
         if stats.redundant_ind_applications:
             counters += f" (+{stats.redundant_ind_applications} redundant)"
+        if stats.egd_steps or stats.tgd_steps or stats.redundant_tgd_applications:
+            counters += f", {stats.egd_steps} EGD steps, {stats.tgd_steps} TGD steps"
+            if stats.redundant_tgd_applications:
+                counters += f" (+{stats.redundant_tgd_applications} redundant)"
         if stats.merged_conjuncts:
             counters += f", {stats.merged_conjuncts} merged conjuncts"
         header = (
@@ -320,6 +356,8 @@ class ChaseEngine:
         self._dependencies = dependencies
         self._fds = dependencies.functional_dependencies()
         self._inds = dependencies.inclusion_dependencies()
+        self._tgds = dependencies.tgds()
+        self._egds = dependencies.egds()
         self._config = config or ChaseConfig()
         self._graph = ChaseGraph()
         self._summary: Tuple[Term, ...] = query.summary_row
@@ -328,6 +366,9 @@ class ChaseEngine:
         self._statistics = ChaseStatistics()
         self._failed = False
         self._truncated = False
+        self._failure_dependency: Optional[str] = None
+        self._failure_live_conjuncts = 0
+        self._applied_tgds: Set[Tuple[int, Tuple[int, ...]]] = set()
 
         # Resolved column positions, one lookup per dependency.
         self._ind_positions: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
@@ -352,6 +393,11 @@ class ChaseEngine:
         self._atom_nodes: Dict[Tuple[str, Tuple[Term, ...]], Set[int]] = {}
         self._duplicate_keys: Set[Tuple[str, Tuple[Term, ...]]] = set()
         self._term_nodes: Dict[Variable, Set[int]] = {}
+        # Live node ids per relation — only the TGD/EGD trigger search
+        # reads it, so it is maintained only when Σ has embedded rules
+        # (no overhead on the classic FD/IND hot path).
+        self._relation_nodes: Dict[str, Set[int]] = {}
+        self._track_relations = bool(self._tgds or self._egds)
         self._dirty: Dict[int, None] = {}                      # ordered set of node ids
 
     # -- public entry point ---------------------------------------------------
@@ -365,20 +411,24 @@ class ChaseEngine:
         steps_budget = self._config.max_steps
         hit_conjunct_budget = False
         while True:
-            self._apply_fds_to_fixpoint()
+            self._apply_equalities_to_fixpoint()
             if self._failed:
                 break
             if steps_budget is not None and self._statistics.total_steps >= steps_budget:
                 self._truncated = True
                 break
-            application = self._pop_next_ind_application()
+            application = self._next_expansion()
             if application is None:
                 break
             if len(self._graph) >= self._config.max_conjuncts:
                 self._truncated = True
                 hit_conjunct_budget = True
                 break
-            self._apply_ind(*application)
+            kind, payload = application
+            if kind == "ind":
+                self._apply_ind(*payload)
+            else:
+                self._apply_tgd(payload)
 
         if self._config.variant is ChaseVariant.RESTRICTED and not self._failed:
             self._record_cross_arcs()
@@ -396,6 +446,8 @@ class ChaseEngine:
             trace=self._trace,
             hit_conjunct_budget=hit_conjunct_budget,
             engine=self.engine_name,
+            failure_dependency=self._failure_dependency,
+            failure_live_conjuncts=self._failure_live_conjuncts,
         )
 
     # -- node registration and incremental index maintenance -------------------
@@ -410,6 +462,8 @@ class ChaseEngine:
     def _index_node(self, node: ChaseNode) -> None:
         """Insert a node's current terms into the persistent indexes."""
         node_id = node.node_id
+        if self._track_relations:
+            self._relation_nodes.setdefault(node.relation, set()).add(node_id)
         atoms = self._atom_nodes.setdefault((node.relation, node.conjunct.terms), set())
         atoms.add(node_id)
         if len(atoms) > 1:
@@ -429,6 +483,10 @@ class ChaseEngine:
     def _unindex_node(self, node: ChaseNode) -> None:
         """Remove a node's current terms from the persistent indexes."""
         node_id = node.node_id
+        if self._track_relations:
+            holders = self._relation_nodes.get(node.relation)
+            if holders is not None:
+                holders.discard(node_id)
         key = (node.relation, node.conjunct.terms)
         atoms = self._atom_nodes.get(key)
         if atoms is not None:
@@ -467,7 +525,37 @@ class ChaseEngine:
             return None
         return min(bucket)
 
-    # -- FD phase -----------------------------------------------------------------
+    # -- FD/EGD phase -------------------------------------------------------------
+
+    def _live_nodes(self, relation: str) -> List[ChaseNode]:
+        """Live nodes of one relation in id order (trigger-search backing).
+
+        Served from the per-relation id index (maintained alongside the
+        other persistent indexes), so a trigger search never re-scans the
+        whole chase per candidate atom; sorting the per-relation subset
+        restores the id order the deterministic policy requires.
+        """
+        holders = self._relation_nodes.get(relation)
+        if not holders:
+            return []
+        return [self._graph.node(node_id) for node_id in sorted(holders)]
+
+    def _apply_equalities_to_fixpoint(self) -> None:
+        """Step 1 of the policy, generalised: FDs to fixpoint, then EGDs.
+
+        FDs keep priority (their semi-naive discovery is cheap); whenever
+        an EGD merge rewrites terms the FD fixpoint runs again, so the
+        phase ends with no FD *and* no EGD applicable.
+        """
+        self._apply_fds_to_fixpoint()
+        while self._egds and not self._failed:
+            trigger = find_egd_trigger(self._egds, self._live_nodes,
+                                       self._statistics)
+            if trigger is None:
+                return
+            self._apply_egd(trigger)
+            if not self._failed:
+                self._apply_fds_to_fixpoint()
 
     def _apply_fds_to_fixpoint(self) -> None:
         """Apply the FD chase rule until no FD is applicable (step 1 of the policy)."""
@@ -525,6 +613,29 @@ class ChaseEngine:
             return None
         return best[3], self._graph.node(best[0]), self._graph.node(best[1])
 
+    def _halt_on_clash(self, dependency: str) -> None:
+        """The paper's constant-clash case: record the prefix, empty the query."""
+        self._failed = True
+        self._failure_dependency = dependency
+        self._failure_live_conjuncts = len(self._graph)
+        for node in self._graph.nodes():
+            self._graph.retire_node(node.node_id)
+        self._dirty.clear()
+
+    def _merge_symbols(self, survivor: Term, loser: Term) -> None:
+        """Rewrite ``loser`` to ``survivor`` everywhere (incremental reindex)."""
+        if not isinstance(loser, Variable):
+            return
+        substitution = Substitution({loser: survivor})
+        affected = sorted(self._term_nodes.get(loser, ()))
+        for node_id in affected:
+            node = self._graph.node(node_id)
+            self._unindex_node(node)
+            node.conjunct = node.conjunct.substitute(substitution)
+            self._index_node(node)
+            self._dirty[node_id] = None
+        self._summary = substitution.apply_tuple(self._summary)
+
     def _apply_fd(self, spec: _FdSpec, first: ChaseNode, second: ChaseNode) -> None:
         fd = spec.fd
         first_symbol = first.conjunct.term_at(spec.rhs_position)
@@ -536,24 +647,30 @@ class ChaseEngine:
             self._record(FDApplication(
                 dependency=fd, first_conjunct=first.label, second_conjunct=second.label,
                 merged_away=None, survivor=None, halted=True))
-            self._failed = True
-            for node in self._graph.nodes():
-                self._graph.retire_node(node.node_id)
-            self._dirty.clear()
+            self._halt_on_clash(str(fd))
             return
         self._record(FDApplication(
             dependency=fd, first_conjunct=first.label, second_conjunct=second.label,
             merged_away=loser, survivor=survivor))
-        if isinstance(loser, Variable):
-            substitution = Substitution({loser: survivor})
-            affected = sorted(self._term_nodes.get(loser, ()))
-            for node_id in affected:
-                node = self._graph.node(node_id)
-                self._unindex_node(node)
-                node.conjunct = node.conjunct.substitute(substitution)
-                self._index_node(node)
-                self._dirty[node_id] = None
-            self._summary = substitution.apply_tuple(self._summary)
+        self._merge_symbols(survivor, loser)
+        self._merge_identical_conjuncts()
+
+    def _apply_egd(self, trigger: EGDTrigger) -> None:
+        """The EGD chase rule: merge the two equated symbols (FD semantics)."""
+        self._statistics.egd_steps += 1
+        labels = tuple(node.label for node in trigger.nodes)
+        try:
+            survivor, loser = resolve_merge(trigger.first, trigger.second)
+        except ConstantClash:
+            self._record(EGDApplication(
+                dependency=trigger.egd, conjuncts=labels,
+                merged_away=None, survivor=None, halted=True))
+            self._halt_on_clash(str(trigger.egd))
+            return
+        self._record(EGDApplication(
+            dependency=trigger.egd, conjuncts=labels,
+            merged_away=loser, survivor=survivor))
+        self._merge_symbols(survivor, loser)
         self._merge_identical_conjuncts()
 
     def _merge_identical_conjuncts(self) -> None:
@@ -584,19 +701,19 @@ class ChaseEngine:
                 self._dirty.pop(retired_id, None)
                 self._statistics.merged_conjuncts += 1
 
-    # -- IND phase ---------------------------------------------------------------------
+    # -- IND/TGD phase -----------------------------------------------------------------
 
-    def _pop_next_ind_application(self) -> Optional[Tuple[ChaseNode, int, InclusionDependency]]:
-        """Step 2 of the policy: the next (conjunct, IND) pair to apply.
+    def _peek_next_ind_application(
+            self) -> Optional[Tuple[int, ChaseNode, int, InclusionDependency]]:
+        """The next needed (conjunct, IND) pair, popped but not level-checked.
 
         The pending heap is keyed by ``(level, node id, IND index)``, which
         is exactly "minimum level, lexicographically first conjunct,
         lexicographically first IND".  Entries whose application is no
         longer needed (already applied in the O-chase, requirement already
         satisfied in the R-chase, node retired by an FD merge) are
-        discarded as they surface.  If the next needed application would
-        exceed the level budget, so would every later one (the heap is
-        level-ordered), so the chase stops as truncated.
+        discarded as they surface.  The caller pushes the returned entry
+        back when it decides not to apply it.
         """
         oblivious = self._config.variant is ChaseVariant.OBLIVIOUS
         while self._pending:
@@ -613,13 +730,66 @@ class ChaseEngine:
                 if self._requirement_satisfied(node, index):
                     self._statistics.index_hits += 1
                     continue
-            if (self._config.max_level is not None
-                    and node.level + 1 > self._config.max_level):
-                self._truncated = True
-                heapq.heappush(self._pending, (level, node_id, index))
-                return None
-            return node, index, ind
+            return level, node, index, ind
         return None
+
+    def _pop_next_ind_application(self) -> Optional[Tuple[ChaseNode, int, InclusionDependency]]:
+        """Step 2 of the policy (IND-only Σ): the next pair to apply.
+
+        If the next needed application would exceed the level budget, so
+        would every later one (the heap is level-ordered), so the chase
+        stops as truncated.
+        """
+        entry = self._peek_next_ind_application()
+        if entry is None:
+            return None
+        level, node, index, ind = entry
+        if (self._config.max_level is not None
+                and node.level + 1 > self._config.max_level):
+            self._truncated = True
+            heapq.heappush(self._pending, (level, node.node_id, index))
+            return None
+        return node, index, ind
+
+    def _next_expansion(self):
+        """Step 2 of the policy: the minimum-priority creation application.
+
+        Without TGDs this is exactly the classical IND selection.  With
+        TGDs, the pending IND application and the minimum active TGD
+        trigger compete on ``(level, node-id tuple, kind, dependency
+        index)`` — INDs before TGDs on full ties — and the loser stays
+        pending.  If the chosen application would exceed the level
+        budget, every other one would too (it is the minimum), so the
+        chase stops as truncated.
+        """
+        if not self._tgds:
+            application = self._pop_next_ind_application()
+            return None if application is None else ("ind", application)
+        entry = self._peek_next_ind_application()
+        trigger = find_tgd_trigger(
+            self._tgds, self._live_nodes,
+            self._config.variant is ChaseVariant.OBLIVIOUS,
+            self._applied_tgds, self._statistics)
+        if entry is None and trigger is None:
+            return None
+        ind_priority = (None if entry is None
+                        else (entry[1].level, (entry[1].node_id,), 0, entry[2]))
+        tgd_priority = (None if trigger is None
+                        else (trigger.level, trigger.node_ids, 1, trigger.index))
+        choose_ind = tgd_priority is None or (ind_priority is not None
+                                              and ind_priority < tgd_priority)
+        chosen_level = (ind_priority if choose_ind else tgd_priority)[0]
+        if (self._config.max_level is not None
+                and chosen_level + 1 > self._config.max_level):
+            self._truncated = True
+            if entry is not None:
+                heapq.heappush(self._pending, (entry[0], entry[1].node_id, entry[2]))
+            return None
+        if choose_ind:
+            return ("ind", (entry[1], entry[2], entry[3]))
+        if entry is not None:
+            heapq.heappush(self._pending, (entry[0], entry[1].node_id, entry[2]))
+        return ("tgd", trigger)
 
     def _requirement_satisfied(self, node: ChaseNode, index: int) -> bool:
         """R-chase: is there already a conjunct c' with c'[Y] = c[X]?"""
@@ -675,6 +845,65 @@ class ChaseEngine:
         self._record(INDApplication(
             dependency=ind, source_conjunct=node.label,
             created_conjunct=created.label, existing_conjunct=None,
+            level=new_level, fresh_variables=tuple(fresh_terms)))
+
+    def _apply_tgd(self, trigger: TGDTrigger) -> None:
+        """The TGD chase rule: create the head conjuncts with fresh NDVs.
+
+        One fresh NDV per existential variable of the head (shared across
+        its occurrences); head atoms already present verbatim create
+        nothing.  The ordinary-arc parent is the first deepest node of
+        the body image, so every arc still raises the level by one.
+        """
+        tgd = trigger.tgd
+        binding = trigger.binding_dict()
+        new_level = trigger.level + 1
+        self._applied_tgds.add(trigger.applied_key)
+        parent = next(node for node in trigger.nodes
+                      if node.level == trigger.level)
+
+        fresh_by_variable: Dict[Variable, Term] = {}
+        fresh_terms: List[Term] = []
+        created_labels: List[str] = []
+        for atom in tgd.head:
+            target_schema = self._schema.relation(atom.relation)
+            terms: List[Term] = []
+            for position, term in enumerate(atom.terms):
+                if not isinstance(term, Variable):
+                    terms.append(term)
+                elif term in binding:
+                    terms.append(binding[term])
+                else:
+                    fresh = fresh_by_variable.get(term)
+                    if fresh is None:
+                        provenance = NDVProvenance(
+                            attribute=target_schema.attribute_name_at(position),
+                            source_conjunct=parent.label,
+                            dependency=str(tgd),
+                            level=new_level,
+                        )
+                        fresh = self._fresh.fresh(provenance)
+                        fresh_by_variable[term] = fresh
+                        fresh_terms.append(fresh)
+                    terms.append(fresh)
+            candidate = Conjunct(atom.relation, terms)
+            if self._first_atom_node(candidate.relation, candidate.terms) is not None:
+                self._statistics.index_hits += 1
+                continue
+            created = self._graph.new_node(candidate, level=new_level,
+                                           parent=parent.node_id, via=tgd)
+            self._register_node(created)
+            created_labels.append(created.label)
+        if created_labels:
+            self._statistics.tgd_steps += 1
+            self._statistics.max_level_reached = max(
+                self._statistics.max_level_reached, new_level)
+        else:
+            self._statistics.redundant_tgd_applications += 1
+        self._record(TGDApplication(
+            dependency=tgd,
+            source_conjuncts=tuple(node.label for node in trigger.nodes),
+            created_conjuncts=tuple(created_labels),
             level=new_level, fresh_variables=tuple(fresh_terms)))
 
     def _record_cross_arcs(self) -> None:

@@ -79,7 +79,60 @@ class INDApplication:
         )
 
 
-ChaseStep = object  # FDApplication | INDApplication
+@dataclass(frozen=True)
+class EGDApplication:
+    """One application of a general EGD (the FD chase rule generalised).
+
+    ``conjuncts`` are the labels of the body image, in body-atom order.
+    ``halted`` is True in the "two distinct constants" case, in which the
+    chase empties the query.
+    """
+
+    dependency: "object"  # an EGD; typed loosely to avoid an import cycle
+    conjuncts: Tuple[str, ...]
+    merged_away: Optional[Term]
+    survivor: Optional[Term]
+    halted: bool = False
+
+    def describe(self) -> str:
+        where = "/".join(self.conjuncts)
+        if self.halted:
+            return (f"EGD {self.dependency} applied to {where}: "
+                    "constant clash, chase halts with the empty query")
+        return (f"EGD {self.dependency} applied to {where}: "
+                f"{self.merged_away} := {self.survivor}")
+
+
+@dataclass(frozen=True)
+class TGDApplication:
+    """One application of a general TGD (the IND chase rule generalised).
+
+    ``source_conjuncts`` are the labels of the body image;
+    ``created_conjuncts`` the labels of the head conjuncts actually
+    created (head atoms already present verbatim create nothing, which in
+    the O-chase may leave this empty — the redundant case).
+    """
+
+    dependency: "object"  # a TGD; typed loosely to avoid an import cycle
+    source_conjuncts: Tuple[str, ...]
+    created_conjuncts: Tuple[str, ...]
+    level: int
+    fresh_variables: Tuple[Term, ...] = ()
+
+    @property
+    def created(self) -> bool:
+        return bool(self.created_conjuncts)
+
+    def describe(self) -> str:
+        sources = "/".join(self.source_conjuncts)
+        if self.created:
+            return (f"TGD {self.dependency} applied to {sources}: created "
+                    f"{', '.join(self.created_conjuncts)} at level {self.level}")
+        return (f"TGD {self.dependency} applied to {sources}: "
+                "head already satisfied verbatim")
+
+
+ChaseStep = object  # FDApplication | INDApplication | EGDApplication | TGDApplication
 
 
 @dataclass
@@ -102,6 +155,12 @@ class ChaseTrace:
 
     def ind_applications(self) -> List[INDApplication]:
         return [s for s in self.steps if isinstance(s, INDApplication)]
+
+    def egd_applications(self) -> List[EGDApplication]:
+        return [s for s in self.steps if isinstance(s, EGDApplication)]
+
+    def tgd_applications(self) -> List[TGDApplication]:
+        return [s for s in self.steps if isinstance(s, TGDApplication)]
 
     def describe(self, limit: Optional[int] = None) -> str:
         """Multi-line rendering of (up to ``limit``) steps."""

@@ -84,6 +84,17 @@ def chase_instance(database: Database,
     working = database.copy()
     schema = working.schema
     dependencies.validate(schema)
+    if dependencies.has_embedded():
+        # The repair rules below only know FD merges and IND insertions;
+        # silently ignoring general TGDs/EGDs would hand back an instance
+        # that still violates Σ.  Reject loudly until instance-level
+        # TGD/EGD repair is implemented (violation *checking* already
+        # handles them — see repro.dependencies.violations).
+        from repro.exceptions import ChaseError
+        raise ChaseError(
+            "chase_instance only repairs FDs and INDs; Σ contains general "
+            "TGDs/EGDs — normalize them away or check with "
+            "dependency_violations instead")
     fds = dependencies.functional_dependencies()
     inds = dependencies.inclusion_dependencies()
     steps = 0

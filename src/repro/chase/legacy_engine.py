@@ -10,10 +10,12 @@ identical chase (same nodes, same levels, same arcs, same summary row)
 and the identical containment verdicts.
 
 Apart from the work-accounting counters (``triggers_examined``,
-``index_hits``), which both engines report so the benchmarks can compare
-them, the algorithm is byte-for-byte the seed behaviour.  Do not
-"optimise" this module; its value is being the fixed point the fast
-engine is measured against.
+``index_hits``) and the general TGD/EGD support added to both engines at
+the same time (trigger selection is shared via
+``chase.embedded_triggers``; application and index upkeep are this
+module's scan-and-rebuild style), the FD/IND algorithm is byte-for-byte
+the seed behaviour.  Do not "optimise" this module; its value is being
+the fixed point the fast engine is measured against.
 """
 
 from __future__ import annotations
@@ -22,13 +24,25 @@ import heapq
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.chase.chase_graph import ChaseGraph, ChaseNode
+from repro.chase.embedded_triggers import (
+    EGDTrigger,
+    TGDTrigger,
+    find_egd_trigger,
+    find_tgd_trigger,
+)
 from repro.chase.engine import (
     ChaseConfig,
     ChaseResult,
     ChaseStatistics,
     ChaseVariant,
 )
-from repro.chase.events import ChaseTrace, FDApplication, INDApplication
+from repro.chase.events import (
+    ChaseTrace,
+    EGDApplication,
+    FDApplication,
+    INDApplication,
+    TGDApplication,
+)
 from repro.chase.fd_chase import ConstantClash, resolve_merge
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency
@@ -54,6 +68,8 @@ class LegacyChaseEngine:
         self._dependencies = dependencies
         self._fds = dependencies.functional_dependencies()
         self._inds = dependencies.inclusion_dependencies()
+        self._tgds = dependencies.tgds()
+        self._egds = dependencies.egds()
         self._config = config or ChaseConfig()
         self._graph = ChaseGraph()
         self._summary: Tuple[Term, ...] = query.summary_row
@@ -62,6 +78,9 @@ class LegacyChaseEngine:
         self._statistics = ChaseStatistics()
         self._failed = False
         self._truncated = False
+        self._failure_dependency: Optional[str] = None
+        self._failure_live_conjuncts = 0
+        self._applied_tgds: Set[Tuple[int, Tuple[int, ...]]] = set()
 
         # Resolved column positions, one lookup per dependency.
         self._ind_positions: Dict[int, Tuple[Tuple[int, ...], Tuple[int, ...]]] = {}
@@ -95,20 +114,24 @@ class LegacyChaseEngine:
         steps_budget = self._config.max_steps
         hit_conjunct_budget = False
         while True:
-            self._apply_fds_to_fixpoint()
+            self._apply_equalities_to_fixpoint()
             if self._failed:
                 break
             if steps_budget is not None and self._statistics.total_steps >= steps_budget:
                 self._truncated = True
                 break
-            application = self._pop_next_ind_application()
+            application = self._next_expansion()
             if application is None:
                 break
             if len(self._graph) >= self._config.max_conjuncts:
                 self._truncated = True
                 hit_conjunct_budget = True
                 break
-            self._apply_ind(*application)
+            kind, payload = application
+            if kind == "ind":
+                self._apply_ind(*payload)
+            else:
+                self._apply_tgd(payload)
 
         if self._config.variant is ChaseVariant.RESTRICTED and not self._failed:
             self._record_cross_arcs()
@@ -126,6 +149,8 @@ class LegacyChaseEngine:
             trace=self._trace,
             hit_conjunct_budget=hit_conjunct_budget,
             engine=self.engine_name,
+            failure_dependency=self._failure_dependency,
+            failure_live_conjuncts=self._failure_live_conjuncts,
         )
 
     # -- node registration and indexes ----------------------------------------
@@ -156,7 +181,27 @@ class LegacyChaseEngine:
                     key = (index, node.conjunct.terms_at(rhs_positions))
                     self._satisfied_by.setdefault(key, node.node_id)
 
-    # -- FD phase -----------------------------------------------------------------
+    # -- FD/EGD phase -------------------------------------------------------------
+
+    def _live_nodes(self, relation: str) -> List[ChaseNode]:
+        """Live nodes of one relation in id order (trigger-search backing)."""
+        return self._graph.nodes_for_relation(relation)
+
+    def _apply_equalities_to_fixpoint(self) -> None:
+        """Step 1 of the policy, generalised: FDs to fixpoint, then EGDs.
+
+        The same interleaving as the indexed engine — FDs first, one EGD,
+        FDs again — so the two engines merge in the identical order.
+        """
+        self._apply_fds_to_fixpoint()
+        while self._egds and not self._failed:
+            trigger = find_egd_trigger(self._egds, self._live_nodes,
+                                       self._statistics)
+            if trigger is None:
+                return
+            self._apply_egd(trigger)
+            if not self._failed:
+                self._apply_fds_to_fixpoint()
 
     def _apply_fds_to_fixpoint(self) -> None:
         """Apply the FD chase rule until no FD is applicable (step 1 of the policy)."""
@@ -222,21 +267,51 @@ class LegacyChaseEngine:
             self._record(FDApplication(
                 dependency=fd, first_conjunct=first.label, second_conjunct=second.label,
                 merged_away=None, survivor=None, halted=True))
-            self._failed = True
-            for node in self._graph.nodes():
-                self._graph.retire_node(node.node_id)
+            self._halt_on_clash(str(fd))
             return
         self._record(FDApplication(
             dependency=fd, first_conjunct=first.label, second_conjunct=second.label,
             merged_away=loser, survivor=survivor))
-        if isinstance(loser, Variable):
-            substitution = Substitution({loser: survivor})
-            for node in self._graph.nodes():
-                rewritten = node.conjunct.substitute(substitution)
-                if rewritten.terms != node.conjunct.terms:
-                    node.conjunct = rewritten
-                    self._fd_dirty.append(node.node_id)
-            self._summary = substitution.apply_tuple(self._summary)
+        self._merge_symbols(survivor, loser)
+        self._merge_identical_conjuncts()
+        self._rebuild_indexes()
+
+    def _halt_on_clash(self, dependency: str) -> None:
+        """The paper's constant-clash case: record the prefix, empty the query."""
+        self._failed = True
+        self._failure_dependency = dependency
+        self._failure_live_conjuncts = len(self._graph)
+        for node in self._graph.nodes():
+            self._graph.retire_node(node.node_id)
+
+    def _merge_symbols(self, survivor: Term, loser: Term) -> None:
+        """Rewrite ``loser`` to ``survivor`` everywhere (full scan, seed style)."""
+        if not isinstance(loser, Variable):
+            return
+        substitution = Substitution({loser: survivor})
+        for node in self._graph.nodes():
+            rewritten = node.conjunct.substitute(substitution)
+            if rewritten.terms != node.conjunct.terms:
+                node.conjunct = rewritten
+                self._fd_dirty.append(node.node_id)
+        self._summary = substitution.apply_tuple(self._summary)
+
+    def _apply_egd(self, trigger: EGDTrigger) -> None:
+        """The EGD chase rule: merge the two equated symbols (FD semantics)."""
+        self._statistics.egd_steps += 1
+        labels = tuple(node.label for node in trigger.nodes)
+        try:
+            survivor, loser = resolve_merge(trigger.first, trigger.second)
+        except ConstantClash:
+            self._record(EGDApplication(
+                dependency=trigger.egd, conjuncts=labels,
+                merged_away=None, survivor=None, halted=True))
+            self._halt_on_clash(str(trigger.egd))
+            return
+        self._record(EGDApplication(
+            dependency=trigger.egd, conjuncts=labels,
+            merged_away=loser, survivor=survivor))
+        self._merge_symbols(survivor, loser)
         self._merge_identical_conjuncts()
         self._rebuild_indexes()
 
@@ -265,19 +340,19 @@ class LegacyChaseEngine:
             self._statistics.merged_conjuncts += 1
             by_atom[key] = survivor
 
-    # -- IND phase ---------------------------------------------------------------------
+    # -- IND/TGD phase -----------------------------------------------------------------
 
-    def _pop_next_ind_application(self) -> Optional[Tuple[ChaseNode, int, InclusionDependency]]:
-        """Step 2 of the policy: the next (conjunct, IND) pair to apply.
+    def _peek_next_ind_application(
+            self) -> Optional[Tuple[int, ChaseNode, int, InclusionDependency]]:
+        """The next needed (conjunct, IND) pair, popped but not level-checked.
 
         The pending heap is keyed by ``(level, node id, IND index)``, which
         is exactly "minimum level, lexicographically first conjunct,
         lexicographically first IND".  Entries whose application is no
         longer needed (already applied in the O-chase, requirement already
         satisfied in the R-chase, node retired by an FD merge) are
-        discarded as they surface.  If the next needed application would
-        exceed the level budget, so would every later one (the heap is
-        level-ordered), so the chase stops as truncated.
+        discarded as they surface.  The caller pushes the returned entry
+        back when it decides not to apply it.
         """
         oblivious = self._config.variant is ChaseVariant.OBLIVIOUS
         while self._pending:
@@ -294,13 +369,62 @@ class LegacyChaseEngine:
                 if self._requirement_satisfied(node, index):
                     self._statistics.index_hits += 1
                     continue
-            if (self._config.max_level is not None
-                    and node.level + 1 > self._config.max_level):
-                self._truncated = True
-                heapq.heappush(self._pending, (level, node_id, index))
-                return None
-            return node, index, ind
+            return level, node, index, ind
         return None
+
+    def _pop_next_ind_application(self) -> Optional[Tuple[ChaseNode, int, InclusionDependency]]:
+        """Step 2 of the policy (IND-only Σ): the next pair to apply.
+
+        If the next needed application would exceed the level budget, so
+        would every later one (the heap is level-ordered), so the chase
+        stops as truncated.
+        """
+        entry = self._peek_next_ind_application()
+        if entry is None:
+            return None
+        level, node, index, ind = entry
+        if (self._config.max_level is not None
+                and node.level + 1 > self._config.max_level):
+            self._truncated = True
+            heapq.heappush(self._pending, (level, node.node_id, index))
+            return None
+        return node, index, ind
+
+    def _next_expansion(self):
+        """Step 2 of the policy: the minimum-priority creation application.
+
+        Identical selection rule to the indexed engine (see its
+        ``_next_expansion``): pending INDs and active TGD triggers compete
+        on ``(level, node-id tuple, kind, dependency index)``.
+        """
+        if not self._tgds:
+            application = self._pop_next_ind_application()
+            return None if application is None else ("ind", application)
+        entry = self._peek_next_ind_application()
+        trigger = find_tgd_trigger(
+            self._tgds, self._live_nodes,
+            self._config.variant is ChaseVariant.OBLIVIOUS,
+            self._applied_tgds, self._statistics)
+        if entry is None and trigger is None:
+            return None
+        ind_priority = (None if entry is None
+                        else (entry[1].level, (entry[1].node_id,), 0, entry[2]))
+        tgd_priority = (None if trigger is None
+                        else (trigger.level, trigger.node_ids, 1, trigger.index))
+        choose_ind = tgd_priority is None or (ind_priority is not None
+                                              and ind_priority < tgd_priority)
+        chosen_level = (ind_priority if choose_ind else tgd_priority)[0]
+        if (self._config.max_level is not None
+                and chosen_level + 1 > self._config.max_level):
+            self._truncated = True
+            if entry is not None:
+                heapq.heappush(self._pending, (entry[0], entry[1].node_id, entry[2]))
+            return None
+        if choose_ind:
+            return ("ind", (entry[1], entry[2], entry[3]))
+        if entry is not None:
+            heapq.heappush(self._pending, (entry[0], entry[1].node_id, entry[2]))
+        return ("tgd", trigger)
 
     def _requirement_satisfied(self, node: ChaseNode, index: int) -> bool:
         """R-chase: is there already a conjunct c' with c'[Y] = c[X]?"""
@@ -356,6 +480,65 @@ class LegacyChaseEngine:
         self._record(INDApplication(
             dependency=ind, source_conjunct=node.label,
             created_conjunct=created.label, existing_conjunct=None,
+            level=new_level, fresh_variables=tuple(fresh_terms)))
+
+    def _apply_tgd(self, trigger: TGDTrigger) -> None:
+        """The TGD chase rule: create the head conjuncts with fresh NDVs.
+
+        Semantically identical to the indexed engine's ``_apply_tgd``
+        (same fresh-NDV sharing, same parent choice, same verbatim-
+        duplicate skip); only the duplicate lookup goes through this
+        engine's rebuilt atom index.
+        """
+        tgd = trigger.tgd
+        binding = trigger.binding_dict()
+        new_level = trigger.level + 1
+        self._applied_tgds.add(trigger.applied_key)
+        parent = next(node for node in trigger.nodes
+                      if node.level == trigger.level)
+
+        fresh_by_variable: Dict[Variable, Term] = {}
+        fresh_terms: List[Term] = []
+        created_labels: List[str] = []
+        for atom in tgd.head:
+            target_schema = self._schema.relation(atom.relation)
+            terms: List[Term] = []
+            for position, term in enumerate(atom.terms):
+                if not isinstance(term, Variable):
+                    terms.append(term)
+                elif term in binding:
+                    terms.append(binding[term])
+                else:
+                    fresh = fresh_by_variable.get(term)
+                    if fresh is None:
+                        provenance = NDVProvenance(
+                            attribute=target_schema.attribute_name_at(position),
+                            source_conjunct=parent.label,
+                            dependency=str(tgd),
+                            level=new_level,
+                        )
+                        fresh = self._fresh.fresh(provenance)
+                        fresh_by_variable[term] = fresh
+                        fresh_terms.append(fresh)
+                    terms.append(fresh)
+            candidate = Conjunct(atom.relation, terms)
+            if self._atom_index.get((candidate.relation, candidate.terms)) is not None:
+                self._statistics.index_hits += 1
+                continue
+            created = self._graph.new_node(candidate, level=new_level,
+                                           parent=parent.node_id, via=tgd)
+            self._register_node(created)
+            created_labels.append(created.label)
+        if created_labels:
+            self._statistics.tgd_steps += 1
+            self._statistics.max_level_reached = max(
+                self._statistics.max_level_reached, new_level)
+        else:
+            self._statistics.redundant_tgd_applications += 1
+        self._record(TGDApplication(
+            dependency=tgd,
+            source_conjuncts=tuple(node.label for node in trigger.nodes),
+            created_conjuncts=tuple(created_labels),
             level=new_level, fresh_variables=tuple(fresh_terms)))
 
     def _record_cross_arcs(self) -> None:

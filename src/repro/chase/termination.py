@@ -1,10 +1,11 @@
-"""Chase termination analysis for inclusion dependencies.
+"""Chase termination analysis: weak acyclicity of the dependency graph.
 
 The paper observes that "even such simple Σ's as the single IND
 R[2] ⊆ R[1] can give rise to infinite chases of both types".  Whether the
 chase terminates for *every* query is exactly the classical
-weak-acyclicity condition (Fagin, Kolaitis, Miller, Popa) applied to INDs
-viewed as inclusion tuple-generating dependencies:
+weak-acyclicity condition (Fagin, Kolaitis, Miller, Popa) on the set's
+tuple-generating dependencies — INDs viewed as inclusion TGDs, and the
+general :class:`~repro.dependencies.embedded.TGD` rules directly:
 
 * build the *position graph* whose nodes are relation positions
   ``(relation, column)``;
@@ -12,15 +13,22 @@ viewed as inclusion tuple-generating dependencies:
   ``(S, y_k)`` for each k (the value is copied), and an **existential
   edge** from every ``(R, x_k)`` to every position of S *not* in Y (a
   fresh NDV is created there, "fed" by the copied values);
-* the IND set is *weakly acyclic* iff no cycle goes through an existential
-  edge; in that case the R-chase of every query terminates (and the
-  O-chase creates at most one conjunct per applicable (conjunct, IND)
-  pair along finitely many levels).
+* every general TGD adds, for each frontier variable x (occurring in
+  body and head) and each body position p of x, a copy edge from p to
+  every head position of x and an existential edge from p to every head
+  position holding an existentially quantified variable;
+* the set is *weakly acyclic* iff no cycle goes through an existential
+  edge; in that case the R-chase of every query terminates.  (EGDs and
+  FDs only merge symbols, so they never threaten termination.  The
+  O-chase of general TGDs is *not* covered by the guarantee — two
+  frontier-free TGDs feeding each other obliviously can run forever —
+  which is why the containment dispatcher only upgrades R-chase runs.)
 
 The engine itself never needs this analysis (it is budget-bounded anyway),
 but callers can use it to decide whether to bother with a level bound, and
-the containment procedure's saturation-based "certain no" answers happen
-exactly when the relevant part of the chase terminates.
+the containment procedure upgrades its semi-decision to an exact one for
+certified-terminating Σ: the R-chase is deepened until it saturates, and
+saturation-based answers are exact.
 """
 
 from __future__ import annotations
@@ -29,8 +37,10 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.embedded import TGD
 from repro.dependencies.inclusion import InclusionDependency
 from repro.relational.schema import DatabaseSchema
+from repro.terms.term import Variable
 
 Position = Tuple[str, int]          # (relation name, 0-based column)
 Edge = Tuple[Position, Position, bool]   # (source, target, is_existential)
@@ -79,6 +89,52 @@ def ind_position_graph(inds: Sequence[InclusionDependency],
             for fresh_column in fresh_columns:
                 graph.add_edge(source, (ind.rhs_relation, fresh_column), existential=True)
     return graph
+
+
+def _variable_positions(atoms) -> Dict[Variable, List[Position]]:
+    """Each variable's occurrences as (relation, column) positions."""
+    positions: Dict[Variable, List[Position]] = {}
+    for atom in atoms:
+        for column, term in enumerate(atom.terms):
+            if isinstance(term, Variable):
+                positions.setdefault(term, []).append((atom.relation, column))
+    return positions
+
+
+def add_tgd_edges(graph: PositionGraph, tgds: Sequence[TGD],
+                  schema: DatabaseSchema) -> PositionGraph:
+    """Add the weak-acyclicity edges of general TGDs to a position graph.
+
+    For every frontier variable x and every body position p of x: a copy
+    edge from p to each head position of x, and an existential edge from
+    p to each head position of an existentially quantified variable —
+    the classical Fagin–Kolaitis–Miller–Popa construction, of which the
+    IND edges above are the single-atom special case.
+    """
+    for tgd in tgds:
+        tgd.validate(schema)
+        body_positions = _variable_positions(tgd.body)
+        head_positions = _variable_positions(tgd.head)
+        existential = tgd.existential_variables()
+        fresh_positions = [position for variable in sorted(existential, key=str)
+                           for position in head_positions[variable]]
+        for variable in tgd.frontier():
+            for source in body_positions[variable]:
+                for target in head_positions[variable]:
+                    graph.add_edge(source, target, existential=False)
+                for target in fresh_positions:
+                    graph.add_edge(source, target, existential=True)
+    return graph
+
+
+def dependency_position_graph(dependencies: DependencySet,
+                              schema: DatabaseSchema) -> PositionGraph:
+    """The position graph of a full dependency set (INDs and general TGDs).
+
+    FDs and EGDs contribute no edges: they only merge existing symbols.
+    """
+    graph = ind_position_graph(dependencies.inclusion_dependencies(), schema)
+    return add_tgd_edges(graph, dependencies.tgds(), schema)
 
 
 def _cycles_through_existential_edge(graph: PositionGraph) -> Optional[List[Position]]:
@@ -152,18 +208,7 @@ class TerminationReport:
         return "\n".join(lines)
 
 
-def analyse_ind_termination(dependencies: DependencySet,
-                            schema: Optional[DatabaseSchema] = None) -> TerminationReport:
-    """Weak-acyclicity analysis of the INDs of a dependency set.
-
-    FDs never threaten termination (the FD chase only merges symbols), so
-    only the IND part is inspected.
-    """
-    target_schema = schema or dependencies.schema
-    if target_schema is None:
-        raise ValueError("a schema is required for the termination analysis")
-    inds = dependencies.inclusion_dependencies()
-    graph = ind_position_graph(inds, target_schema)
+def _report_for_graph(graph: PositionGraph) -> TerminationReport:
     witness = _cycles_through_existential_edge(graph)
     return TerminationReport(
         weakly_acyclic=witness is None,
@@ -174,9 +219,44 @@ def analyse_ind_termination(dependencies: DependencySet,
     )
 
 
+def _resolve_schema(dependencies: DependencySet,
+                    schema: Optional[DatabaseSchema]) -> DatabaseSchema:
+    target_schema = schema or dependencies.schema
+    if target_schema is None:
+        raise ValueError("a schema is required for the termination analysis")
+    return target_schema
+
+
+def analyse_ind_termination(dependencies: DependencySet,
+                            schema: Optional[DatabaseSchema] = None) -> TerminationReport:
+    """Weak-acyclicity analysis of the INDs of a dependency set.
+
+    FDs never threaten termination (the FD chase only merges symbols), so
+    only the IND part is inspected; use :func:`analyse_termination` for
+    sets that also carry general TGDs.
+    """
+    target_schema = _resolve_schema(dependencies, schema)
+    graph = ind_position_graph(dependencies.inclusion_dependencies(), target_schema)
+    return _report_for_graph(graph)
+
+
+def analyse_termination(dependencies: DependencySet,
+                        schema: Optional[DatabaseSchema] = None) -> TerminationReport:
+    """Weak-acyclicity analysis of a full dependency set (INDs and TGDs).
+
+    The report certifies R-chase termination for *every* query when
+    ``weakly_acyclic`` is True; FDs and EGDs are ignored (they only merge
+    symbols).  For IND-only sets this coincides with
+    :func:`analyse_ind_termination`.
+    """
+    target_schema = _resolve_schema(dependencies, schema)
+    graph = dependency_position_graph(dependencies, target_schema)
+    return _report_for_graph(graph)
+
+
 def chase_guaranteed_finite(dependencies: DependencySet,
                             schema: Optional[DatabaseSchema] = None) -> bool:
-    """Sufficient condition for "the chase of every query under Σ is finite"."""
-    if not dependencies.inclusion_dependencies():
+    """Sufficient condition for "the R-chase of every query under Σ is finite"."""
+    if not dependencies.inclusion_dependencies() and not dependencies.tgds():
         return True
-    return analyse_ind_termination(dependencies, schema).weakly_acyclic
+    return analyse_termination(dependencies, schema).weakly_acyclic

@@ -101,15 +101,17 @@ def _add_common_arguments(parser: argparse.ArgumentParser,
     parser.add_argument("--schema", required=True,
                         help="schema file or inline text (one relation per line)")
     parser.add_argument("--deps", default=None,
-                        help="dependency file or inline text (FDs and INDs, one per line)")
+                        help="dependency file or inline text (FDs, INDs, and "
+                             "general TGD/EGD rules, one per line)")
     parser.add_argument("--json", action="store_true", help=json_help)
 
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
-        description="Conjunctive-query containment under FDs and INDs "
-                    "(Johnson & Klug, PODS 1982)")
+        description="Conjunctive-query containment under FDs, INDs, and "
+                    "general embedded dependencies (after Johnson & Klug, "
+                    "PODS 1982)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     contain = subparsers.add_parser(

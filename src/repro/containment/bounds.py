@@ -34,7 +34,9 @@ def theorem2_level_bound(query_prime: ConjunctiveQuery,
     If a homomorphism from Q' into chase(Q) exists at all, one exists whose
     image lies within this many levels, so chasing to this depth and
     searching for a homomorphism is a complete decision procedure for the
-    IND-only and key-based cases.
+    IND-only and key-based cases.  For general Σ — including embedded
+    TGDs, whose *frontier* size stands in for the IND width W — the same
+    formula serves as the pragmatic cutoff of the semi-decision.
     """
-    width = dependencies.max_ind_width() if max_width is None else max_width
+    width = dependencies.max_width() if max_width is None else max_width
     return lemma5_level_bound(len(query_prime), max(len(dependencies), 1), width)

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.chase.chase_graph import ChaseGraph, ChaseNode
 from repro.chase.engine import ChaseResult
 from repro.dependencies.dependency_set import DependencySet
+from repro.exceptions import ReproError
 from repro.homomorphism.query_homomorphism import verify_query_homomorphism
 from repro.queries.conjunct import Conjunct
 from repro.queries.conjunctive_query import ConjunctiveQuery
@@ -169,7 +170,18 @@ def build_certificate(query: ConjunctiveQuery, query_prime: ConjunctiveQuery,
     and every level-0 conjunct (the latter makes the proof self-contained
     for the key-based case, mirroring the construction in the proof of
     Theorem 2).
+
+    Certificates replay *IND* applications — the Theorem 2 shape.  A Σ
+    with general TGDs/EGDs is refused outright: a TGD step records only
+    one of its body nodes as parent, so the replay could not re-derive
+    it, and shipping a proof that fails its own :meth:`verify` would be
+    worse than no proof.
     """
+    if dependencies.has_embedded():
+        raise ReproError(
+            "containment certificates replay IND applications (Theorem 2) and "
+            "are not supported for Σ with general TGDs/EGDs; decide without "
+            "with_certificate for embedded dependency sets")
     graph: ChaseGraph = chase_result.graph
     conjunct_owner: Dict[Tuple[str, Tuple[Term, ...]], ChaseNode] = {}
     for node in graph:

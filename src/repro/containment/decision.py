@@ -5,9 +5,13 @@
 * Σ empty — Chandra–Merlin containment mapping;
 * Σ FD-only — finite FD chase + containment mapping;
 * Σ IND-only or key-based — the Theorem 2 bounded-chase procedure (exact);
-* any other Σ — the same bounded-chase procedure as a *sound
-  semi-decision*: a positive answer or a saturated chase is exact, hitting
-  the level bound returns an uncertain negative.
+* any other Σ — general FD/IND mixes and embedded TGD/EGD sets — the same
+  bounded-chase procedure as a *sound semi-decision*: a positive answer
+  or a saturated chase is exact, hitting the level bound returns an
+  uncertain negative.  When the weak-acyclicity analysis certifies that
+  the R-chase terminates (``SolverConfig.certify_termination``, on by
+  default), the procedure instead deepens to saturation and every
+  verdict short of the conjunct budget is exact.
 """
 
 from __future__ import annotations

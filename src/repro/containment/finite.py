@@ -229,10 +229,13 @@ def finite_containment_sample(query: ConjunctiveQuery, query_prime: ConjunctiveQ
                 yield database
             return
         rng = random.Random(seed)
+        # The instance chase only repairs FDs and INDs; for embedded Σ
+        # samples are filtered by the satisfaction check below instead.
+        repairable = repair and not dependencies.has_embedded()
         for _ in range(samples):
             generated += 1
             database = sample_database(schema, domain, rng)
-            if repair and not database_satisfies(database, dependencies):
+            if repairable and not database_satisfies(database, dependencies):
                 repaired = chase_instance(database, dependencies, max_steps=200)
                 if repaired.succeeded:
                     database = repaired.database

@@ -14,6 +14,11 @@ each stage:
   decidable classes (exact by Lemma 5), "unknown" for general Σ;
 * the conjunct budget is exhausted first → "unknown" (raise the budget).
 
+For general Σ (arbitrary FD/IND mixes, or embedded TGDs/EGDs) whose
+chase the weak-acyclicity analysis certifies finite, the caller passes
+``assume_terminating=True`` and the schedule deepens past the Theorem 2
+bound until the chase saturates, restoring exact verdicts.
+
 For Σ containing FDs the R-chase is used, which by Lemma 2 performs all
 its FD applications up front when Σ is key-based; if that initial FD phase
 fails on a constant clash, Q is empty on every Σ-database and containment
@@ -64,7 +69,9 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
                                   with_certificate: bool = False,
                                   deepening: bool = True,
                                   chase_fn: Optional[ChaseFn] = None,
-                                  engine: Optional[str] = None) -> ContainmentResult:
+                                  engine: Optional[str] = None,
+                                  assume_terminating: bool = False,
+                                  saturation_level_cap: Optional[int] = None) -> ContainmentResult:
     """The Theorem 2 decision procedure (sound semi-decision for general Σ).
 
     Parameters
@@ -98,14 +105,28 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
         ``"legacy"``); ``None`` uses the process default.  The verdict is
         engine-independent — the differential harness asserts exactly
         that — but the knob lets it ask both sides the same question.
+    assume_terminating:
+        The caller certified (e.g. by weak acyclicity) that the chase of
+        Q under Σ is finite.  The level schedule then ignores the
+        Theorem 2 bound and deepens until the chase *saturates*, so every
+        answer short of the conjunct budget is exact — this is how
+        general weakly-acyclic Σ gets decision-procedure semantics.
+    saturation_level_cap:
+        Ceiling on the certified deepening; reaching it without
+        saturation falls back to the uncertain-negative bound answer.
+        Shared services set it so one tenant's deeply-saturating Σ
+        cannot monopolise a worker.  Ignored without
+        ``assume_terminating``.
     """
     query.require_same_interface(query_prime)
     bound = level_bound if level_bound is not None else theorem2_level_bound(query_prime, dependencies)
     build_chase = chase_fn if chase_fn is not None else chase
 
-    schedule = _deepening_schedule(bound) if deepening else [bound]
     last_chase: Optional[ChaseResult] = None
-    for level in schedule:
+
+    def attempt(level: Optional[int]) -> Optional[ContainmentResult]:
+        """One chase-and-test stage; a result ends the search."""
+        nonlocal last_chase
         config = ChaseConfig(variant=variant, max_level=level,
                              max_conjuncts=max_conjuncts, record_trace=record_trace,
                              engine=engine)
@@ -113,11 +134,15 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
         last_chase = chase_result
 
         if chase_result.failed:
+            clashed = chase_result.failure_dependency or "a dependency"
             return ContainmentResult(
                 holds=True, certain=True, method="failed-chase",
-                reason="the chase of Q is inconsistent (constant clash); "
-                       "Q is empty on every database obeying Σ",
-                levels_built=0, chase_size=0, level_bound=bound,
+                reason=f"the chase of Q is inconsistent: applying {clashed} "
+                       "clashed two distinct constants; Q is empty on every "
+                       "database obeying Σ",
+                levels_built=chase_result.statistics.max_level_reached,
+                chase_size=chase_result.failure_live_conjuncts,
+                level_bound=bound,
             )
 
         conjuncts = chase_result.conjuncts()
@@ -131,9 +156,11 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
             if with_certificate:
                 certificate = build_certificate(
                     query, query_prime, dependencies, chase_result, mapping)
+            within = (f"the first {level} levels" if level is not None
+                      else "the saturated chase")
             return ContainmentResult(
                 holds=True, certain=True, method="bounded-chase",
-                reason=f"homomorphism from Q' into the first {level} levels of the "
+                reason=f"homomorphism from Q' into {within} of the "
                        f"{variant.value}-chase of Q",
                 levels_built=chase_result.max_level(), chase_size=len(conjuncts),
                 level_bound=bound, homomorphism=mapping, certificate=certificate,
@@ -154,6 +181,34 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
                 levels_built=chase_result.max_level(), chase_size=len(conjuncts),
                 level_bound=bound,
             )
+        return None
+
+    exhausted_at = bound
+    if assume_terminating:
+        # Termination is certified, so there is no bound to respect: the
+        # doubling schedule runs until the chase saturates (or fails, or
+        # maps Q', or exhausts the conjunct budget — all of which return).
+        # Without deepening the chase is built in one shot — unbounded,
+        # or straight to the cap when one is set.  Reaching the cap
+        # without saturating falls through to the uncertain answer.
+        cap = saturation_level_cap
+        level: Optional[int] = ((2 if cap is None else min(2, cap))
+                                if deepening else cap)
+        while True:
+            result = attempt(level)
+            if result is not None:
+                return result
+            assert level is not None, "an unbounded chase stage always concludes"
+            if cap is not None and level >= cap:
+                exhausted_at = cap
+                break
+            level = level * 2 if cap is None else min(level * 2, cap)
+    else:
+        schedule = _deepening_schedule(bound) if deepening else [bound]
+        for level in schedule:
+            result = attempt(level)
+            if result is not None:
+                return result
 
     assert last_chase is not None
     return ContainmentResult(
@@ -161,8 +216,8 @@ def contained_under_bounded_chase(query: ConjunctiveQuery,
         reason=(
             f"no homomorphism from Q' within the Theorem 2 level bound {bound}"
             if exact else
-            f"no homomorphism from Q' within level {bound}; Σ is outside the "
-            "paper's decidable classes so deeper levels could still matter"
+            f"no homomorphism from Q' within level {exhausted_at}; Σ is outside "
+            "the paper's decidable classes so deeper levels could still matter"
         ),
         levels_built=last_chase.max_level(), chase_size=len(last_chase.conjuncts()),
         level_bound=bound,

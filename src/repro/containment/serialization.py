@@ -19,13 +19,20 @@ from typing import Any, Dict, List, Optional, Union
 
 from repro.containment.certificates import CertificateStep, ContainmentCertificate
 from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.embedded import EGD, TGD
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import ReproError
 from repro.queries.conjunct import Conjunct
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.relational.schema import DatabaseSchema
-from repro.terms.term import Constant, DistinguishedVariable, NonDistinguishedVariable, Term
+from repro.terms.term import (
+    Constant,
+    DistinguishedVariable,
+    NonDistinguishedVariable,
+    Term,
+    Variable,
+)
 
 FORMAT_VERSION = 1
 
@@ -47,6 +54,9 @@ def term_to_dict(term: Term) -> Dict[str, Any]:
     if isinstance(term, NonDistinguishedVariable):
         return {"kind": "ndv", "name": term.name, "created": term.created,
                 "serial": list(term.serial)}
+    if isinstance(term, Variable):
+        # Plain rule-scoped variables, as used by TGD/EGD atoms.
+        return {"kind": "var", "name": term.name}
     raise SerializationError(f"cannot serialize term {term!r}")
 
 
@@ -60,6 +70,8 @@ def term_from_dict(data: Dict[str, Any]) -> Term:
         return NonDistinguishedVariable(
             data["name"], serial=tuple(data.get("serial", ())),
             created=bool(data.get("created", False)))
+    if kind == "var":
+        return Variable(data["name"])
     raise SerializationError(f"unknown term kind {kind!r}")
 
 
@@ -122,7 +134,8 @@ def query_from_dict(data: Dict[str, Any],
     )
 
 
-def dependency_to_dict(dependency: Union[FunctionalDependency, InclusionDependency]) -> Dict[str, Any]:
+def dependency_to_dict(dependency: Union[FunctionalDependency, InclusionDependency,
+                                         TGD, EGD]) -> Dict[str, Any]:
     if isinstance(dependency, FunctionalDependency):
         return {"kind": "fd", "relation": dependency.relation,
                 "lhs": list(dependency.lhs), "rhs": dependency.rhs}
@@ -132,16 +145,32 @@ def dependency_to_dict(dependency: Union[FunctionalDependency, InclusionDependen
                 "lhs_attributes": list(dependency.lhs_attributes),
                 "rhs_relation": dependency.rhs_relation,
                 "rhs_attributes": list(dependency.rhs_attributes)}
+    if isinstance(dependency, TGD):
+        return {"kind": "tgd",
+                "body": [conjunct_to_dict(atom) for atom in dependency.body],
+                "head": [conjunct_to_dict(atom) for atom in dependency.head]}
+    if isinstance(dependency, EGD):
+        return {"kind": "egd",
+                "body": [conjunct_to_dict(atom) for atom in dependency.body],
+                "lhs": term_to_dict(dependency.lhs),
+                "rhs": term_to_dict(dependency.rhs)}
     raise SerializationError(f"cannot serialize dependency {dependency!r}")
 
 
-def dependency_from_dict(data: Dict[str, Any]) -> Union[FunctionalDependency, InclusionDependency]:
+def dependency_from_dict(data: Dict[str, Any]) -> Union[FunctionalDependency,
+                                                        InclusionDependency, TGD, EGD]:
     kind = data.get("kind")
     if kind == "fd":
         return FunctionalDependency(data["relation"], data["lhs"], data["rhs"])
     if kind == "ind":
         return InclusionDependency(data["lhs_relation"], data["lhs_attributes"],
                                    data["rhs_relation"], data["rhs_attributes"])
+    if kind == "tgd":
+        return TGD([conjunct_from_dict(atom) for atom in data["body"]],
+                   [conjunct_from_dict(atom) for atom in data["head"]])
+    if kind == "egd":
+        return EGD([conjunct_from_dict(atom) for atom in data["body"]],
+                   term_from_dict(data["lhs"]), term_from_dict(data["rhs"]))
     raise SerializationError(f"unknown dependency kind {kind!r}")
 
 
@@ -274,7 +303,10 @@ def chase_result_to_dict(result: "ChaseResult",
         "statistics": {
             "fd_steps": result.statistics.fd_steps,
             "ind_steps": result.statistics.ind_steps,
+            "egd_steps": result.statistics.egd_steps,
+            "tgd_steps": result.statistics.tgd_steps,
             "redundant_ind_applications": result.statistics.redundant_ind_applications,
+            "redundant_tgd_applications": result.statistics.redundant_tgd_applications,
             "merged_conjuncts": result.statistics.merged_conjuncts,
             "total_steps": result.statistics.total_steps,
             "triggers_examined": result.statistics.triggers_examined,
@@ -287,6 +319,9 @@ def chase_result_to_dict(result: "ChaseResult",
             for node in result.graph
         ],
     }
+    if result.failed:
+        data["failure_dependency"] = result.failure_dependency
+        data["failure_live_conjuncts"] = result.failure_live_conjuncts
     if include_trace:
         data["trace"] = [step.describe() for step in result.trace]
     return data

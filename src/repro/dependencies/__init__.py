@@ -13,6 +13,12 @@ FD's right-hand side, and (b) every IND's right-hand side is contained in
 the key of its target relation while its left-hand side is disjoint from
 the key of its source relation.
 
+Both are special cases of the general *embedded* dependencies — TGDs and
+EGDs with arbitrary CQ bodies and heads (``repro.dependencies.embedded``)
+— which a :class:`DependencySet` accepts alongside them; FDs normalise to
+EGDs and INDs to single-atom TGDs via
+:meth:`DependencySet.normalized_embedded`.
+
 This package provides the dependency objects, dependency sets with the
 classifications the containment procedures dispatch on, inference for FDs
 (attribute closure) and INDs (the Casanova–Fagin–Papadimitriou axioms and
@@ -20,9 +26,10 @@ the reduction to containment from Corollary 2.3), and violation checking
 on finite database instances.
 """
 
+from repro.dependencies.embedded import EGD, TGD
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
-from repro.dependencies.dependency_set import DependencySet
+from repro.dependencies.dependency_set import DependencyClass, DependencySet
 from repro.dependencies.fd_inference import (
     attribute_closure,
     candidate_keys,
@@ -50,9 +57,12 @@ from repro.dependencies.violations import (
 )
 
 __all__ = [
+    "DependencyClass",
     "DependencySet",
+    "EGD",
     "FunctionalDependency",
     "InclusionDependency",
+    "TGD",
     "KeyBasedDiagnosis",
     "RelationDesignReport",
     "Violation",

@@ -8,7 +8,14 @@ dependency set Σ:
 * Σ contains only INDs — Theorem 2(i);
 * Σ key-based — Theorem 2(ii);
 * anything else — outside the paper's decidable cases (the procedure is
-  still exposed as a sound semi-decision).
+  still exposed as a sound semi-decision, which becomes *exact* whenever
+  the weak-acyclicity analysis certifies that the chase terminates).
+
+Beyond the paper's FDs and INDs a set may contain general *embedded*
+dependencies — :class:`~repro.dependencies.embedded.TGD` and
+:class:`~repro.dependencies.embedded.EGD` rules with arbitrary CQ bodies
+and heads — of which FDs and INDs are the classical special cases
+(:meth:`normalized_embedded` performs the FD→EGD / IND→TGD rewriting).
 
 :class:`DependencySet` stores the dependencies, validates them against a
 schema, computes the maximum IND width W, determines keys, and implements
@@ -32,21 +39,32 @@ from typing import (
 )
 
 from repro.exceptions import DependencyError
+from repro.dependencies.embedded import EGD, TGD
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
 from repro.relational.schema import DatabaseSchema
 
-Dependency = Union[FunctionalDependency, InclusionDependency]
+Dependency = Union[FunctionalDependency, InclusionDependency, TGD, EGD]
+
+#: The concrete classes a DependencySet accepts.
+DEPENDENCY_TYPES = (FunctionalDependency, InclusionDependency, TGD, EGD)
 
 
 class DependencyClass(Enum):
-    """The shapes of Σ the paper's results distinguish."""
+    """The shapes of Σ the containment dispatcher distinguishes.
+
+    The first four are the paper's decidable cases; ``GENERAL`` is an
+    FD/IND set outside them, and ``EMBEDDED`` is a set containing at
+    least one TGD or EGD.  Both of the last two take the bounded-chase
+    semi-decision path (exact when the chase provably terminates).
+    """
 
     EMPTY = "empty"
     FD_ONLY = "fd-only"
     IND_ONLY = "ind-only"
     KEY_BASED = "key-based"
     GENERAL = "general"
+    EMBEDDED = "embedded"
 
 
 class DependencySet:
@@ -71,9 +89,10 @@ class DependencySet:
 
     def add(self, dependency: Dependency) -> "DependencySet":
         """Add one dependency (duplicates are ignored)."""
-        if not isinstance(dependency, (FunctionalDependency, InclusionDependency)):
+        if not isinstance(dependency, DEPENDENCY_TYPES):
             raise DependencyError(
-                f"expected a FunctionalDependency or InclusionDependency, got {dependency!r}"
+                "expected a FunctionalDependency, InclusionDependency, TGD, "
+                f"or EGD, got {dependency!r}"
             )
         if dependency not in self._seen:
             if self._schema is not None:
@@ -128,6 +147,22 @@ class DependencySet:
         """Σ[I]: the INDs, in insertion order."""
         return [d for d in self._dependencies if isinstance(d, InclusionDependency)]
 
+    def tgds(self) -> List[TGD]:
+        """The general tuple-generating dependencies, in insertion order."""
+        return [d for d in self._dependencies if isinstance(d, TGD)]
+
+    def egds(self) -> List[EGD]:
+        """The general equality-generating dependencies, in insertion order."""
+        return [d for d in self._dependencies if isinstance(d, EGD)]
+
+    def embedded_dependencies(self) -> List[Union[TGD, EGD]]:
+        """The TGDs and EGDs, in insertion order."""
+        return [d for d in self._dependencies if isinstance(d, (TGD, EGD))]
+
+    def has_embedded(self) -> bool:
+        """True when Σ contains at least one general TGD or EGD."""
+        return any(isinstance(d, (TGD, EGD)) for d in self._dependencies)
+
     def fds_for(self, relation: str) -> List[FunctionalDependency]:
         return [d for d in self.functional_dependencies() if d.relation == relation]
 
@@ -152,6 +187,18 @@ class DependencySet:
     def max_ind_width(self) -> int:
         """W: the maximum width of an IND in Σ (0 if Σ has no INDs)."""
         widths = [d.width for d in self.inclusion_dependencies()]
+        return max(widths) if widths else 0
+
+    def max_width(self) -> int:
+        """W generalised to embedded Σ: IND widths and TGD frontier sizes.
+
+        For FD/IND-only sets this equals :meth:`max_ind_width` (so the
+        Theorem 2 level bound is unchanged on the paper's classes); a
+        TGD contributes the size of its frontier, the variables whose
+        values the chase copies into created conjuncts.
+        """
+        widths = [d.width for d in self._dependencies
+                  if isinstance(d, (InclusionDependency, TGD))]
         return max(widths) if widths else 0
 
     def size(self) -> int:
@@ -197,10 +244,12 @@ class DependencySet:
         return not self._dependencies
 
     def is_fd_only(self) -> bool:
-        return bool(self._dependencies) and not self.inclusion_dependencies()
+        return (bool(self._dependencies)
+                and all(isinstance(d, FunctionalDependency) for d in self._dependencies))
 
     def is_ind_only(self) -> bool:
-        return bool(self._dependencies) and not self.functional_dependencies()
+        return (bool(self._dependencies)
+                and all(isinstance(d, InclusionDependency) for d in self._dependencies))
 
     def has_only_unary_inds(self) -> bool:
         """True if every IND has width 1 (Theorem 3(i) requires this)."""
@@ -292,6 +341,8 @@ class DependencySet:
     def _classify_uncached(self, target: Optional[DatabaseSchema]) -> DependencyClass:
         if self.is_empty():
             return DependencyClass.EMPTY
+        if self.has_embedded():
+            return DependencyClass.EMBEDDED
         if self.is_fd_only():
             return DependencyClass.FD_ONLY
         if self.is_ind_only():
@@ -324,13 +375,41 @@ class DependencySet:
             return self.has_only_unary_inds()
         return False
 
+    # -- normalization ----------------------------------------------------------------------------
+
+    def normalized_embedded(self, schema: Optional[DatabaseSchema] = None) -> "DependencySet":
+        """Σ with every FD rewritten as an EGD and every IND as a TGD.
+
+        The result expresses the identical constraints in the uniform
+        embedded-dependency vocabulary, so it chases to the same atoms
+        and yields the same containment verdicts; the tests assert this
+        equivalence.  A schema is required to resolve attribute
+        positions.  TGDs and EGDs already in the set are kept as-is;
+        trivial FDs (tautologies with no EGD form) are dropped.
+        """
+        target = schema or self._schema
+        if target is None:
+            raise DependencyError("a schema is required to normalize FDs and INDs")
+        normalized = DependencySet(schema=target)
+        for dependency in self._dependencies:
+            if isinstance(dependency, FunctionalDependency):
+                if dependency.is_trivial:
+                    continue
+                normalized.add(dependency.as_egd(target))
+            elif isinstance(dependency, InclusionDependency):
+                normalized.add(dependency.as_tgd(target))
+            else:
+                normalized.add(dependency)
+        return normalized
+
     # -- reporting -------------------------------------------------------------------------------------
 
     def describe(self) -> str:
         """Multi-line human-readable listing used by examples and reports."""
         lines = [f"dependency set with {len(self)} dependencies "
-                 f"(max IND width {self.max_ind_width()})"]
+                 f"(max width {self.max_width()})"]
+        kinds = {FunctionalDependency: "FD ", InclusionDependency: "IND",
+                 TGD: "TGD", EGD: "EGD"}
         for dependency in self._dependencies:
-            kind = "FD " if isinstance(dependency, FunctionalDependency) else "IND"
-            lines.append(f"  {kind} {dependency}")
+            lines.append(f"  {kinds[type(dependency)]} {dependency}")
         return "\n".join(lines)

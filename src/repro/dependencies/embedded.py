@@ -1,0 +1,196 @@
+"""Embedded dependencies: TGDs and EGDs with arbitrary CQ bodies.
+
+The paper's FDs and INDs are exactly the special cases of the two
+classical families of *embedded* dependencies:
+
+* a **tuple-generating dependency (TGD)** ``φ(x̄) → ∃ȳ ψ(x̄, ȳ)`` — whenever
+  the body φ matches a database, some extension of the match satisfies the
+  head ψ.  An IND ``R[X] ⊆ S[Y]`` is the single-body-atom, single-head-atom
+  TGD copying the X columns into the Y columns and quantifying the rest of
+  S existentially (:meth:`~repro.dependencies.inclusion.InclusionDependency.as_tgd`);
+* an **equality-generating dependency (EGD)** ``φ(x̄) → x = y`` — whenever
+  the body matches, the images of two body variables must be equal.  An FD
+  ``R: Z → A`` is the two-atom EGD over R sharing the Z columns
+  (:meth:`~repro.dependencies.functional.FunctionalDependency.as_egd`).
+
+Variables in a dependency are scoped to that dependency, so they are
+plain :class:`~repro.terms.term.Variable` objects identified by name;
+constructors normalise any variable subclass to the plain form (and strip
+conjunct labels) so that syntactically equal rules compare and hash
+equal — which the parser round-trip and the fingerprint machinery rely
+on.  Variables occurring in the head but not the body of a TGD are its
+*existential* variables; body variables reused in the head form the
+*frontier* (the TGD analogue of an IND's width).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Set, Tuple
+
+from repro.exceptions import DependencyError
+from repro.queries.conjunct import Conjunct
+from repro.relational.schema import DatabaseSchema
+from repro.terms.term import Constant, Term, Variable
+
+
+def _normalise_atom(atom: Conjunct, role: str) -> Conjunct:
+    """An atom with plain variables and the default label.
+
+    Dependency rules are compared structurally, so distinguished /
+    nondistinguished flavours (which the query layer distinguishes) and
+    conjunct labels must not split equality.
+    """
+    terms: List[Term] = []
+    for term in atom.terms:
+        if isinstance(term, Constant):
+            terms.append(term)
+        elif isinstance(term, Variable):
+            terms.append(Variable(term.name))
+        else:
+            raise DependencyError(
+                f"{role} atom {atom} contains a non-term entry {term!r}")
+    return Conjunct(atom.relation, terms)
+
+
+def _atom_variables(atoms: Sequence[Conjunct]) -> Set[Variable]:
+    return {term for atom in atoms for term in atom.terms
+            if isinstance(term, Variable)}
+
+
+def _validate_atoms(atoms: Sequence[Conjunct], schema: DatabaseSchema,
+                    owner: str) -> None:
+    for atom in atoms:
+        if atom.relation not in schema:
+            raise DependencyError(
+                f"{owner} refers to unknown relation {atom.relation!r}")
+        expected = schema.relation(atom.relation).arity
+        if atom.arity != expected:
+            raise DependencyError(
+                f"{owner} atom {atom} has arity {atom.arity}, but relation "
+                f"{atom.relation!r} has arity {expected}")
+
+
+def _render_atoms(atoms: Sequence[Conjunct]) -> str:
+    return ", ".join(str(atom) for atom in atoms)
+
+
+@dataclass(frozen=True)
+class TGD:
+    """A tuple-generating dependency ``body → head``.
+
+    ``body`` and ``head`` are non-empty tuples of atoms (:class:`Conjunct`
+    objects over plain variables and constants).  Head variables absent
+    from the body are existentially quantified; a single existential
+    variable used in several head positions denotes one shared value, so
+    the chase creates exactly one fresh NDV for it.
+    """
+
+    body: Tuple[Conjunct, ...]
+    head: Tuple[Conjunct, ...]
+
+    def __init__(self, body: Sequence[Conjunct], head: Sequence[Conjunct]):
+        body_atoms = tuple(_normalise_atom(atom, "TGD body") for atom in body)
+        head_atoms = tuple(_normalise_atom(atom, "TGD head") for atom in head)
+        if not body_atoms:
+            raise DependencyError("a TGD must have at least one body atom")
+        if not head_atoms:
+            raise DependencyError("a TGD must have at least one head atom")
+        object.__setattr__(self, "body", body_atoms)
+        object.__setattr__(self, "head", head_atoms)
+
+    # -- rendering ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"{_render_atoms(self.body)} -> {_render_atoms(self.head)}"
+
+    # -- structural properties -------------------------------------------------
+
+    def body_variables(self) -> Set[Variable]:
+        """Variables occurring in the body (the universally quantified ones)."""
+        return _atom_variables(self.body)
+
+    def head_variables(self) -> Set[Variable]:
+        return _atom_variables(self.head)
+
+    def frontier(self) -> Set[Variable]:
+        """Body variables reused in the head (the values the chase copies)."""
+        return self.body_variables() & self.head_variables()
+
+    def existential_variables(self) -> Set[Variable]:
+        """Head variables not bound by the body (fresh NDVs per trigger)."""
+        return self.head_variables() - self.body_variables()
+
+    @property
+    def width(self) -> int:
+        """The frontier size — the TGD analogue of an IND's width."""
+        return len(self.frontier())
+
+    @property
+    def is_full(self) -> bool:
+        """True when the head has no existential variables.
+
+        Full TGDs never create fresh values, so they cannot threaten
+        chase termination (they contribute no existential edges to the
+        dependency position graph).
+        """
+        return not self.existential_variables()
+
+    # -- schema resolution ----------------------------------------------------
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Raise DependencyError unless every atom fits the schema."""
+        _validate_atoms(self.body, schema, f"TGD {self}")
+        _validate_atoms(self.head, schema, f"TGD {self}")
+
+
+@dataclass(frozen=True)
+class EGD:
+    """An equality-generating dependency ``body → lhs = rhs``.
+
+    ``lhs`` and ``rhs`` are body variables; whenever the body matches, the
+    chase merges their images exactly like the FD chase rule (two distinct
+    constants make the chase fail with the empty query).
+    """
+
+    body: Tuple[Conjunct, ...]
+    lhs: Variable
+    rhs: Variable
+
+    def __init__(self, body: Sequence[Conjunct], lhs: Variable, rhs: Variable):
+        body_atoms = tuple(_normalise_atom(atom, "EGD body") for atom in body)
+        if not body_atoms:
+            raise DependencyError("an EGD must have at least one body atom")
+        if not isinstance(lhs, Variable) or not isinstance(rhs, Variable):
+            raise DependencyError(
+                f"an EGD must equate two variables, got {lhs!r} = {rhs!r}")
+        lhs_plain = Variable(lhs.name)
+        rhs_plain = Variable(rhs.name)
+        variables = _atom_variables(body_atoms)
+        for side in (lhs_plain, rhs_plain):
+            if side not in variables:
+                raise DependencyError(
+                    f"EGD equates {side} which does not occur in its body")
+        if lhs_plain == rhs_plain:
+            raise DependencyError(
+                f"EGD {lhs_plain} = {rhs_plain} is trivial; it equates a "
+                "variable with itself")
+        object.__setattr__(self, "body", body_atoms)
+        object.__setattr__(self, "lhs", lhs_plain)
+        object.__setattr__(self, "rhs", rhs_plain)
+
+    # -- rendering ------------------------------------------------------------
+
+    def __str__(self) -> str:
+        return f"{_render_atoms(self.body)} -> {self.lhs} = {self.rhs}"
+
+    # -- structural properties -------------------------------------------------
+
+    def body_variables(self) -> Set[Variable]:
+        return _atom_variables(self.body)
+
+    # -- schema resolution ----------------------------------------------------
+
+    def validate(self, schema: DatabaseSchema) -> None:
+        """Raise DependencyError unless every body atom fits the schema."""
+        _validate_atoms(self.body, schema, f"EGD {self}")

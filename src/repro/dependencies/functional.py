@@ -78,6 +78,42 @@ class FunctionalDependency:
         relation = schema.relation(self.relation)
         return relation.attribute_name_at(self.rhs_position(relation))
 
+    # -- normalization -----------------------------------------------------------------
+
+    def as_egd(self, schema: DatabaseSchema) -> "EGD":
+        """This FD as the equality-generating dependency it abbreviates.
+
+        ``R: Z → A`` becomes the two-atom EGD over R whose atoms share
+        fresh variables exactly at the Z columns and whose head equates
+        the two A-column variables::
+
+            R(x1, x2, x3), R(x1, y2, y3) -> x2 = y2     # R: 1 -> 2
+
+        The chase of the EGD performs the identical merges the FD chase
+        rule performs, so the two forms yield identical verdicts.  A
+        trivial FD (``A ∈ Z``) is a tautology with no EGD form and is
+        rejected; :meth:`DependencySet.normalized_embedded` skips such
+        FDs instead of calling this.
+        """
+        from repro.dependencies.embedded import EGD
+        from repro.queries.conjunct import Conjunct
+        from repro.terms.term import Variable
+
+        if self.is_trivial:
+            raise DependencyError(
+                f"trivial FD {self} is a tautology and has no EGD form")
+        relation = schema.relation(self.relation)
+        lhs_positions = set(self.lhs_positions(relation))
+        rhs_position = self.rhs_position(relation)
+        first = [Variable(f"x{position + 1}") for position in range(relation.arity)]
+        second = [first[position] if position in lhs_positions
+                  else Variable(f"y{position + 1}")
+                  for position in range(relation.arity)]
+        return EGD(
+            body=[Conjunct(self.relation, first), Conjunct(self.relation, second)],
+            lhs=first[rhs_position], rhs=second[rhs_position],
+        )
+
     # -- convenience constructors ------------------------------------------------------
 
     @classmethod

@@ -107,6 +107,36 @@ class InclusionDependency:
             relation.attribute_name_at(p) for p in self.rhs_positions(schema)
         )
 
+    # -- normalization -----------------------------------------------------------------
+
+    def as_tgd(self, schema: DatabaseSchema) -> "TGD":
+        """This IND as the single-atom tuple-generating dependency it abbreviates.
+
+        ``R[X] ⊆ S[Y]`` becomes ``R(x1..xm) → S(...)`` where the Y columns
+        of the head carry the X-column body variables and every other head
+        column carries a fresh existential variable::
+
+            R(x1, x2) -> S(x2, y2)                      # R[2] <= S[1]
+
+        The chase of the TGD creates the same atoms (same copied values,
+        same fresh-NDV columns) the IND chase rule creates, so the two
+        forms yield identical verdicts.
+        """
+        from repro.dependencies.embedded import TGD
+        from repro.queries.conjunct import Conjunct
+        from repro.terms.term import Variable
+
+        lhs_positions = self.lhs_positions(schema)
+        rhs_positions = self.rhs_positions(schema)
+        source_arity = schema.relation(self.lhs_relation).arity
+        target_arity = schema.relation(self.rhs_relation).arity
+        body_terms = [Variable(f"x{position + 1}") for position in range(source_arity)]
+        head_terms = [body_terms[lhs_positions[rhs_positions.index(position)]]
+                      if position in rhs_positions else Variable(f"y{position + 1}")
+                      for position in range(target_arity)]
+        return TGD(body=[Conjunct(self.lhs_relation, body_terms)],
+                   head=[Conjunct(self.rhs_relation, head_terms)])
+
     # -- derived dependencies -----------------------------------------------------------
 
     def projected(self, index_sequence: Sequence[int]) -> "InclusionDependency":

@@ -2,21 +2,28 @@
 
 A database *obeys* an FD ``R: Z → A`` if no two tuples of R agree on Z and
 differ on A, and obeys an IND ``R[X] ⊆ S[Y]`` if every X-subtuple of R
-occurs as a Y-subtuple of S.  These checks are used by the storage engine
-(integrity enforcement), by the finite counter-model search (only
-Σ-satisfying databases are admissible witnesses), and by tests that verify
-the instance-level chase really repairs a database.
+occurs as a Y-subtuple of S.  The general embedded forms are the same
+conditions on arbitrary rule bodies: a TGD is obeyed when every
+homomorphism of its body into the rows extends to its head, an EGD when
+no body homomorphism binds its two equated variables to different values.
+These checks are used by the storage engine (integrity enforcement), by
+the finite counter-model search (only Σ-satisfying databases are
+admissible witnesses), and by tests that verify the instance-level chase
+really repairs a database.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.dependencies.dependency_set import Dependency, DependencySet
+from repro.dependencies.embedded import EGD, TGD
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
+from repro.queries.conjunct import Conjunct
 from repro.relational.database import Database
+from repro.terms.term import Constant, Variable
 
 
 @dataclass(frozen=True)
@@ -94,13 +101,114 @@ def ind_violations(database: Database, ind: InclusionDependency,
     return violations
 
 
+class _Fact:
+    """A database row viewed through the chase-node interface.
+
+    Wrapping each value as a :class:`Constant` lets the embedded-trigger
+    matcher (:func:`repro.chase.embedded_triggers.iter_body_matches`)
+    enumerate rule-body homomorphisms over *rows* with the exact same
+    algorithm it uses over chase nodes — one matcher, two backings.
+    """
+
+    __slots__ = ("conjunct", "row")
+
+    def __init__(self, relation: str, row: Tuple[Any, ...]):
+        self.conjunct = Conjunct(relation, [Constant(value) for value in row])
+        self.row = row
+
+
+def _fact_source(database: Database):
+    """Per-relation fact lists for the shared body matcher, built lazily."""
+    cache: Dict[str, List[_Fact]] = {}
+
+    def facts_for_relation(relation: str) -> Sequence[_Fact]:
+        if relation not in cache:
+            cache[relation] = [_Fact(relation, row)
+                               for row in database.relation(relation)]
+        return cache[relation]
+
+    return facts_for_relation
+
+
+def _iter_row_matches(database: Database, atoms: Sequence[Conjunct],
+                      binding: Optional[Dict[Variable, Any]] = None
+                      ) -> Iterator[Tuple[Tuple[Tuple[Any, ...], ...],
+                                          Dict[Variable, Constant]]]:
+    """All homomorphisms of rule atoms into the database's rows.
+
+    Yields the matched rows (one per atom, in order) and the binding,
+    whose values are :class:`Constant`-wrapped row values.
+    """
+    from repro.chase.embedded_triggers import iter_body_matches
+    source = _fact_source(database)
+    for facts, match_binding in iter_body_matches(atoms, source, binding):
+        yield tuple(fact.row for fact in facts), match_binding
+
+
+def tgd_violations(database: Database, tgd: TGD,
+                   limit: Optional[int] = None) -> List[Violation]:
+    """All (or the first ``limit``) violations of one general TGD.
+
+    A violation is a body match whose frontier values admit no head
+    match; the witness is the matched body rows.
+    """
+    violations: List[Violation] = []
+    frontier = tgd.frontier()
+    for rows, binding in _iter_row_matches(database, tgd.body):
+        pinned = {variable: binding[variable] for variable in frontier}
+        if any(True for _ in _iter_row_matches(database, tgd.head, pinned)):
+            continue
+        violations.append(Violation(
+            dependency=tgd,
+            relation=tgd.body[0].relation,
+            witness=rows,
+            message=(
+                f"TGD {tgd} violated: body rows {rows} have no matching "
+                "head tuples"
+            ),
+        ))
+        if limit is not None and len(violations) >= limit:
+            break
+    return violations
+
+
+def egd_violations(database: Database, egd: EGD,
+                   limit: Optional[int] = None) -> List[Violation]:
+    """All (or the first ``limit``) violations of one general EGD.
+
+    A violation is a body match binding the two equated variables to
+    different values; the witness is the matched body rows.
+    """
+    violations: List[Violation] = []
+    for rows, binding in _iter_row_matches(database, egd.body):
+        if binding[egd.lhs] == binding[egd.rhs]:
+            continue
+        violations.append(Violation(
+            dependency=egd,
+            relation=egd.body[0].relation,
+            witness=rows,
+            message=(
+                f"EGD {egd} violated: body rows {rows} bind {egd.lhs} to "
+                f"{binding[egd.lhs].value!r} but {egd.rhs} to "
+                f"{binding[egd.rhs].value!r}"
+            ),
+        ))
+        if limit is not None and len(violations) >= limit:
+            break
+    return violations
+
+
 def dependency_violations(database: Database, dependency: Dependency,
                           limit: Optional[int] = None) -> List[Violation]:
-    """Violations of a single FD or IND."""
+    """Violations of a single FD, IND, TGD, or EGD."""
     if isinstance(dependency, FunctionalDependency):
         return fd_violations(database, dependency, limit=limit)
     if isinstance(dependency, InclusionDependency):
         return ind_violations(database, dependency, limit=limit)
+    if isinstance(dependency, TGD):
+        return tgd_violations(database, dependency, limit=limit)
+    if isinstance(dependency, EGD):
+        return egd_violations(database, dependency, limit=limit)
     raise TypeError(f"unsupported dependency type: {dependency!r}")
 
 

@@ -1,4 +1,4 @@
-"""Parsing functional and inclusion dependencies from text.
+"""Parsing dependencies from text: FDs, INDs, and general TGDs/EGDs.
 
 Syntax::
 
@@ -6,6 +6,20 @@ Syntax::
     EMP: dept -> loc, manager   # one single-RHS FD each, the paper's form)
     EMP[dept] <= DEP[dept]      # IND; '⊆' is accepted as well
     R[1, 3] <= S[1, 2]          # positional attribute references
+
+General embedded dependencies write full atoms on both sides of the
+arrow.  Variables are plain names scoped to the rule; head variables
+absent from the body are existentially quantified; a head of the form
+``x = y`` makes the rule an EGD::
+
+    EMP(e, s, d) -> DEP(d, l)                 # TGD (l is existential)
+    R(x, y), S(y, z) -> T(x, w), U(w, z)      # TGD, multi-atom both sides
+    EMP(e, s, d), EMP(e, s2, d2) -> s = s2    # EGD
+    R(x, 'sales') -> S(x, 0)                  # constants are allowed
+
+The ``dependencies:`` text accepted by the CLI, the service protocol's
+inline ``deps`` fields, and :func:`parse_dependencies` is one dependency
+per non-empty line in any mix of the four forms.
 """
 
 from __future__ import annotations
@@ -13,11 +27,14 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.dependencies.dependency_set import Dependency, DependencySet
+from repro.dependencies.embedded import EGD, TGD
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import ParseError
 from repro.parser.tokenizer import TokenStream
+from repro.queries.conjunct import Conjunct
 from repro.relational.schema import AttributeRef, DatabaseSchema
+from repro.terms.term import Constant, Term, Variable
 
 
 def _parse_attribute(stream: TokenStream) -> AttributeRef:
@@ -35,6 +52,50 @@ def _parse_attribute_list(stream: TokenStream) -> List[AttributeRef]:
     while stream.accept("COMMA"):
         attributes.append(_parse_attribute(stream))
     return attributes
+
+
+def _parse_term(stream: TokenStream) -> Term:
+    """One atom argument: a rule variable or a constant."""
+    token = stream.peek()
+    if token.kind == "NAME":
+        return Variable(stream.next().text)
+    if token.kind == "NUMBER":
+        text = stream.next().text
+        return Constant(float(text) if "." in text else int(text))
+    if token.kind == "STRING":
+        return Constant(stream.next().text[1:-1])
+    raise ParseError(f"expected a variable or constant, found {token.text!r}",
+                     stream.text, token.position)
+
+
+def _parse_atom_terms(stream: TokenStream) -> List[Term]:
+    stream.expect("LPAREN")
+    terms = [_parse_term(stream)]
+    while stream.accept("COMMA"):
+        terms.append(_parse_term(stream))
+    stream.expect("RPAREN")
+    return terms
+
+
+def _parse_embedded(stream: TokenStream, first_relation: str) -> Dependency:
+    """A TGD or EGD, with the first body atom's relation already consumed."""
+    body = [Conjunct(first_relation, _parse_atom_terms(stream))]
+    while stream.accept("COMMA"):
+        relation = stream.expect("NAME").text
+        body.append(Conjunct(relation, _parse_atom_terms(stream)))
+    stream.expect("ARROW")
+    name = stream.expect("NAME").text
+    if not stream.at_end() and stream.peek().kind == "EQUALS":
+        stream.next()
+        rhs = stream.expect("NAME").text
+        stream.expect_end()
+        return EGD(body, Variable(name), Variable(rhs))
+    head = [Conjunct(name, _parse_atom_terms(stream))]
+    while stream.accept("COMMA"):
+        relation = stream.expect("NAME").text
+        head.append(Conjunct(relation, _parse_atom_terms(stream)))
+    stream.expect_end()
+    return TGD(body, head)
 
 
 def parse_dependency(text: str) -> List[Dependency]:
@@ -61,8 +122,10 @@ def parse_dependency(text: str) -> List[Dependency]:
         stream.expect("RBRACKET")
         stream.expect_end()
         return [InclusionDependency(relation, lhs, rhs_relation, rhs)]
-    raise ParseError(f"expected ':' (FD) or '[' (IND) after relation name, "
-                     f"found {token.text!r}", text, token.position)
+    if token.kind == "LPAREN":
+        return [_parse_embedded(stream, relation)]
+    raise ParseError(f"expected ':' (FD), '[' (IND), or '(' (TGD/EGD) after "
+                     f"relation name, found {token.text!r}", text, token.position)
 
 
 def parse_dependencies(text: str, schema: Optional[DatabaseSchema] = None) -> DependencySet:

@@ -21,6 +21,7 @@ _TOKEN_SPEC = [
     ("RBRACKET", r"\]"),
     ("COMMA", r","),
     ("COLON", r":"),
+    ("EQUALS", r"="),
     ("WS", r"\s+"),
 ]
 

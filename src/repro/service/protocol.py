@@ -91,11 +91,21 @@ class ServiceLimits:
     """Per-request budget ceilings the server enforces.
 
     Client-supplied budgets are clamped to these, so one tenant cannot
-    buy an unbounded chase on a shared service.
+    buy an unbounded chase on a shared service.  Non-positive ceilings
+    are a front-end misconfiguration; they fail here, at construction,
+    rather than per-request deep inside a shard.
     """
 
     max_conjuncts: int = 100_000
     max_level: int = 64
+
+    def __post_init__(self) -> None:
+        if self.max_conjuncts <= 0:
+            raise ReproError(
+                f"ServiceLimits.max_conjuncts must be positive, got {self.max_conjuncts}")
+        if self.max_level <= 0:
+            raise ReproError(
+                f"ServiceLimits.max_level must be positive, got {self.max_level}")
 
 
 class TenantParser:
@@ -226,6 +236,11 @@ def shard_for(schema_fp: str, deps_fp: str, shard_count: int) -> int:
     SHA-256 over the two fingerprints rather than ``hash()``: the
     builtin is salted per process, and routing must agree between the
     front end, restarted front ends, and the tests.
+
+    ``shard_count`` is validated where pools are *constructed*
+    (:class:`~repro.service.pool.ShardedSolverPool` refuses a
+    non-positive count), so a misconfigured front end fails at startup;
+    the guard here is a last-resort invariant check for direct callers.
     """
     if shard_count <= 0:
         raise ValueError("shard_count must be positive")
@@ -321,7 +336,13 @@ def _dispatch(record: Dict[str, Any], solver: Solver, defaults: ServiceDefaults,
                         limits.max_conjuncts)
 
     if op == "contain":
-        config = solver.config.derive(max_conjuncts=max_conjuncts)
+        # The level ceiling also caps the termination-certified deepening
+        # for general Σ, so a tenant whose weakly-acyclic rules saturate
+        # very deep cannot monopolise a shard.
+        max_level = min(record.get("max_level") or limits.max_level,
+                        limits.max_level)
+        config = solver.config.derive(max_conjuncts=max_conjuncts,
+                                      saturation_level_cap=max_level)
         query_prime = parse_query(record["query_prime"], schema)
         response = solver.solve(ContainmentRequest(
             query, query_prime, sigma, config=config, tag=record.get("id")))

@@ -48,6 +48,13 @@ class SolverService:
     def __init__(self, pool: ShardedSolverPool, host: str = "127.0.0.1",
                  port: int = 0, unix_path: Optional[str] = None,
                  max_pending: Optional[int] = None):
+        if max_pending is not None and max_pending < 0:
+            # Fail at startup: a negative admission limit is always a
+            # misconfiguration.  (0 is legal and sheds every data-plane
+            # request — the tests use it to simulate a saturated service.)
+            raise ReproError(
+                f"max_pending must be non-negative (or None to disable "
+                f"admission control), got {max_pending}")
         self._pool = pool
         self._host = host
         self._port = port
@@ -100,7 +107,18 @@ class SolverService:
                 line = await reader.readline()
                 if not line:
                     break
-                envelope = await self._answer(line.decode("utf-8", "replace"))
+                try:
+                    text = line.decode("utf-8")
+                except UnicodeDecodeError as error:
+                    # Decoding with errors="replace" would silently mangle
+                    # tenant schema/deps text and route the request as if
+                    # it were valid; answer with a structured envelope so
+                    # the client knows its bytes, not its logic, are bad.
+                    envelope = error_envelope(
+                        None, "protocol",
+                        f"request line is not valid UTF-8: {error}")
+                else:
+                    envelope = await self._answer(text)
                 writer.write(json.dumps(envelope, sort_keys=True,
                                         default=str).encode("utf-8") + b"\n")
                 await writer.drain()

@@ -7,6 +7,8 @@ this package provides deterministic (seeded) generators for
 * conjunctive queries (chain joins, star joins, random shapes),
 * dependency sets (IND-only with a width bound, key-based sets whose keys
   and foreign keys follow the paper's definition),
+* embedded TGD/EGD sets that are weakly acyclic by layered construction
+  (for the general-Σ containment path),
 * finite database instances (random, optionally repaired to satisfy Σ),
 * view catalogs (chain projections, star collapses, key-join collapses)
   for the :mod:`repro.views` rewriting workloads,
@@ -22,6 +24,7 @@ objects used by the examples, tests, and benchmarks.
 from repro.workloads.schema_generator import SchemaGenerator
 from repro.workloads.query_generator import QueryGenerator
 from repro.workloads.dependency_generator import DependencyGenerator
+from repro.workloads.embedded_generator import EmbeddedDependencyGenerator
 from repro.workloads.database_generator import DatabaseGenerator
 from repro.workloads.view_generator import ViewCatalogGenerator
 from repro.workloads.traffic_generator import Tenant, TrafficGenerator
@@ -34,6 +37,7 @@ from repro.workloads.paper_examples import (
 __all__ = [
     "DatabaseGenerator",
     "DependencyGenerator",
+    "EmbeddedDependencyGenerator",
     "QueryGenerator",
     "SchemaGenerator",
     "Tenant",

@@ -49,6 +49,10 @@ class DatabaseGenerator:
             database = self.random(tuples_per_relation, domain_size)
             if database_satisfies(database, dependencies):
                 return database
+            if dependencies.has_embedded():
+                # The instance chase only repairs FDs and INDs; for
+                # embedded Σ, rejection sampling is all we can do.
+                continue
             repaired = chase_instance(database, dependencies, max_steps=repair_steps)
             if repaired.succeeded:
                 return repaired.database

@@ -246,3 +246,97 @@ class TestINDContainment:
         result = is_contained(intro.q2, intro.q1, intro.dependencies)
         text = result.describe()
         assert "holds" in text and "bounded-chase" in text
+
+
+class TestTheorem2EdgeCases:
+    """Edge-case coverage for the Theorem 2 machinery (PR 5 satellites)."""
+
+    def test_zero_conjunct_bound_degenerates_to_one(self):
+        """A hypothetical zero-conjunct Q' still chases its level-0 roots."""
+        assert lemma5_level_bound(0, 5, 2) == 1
+        assert lemma5_level_bound(0, 0, 4) == 1
+
+    def test_width_zero_sigma_bound(self, emp_dep_schema):
+        """FD-only Σ has W = 0, so the bound collapses to |Q'| · |Σ|."""
+        sigma = DependencySet([FunctionalDependency("EMP", ["emp"], "sal"),
+                               FunctionalDependency("EMP", ["emp"], "dept")],
+                              schema=emp_dep_schema)
+        q_prime = (
+            QueryBuilder(emp_dep_schema, name="Qp")
+            .head("e").atom("EMP", "e", "s", "d").build()
+        )
+        assert sigma.max_width() == 0
+        assert theorem2_level_bound(q_prime, sigma) == len(q_prime) * len(sigma)
+
+    def test_bound_one_deepening_schedule(self):
+        """bound=1 must yield the single-stage schedule [1], not [2, 1]."""
+        from repro.containment.ind_containment import _deepening_schedule
+        assert _deepening_schedule(1) == [1]
+        assert _deepening_schedule(2) == [2]
+        assert _deepening_schedule(3) == [2, 3]
+        assert _deepening_schedule(16) == [2, 4, 8, 16]
+
+    def test_bound_one_decision_still_exact(self, intro):
+        """Forcing the whole decision through a bound of 1 stays correct."""
+        result = is_contained(intro.q2, intro.q1, intro.dependencies,
+                              level_bound=1)
+        assert result.holds and result.certain and result.level_bound == 1
+
+
+class TestFailedChaseReporting:
+    """Regression: the failed-chase branch must report real prefix stats."""
+
+    def failing_after_level_zero(self):
+        """Σ and Q whose chase clashes only after building level 1.
+
+        The width-2 IND copies (5, 7) into S, where the FD S: c → d then
+        collides the copied 7 with the level-0 constant 8.
+        """
+        from repro.dependencies.inclusion import InclusionDependency
+        from repro.parser import parse_query, parse_schema
+        schema = parse_schema("R(a, b)\nS(c, d)")
+        sigma = DependencySet([
+            FunctionalDependency("S", ["c"], "d"),
+            InclusionDependency("R", ["a", "b"], "S", ["c", "d"]),
+        ], schema=schema)
+        query = parse_query("Q(v) :- R(5, 7), S(5, 8), R(v, w)", schema)
+        q_prime = parse_query("Q(v) :- S(v, w)", schema)
+        return schema, sigma, query, q_prime
+
+    def test_prefix_stats_are_not_zeroed(self):
+        _, sigma, query, q_prime = self.failing_after_level_zero()
+        result = contained_under_bounded_chase(query, q_prime, sigma,
+                                               exact=False)
+        assert result.holds and result.certain
+        assert result.method == "failed-chase"
+        # The clash happened after the level-1 conjunct was built: the
+        # reported prefix must reflect that, not the post-failure empty
+        # chase (the seed reported levels_built=0, chase_size=0 here).
+        assert result.levels_built == 1
+        assert result.chase_size == 4
+        assert "S: c -> d" in result.reason
+
+    def test_failed_chase_result_carries_the_dependency(self):
+        from repro.chase.engine import ChaseConfig, build_engine
+        _, sigma, query, _ = self.failing_after_level_zero()
+        for engine in ("indexed", "legacy"):
+            chase_result = build_engine(query, sigma,
+                                        ChaseConfig(engine=engine)).run()
+            assert chase_result.failed
+            assert chase_result.failure_dependency == "S: c -> d"
+            assert chase_result.failure_live_conjuncts == 4
+            assert chase_result.statistics.max_level_reached == 1
+
+    def test_level_zero_clash_still_reports_zero_levels(self, emp_dep_schema):
+        """A clash among the roots legitimately reports a level-0 prefix."""
+        from repro.parser import parse_query
+        sigma = DependencySet([FunctionalDependency("EMP", ["emp"], "sal")],
+                              schema=emp_dep_schema)
+        query = parse_query(
+            "Q(e) :- EMP(e, 100, d), EMP(e, 200, d2)", emp_dep_schema)
+        q_prime = parse_query("Q(e) :- EMP(e, s, d)", emp_dep_schema)
+        result = contained_under_bounded_chase(query, q_prime, sigma)
+        assert result.holds and result.method == "failed-chase"
+        assert result.levels_built == 0
+        assert result.chase_size == 2
+        assert "EMP: emp -> sal" in result.reason

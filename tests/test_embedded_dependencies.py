@@ -1,0 +1,789 @@
+"""Embedded dependencies (TGDs/EGDs): objects, analysis, chase, containment.
+
+Covers the general-Σ scenario class end to end:
+
+* TGD/EGD construction, normalization, validation, and rendering;
+* the FD→EGD and IND→TGD normalizations and their semantic equivalence
+  (identical chases and identical containment verdicts);
+* DependencySet classification, fingerprints, and widths for embedded Σ;
+* the weak-acyclicity termination analysis over general TGDs;
+* TGD/EGD chases under both engines with node-for-node agreement;
+* exact containment verdicts for certified-terminating Σ and the
+  preserved uncertain-negative semantics for non-weakly-acyclic Σ;
+* the weakly-acyclic workload generator;
+* TGD/EGD serialization and the service protocol's inline deps texts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.api import Solver, SolverConfig
+from repro.chase.engine import ChaseConfig, ChaseEngine, ChaseVariant
+from repro.chase.legacy_engine import LegacyChaseEngine
+from repro.chase.termination import (
+    analyse_termination,
+    chase_guaranteed_finite,
+    dependency_position_graph,
+)
+from repro.containment.serialization import (
+    dependency_from_dict,
+    dependency_set_from_dict,
+    dependency_set_to_dict,
+    dependency_to_dict,
+)
+from repro.dependencies import (
+    EGD,
+    TGD,
+    DependencyClass,
+    DependencySet,
+    FunctionalDependency,
+    InclusionDependency,
+)
+from repro.exceptions import DependencyError
+from repro.parser import parse_dependencies, parse_query, parse_schema
+from repro.parser.dependency_parser import parse_dependency
+from repro.queries.conjunct import Conjunct
+from repro.relational.schema import DatabaseSchema
+from repro.service.protocol import ServiceDefaults, handle_record, make_worker_solver
+from repro.terms.term import Constant, DistinguishedVariable, Variable
+from repro.workloads import EmbeddedDependencyGenerator, SchemaGenerator
+
+ENGINES = ("indexed", "legacy")
+
+
+@pytest.fixture
+def rst_schema() -> DatabaseSchema:
+    return DatabaseSchema.from_dict({
+        "R": ["a", "b"], "S": ["c", "d"], "T": ["e", "f"],
+    })
+
+
+def x(name: str) -> Variable:
+    return Variable(name)
+
+
+def chase_both_engines(query, sigma, variant=ChaseVariant.RESTRICTED,
+                       max_level=None, max_conjuncts=5_000):
+    config_kwargs = dict(variant=variant, max_level=max_level,
+                         max_conjuncts=max_conjuncts)
+    indexed = ChaseEngine(query, sigma, ChaseConfig(**config_kwargs)).run()
+    legacy = LegacyChaseEngine(query, sigma, ChaseConfig(**config_kwargs)).run()
+    return indexed, legacy
+
+
+def assert_same_chase(first, second):
+    """Node-for-node agreement: ids, levels, atoms, arcs, summary, status."""
+    assert first.failed == second.failed
+    assert first.saturated == second.saturated
+    assert first.truncated == second.truncated
+    assert first.summary_row == second.summary_row
+    first_nodes = [(n.node_id, n.level, n.relation, n.conjunct.terms)
+                   for n in first.graph]
+    second_nodes = [(n.node_id, n.level, n.relation, n.conjunct.terms)
+                    for n in second.graph]
+    assert first_nodes == second_nodes
+    first_arcs = [(a.source, a.target, str(a.dependency), a.kind)
+                  for a in first.graph.arcs()]
+    second_arcs = [(a.source, a.target, str(a.dependency), a.kind)
+                   for a in second.graph.arcs()]
+    assert first_arcs == second_arcs
+
+
+# ---------------------------------------------------------------------------
+# The dependency objects
+# ---------------------------------------------------------------------------
+
+
+class TestTGDObject:
+    def test_frontier_and_existentials(self):
+        tgd = TGD([Conjunct("R", [x("u"), x("v")])],
+                  [Conjunct("S", [x("v"), x("w")])])
+        assert {variable.name for variable in tgd.frontier()} == {"v"}
+        assert {variable.name for variable in tgd.existential_variables()} == {"w"}
+        assert tgd.width == 1
+        assert not tgd.is_full
+
+    def test_full_tgd(self):
+        tgd = TGD([Conjunct("R", [x("u"), x("v")])],
+                  [Conjunct("S", [x("u"), x("v")])])
+        assert tgd.is_full and tgd.width == 2
+
+    def test_variable_flavours_normalise(self):
+        """DV/NDV atoms and plain-variable atoms build equal rules."""
+        from repro.terms.term import NonDistinguishedVariable
+        plain = TGD([Conjunct("R", [x("u"), x("v")])],
+                    [Conjunct("S", [x("v"), x("w")])])
+        fancy = TGD(
+            [Conjunct("R", [DistinguishedVariable("u"),
+                            NonDistinguishedVariable("v")], label="lbl")],
+            [Conjunct("S", [NonDistinguishedVariable("v"),
+                            DistinguishedVariable("w")])])
+        assert plain == fancy and hash(plain) == hash(fancy)
+
+    def test_empty_sides_rejected(self):
+        with pytest.raises(DependencyError):
+            TGD([], [Conjunct("S", [x("v")])])
+        with pytest.raises(DependencyError):
+            TGD([Conjunct("R", [x("v")])], [])
+
+    def test_validate_checks_relations_and_arities(self, rst_schema):
+        good = TGD([Conjunct("R", [x("u"), x("v")])],
+                   [Conjunct("S", [x("v"), x("w")])])
+        good.validate(rst_schema)
+        with pytest.raises(DependencyError):
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("MISSING", [x("v")])]).validate(rst_schema)
+        with pytest.raises(DependencyError):
+            TGD([Conjunct("R", [x("u")])],
+                [Conjunct("S", [x("u"), x("w")])]).validate(rst_schema)
+
+
+class TestEGDObject:
+    def test_construction_and_str(self):
+        egd = EGD([Conjunct("R", [x("u"), x("v")]),
+                   Conjunct("R", [x("u"), x("w")])], x("v"), x("w"))
+        assert str(egd) == "R(u, v), R(u, w) -> v = w"
+        assert {variable.name for variable in egd.body_variables()} == {"u", "v", "w"}
+
+    def test_sides_must_occur_in_body(self):
+        with pytest.raises(DependencyError):
+            EGD([Conjunct("R", [x("u"), x("v")])], x("v"), x("zz"))
+
+    def test_trivial_equality_rejected(self):
+        with pytest.raises(DependencyError):
+            EGD([Conjunct("R", [x("u"), x("v")])], x("v"), x("v"))
+
+
+class TestNormalization:
+    def test_fd_as_egd(self, rst_schema):
+        fd = FunctionalDependency("R", ["a"], "b")
+        egd = fd.as_egd(rst_schema)
+        assert str(egd) == "R(x1, x2), R(x1, y2) -> x2 = y2"
+
+    def test_ind_as_tgd(self, rst_schema):
+        ind = InclusionDependency("R", [2], "S", [1])
+        tgd = ind.as_tgd(rst_schema)
+        assert str(tgd) == "R(x1, x2) -> S(x2, y2)"
+        assert tgd.width == ind.width
+
+    def test_normalized_embedded_set(self, rst_schema):
+        sigma = DependencySet([
+            FunctionalDependency("S", ["c"], "d"),
+            InclusionDependency("R", ["a"], "S", ["c"]),
+        ], schema=rst_schema)
+        normalized = sigma.normalized_embedded(rst_schema)
+        assert len(normalized) == 2
+        assert len(normalized.egds()) == 1 and len(normalized.tgds()) == 1
+        assert normalized.classify(rst_schema) is DependencyClass.EMBEDDED
+
+    def test_normalized_embedded_requires_schema(self):
+        with pytest.raises(DependencyError):
+            DependencySet([FunctionalDependency("R", ["a"], "b")]).normalized_embedded()
+
+    def test_trivial_fd_has_no_egd_form(self, rst_schema):
+        trivial = FunctionalDependency("R", ["a", "b"], "a")
+        assert trivial.is_trivial
+        with pytest.raises(DependencyError):
+            trivial.as_egd(rst_schema)
+
+    def test_normalized_embedded_drops_trivial_fds(self, rst_schema):
+        """Trivial FDs are tautologies; normalization skips, not crashes."""
+        sigma = DependencySet([
+            FunctionalDependency("R", ["a", "b"], "a"),
+            FunctionalDependency("S", ["c"], "d"),
+        ], schema=rst_schema)
+        normalized = sigma.normalized_embedded(rst_schema)
+        assert len(normalized) == 1 and len(normalized.egds()) == 1
+
+    def test_normalized_embedded_keeps_explicit_schema(self, rst_schema):
+        """An explicitly passed schema must end up on the result, so the
+        normalized set validates and classifies without re-threading it."""
+        bare = DependencySet([FunctionalDependency("R", ["a"], "b")])
+        normalized = bare.normalized_embedded(rst_schema)
+        assert normalized.schema is rst_schema
+        normalized.validate()  # must not raise "no schema available"
+        assert normalized.classify(rst_schema) is DependencyClass.EMBEDDED
+
+
+# ---------------------------------------------------------------------------
+# DependencySet integration
+# ---------------------------------------------------------------------------
+
+
+class TestDependencySetWithEmbedded:
+    def test_classify_and_views(self, rst_schema):
+        tgd = TGD([Conjunct("R", [x("u"), x("v")])],
+                  [Conjunct("S", [x("v"), x("w")])])
+        egd = EGD([Conjunct("S", [x("u"), x("v")]),
+                   Conjunct("S", [x("u"), x("w")])], x("v"), x("w"))
+        sigma = DependencySet([tgd, egd], schema=rst_schema)
+        assert sigma.classify(rst_schema) is DependencyClass.EMBEDDED
+        assert sigma.has_embedded()
+        assert sigma.tgds() == [tgd] and sigma.egds() == [egd]
+        assert sigma.embedded_dependencies() == [tgd, egd]
+        assert not sigma.is_fd_only() and not sigma.is_ind_only()
+        assert not sigma.supports_exact_containment(rst_schema)
+        assert not sigma.is_finitely_controllable(rst_schema)
+
+    def test_egd_only_set_is_not_fd_only(self, rst_schema):
+        """An EGD-only Σ must not slip into the FD-only fast path."""
+        egd = EGD([Conjunct("S", [x("u"), x("v")]),
+                   Conjunct("S", [x("u"), x("w")])], x("v"), x("w"))
+        sigma = DependencySet([egd], schema=rst_schema)
+        assert not sigma.is_fd_only()
+        assert sigma.classify(rst_schema) is DependencyClass.EMBEDDED
+
+    def test_max_width_counts_tgd_frontiers(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("u"), x("v")])]),
+            InclusionDependency("R", ["a"], "S", ["c"]),
+        ], schema=rst_schema)
+        assert sigma.max_ind_width() == 1
+        assert sigma.max_width() == 2
+
+    def test_fingerprint_stable_and_order_insensitive(self, rst_schema):
+        tgd = TGD([Conjunct("R", [x("u"), x("v")])],
+                  [Conjunct("S", [x("v"), x("w")])])
+        egd = EGD([Conjunct("S", [x("u"), x("v")]),
+                   Conjunct("S", [x("u"), x("w")])], x("v"), x("w"))
+        one = DependencySet([tgd, egd], schema=rst_schema)
+        other = DependencySet([egd, tgd], schema=rst_schema)
+        assert one == other
+        assert one.fingerprint() == other.fingerprint()
+        assert one.fingerprint() != DependencySet([tgd], schema=rst_schema).fingerprint()
+
+    def test_describe_tags_kinds(self, rst_schema):
+        sigma = DependencySet([
+            FunctionalDependency("R", ["a"], "b"),
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+            EGD([Conjunct("S", [x("u"), x("v")]),
+                 Conjunct("S", [x("u"), x("w")])], x("v"), x("w")),
+        ], schema=rst_schema)
+        text = sigma.describe()
+        assert "TGD" in text and "EGD" in text and "FD" in text
+
+
+# ---------------------------------------------------------------------------
+# Termination analysis
+# ---------------------------------------------------------------------------
+
+
+class TestEmbeddedTermination:
+    def test_layered_tgds_are_weakly_acyclic(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+            TGD([Conjunct("S", [x("u"), x("v")])],
+                [Conjunct("T", [x("u"), x("w")])]),
+        ], schema=rst_schema)
+        report = analyse_termination(sigma, rst_schema)
+        assert report.weakly_acyclic and report.witness_cycle is None
+        assert chase_guaranteed_finite(sigma, rst_schema)
+
+    def test_self_feeding_tgd_is_not(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("R", [x("v"), x("w")])]),
+        ], schema=rst_schema)
+        report = analyse_termination(sigma, rst_schema)
+        assert not report.weakly_acyclic
+        assert report.witness_cycle is not None
+        assert not chase_guaranteed_finite(sigma, rst_schema)
+
+    def test_full_tgds_never_threaten_termination(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("R", [x("v"), x("u")])]),
+        ], schema=rst_schema)
+        assert analyse_termination(sigma, rst_schema).weakly_acyclic
+
+    def test_egd_only_sets_always_terminate(self, rst_schema):
+        sigma = DependencySet([
+            EGD([Conjunct("S", [x("u"), x("v")]),
+                 Conjunct("S", [x("u"), x("w")])], x("v"), x("w")),
+        ], schema=rst_schema)
+        assert chase_guaranteed_finite(sigma, rst_schema)
+
+    def test_position_graph_matches_ind_normalization(self, rst_schema):
+        """An IND and its as_tgd form induce the same edges."""
+        ind = InclusionDependency("R", [2], "S", [1])
+        as_inds = dependency_position_graph(
+            DependencySet([ind], schema=rst_schema), rst_schema)
+        as_tgds = dependency_position_graph(
+            DependencySet([ind.as_tgd(rst_schema)], schema=rst_schema), rst_schema)
+        assert set(as_inds.edges) == set(as_tgds.edges)
+
+    def test_analysis_agrees_with_figure1(self, figure1):
+        report = analyse_termination(figure1.dependencies,
+                                     figure1.query.input_schema)
+        assert not report.weakly_acyclic
+
+
+# ---------------------------------------------------------------------------
+# Chasing with TGDs and EGDs
+# ---------------------------------------------------------------------------
+
+
+class TestEmbeddedChase:
+    def test_tgd_chain_saturates_and_engines_agree(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+            TGD([Conjunct("S", [x("u"), x("v")])],
+                [Conjunct("T", [x("u"), x("w")])]),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        for variant in (ChaseVariant.RESTRICTED, ChaseVariant.OBLIVIOUS):
+            indexed, legacy = chase_both_engines(query, sigma, variant=variant)
+            assert_same_chase(indexed, legacy)
+            assert indexed.saturated
+            relations = [node.relation for node in indexed.graph]
+            assert relations == ["R", "S", "T"]
+            assert indexed.statistics.tgd_steps == 2
+
+    def test_multi_atom_body_joins(self, rst_schema):
+        """A two-atom body fires only when the join value matches."""
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")]), Conjunct("S", [x("v"), x("w")])],
+                [Conjunct("T", [x("u"), x("w")])]),
+        ], schema=rst_schema)
+        joined = parse_query("Q(a) :- R(a, b), S(b, c)", rst_schema)
+        indexed, legacy = chase_both_engines(joined, sigma)
+        assert_same_chase(indexed, legacy)
+        assert indexed.saturated and len(indexed) == 3
+        assert [n.relation for n in indexed.graph][-1] == "T"
+
+        disjoint = parse_query("Q(a) :- R(a, b), S(c, d)", rst_schema)
+        indexed, legacy = chase_both_engines(disjoint, sigma)
+        assert_same_chase(indexed, legacy)
+        assert indexed.saturated and len(indexed) == 2  # trigger never fires
+
+    def test_shared_existential_creates_one_ndv(self, rst_schema):
+        """One head existential used twice denotes a single fresh value."""
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("u"), x("w")]), Conjunct("T", [x("w"), x("v")])]),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        indexed, legacy = chase_both_engines(query, sigma)
+        assert_same_chase(indexed, legacy)
+        nodes = list(indexed.graph)
+        assert [node.relation for node in nodes] == ["R", "S", "T"]
+        s_node, t_node = nodes[1], nodes[2]
+        assert s_node.conjunct.terms[1] == t_node.conjunct.terms[0]
+        assert indexed.statistics.tgd_steps == 1  # one trigger, two conjuncts
+
+    def test_r_chase_skips_satisfied_heads(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("u"), x("v")])]),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(a, b), S(a, b)", rst_schema)
+        indexed, legacy = chase_both_engines(query, sigma)
+        assert_same_chase(indexed, legacy)
+        assert indexed.saturated and len(indexed) == 2
+        assert indexed.statistics.tgd_steps == 0
+
+    def test_o_chase_redundant_verbatim_head(self, rst_schema):
+        """The O-chase applies a full TGD whose head exists verbatim once."""
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("u"), x("v")])]),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(a, b), S(a, b)", rst_schema)
+        indexed, legacy = chase_both_engines(query, sigma,
+                                             variant=ChaseVariant.OBLIVIOUS)
+        assert_same_chase(indexed, legacy)
+        assert indexed.saturated and len(indexed) == 2
+        assert indexed.statistics.redundant_tgd_applications == 1
+        assert indexed.statistics.total_steps == len(indexed.trace)
+
+    def test_egd_merges_like_fd(self, rst_schema):
+        fd_sigma = DependencySet([FunctionalDependency("S", ["c"], "d")],
+                                 schema=rst_schema)
+        egd_sigma = DependencySet(
+            [FunctionalDependency("S", ["c"], "d").as_egd(rst_schema)],
+            schema=rst_schema)
+        query = parse_query("Q(a) :- S(a, b), S(a, c), R(b, c)", rst_schema)
+        fd_result, _ = chase_both_engines(query, fd_sigma)
+        egd_indexed, egd_legacy = chase_both_engines(query, egd_sigma)
+        assert_same_chase(egd_indexed, egd_legacy)
+        assert egd_indexed.statistics.egd_steps == 1
+        assert ([c.terms for c in fd_result.conjuncts()]
+                == [c.terms for c in egd_indexed.conjuncts()])
+        assert fd_result.summary_row == egd_indexed.summary_row
+
+    def test_egd_constant_clash_fails_with_prefix_stats(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("u"), x("v")])]),
+            EGD([Conjunct("S", [x("u"), x("v")]),
+                 Conjunct("S", [x("u"), x("w")])], x("v"), x("w")),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(1, 2), S(1, 3), R(a, b)", rst_schema)
+        indexed, legacy = chase_both_engines(query, sigma, max_level=4)
+        assert indexed.failed and legacy.failed
+        for result in (indexed, legacy):
+            assert result.failure_dependency == "S(u, v), S(u, w) -> v = w"
+            assert result.failure_live_conjuncts == 4
+            assert result.statistics.max_level_reached == 1
+            assert result.conjuncts() == []
+
+    def test_level_budget_truncates_tgd_chase(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("R", [x("v"), x("w")])]),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        indexed, legacy = chase_both_engines(query, sigma, max_level=3)
+        assert_same_chase(indexed, legacy)
+        assert indexed.truncated and not indexed.saturated
+        assert indexed.max_level() == 3
+
+    def test_mixed_ind_and_tgd_selection_is_deterministic(self, rst_schema):
+        sigma = DependencySet([
+            InclusionDependency("R", ["b"], "S", ["c"]),
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("T", [x("u"), x("w")])]),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        for variant in (ChaseVariant.RESTRICTED, ChaseVariant.OBLIVIOUS):
+            indexed, legacy = chase_both_engines(query, sigma, variant=variant)
+            assert_same_chase(indexed, legacy)
+            assert indexed.saturated
+            # The IND fires before the TGD on the same source node.
+            assert [n.relation for n in indexed.graph] == ["R", "S", "T"]
+
+    def test_seeded_generator_sweep_differential(self):
+        """Random weakly-acyclic Σ: both engines agree, chases saturate."""
+        for seed in range(12):
+            schema = SchemaGenerator(seed=seed).uniform(4, 3)
+            generator = EmbeddedDependencyGenerator(schema, seed=seed)
+            sigma = generator.weakly_acyclic(3, egd_count=1)
+            assert analyse_termination(sigma, schema).weakly_acyclic
+            query = parse_query("Q(v) :- R1(v, b, c)", schema)
+            indexed, legacy = chase_both_engines(query, sigma,
+                                                 max_conjuncts=2_000)
+            assert_same_chase(indexed, legacy)
+            assert indexed.saturated or indexed.failed
+
+
+# ---------------------------------------------------------------------------
+# Containment over embedded Σ
+# ---------------------------------------------------------------------------
+
+
+class TestEmbeddedContainment:
+    def test_weakly_acyclic_tgds_get_exact_verdicts(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+        ], schema=rst_schema)
+        solver = Solver()
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        query_prime = parse_query("Q(a) :- R(a, b), S(b, c)", rst_schema)
+        positive = solver.is_contained(query, query_prime, sigma)
+        assert positive.holds and positive.certain
+        negative = solver.is_contained(
+            query, parse_query("Q(a) :- T(a, b)", rst_schema), sigma)
+        assert not negative.holds and negative.certain
+
+    def test_non_weakly_acyclic_keeps_uncertain_negative(self, rst_schema):
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("R", [x("v"), x("w")])]),
+        ], schema=rst_schema)
+        solver = Solver()
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        query_prime = parse_query("Q(a) :- R(a, b), S(b, c)", rst_schema)
+        result = solver.is_contained(query, query_prime, sigma)
+        assert not result.holds and not result.certain
+
+    def test_explicit_level_bound_restores_bound_semantics(self, rst_schema):
+        """An explicit bound wins over the termination certificate: the
+        chase stops at level 1 (before the T atom appears at level 2) and
+        the answer is an uncertain negative again."""
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+            TGD([Conjunct("S", [x("u"), x("v")])],
+                [Conjunct("T", [x("u"), x("w")])]),
+        ], schema=rst_schema)
+        solver = Solver()
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        query_prime = parse_query("Q(a) :- R(a, b), T(b, c)", rst_schema)
+        unbounded = solver.is_contained(query, query_prime, sigma)
+        assert unbounded.holds and unbounded.certain  # T appears at level 2
+        bounded = solver.is_contained(query, query_prime, sigma, level_bound=1)
+        assert not bounded.holds and not bounded.certain
+
+    def test_certify_termination_off_still_sound(self, rst_schema):
+        """With certification disabled, saturation within the bound still
+        yields an exact answer — the knob only forfeits the deepening."""
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+        ], schema=rst_schema)
+        solver = Solver(SolverConfig(certify_termination=False))
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        negative = solver.is_contained(
+            query, parse_query("Q(a) :- T(a, b)", rst_schema), sigma)
+        assert not negative.holds and negative.certain
+        assert "saturated" in negative.reason
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_ind_set_and_tgd_normalization_verdicts_agree(self, engine):
+        """Acceptance: Σ as FDs+INDs vs the same Σ as TGDs/EGDs."""
+        for seed in range(8):
+            schema = SchemaGenerator(seed=seed).uniform(3, 3)
+            inds, tgds = EmbeddedDependencyGenerator(
+                schema, seed=seed).ind_expressible(3)
+            solver = Solver(SolverConfig(chase_engine=engine))
+            query = parse_query("Q(v) :- R1(v, b, c)", schema)
+            query_prime = parse_query("Q(v) :- R1(v, b, c), R2(d, e, f)", schema)
+            for q, qp in ((query, query_prime), (query_prime, query)):
+                native = solver.is_contained(q, qp, inds)
+                embedded = solver.is_contained(q, qp, tgds)
+                assert native.holds == embedded.holds
+                assert native.certain and embedded.certain
+
+    def test_fd_set_and_egd_normalization_verdicts_agree(self, rst_schema):
+        fds = DependencySet([FunctionalDependency("S", ["c"], "d")],
+                            schema=rst_schema)
+        egds = fds.normalized_embedded(rst_schema)
+        solver = Solver()
+        query = parse_query("Q(a) :- S(a, b), S(a, c), R(b, c)", rst_schema)
+        query_prime = parse_query("Q(a) :- S(a, b), R(b, b)", rst_schema)
+        native = solver.is_contained(query, query_prime, fds)
+        embedded = solver.is_contained(query, query_prime, egds)
+        assert native.holds and embedded.holds
+        assert native.certain and embedded.certain
+
+    def test_saturation_level_cap_bounds_certified_deepening(self, rst_schema):
+        """A cap below the saturation depth turns the certified exact
+        answer back into an uncertain negative — the shared service uses
+        this so one tenant cannot monopolise a shard."""
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+            TGD([Conjunct("S", [x("u"), x("v")])],
+                [Conjunct("T", [x("u"), x("w")])]),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        query_prime = parse_query("Q(a) :- R(a, b), T(b, c)", rst_schema)
+        capped = Solver(SolverConfig(saturation_level_cap=1)).is_contained(
+            query, query_prime, sigma)
+        assert not capped.holds and not capped.certain
+        uncapped = Solver().is_contained(query, query_prime, sigma)
+        assert uncapped.holds and uncapped.certain
+        with pytest.raises(Exception):
+            SolverConfig(saturation_level_cap=0)
+
+    def test_certificates_are_refused_for_embedded_sigma(self, rst_schema):
+        """Theorem 2 certificates replay IND applications; asking for one
+        under a TGD Σ must fail loudly, not ship a proof that fails its
+        own verify()."""
+        from repro.exceptions import ReproError
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+        ], schema=rst_schema)
+        solver = Solver()
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        query_prime = parse_query("Q(a) :- R(a, b), S(b, c)", rst_schema)
+        with pytest.raises(ReproError, match="certificate"):
+            solver.is_contained(query, query_prime, sigma, with_certificate=True)
+        # Without the certificate request the verdict is fine.
+        assert solver.is_contained(query, query_prime, sigma).holds
+
+    def test_full_round_trip_through_parser_and_solver(self, rst_schema):
+        """Acceptance: parse → chase both engines → certain verdict."""
+        deps_text = "\n".join([
+            "R(u, v) -> S(v, w)",
+            "S(u, v), S(u, w) -> v = w",
+        ])
+        sigma = parse_dependencies(deps_text, rst_schema)
+        reparsed = parse_dependencies(
+            "\n".join(str(d) for d in sigma), rst_schema)
+        assert reparsed == sigma
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        indexed, legacy = chase_both_engines(query, sigma)
+        assert_same_chase(indexed, legacy)
+        assert indexed.saturated
+        result = Solver().is_contained(
+            query, parse_query("Q(a) :- R(a, b), S(b, c)", rst_schema), sigma)
+        assert result.holds and result.certain
+
+
+# ---------------------------------------------------------------------------
+# Workload generation
+# ---------------------------------------------------------------------------
+
+
+class TestEmbeddedGenerator:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_weakly_acyclic_by_construction(self, seed):
+        schema = SchemaGenerator(seed=seed).mixed(4, min_arity=2, max_arity=4)
+        sigma = EmbeddedDependencyGenerator(schema, seed=seed).weakly_acyclic(
+            4, egd_count=2)
+        assert sigma.tgds() and sigma.egds()
+        assert analyse_termination(sigma, schema).weakly_acyclic
+        assert sigma.classify(schema) is DependencyClass.EMBEDDED
+        sigma.validate(schema)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_ind_expressible_pairs_match(self, seed):
+        schema = SchemaGenerator(seed=seed).uniform(4, 3)
+        inds, tgds = EmbeddedDependencyGenerator(
+            schema, seed=seed).ind_expressible(4)
+        assert len(inds) == len(tgds.tgds()) == 4
+        assert analyse_termination(inds, schema).weakly_acyclic
+        assert analyse_termination(tgds, schema).weakly_acyclic
+        assert tgds == inds.normalized_embedded(schema)
+
+    def test_needs_two_relations(self):
+        schema = DatabaseSchema.from_dict({"R": ["a", "b"]})
+        with pytest.raises(ValueError):
+            EmbeddedDependencyGenerator(schema)
+
+
+# ---------------------------------------------------------------------------
+# Serialization and the service path
+# ---------------------------------------------------------------------------
+
+
+class TestEmbeddedSerializationAndService:
+    def test_dependency_dict_round_trip(self, rst_schema):
+        tgd = TGD([Conjunct("R", [x("u"), Constant(7)])],
+                  [Conjunct("S", [x("u"), x("w")])])
+        egd = EGD([Conjunct("S", [x("u"), x("v")]),
+                   Conjunct("S", [x("u"), x("w")])], x("v"), x("w"))
+        for dependency in (tgd, egd):
+            assert dependency_from_dict(dependency_to_dict(dependency)) == dependency
+        sigma = DependencySet([tgd, egd], schema=rst_schema)
+        rebuilt = dependency_set_from_dict(dependency_set_to_dict(sigma),
+                                           schema=rst_schema)
+        assert rebuilt == sigma
+
+    def test_service_accepts_inline_tgd_deps(self):
+        schema_text = "R(a, b)\nS(c, d)"
+        solver = make_worker_solver()
+        record = {
+            "id": "tgd-1",
+            "query": "Q(a) :- R(a, b)",
+            "query_prime": "Q(a) :- R(a, b), S(b, c)",
+            "schema": schema_text,
+            "deps": "R(u, v) -> S(v, w)",
+        }
+        envelope = handle_record(record, solver)
+        assert envelope["ok"], envelope
+        assert envelope["result"]["holds"] and envelope["result"]["certain"]
+
+    def test_service_chase_op_with_embedded_deps(self):
+        schema_text = "R(a, b)\nS(c, d)"
+        solver = make_worker_solver()
+        envelope = handle_record(
+            {"op": "chase", "query": "Q(a) :- R(a, b)",
+             "schema": schema_text, "deps": "R(u, v) -> S(v, w)"},
+            solver, ServiceDefaults())
+        assert envelope["ok"], envelope
+        assert envelope["result"]["saturated"]
+        assert envelope["result"]["statistics"]["tgd_steps"] == 1
+
+    def test_service_contain_respects_max_level_for_deepening(self):
+        """The service's level ceiling caps the certified deepening too."""
+        from repro.service.protocol import ServiceLimits
+        schema_text = "R(a, b)\nS(c, d)\nT(e, f)"
+        record = {
+            "query": "Q(a) :- R(a, b)",
+            "query_prime": "Qp(a) :- R(a, b), T(b, c)",
+            "schema": schema_text,
+            "deps": "R(u, v) -> S(v, w)\nS(u, v) -> T(u, w)",
+        }
+        capped = handle_record(dict(record, max_level=1), make_worker_solver(),
+                               limits=ServiceLimits())
+        assert capped["ok"]
+        assert not capped["result"]["holds"] and not capped["result"]["certain"]
+        free = handle_record(record, make_worker_solver(), limits=ServiceLimits())
+        assert free["ok"]
+        assert free["result"]["holds"] and free["result"]["certain"]
+
+    def test_instance_violations_cover_embedded_rules(self, rst_schema):
+        from repro.dependencies import check_database, database_satisfies
+        from repro.relational.database import Database
+        database = Database(rst_schema, {
+            "R": [(1, 2)], "S": [(2, 5), (2, 6)], "T": [],
+        })
+        tgd_ok = TGD([Conjunct("R", [x("u"), x("v")])],
+                     [Conjunct("S", [x("v"), x("w")])])
+        tgd_bad = TGD([Conjunct("S", [x("u"), x("v")])],
+                      [Conjunct("T", [x("u"), x("w")])])
+        egd_bad = EGD([Conjunct("S", [x("u"), x("v")]),
+                       Conjunct("S", [x("u"), x("w")])], x("v"), x("w"))
+        assert database_satisfies(database, DependencySet([tgd_ok]))
+        assert not database_satisfies(database, DependencySet([tgd_bad]))
+        report = check_database(database, DependencySet([tgd_bad, egd_bad]))
+        kinds = {type(v.dependency) for v in report}
+        assert kinds == {TGD, EGD}
+        assert any("no matching" in v.message for v in report)
+        assert any("bind" in v.message for v in report)
+
+    def test_finite_sampling_skips_repair_for_embedded_sets(self, rst_schema):
+        """Sampling paths fall back to rejection filtering instead of
+        crashing on the instance chase's embedded-Σ rejection."""
+        from repro.containment.finite import finite_containment_sample
+        from repro.dependencies import database_satisfies
+        from repro.workloads import DatabaseGenerator
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- R(a, b)", rst_schema)
+        query_prime = parse_query("Q(a) :- R(a, b), S(b, c)", rst_schema)
+        report = finite_containment_sample(query, query_prime, sigma,
+                                           exhaustive=False, samples=20,
+                                           domain_size=2, seed=3)
+        assert report.databases_generated == 20  # no ChaseError raised
+        found = DatabaseGenerator(rst_schema, seed=1).satisfying(
+            sigma, tuples_per_relation=1, domain_size=2, attempts=10)
+        assert found is None or database_satisfies(found, sigma)
+
+    def test_chase_instance_rejects_embedded_sets(self, rst_schema):
+        from repro.chase.instance_chase import chase_instance
+        from repro.exceptions import ChaseError
+        from repro.relational.database import Database
+        database = Database(rst_schema, {"R": [(1, 2)], "S": [], "T": []})
+        sigma = DependencySet([
+            TGD([Conjunct("R", [x("u"), x("v")])],
+                [Conjunct("S", [x("v"), x("w")])]),
+        ], schema=rst_schema)
+        with pytest.raises(ChaseError):
+            chase_instance(database, sigma)
+
+    def test_cli_contain_with_embedded_deps(self, capsys, rst_schema):
+        from repro.cli import main
+        exit_code = main([
+            "contain",
+            "--schema", "R(a, b)\nS(c, d)\nT(e, f)",
+            "--deps", "R(u, v) -> S(v, w)",
+            "--query", "Q(a) :- R(a, b)",
+            "--query-prime", "Q(a) :- R(a, b), S(b, c)",
+            "--json",
+        ])
+        assert exit_code == 0
+        import json
+        document = json.loads(capsys.readouterr().out)
+        assert document["holds"] and document["certain"]
+
+    def test_parse_errors_are_reported_with_position(self):
+        with pytest.raises(Exception) as excinfo:
+            parse_dependency("R(x, y) ->")
+        assert "expected" in str(excinfo.value)
+
+    def test_parse_schema_smoke(self):
+        schema = parse_schema("R(a, b)\nS(c, d)")
+        sigma = parse_dependencies("R(u, v) -> S(v, w)", schema)
+        assert sigma.tgds()[0].validate(schema) is None

@@ -16,11 +16,16 @@ from __future__ import annotations
 
 import pytest
 
+from repro.dependencies import EGD, TGD
 from repro.parser import parse_dependencies, parse_query, parse_schema, parse_views
+from repro.parser.dependency_parser import parse_dependency
+from repro.queries.conjunct import Conjunct
 from repro.relational.schema import DatabaseSchema
+from repro.terms.term import Variable
 from repro.views.view import ViewCatalog
 from repro.workloads import (
     DependencyGenerator,
+    EmbeddedDependencyGenerator,
     QueryGenerator,
     SchemaGenerator,
     ViewCatalogGenerator,
@@ -102,6 +107,64 @@ class TestDependencyRoundTrip:
     def test_cyclic_chains(self, seed):
         schema = SchemaGenerator(seed=seed).uniform(3, 3)
         sigma = DependencyGenerator(schema, seed=seed).cyclic_ind_chain(width=2)
+        rendered = "\n".join(str(dependency) for dependency in sigma)
+        assert parse_dependencies(rendered, schema) == sigma
+
+
+class TestEmbeddedDependencyRoundTrip:
+    """``parse(str(x)) == x`` for the TGD/EGD rule syntax."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_generated_weakly_acyclic_sets(self, seed):
+        schema = make_schema(seed)
+        sigma = EmbeddedDependencyGenerator(schema, seed=seed).weakly_acyclic(
+            3, egd_count=2)
+        rendered = "\n".join(str(dependency) for dependency in sigma)
+        assert parse_dependencies(rendered, schema) == sigma
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_normalized_classic_sets(self, seed):
+        """FDs→EGDs and INDs→TGDs survive the text round-trip too."""
+        schema = make_schema(seed)
+        sigma = DependencyGenerator(schema, seed=seed).key_based(3)
+        normalized = sigma.normalized_embedded(schema)
+        rendered = "\n".join(str(dependency) for dependency in normalized)
+        assert parse_dependencies(rendered, schema) == normalized
+
+    def test_hand_written_rules(self):
+        u, v, w = Variable("u"), Variable("v"), Variable("w")
+        cases = [
+            TGD([Conjunct("EMP", [u, v, w])], [Conjunct("DEP", [w, Variable("l")])]),
+            TGD([Conjunct("R", [u, v]), Conjunct("S", [v, w])],
+                [Conjunct("T", [u, Variable("z")]), Conjunct("U", [Variable("z"), w])]),
+            EGD([Conjunct("EMP", [u, v, w]),
+                 Conjunct("EMP", [u, Variable("v2"), Variable("w2")])], v, Variable("v2")),
+        ]
+        for dependency in cases:
+            assert parse_dependency(str(dependency)) == [dependency]
+
+    def test_constants_in_rules(self):
+        from repro.terms.term import Constant
+        tgd = TGD([Conjunct("R", [Variable("u"), Constant("sales")])],
+                  [Conjunct("S", [Variable("u"), Constant(0)])])
+        assert str(tgd) == "R(u, 'sales') -> S(u, 0)"
+        assert parse_dependency(str(tgd)) == [tgd]
+        as_float = TGD([Conjunct("R", [Variable("u"), Constant(1.5)])],
+                       [Conjunct("S", [Variable("u"), Variable("z")])])
+        assert parse_dependency(str(as_float)) == [as_float]
+
+    def test_mixed_dependency_text(self):
+        schema = DatabaseSchema.from_dict({
+            "EMP": ["emp", "sal", "dept"], "DEP": ["dept", "loc"],
+        })
+        text = "\n".join([
+            "EMP: emp -> sal",
+            "EMP[dept] <= DEP[dept]",
+            "EMP(e, s, d) -> DEP(d, l)",
+            "DEP(d, l), DEP(d, l2) -> l = l2",
+        ])
+        sigma = parse_dependencies(text, schema)
+        assert len(sigma) == 4
         rendered = "\n".join(str(dependency) for dependency in sigma)
         assert parse_dependencies(rendered, schema) == sigma
 

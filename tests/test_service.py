@@ -563,3 +563,71 @@ class TestTrafficGenerator:
             TrafficGenerator(zipf_exponent=0)
         with pytest.raises(ValueError):
             TrafficGenerator(tenant_count=2).requests(-1)
+
+
+# ---------------------------------------------------------------------------
+# PR 5 hardening: construction-time validation and UTF-8 handling
+# ---------------------------------------------------------------------------
+
+
+class TestStartupValidation:
+    """Misconfigured front ends must fail at startup, not per request."""
+
+    def test_pool_rejects_non_positive_shard_count(self):
+        from repro.exceptions import ReproError
+        for count in (0, -1):
+            with pytest.raises(ReproError):
+                ShardedSolverPool(shard_count=count, mode="inline")
+
+    def test_service_limits_reject_non_positive_ceilings(self):
+        from repro.exceptions import ReproError
+        with pytest.raises(ReproError):
+            ServiceLimits(max_conjuncts=0)
+        with pytest.raises(ReproError):
+            ServiceLimits(max_conjuncts=-5)
+        with pytest.raises(ReproError):
+            ServiceLimits(max_level=0)
+        assert ServiceLimits(max_conjuncts=10, max_level=1).max_level == 1
+
+    def test_server_rejects_negative_max_pending(self):
+        from repro.exceptions import ReproError
+        pool = ShardedSolverPool(shard_count=1, mode="inline")
+        with pytest.raises(ReproError):
+            SolverService(pool, max_pending=-1)
+        pool.close()
+
+    def test_cli_serve_with_bad_shards_exits_with_error(self, capsys):
+        from repro.cli import main
+        assert main(["serve", "--shards", "0", "--port", "0"]) == 2
+        assert "shard_count" in capsys.readouterr().err
+
+
+class TestInvalidUTF8Requests:
+    def test_invalid_utf8_line_gets_protocol_envelope(self, tmp_path):
+        """Invalid UTF-8 must not be silently mangled by errors='replace'
+        and routed as if it were valid tenant text."""
+        socket_path = str(tmp_path / "utf8.sock")
+        pool = ShardedSolverPool(shard_count=1, mode="inline")
+        service = SolverService(pool, unix_path=socket_path)
+        with service.run_in_thread():
+            raw = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            raw.connect(socket_path)
+            try:
+                # A contain record whose deps text carries an invalid byte.
+                payload = (b'{"id": "bad", "query": "Q(e) :- EMP(e, s, d)", '
+                           b'"query_prime": "Q(e) :- EMP(e, s, d)", '
+                           b'"schema": "EMP(emp, sal, dept)", '
+                           b'"deps": "EMP: emp -> \xff sal"}\n')
+                raw.sendall(payload)
+                buffered = raw.makefile("rb")
+                envelope = json.loads(buffered.readline())
+                assert not envelope["ok"]
+                assert envelope["error"]["kind"] == "protocol"
+                assert "UTF-8" in envelope["error"]["message"]
+                # The connection survives; a valid request still answers.
+                raw.sendall((json.dumps(contain_record()) + "\n").encode("utf-8"))
+                follow_up = json.loads(buffered.readline())
+                assert follow_up["ok"] and follow_up["result"]["holds"]
+            finally:
+                raw.close()
+        pool.close()
