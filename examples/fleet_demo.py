@@ -1,0 +1,117 @@
+"""A federated solver fleet in one process: coordinator, two workers, a failover.
+
+``repro fleet coordinate`` / ``repro fleet serve-node`` run this
+topology across real machines; this example embeds it all in-process
+(TCP on ephemeral localhost ports) so it is runnable with no setup:
+
+1. start a coordinator and register two worker nodes with it;
+2. send tenant traffic through the coordinator with the ordinary
+   :class:`~repro.service.client.ServiceClient` — the user tier of a
+   fleet *is* the service protocol — and watch affinity pin each tenant
+   to one node;
+3. inspect the fleet through the admin tier
+   (:class:`~repro.fleet.FleetClient` with the admin token);
+4. kill the node serving our tenant mid-stream and watch the
+   coordinator reroute the very next request to the survivor;
+5. push a request past a tiny node's capacity and read the structured
+   over-capacity answer (no hang, no stack trace — a priced refusal).
+
+Run with ``python examples/fleet_demo.py``.
+"""
+
+from repro.api import SolverConfig
+from repro.fleet import FleetClient, FleetCoordinator, FleetNode
+from repro.service import ServiceClient, ShardedSolverPool
+
+SCHEMA_TEXT = "EMP(emp, sal, dept)\nDEP(dept, loc)"
+DEPENDENCY_TEXT = "EMP[dept] <= DEP[dept]"
+Q1 = "Q1(e) :- EMP(e, s, d), DEP(d, l)"
+Q2 = "Q2(e) :- EMP(e, s, d)"
+TOKEN = "demo-admin-token"
+
+
+def start_node(name: str, port: int, capacity_total: int = 10 ** 6):
+    pool = ShardedSolverPool(shard_count=2, mode="inline",
+                             config=SolverConfig())
+    node = FleetNode(name=name, pool=pool, coordinator_host="127.0.0.1",
+                     coordinator_port=port, admin_token=TOKEN,
+                     capacity_total=capacity_total)
+    return pool, node, node.run_in_thread()
+
+
+def main() -> None:
+    coordinator = FleetCoordinator(port=0, admin_token=TOKEN)
+    coordinator_thread = coordinator.run_in_thread()
+    _, port = coordinator_thread.address[1]
+    print(f"coordinator listening on 127.0.0.1:{port}")
+
+    pools, threads = [], {}
+    for name in ("node-0", "node-1"):
+        pool, node, thread = start_node(name, port)
+        pools.append(pool)
+        threads[name] = thread
+        host, node_port = node.address[1]
+        print(f"{name} registered from {host}:{node_port}")
+
+    try:
+        with ServiceClient(port=port) as client:
+            # -- the user tier: plain service requests, fleet-routed ------
+            envelope = client.contain(Q2, Q1, schema=SCHEMA_TEXT,
+                                      deps=DEPENDENCY_TEXT)
+            owner = envelope["node"]
+            print(f"\nQ2 ⊆ Q1 under the foreign key: "
+                  f"holds={envelope['result']['holds']} "
+                  f"answered by {owner} (tenant affinity)")
+            repeat = client.contain(Q2, Q1, schema=SCHEMA_TEXT,
+                                    deps=DEPENDENCY_TEXT)
+            print(f"asked again: cache_hit={repeat['cache_hit']} "
+                  f"same node={repeat['node'] == owner}")
+
+            # -- the admin tier: the fleet seen from the operator's side --
+            with FleetClient(port=port, admin_token=TOKEN) as admin:
+                status = admin.status()
+                print(f"\nfleet status: ring={status['ring']}")
+                for snapshot in status["nodes"]:
+                    capacity = snapshot["capacity"]
+                    print(f"  {snapshot['name']}: {snapshot['status']}, "
+                          f"{capacity['available']}/{capacity['effective_total']} "
+                          f"chase nodes available")
+
+            # -- failover: kill the owner, acknowledged answers keep coming
+            print(f"\nkilling {owner} mid-stream ...")
+            threads[owner].stop()
+            after = client.contain(Q2, Q1, schema=SCHEMA_TEXT,
+                                   deps=DEPENDENCY_TEXT)
+            print(f"next request: ok={after['ok']} "
+                  f"rerouted to {after['node']}")
+
+            # -- capacity: a node too small for the request refuses it ----
+            tiny_pool, _, tiny_thread = start_node("tiny-node", port,
+                                                   capacity_total=1)
+            pools.append(tiny_pool)
+            threads["tiny-node"] = tiny_thread
+            # Drain the survivor so the tenant's probe lands on tiny-node.
+            with FleetClient(port=port, admin_token=TOKEN) as admin:
+                admin.drain(after["node"])
+            refused = client.request({"op": "contain", "query": Q2,
+                                      "query_prime": Q1,
+                                      "schema": SCHEMA_TEXT,
+                                      "deps": DEPENDENCY_TEXT})
+            error = refused["error"]
+            print(f"\nover capacity: ok={refused['ok']} "
+                  f"kind={error['kind']}")
+            print(f"  {error['message']}")
+            print(f"  admission: {error['detail']['admission']}")
+    finally:
+        for thread in threads.values():
+            try:
+                thread.stop()
+            except Exception:
+                pass
+        coordinator_thread.stop()
+        for pool in pools:
+            pool.close()
+
+
+if __name__ == "__main__":
+    main()

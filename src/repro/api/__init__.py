@@ -18,6 +18,7 @@ wrappers over a shared default Solver, so existing code transparently
 gains the cross-call caches.
 """
 
+from repro.api.backend import CacheBackend, MemoryCacheBackend, backend_stats
 from repro.api.cache import CacheInfo, LRUCache
 from repro.api.config import LEGACY_CONTAINMENT_KWARGS, SolverConfig
 from repro.api.fingerprints import (
@@ -53,6 +54,7 @@ from repro.api.solver import (
 
 __all__ = [
     "BudgetUsage",
+    "CacheBackend",
     "CacheInfo",
     "ChaseRequest",
     "ChaseResponse",
@@ -60,6 +62,7 @@ __all__ = [
     "ContainmentResponse",
     "LEGACY_CONTAINMENT_KWARGS",
     "LRUCache",
+    "MemoryCacheBackend",
     "OptimizeRequest",
     "OptimizeResponse",
     "PairwiseContainment",
@@ -72,6 +75,7 @@ __all__ = [
     "Solver",
     "SolverConfig",
     "SolverStats",
+    "backend_stats",
     "catalog_fingerprint",
     "dependency_fingerprint",
     "get_default_solver",

@@ -1,0 +1,144 @@
+"""The minimal backend interface behind the solver's warm tier.
+
+:class:`~repro.api.persistent.PersistentCache` (SQLite) is the default
+implementation, but nothing in :class:`~repro.api.solver.Solver` or the
+service pool depends on SQLite specifically — they only ever call the
+five methods captured here as :class:`CacheBackend`.  A fleet that wants
+a networked warm tier (memcached, Redis, a sibling coordinator) slots
+its own implementation into ``Solver(persistent_cache=...)`` or
+``ShardedSolverPool(cache_backend=...)`` without touching the solver.
+
+:class:`MemoryCacheBackend` is the reference second implementation: a
+process-local dict with the same key discipline as the SQLite store.
+It is what lets several in-process fleet nodes share one warm tier in
+tests and examples, and it documents exactly how little a backend must
+provide.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Hashable, Optional, Protocol, runtime_checkable
+
+
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the solver requires of a shared warm tier.
+
+    Semantics the solver relies on:
+
+    * ``get`` returns ``None`` on a miss (so a backend must never store
+      ``None`` as a value — the solver never asks it to);
+    * ``put`` may be called concurrently from several threads;
+    * ``sizes`` maps namespace → entry count (``containment``, ``chase``,
+      ``rewrite``; see :data:`repro.api.persistent.NAMESPACES`);
+    * ``close`` releases whatever the backend holds; the solver only
+      closes backends it created itself.
+
+    A backend *may* additionally expose ``stats()`` returning a
+    JSON-ready dict (the SQLite store does); the solver falls back to
+    :func:`backend_stats` when it does not.
+    """
+
+    def get(self, namespace: str, key: Hashable) -> Optional[Any]: ...
+
+    def put(self, namespace: str, key: Hashable, value: Any) -> None: ...
+
+    def sizes(self) -> Dict[str, int]: ...
+
+    def clear(self) -> None: ...
+
+    def close(self) -> None: ...
+
+
+def backend_stats(backend: CacheBackend) -> Dict[str, Any]:
+    """A backend's JSON-ready stats, synthesized when it offers none.
+
+    Backends with their own ``stats()`` (the SQLite store, the memory
+    backend) answer directly; a bare-protocol backend gets a document in
+    the same shape with zeroed counters, so ``Solver.cache_stats`` never
+    has to care which backend is plugged in.
+    """
+    stats = getattr(backend, "stats", None)
+    if callable(stats):
+        return stats()
+    sizes = backend.sizes()
+    return {
+        "path": getattr(backend, "path", type(backend).__name__),
+        "hits": 0,
+        "misses": 0,
+        "writes": 0,
+        "size": sum(sizes.values()),
+        "hit_rate": 0.0,
+        "namespaces": sizes,
+    }
+
+
+class MemoryCacheBackend:
+    """An in-process :class:`CacheBackend` (the shared warm tier of tests
+    and in-process fleets).
+
+    Keys go through the same :func:`~repro.api.persistent.stable_key_digest`
+    rendering as the SQLite store, so anything that persists there also
+    works here — the two backends are interchangeable except for
+    durability.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entries: Dict[tuple, Any] = {}
+        self._hits = 0
+        self._misses = 0
+        self._writes = 0
+
+    @property
+    def path(self) -> str:
+        return ":memory-backend:"
+
+    def get(self, namespace: str, key: Hashable) -> Optional[Any]:
+        from repro.api.persistent import stable_key_digest
+        digest = (namespace, stable_key_digest(key))
+        with self._lock:
+            value = self._entries.get(digest)
+            if value is None:
+                self._misses += 1
+            else:
+                self._hits += 1
+            return value
+
+    def put(self, namespace: str, key: Hashable, value: Any) -> None:
+        from repro.api.persistent import stable_key_digest
+        digest = (namespace, stable_key_digest(key))
+        with self._lock:
+            self._entries[digest] = value
+            self._writes += 1
+
+    def sizes(self) -> Dict[str, int]:
+        from repro.api.persistent import NAMESPACES
+        counts = {namespace: 0 for namespace in NAMESPACES}
+        with self._lock:
+            for namespace, _ in self._entries:
+                counts[namespace] = counts.get(namespace, 0) + 1
+        return counts
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            hits, misses, writes = self._hits, self._misses, self._writes
+            size = len(self._entries)
+        requests = hits + misses
+        return {
+            "path": self.path,
+            "hits": hits,
+            "misses": misses,
+            "writes": writes,
+            "size": size,
+            "hit_rate": round(hits / requests, 4) if requests else 0.0,
+            "namespaces": self.sizes(),
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def close(self) -> None:
+        self.clear()

@@ -78,6 +78,11 @@ class PersistentCache:
     ``path`` may be a filesystem path or ``":memory:"`` (useful in
     tests; an in-memory store is still exercised through the exact same
     code path, it just does not survive the process).
+
+    This is the default :class:`~repro.api.backend.CacheBackend`
+    implementation; the solver and the service pool only ever use the
+    protocol surface (``get``/``put``/``sizes``/``clear``/``close``),
+    so a networked store can replace this one without touching them.
     """
 
     def __init__(self, path: str):

@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.backend import CacheBackend, backend_stats
 from repro.api.cache import CacheInfo, LRUCache
 from repro.api.config import SolverConfig
 from repro.api.persistent import PersistentCache
@@ -100,13 +101,14 @@ class Solver:
     """A configured, caching session over the Johnson–Klug procedures."""
 
     def __init__(self, config: Optional[SolverConfig] = None,
-                 persistent_cache: Optional[PersistentCache] = None):
+                 persistent_cache: Optional[CacheBackend] = None):
         self._config = config or SolverConfig()
         self._containment_cache = LRUCache(self._config.containment_cache_size)
         self._chase_cache = LRUCache(self._config.chase_cache_size)
         self._rewrite_cache = LRUCache(self._config.rewrite_cache_size)
         # An explicit store wins over the config path so several solvers
-        # (service shards in one process) can share one connection.
+        # (service shards in one process) can share one connection — and
+        # it may be any CacheBackend, not just the SQLite store.
         if persistent_cache is not None:
             self._persistent = persistent_cache
             self._owns_persistent = False
@@ -131,7 +133,7 @@ class Solver:
         return self._config
 
     @property
-    def persistent_cache(self) -> Optional[PersistentCache]:
+    def persistent_cache(self) -> Optional[CacheBackend]:
         return self._persistent
 
     def close(self) -> None:
@@ -167,7 +169,7 @@ class Solver:
         size = sum(info.size for info in infos.values())
         maxsize = sum(info.maxsize for info in infos.values())
         if self._persistent is not None:
-            store = self._persistent.stats()
+            store = backend_stats(self._persistent)
             with self._persistent_lock:
                 local_hits = self._persistent_hits
                 local_misses = self._persistent_misses

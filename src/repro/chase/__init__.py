@@ -46,11 +46,13 @@ from repro.chase.legacy_engine import LegacyChaseEngine
 from repro.chase.fd_chase import fd_chase_query, fd_only_chase
 from repro.chase.instance_chase import InstanceChaseResult, chase_instance
 from repro.chase.termination import (
+    ChaseSizeEstimate,
     TerminationReport,
     analyse_ind_termination,
     analyse_termination,
     chase_guaranteed_finite,
     dependency_position_graph,
+    estimate_chase_size,
 )
 
 __all__ = [
@@ -69,6 +71,7 @@ __all__ = [
     "FDApplication",
     "INDApplication",
     "TGDApplication",
+    "ChaseSizeEstimate",
     "InstanceChaseResult",
     "LegacyChaseEngine",
     "TerminationReport",
@@ -79,6 +82,7 @@ __all__ = [
     "resolve_engine_name",
     "chase_guaranteed_finite",
     "dependency_position_graph",
+    "estimate_chase_size",
     "chase_instance",
     "fd_chase_query",
     "fd_only_chase",

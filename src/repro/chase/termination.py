@@ -260,3 +260,110 @@ def chase_guaranteed_finite(dependencies: DependencySet,
     if not dependencies.inclusion_dependencies() and not dependencies.tgds():
         return True
     return analyse_termination(dependencies, schema).weakly_acyclic
+
+
+# ---------------------------------------------------------------------------
+# Chase-size estimation (admission control for certified-terminating Σ)
+# ---------------------------------------------------------------------------
+
+#: Estimates saturate here instead of overflowing into numbers no budget
+#: comparison could use anyway.
+ESTIMATE_CAP = 10**9
+
+
+def position_ranks(graph: PositionGraph) -> Optional[Dict[Position, int]]:
+    """Each position's *rank*: the most existential edges on any path into it.
+
+    Fresh labelled nulls are created along existential edges, so a
+    position's rank bounds how many "generations" of invented values can
+    ever reach it; weak acyclicity is exactly the condition that every
+    rank is finite.  Computed by relaxation (copy edges propagate a rank
+    unchanged, existential edges increment it).  Copy-only cycles are
+    harmless — they propagate a maximum without increasing it — so the
+    relaxation converges within ``existential_edges + 1`` sweeps for any
+    weakly acyclic graph; a sweep budget exceeded means some cycle goes
+    through an existential edge, and ``None`` is returned (no finite
+    ranks exist).
+    """
+    ranks: Dict[Position, int] = {position: 0 for position in graph.positions}
+    existential_count = len(graph.existential_edges())
+    # One extra sweep detects "still changing", i.e. unbounded ranks.
+    for _ in range(existential_count + len(graph.positions) + 2):
+        changed = False
+        for source, target, existential in graph.edges:
+            candidate = ranks[source] + (1 if existential else 0)
+            if candidate > ranks[target]:
+                if candidate > existential_count:
+                    # A finite-rank position never exceeds the number of
+                    # existential edges (a path revisiting one would be a
+                    # cycle through it).
+                    return None
+                ranks[target] = candidate
+                changed = True
+        if not changed:
+            return ranks
+    return None  # pragma: no cover - guarded by the candidate > count check
+
+
+@dataclass(frozen=True)
+class ChaseSizeEstimate:
+    """A per-query chase-node budget estimate for certified Σ.
+
+    ``bounded`` mirrors weak acyclicity; when it is False no finite
+    estimate exists and :meth:`nodes` refuses to produce one.  The
+    estimate is the admission-control envelope behind ``repro.fleet``:
+    a *heuristic upper envelope* in the spirit of the
+    Fagin–Kolaitis–Miller–Popa polynomial bound (each rank stratum can
+    enlarge the instance by at most one expansion per dependency edge),
+    not a proven tight bound — it is monotone in rank and in edge count,
+    which is what capacity accounting needs.
+    """
+
+    bounded: bool
+    max_rank: int
+    position_count: int
+    copy_edge_count: int
+    existential_edge_count: int
+
+    def nodes(self, query_atoms: int) -> int:
+        """Estimated chase-node budget for a query with ``query_atoms`` atoms."""
+        if not self.bounded:
+            raise ValueError(
+                "no finite chase-size estimate exists for a set that is not "
+                "weakly acyclic")
+        if query_atoms <= 0:
+            raise ValueError("query_atoms must be positive")
+        branching = 1 + self.copy_edge_count + self.existential_edge_count
+        estimate = query_atoms * branching ** (self.max_rank + 1)
+        return min(estimate, ESTIMATE_CAP)
+
+    def describe(self) -> str:
+        if not self.bounded:
+            return "chase-size estimate: unbounded (not weakly acyclic)"
+        return (f"chase-size estimate: rank {self.max_rank} over "
+                f"{self.position_count} positions "
+                f"({self.copy_edge_count} copy / "
+                f"{self.existential_edge_count} existential edges); "
+                f"~{self.nodes(1)} nodes per query atom")
+
+
+def estimate_chase_size(dependencies: DependencySet,
+                        schema: Optional[DatabaseSchema] = None) -> ChaseSizeEstimate:
+    """The chase-size estimate of a dependency set (INDs and general TGDs).
+
+    Pairs with :func:`analyse_termination`: when the set is weakly
+    acyclic the estimate is ``bounded`` and :meth:`ChaseSizeEstimate.nodes`
+    converts it into a per-query chase-node budget; otherwise callers
+    must fall back to clamped budgets (which is exactly what the fleet's
+    admission control does).
+    """
+    target_schema = _resolve_schema(dependencies, schema)
+    graph = dependency_position_graph(dependencies, target_schema)
+    ranks = position_ranks(graph)
+    return ChaseSizeEstimate(
+        bounded=ranks is not None,
+        max_rank=max(ranks.values(), default=0) if ranks is not None else 0,
+        position_count=len(graph.positions),
+        copy_edge_count=len(graph.copy_edges()),
+        existential_edge_count=len(graph.existential_edges()),
+    )

@@ -15,6 +15,10 @@ driven from a shell::
     repro rewrite   --schema schema.txt --deps deps.txt --views views.txt \
                     --query "Q1(e) :- EMP(e, s, d), DEP(d, l)"
     repro serve     --port 7464 --shards 4 --persist cache.sqlite
+    repro fleet coordinate --admin-token SECRET --port 7465
+    repro fleet serve-node --name n0 --coordinator 127.0.0.1:7465 \
+                    --admin-token SECRET
+    repro fleet status --coordinator 127.0.0.1:7465 --admin-token SECRET
 
 Every subcommand accepts ``--json`` for machine-readable output, so the
 CLI composes with scripts.  One :class:`~repro.api.solver.Solver` is built
@@ -211,6 +215,76 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-conjuncts-limit", type=int, default=100_000,
                        help="ceiling on any request's chase budget "
                             "(default 100000)")
+
+    fleet = subparsers.add_parser(
+        "fleet", help="run or inspect a multi-node solver fleet "
+                      "(coordinator + registered worker nodes)")
+    fleet_sub = fleet.add_subparsers(dest="fleet_command", required=True)
+
+    coordinate = fleet_sub.add_parser(
+        "coordinate", help="run the fleet coordinator (affinity routing, "
+                           "capacity accounting, failover)")
+    coordinate.add_argument("--host", default="127.0.0.1")
+    coordinate.add_argument("--port", type=int, default=7465,
+                            help="TCP port (default 7465; 0 picks a free port)")
+    coordinate.add_argument("--admin-token", required=True,
+                            help="shared secret for the admin tier "
+                                 "(fleet.* operations)")
+    coordinate.add_argument("--schema", default=None,
+                            help="default schema (file or inline) for requests "
+                                 "that omit one")
+    coordinate.add_argument("--deps", default=None,
+                            help="default dependencies for requests that "
+                                 "omit them")
+    coordinate.add_argument("--heartbeat-timeout", type=float, default=6.0,
+                            help="seconds of heartbeat silence before a node "
+                                 "is declared dead (default 6)")
+    coordinate.add_argument("--uncertified-max-conjuncts", type=int,
+                            default=2_000,
+                            help="chase budget clamp for tenants whose Σ has "
+                                 "no termination certificate (default 2000)")
+    coordinate.add_argument("--uncertified-max-level", type=int, default=8,
+                            help="level clamp for uncertified Σ (default 8)")
+    coordinate.add_argument("--default-max-request-cost", type=int, default=None,
+                            help="default per-request cost quota for every "
+                                 "tenant (chase nodes; default unlimited)")
+    coordinate.add_argument("--default-max-in-flight-cost", type=int,
+                            default=None,
+                            help="default in-flight cost quota for every "
+                                 "tenant (chase nodes; default unlimited)")
+
+    serve_node = fleet_sub.add_parser(
+        "serve-node", help="run one worker node: a sharded solver service "
+                           "that registers with the coordinator")
+    serve_node.add_argument("--name", required=True,
+                            help="the node's fleet-unique name")
+    serve_node.add_argument("--coordinator", required=True, metavar="HOST:PORT",
+                            help="the coordinator's address")
+    serve_node.add_argument("--admin-token", required=True)
+    serve_node.add_argument("--host", default="127.0.0.1",
+                            help="this node's bind address (default 127.0.0.1)")
+    serve_node.add_argument("--port", type=int, default=0,
+                            help="this node's TCP port (default: ephemeral)")
+    serve_node.add_argument("--shards", type=int, default=4)
+    serve_node.add_argument("--persist", default=None, metavar="PATH",
+                            help="SQLite file mirroring this node's caches")
+    serve_node.add_argument("--schema", default=None)
+    serve_node.add_argument("--deps", default=None)
+    serve_node.add_argument("--capacity-total", type=int, default=None,
+                            help="declared chase-node budget (default: "
+                                 "shards × max-conjuncts-limit)")
+    serve_node.add_argument("--over-commit-ratio", type=float, default=1.0,
+                            help="MAAS-style over-commit multiplier on the "
+                                 "declared budget (default 1.0)")
+    serve_node.add_argument("--heartbeat-interval", type=float, default=2.0)
+    serve_node.add_argument("--max-pending", type=int, default=256)
+    serve_node.add_argument("--max-conjuncts-limit", type=int, default=100_000)
+
+    fleet_status = fleet_sub.add_parser(
+        "status", help="print the coordinator's fleet snapshot as JSON")
+    fleet_status.add_argument("--coordinator", required=True,
+                              metavar="HOST:PORT")
+    fleet_status.add_argument("--admin-token", required=True)
     return parser
 
 
@@ -443,6 +517,93 @@ def _command_serve(options: argparse.Namespace, solver: Solver) -> int:
     return EXIT_YES
 
 
+def _parse_host_port(argument: str) -> Tuple[str, int]:
+    host, separator, port_text = argument.rpartition(":")
+    if not separator or not host:
+        raise ReproError(
+            f"expected HOST:PORT, got {argument!r}")
+    try:
+        return host, int(port_text)
+    except ValueError:
+        raise ReproError(f"port in {argument!r} is not an integer")
+
+
+def _command_fleet(options: argparse.Namespace, solver: Solver) -> int:
+    """Dispatch the ``repro fleet`` subcommands."""
+    import asyncio
+
+    from repro.fleet import FleetClient, FleetCoordinator, FleetNode
+    from repro.fleet.capacity import AdmissionPolicy, TenantQuota
+    from repro.service import ServiceDefaults, ServiceLimits, ShardedSolverPool
+
+    if options.fleet_command == "status":
+        host, port = _parse_host_port(options.coordinator)
+        with FleetClient(host=host, port=port,
+                         admin_token=options.admin_token) as client:
+            _emit_json(client.status())
+        return EXIT_YES
+
+    defaults = ServiceDefaults(
+        schema_text=_read_text(options.schema) if options.schema else None,
+        deps_text=_read_text(options.deps) if options.deps else None,
+    )
+
+    if options.fleet_command == "coordinate":
+        coordinator = FleetCoordinator(
+            host=options.host, port=options.port,
+            admin_token=options.admin_token,
+            policy=AdmissionPolicy(
+                uncertified_max_conjuncts=options.uncertified_max_conjuncts,
+                uncertified_max_level=options.uncertified_max_level),
+            default_quota=TenantQuota(
+                max_request_cost=options.default_max_request_cost,
+                max_in_flight_cost=options.default_max_in_flight_cost),
+            defaults=defaults,
+            heartbeat_timeout=options.heartbeat_timeout)
+
+        async def run_coordinator() -> None:
+            await coordinator.start()
+            kind, where = coordinator.address
+            print(f"repro fleet coordinator listening on {kind} {where}",
+                  file=sys.stderr)
+            await coordinator.serve_forever()
+
+        try:
+            asyncio.run(run_coordinator())
+        except KeyboardInterrupt:
+            print("repro fleet coordinator stopped", file=sys.stderr)
+        return EXIT_YES
+
+    # fleet_command == "serve-node"
+    coordinator_host, coordinator_port = _parse_host_port(options.coordinator)
+    limits = ServiceLimits(max_conjuncts=options.max_conjuncts_limit)
+    config = solver.config.derive(persistent_cache_path=options.persist)
+    pool = ShardedSolverPool(
+        shard_count=options.shards, config=config, mode="thread",
+        defaults=defaults, limits=limits, max_pending=options.max_pending)
+    node = FleetNode(
+        options.name, pool, coordinator_host, coordinator_port,
+        options.admin_token, host=options.host, port=options.port,
+        capacity_total=options.capacity_total,
+        over_commit_ratio=options.over_commit_ratio,
+        heartbeat_interval=options.heartbeat_interval)
+
+    async def run_node() -> None:
+        await node.start()
+        kind, where = node.address
+        print(f"repro fleet node {options.name!r} serving on {kind} {where}, "
+              f"registered with {options.coordinator}", file=sys.stderr)
+        await node.service.serve_forever()
+
+    try:
+        asyncio.run(run_node())
+    except KeyboardInterrupt:
+        print(f"repro fleet node {options.name!r} stopped", file=sys.stderr)
+    finally:
+        pool.close()
+    return EXIT_YES
+
+
 _COMMANDS = {
     "contain": _command_contain,
     "chase": _command_chase,
@@ -451,6 +612,7 @@ _COMMANDS = {
     "batch": _command_batch,
     "rewrite": _command_rewrite,
     "serve": _command_serve,
+    "fleet": _command_fleet,
 }
 
 

@@ -1,0 +1,49 @@
+"""repro.fleet — a federated multi-node solver fleet.
+
+The horizontal layer above :mod:`repro.service`: many worker nodes
+(each a sharded solver service) behind one coordinator that routes by
+the same tenant affinity, accounts capacity in chase nodes, and admits
+work termination-aware — weakly-acyclic Σ is charged its position-graph
+chase-size bound, uncertified Σ runs under clamped budgets.
+
+* :class:`FleetNode` — a solver service that registers with a
+  coordinator and heartbeats (``repro fleet serve-node``);
+* :class:`FleetCoordinator` — the asyncio front end: affinity ring
+  routing, MAAS-style capacity accounting, dead-node rerouting,
+  fleet-wide stats (``repro fleet coordinate``);
+* :class:`FleetClient` — a service client extended with the admin tier
+  (``fleet.status``/``drain``/``evacuate``/``quota``);
+* :mod:`repro.fleet.capacity` — the accounting and admission vocabulary
+  shared by all of the above.
+
+A plain :class:`~repro.service.client.ServiceClient` pointed at a
+coordinator works unchanged: the user tier of the fleet *is* the
+service protocol.
+"""
+
+from repro.fleet.capacity import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    CapacityError,
+    NodeCapacity,
+    TenantLedger,
+    TenantQuota,
+)
+from repro.fleet.client import FleetClient
+from repro.fleet.coordinator import FleetCoordinator, NodeConnection, NodeHandle
+from repro.fleet.node import FleetNode, FleetNodeError
+
+__all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "CapacityError",
+    "FleetClient",
+    "FleetCoordinator",
+    "FleetNode",
+    "FleetNodeError",
+    "NodeCapacity",
+    "NodeConnection",
+    "NodeHandle",
+    "TenantLedger",
+    "TenantQuota",
+]

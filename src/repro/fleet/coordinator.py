@@ -1,0 +1,647 @@
+"""The fleet coordinator: affinity routing, admission, and failover.
+
+One asyncio front end speaking the same NDJSON protocol as every
+worker, so a :class:`~repro.service.client.ServiceClient` pointed at a
+coordinator cannot tell it from a single node — except that the fleet
+behind it scales and survives node deaths.
+
+**Routing** reuses the service's shard affinity verbatim: a tenant is
+``(schema_fingerprint, Σ_fingerprint)``, and
+:func:`~repro.service.protocol.shard_for` picks a *slot* in the ring of
+registered nodes.  Slots are registration-ordered and are kept (not
+compacted) when a node dies, so a death moves only the dead node's
+tenants: they probe linearly to the next alive slot, and every other
+tenant keeps its warm node.  Explicit ``fleet.evacuate`` removes the
+slot (a deliberate, rare rebalance); drain keeps the slot but stops
+admitting to it.
+
+**Admission** is termination-aware (see :mod:`repro.fleet.capacity`):
+each tenant's Σ is analysed once — weakly acyclic Σ gets a finite
+chase-size estimate charged against the target node's MAAS-style
+chase-node budget; uncertified Σ is forwarded with clamped
+``max_conjuncts``/``max_level`` and charged the clamp.  A request the
+target node cannot hold is answered immediately with a structured
+``capacity`` envelope (never a hang, and never silently spilled to a
+cold node — affinity is the point of the fleet).
+
+**Failover**: the coordinator keeps one pipelined connection per node
+(the node's server answers a connection strictly in order, so responses
+match requests FIFO).  A connection failure fails the in-flight
+requests on it; each such request marks the node dead and retries on
+the tenant's rerouted node.  Workers are pure (every data-plane op is
+idempotent), so the retry is safe, and a response acknowledged to a
+client was by construction computed exactly somewhere.
+
+**Tiers**: data-plane ops (``contain``/``chase``/``rewrite``/``stats``/
+``ping``) are the user tier; ``fleet.*`` ops are the admin tier and
+require the coordinator's admin token (kuberdock-style split — see
+:data:`~repro.service.protocol.ADMIN_OPERATIONS`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hmac
+import json
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.chase.termination import ChaseSizeEstimate, estimate_chase_size
+from repro.exceptions import ReproError
+from repro.fleet.capacity import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    NodeCapacity,
+    TenantKey,
+    TenantLedger,
+    TenantQuota,
+)
+from repro.parser.query_parser import parse_query
+from repro.service.protocol import (
+    ADMIN_OPERATIONS,
+    PROTOCOL_VERSION,
+    STREAM_LIMIT,
+    ProtocolError,
+    ServiceDefaults,
+    TenantParser,
+    error_envelope,
+    routing_fingerprints,
+    shard_for,
+    validate_record,
+)
+from repro.service.server import ServiceThread, _peek_id
+
+
+class NodeConnection:
+    """One pipelined NDJSON connection from the coordinator to a node.
+
+    The node's server answers a connection strictly in order, so the
+    connection keeps a FIFO of response futures: request *k* resolves
+    from response line *k*.  Any transport failure fails every pending
+    future with :class:`ConnectionError` — the forwarding loop above
+    turns that into mark-dead-and-reroute.
+    """
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._port = port
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._reader_task: Optional[asyncio.Task] = None
+        self._pending: Deque["asyncio.Future[Dict[str, Any]]"] = deque()
+        self._send_lock = asyncio.Lock()
+        self._closed = False
+
+    async def _ensure_connected(self) -> None:
+        if self._writer is not None and not self._closed:
+            return
+        self._closed = False
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port, limit=STREAM_LIMIT)
+        self._reader_task = asyncio.create_task(self._read_loop())
+
+    async def request(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        await self._ensure_connected()
+        future: "asyncio.Future[Dict[str, Any]]" = (
+            asyncio.get_running_loop().create_future())
+        # Lock so the write order matches the future-queue order even
+        # when many forwards target this node concurrently.
+        async with self._send_lock:
+            if self._closed or self._writer is None:
+                raise ConnectionError(
+                    f"connection to {self._host}:{self._port} is closed")
+            self._pending.append(future)
+            try:
+                self._writer.write(json.dumps(record).encode("utf-8") + b"\n")
+                await self._writer.drain()
+            except OSError as error:
+                self._fail_pending(error)
+                raise ConnectionError(str(error)) from error
+        return await future
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    self._fail_pending(ConnectionError(
+                        f"node {self._host}:{self._port} closed the connection"))
+                    return
+                try:
+                    envelope = json.loads(line)
+                except json.JSONDecodeError as error:
+                    self._fail_pending(ConnectionError(
+                        f"node {self._host}:{self._port} broke the protocol: "
+                        f"{error}"))
+                    return
+                if self._pending:
+                    future = self._pending.popleft()
+                    if not future.done():
+                        future.set_result(envelope)
+        except asyncio.CancelledError:
+            self._fail_pending(ConnectionError("coordinator shutting down"))
+        except Exception as error:
+            # OSError, an over-limit line, anything: a reader that dies
+            # silently would leave every pending forward hanging forever.
+            self._fail_pending(error)
+
+    def _fail_pending(self, error: BaseException) -> None:
+        self._closed = True
+        while self._pending:
+            future = self._pending.popleft()
+            if not future.done():
+                future.set_exception(
+                    error if isinstance(error, ConnectionError)
+                    else ConnectionError(str(error)))
+
+    def close(self) -> None:
+        self._fail_pending(ConnectionError("connection closed"))
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None
+
+
+class NodeHandle:
+    """The coordinator's view of one registered node."""
+
+    def __init__(self, name: str, host: str, port: int,
+                 capacity: NodeCapacity, shard_count: int,
+                 protocol_version: int, now: float):
+        self.name = name
+        self.host = host
+        self.port = port
+        self.capacity = capacity
+        self.shard_count = shard_count
+        self.protocol_version = protocol_version
+        self.status = "alive"  # alive | draining | dead
+        self.last_heartbeat = now
+        self.pending = 0
+        self.connection: Optional[NodeConnection] = None
+
+    @property
+    def alive(self) -> bool:
+        return self.status == "alive"
+
+    def drop_connection(self) -> None:
+        if self.connection is not None:
+            self.connection.close()
+            self.connection = None
+
+    def snapshot(self, now: float) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "address": f"{self.host}:{self.port}",
+            "status": self.status,
+            "shard_count": self.shard_count,
+            "protocol_version": self.protocol_version,
+            "heartbeat_age_s": round(now - self.last_heartbeat, 3),
+            "pending": self.pending,
+            "capacity": self.capacity.snapshot(),
+        }
+
+
+class FleetCoordinator:
+    """The NDJSON front end over a ring of registered solver nodes.
+
+    ``heartbeat_timeout`` is how long a silent node stays routable; the
+    sweeper marks it dead after that, and its tenants probe onward.
+    ``defaults`` plays the same role as on a single service: schema and
+    Σ texts requests may omit.
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 admin_token: str = "", *,
+                 policy: AdmissionPolicy = AdmissionPolicy(),
+                 default_quota: TenantQuota = TenantQuota(),
+                 defaults: ServiceDefaults = ServiceDefaults(),
+                 heartbeat_timeout: float = 6.0):
+        if heartbeat_timeout <= 0:
+            raise ReproError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}")
+        self._host = host
+        self._port = port
+        self._admin_token = admin_token
+        self.policy = policy
+        self.defaults = defaults
+        self._heartbeat_timeout = heartbeat_timeout
+        self._parser = TenantParser()
+        self.ledger = TenantLedger(default_quota)
+        self.ring: List[NodeHandle] = []
+        self._by_name: Dict[str, NodeHandle] = {}
+        # Per-tenant certification is priced once and reused: the memo
+        # key is the routing identity, which already pins Σ exactly.
+        self._estimates: Dict[TenantKey, ChaseSizeEstimate] = {}
+        self._atom_counts: Dict[Tuple[str, str], int] = {}
+        self.counters = {
+            "forwarded": 0,
+            "rerouted": 0,
+            "capacity_rejections": 0,
+            "quota_rejections": 0,
+            "forbidden": 0,
+            "admitted_certified": 0,
+            "admitted_clamped": 0,
+        }
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sweeper_task: Optional[asyncio.Task] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    @property
+    def address(self) -> Tuple[str, Any]:
+        if self._server is not None and self._server.sockets:
+            return ("tcp", self._server.sockets[0].getsockname()[:2])
+        return ("tcp", (self._host, self._port))
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle_connection, host=self._host, port=self._port,
+            limit=STREAM_LIMIT)
+        self._sweeper_task = asyncio.create_task(self._sweep_heartbeats())
+
+    async def stop(self) -> None:
+        if self._sweeper_task is not None:
+            self._sweeper_task.cancel()
+            try:
+                await self._sweeper_task
+            except asyncio.CancelledError:
+                pass
+            self._sweeper_task = None
+        for handle in self.ring:
+            handle.drop_connection()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            await self.start()
+        async with self._server:
+            await self._server.serve_forever()
+
+    def run_in_thread(self) -> ServiceThread:
+        """The coordinator on its own daemon event-loop thread."""
+        return ServiceThread(self)
+
+    async def _sweep_heartbeats(self) -> None:
+        interval = max(0.25, self._heartbeat_timeout / 4)
+        while True:
+            await asyncio.sleep(interval)
+            now = asyncio.get_running_loop().time()
+            for handle in self.ring:
+                if (handle.alive
+                        and now - handle.last_heartbeat > self._heartbeat_timeout):
+                    self._mark_dead(handle)
+
+    def _mark_dead(self, handle: NodeHandle) -> None:
+        """Stop routing to a node; its in-flight forwards fail and reroute.
+
+        The slot stays in the ring so every *other* tenant keeps its
+        node; only the dead node's tenants probe onward.
+        """
+        handle.status = "dead"
+        handle.drop_connection()
+
+    # -- the connection handler (same line discipline as SolverService) ------
+
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    text = line.decode("utf-8")
+                except UnicodeDecodeError as error:
+                    envelope = error_envelope(
+                        None, "protocol",
+                        f"request line is not valid UTF-8: {error}")
+                else:
+                    envelope = await self._answer(text)
+                writer.write(json.dumps(envelope, sort_keys=True,
+                                        default=str).encode("utf-8") + b"\n")
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+        except asyncio.CancelledError:
+            pass
+        finally:
+            writer.close()
+
+    async def _answer(self, line: str) -> Dict[str, Any]:
+        stripped = line.strip()
+        if not stripped:
+            return error_envelope(None, "protocol", "empty request line")
+        try:
+            record = json.loads(stripped)
+        except json.JSONDecodeError as error:
+            return error_envelope(_peek_id(line), "protocol",
+                                  f"request is not valid JSON: {error}")
+        if not isinstance(record, dict):
+            return error_envelope(
+                None, "protocol",
+                f"request must be a JSON object, got {type(record).__name__}")
+        op = record.get("op", "contain")
+        try:
+            if op in ADMIN_OPERATIONS:
+                return await self._admin(record)
+            record = validate_record(record)
+            if op == "ping":
+                return self._pong(record)
+            if op == "stats":
+                return await self._fleet_stats(record)
+            return await self._forward(record)
+        except ProtocolError as error:
+            return error_envelope(record.get("id"), error.kind, str(error))
+        except ReproError as error:
+            return error_envelope(record.get("id"), "parse", str(error))
+        except Exception as error:  # defensive: bugs become envelopes
+            return error_envelope(record.get("id"), "internal",
+                                  f"{type(error).__name__}: {error}")
+
+    # -- user tier -----------------------------------------------------------
+
+    def _pong(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        return {
+            "id": record.get("id"), "ok": True, "op": "ping",
+            "result": {"pong": True, "protocol_version": PROTOCOL_VERSION,
+                       "role": "coordinator",
+                       "fleet_size": sum(1 for h in self.ring if h.alive)},
+        }
+
+    async def _fleet_stats(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Fleet-wide stats: the coordinator's counters plus every node's own."""
+        nodes = []
+        for handle in list(self.ring):
+            if not handle.alive:
+                nodes.append({"name": handle.name, "status": handle.status})
+                continue
+            try:
+                envelope = await self._request_on(handle, {"op": "stats"})
+                nodes.append({"name": handle.name, "status": handle.status,
+                              "capacity": handle.capacity.snapshot(),
+                              "stats": envelope.get("result")})
+            except ConnectionError as error:
+                self._mark_dead(handle)
+                nodes.append({"name": handle.name, "status": "dead",
+                              "error": str(error)})
+        return {
+            "id": record.get("id"), "ok": True, "op": "stats",
+            "result": {"coordinator": dict(self.counters),
+                       "ledger": self.ledger.snapshot(),
+                       "nodes": nodes},
+        }
+
+    def _decide(self, record: Dict[str, Any],
+                tenant: TenantKey) -> AdmissionDecision:
+        """Price one data-plane record (certification memoised per tenant)."""
+        schema_text = record.get("schema") or self.defaults.schema_text
+        if tenant not in self._estimates:
+            schema = self._parser.schema(schema_text)
+            sigma = self._parser.dependencies(
+                record.get("deps", self.defaults.deps_text), schema_text)
+            self._estimates[tenant] = estimate_chase_size(sigma, schema)
+        estimate = self._estimates[tenant]
+        atoms = self._count_atoms(record.get("query", ""), schema_text)
+        if record["op"] == "contain":
+            atoms += self._count_atoms(record.get("query_prime", ""), schema_text)
+        return self.policy.decide(
+            certified=estimate.bounded, estimate=estimate,
+            query_atoms=max(1, atoms),
+            requested_max_conjuncts=record.get("max_conjuncts"),
+            requested_max_level=record.get("max_level"))
+
+    def _count_atoms(self, query_text: str, schema_text: str) -> int:
+        key = (query_text, schema_text)
+        if key not in self._atom_counts:
+            schema = self._parser.schema(schema_text)
+            query = parse_query(query_text, schema)
+            self._atom_counts[key] = len(query.conjuncts)
+            if len(self._atom_counts) > 4096:
+                for old in list(self._atom_counts)[:2048]:
+                    del self._atom_counts[old]
+        return self._atom_counts[key]
+
+    async def _forward(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        identifier = record.get("id")
+        schema_fp, deps_fp = routing_fingerprints(record, self.defaults,
+                                                  self._parser)
+        tenant = (schema_fp, deps_fp)
+        decision = self._decide(record, tenant)
+
+        reason = self.ledger.deny_reason(tenant, decision.cost)
+        if reason is not None:
+            self.counters["quota_rejections"] += 1
+            self.ledger.quota_rejections += 1
+            envelope = error_envelope(identifier, "capacity", reason)
+            envelope["error"]["detail"] = {
+                "scope": "tenant",
+                "quota": self.ledger.quota_for(tenant).as_dict(),
+                "admission": decision.describe(),
+            }
+            return envelope
+
+        slot_count = len(self.ring)
+        if slot_count == 0:
+            return error_envelope(identifier, "capacity",
+                                  "the fleet has no registered nodes")
+        start = shard_for(schema_fp, deps_fp, slot_count)
+        outgoing = dict(record, **decision.clamps)
+        for probe in range(slot_count):
+            handle = self.ring[(start + probe) % slot_count]
+            if not handle.alive:
+                continue
+            if not handle.capacity.admit(decision.cost):
+                # At capacity is a *final* answer, not a probe-onward:
+                # spilling a too-big request to the next node would turn
+                # one hot node into a fleet-wide cascade.
+                self.counters["capacity_rejections"] += 1
+                capacity = handle.capacity.snapshot()
+                envelope = error_envelope(
+                    identifier, "capacity",
+                    f"node {handle.name!r} has {capacity['available']} of "
+                    f"{capacity['effective_total']} chase nodes available; "
+                    f"this request needs {decision.cost}")
+                envelope["error"]["detail"] = {
+                    "scope": "node", "node": handle.name,
+                    "capacity": capacity, "admission": decision.describe(),
+                }
+                return envelope
+            self.ledger.charge(tenant, decision.cost)
+            envelope: Optional[Dict[str, Any]] = None
+            try:
+                envelope = await self._request_on(handle, outgoing)
+            except ConnectionError:
+                self._mark_dead(handle)
+                self.counters["rerouted"] += 1
+            finally:
+                handle.capacity.release(decision.cost)
+                self.ledger.release(tenant, decision.cost)
+            if envelope is None:
+                continue  # probe the rerouted node; the op is idempotent
+            self.counters["forwarded"] += 1
+            self.counters["admitted_certified" if decision.certified
+                          else "admitted_clamped"] += 1
+            envelope["node"] = handle.name
+            return envelope
+        return error_envelope(identifier, "capacity",
+                              "the fleet has no alive nodes to serve this tenant")
+
+    async def _request_on(self, handle: NodeHandle,
+                          record: Dict[str, Any]) -> Dict[str, Any]:
+        if handle.connection is None:
+            handle.connection = NodeConnection(handle.host, handle.port)
+        try:
+            return await handle.connection.request(record)
+        except OSError as error:
+            raise ConnectionError(str(error)) from error
+
+    # -- admin tier ----------------------------------------------------------
+
+    async def _admin(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        token = record.get("admin_token")
+        if not isinstance(token, str) or not hmac.compare_digest(
+                token, self._admin_token):
+            self.counters["forbidden"] += 1
+            return error_envelope(
+                record.get("id"), "forbidden",
+                f"op {record['op']!r} is admin-tier and requires the "
+                "coordinator's admin token")
+        handler = {
+            "fleet.register": self._admin_register,
+            "fleet.heartbeat": self._admin_heartbeat,
+            "fleet.drain": self._admin_drain,
+            "fleet.evacuate": self._admin_evacuate,
+            "fleet.quota": self._admin_quota,
+            "fleet.status": self._admin_status,
+        }[record["op"]]
+        result = handler(record)
+        return {"id": record.get("id"), "ok": True, "op": record["op"],
+                "result": result}
+
+    def _now(self) -> float:
+        return asyncio.get_running_loop().time()
+
+    def _named_handle(self, record: Dict[str, Any]) -> NodeHandle:
+        name = record.get("node")
+        if not isinstance(name, str) or name not in self._by_name:
+            raise ProtocolError("protocol", f"unknown node {name!r}")
+        return self._by_name[name]
+
+    def _admin_register(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        info = record.get("node")
+        if not isinstance(info, dict):
+            raise ProtocolError("protocol",
+                                "fleet.register requires a 'node' object")
+        name = info.get("name")
+        if not isinstance(name, str) or not name:
+            raise ProtocolError("protocol", "a node needs a non-empty name")
+        version = info.get("protocol_version")
+        if version != PROTOCOL_VERSION:
+            raise ProtocolError(
+                "protocol",
+                f"node {name!r} speaks protocol version {version!r}; this "
+                f"coordinator requires {PROTOCOL_VERSION}")
+        host, port = info.get("host"), info.get("port")
+        if not isinstance(host, str) or not isinstance(port, int):
+            raise ProtocolError("protocol",
+                                f"node {name!r} needs string host and int port")
+        declared = info.get("capacity") or {}
+        capacity = NodeCapacity(
+            total=declared.get("total", 1),
+            over_commit_ratio=declared.get("over_commit_ratio", 1.0))
+        now = self._now()
+        existing = self._by_name.get(name)
+        if existing is not None:
+            # A re-registration is a restarted (or resurrected) node:
+            # refresh its address and start its accounting from zero —
+            # whatever was in flight on the old incarnation is gone.
+            existing.drop_connection()
+            existing.host, existing.port = host, port
+            existing.capacity = capacity
+            existing.shard_count = int(info.get("shard_count", 1))
+            existing.status = "alive"
+            existing.last_heartbeat = now
+            slot = self.ring.index(existing)
+        else:
+            handle = NodeHandle(name, host, port, capacity,
+                                int(info.get("shard_count", 1)),
+                                version, now)
+            self.ring.append(handle)
+            self._by_name[name] = handle
+            slot = len(self.ring) - 1
+        return {"registered": name, "slot": slot,
+                "fleet_size": sum(1 for h in self.ring if h.alive)}
+
+    def _admin_heartbeat(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        handle = self._named_handle(record)
+        handle.last_heartbeat = self._now()
+        pending = record.get("pending")
+        if isinstance(pending, int):
+            handle.pending = pending
+        if handle.status == "dead":
+            # The heartbeat proves it is back; dead was the sweeper's
+            # inference, not an operator decision (draining sticks).
+            handle.status = "alive"
+        return {"acknowledged": True, "status": handle.status}
+
+    def _admin_drain(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        handle = self._named_handle(record)
+        handle.status = "draining"
+        return {"node": handle.name, "status": handle.status,
+                "slot_kept": True}
+
+    def _admin_evacuate(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        handle = self._named_handle(record)
+        handle.drop_connection()
+        self.ring.remove(handle)
+        del self._by_name[handle.name]
+        return {"node": handle.name, "evacuated": True,
+                "fleet_size": sum(1 for h in self.ring if h.alive)}
+
+    def _admin_quota(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        tenant = self._quota_tenant(record)
+        raw = record.get("quota")
+        if raw is None:
+            self.ledger.set_quota(tenant, None)
+            applied = self.ledger.default_quota
+        elif isinstance(raw, dict):
+            quota = TenantQuota(
+                max_request_cost=raw.get("max_request_cost"),
+                max_in_flight_cost=raw.get("max_in_flight_cost"))
+            self.ledger.set_quota(tenant, quota)
+            applied = quota
+        else:
+            raise ProtocolError(
+                "protocol", "'quota' must be an object or null (null clears)")
+        return {"tenant": list(tenant), "quota": applied.as_dict()}
+
+    def _quota_tenant(self, record: Dict[str, Any]) -> TenantKey:
+        explicit = record.get("schema_fp"), record.get("deps_fp")
+        if all(isinstance(part, str) for part in explicit):
+            return explicit  # type: ignore[return-value]
+        if record.get("schema") or self.defaults.schema_text:
+            return routing_fingerprints(record, self.defaults, self._parser)
+        raise ProtocolError(
+            "protocol",
+            "fleet.quota needs either schema_fp/deps_fp or schema/deps texts")
+
+    def _admin_status(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        now = self._now()
+        return {
+            "role": "coordinator",
+            "protocol_version": PROTOCOL_VERSION,
+            "heartbeat_timeout_s": self._heartbeat_timeout,
+            "policy": {
+                "uncertified_max_conjuncts": self.policy.uncertified_max_conjuncts,
+                "uncertified_max_level": self.policy.uncertified_max_level,
+            },
+            "counters": dict(self.counters),
+            "ledger": self.ledger.snapshot(),
+            "ring": [handle.name for handle in self.ring],
+            "nodes": [handle.snapshot(now) for handle in self.ring],
+        }

@@ -19,12 +19,19 @@ restarts — and sibling worker processes — start warm from the shared
 SQLite store.  ``repro serve`` is the CLI wrapper.
 """
 
-from repro.service.client import ServiceClient, ServiceClientError
+from repro.service.client import (
+    IDEMPOTENT_OPS,
+    ServiceClient,
+    ServiceClientError,
+    ServiceTransportError,
+)
 from repro.service.pool import POOL_MODES, ShardedSolverPool
 from repro.service.protocol import (
+    ADMIN_OPERATIONS,
     ERROR_KINDS,
     OPERATIONS,
     PROTOCOL_VERSION,
+    USER_OPERATIONS,
     ProtocolError,
     ServiceDefaults,
     ServiceLimits,
@@ -41,7 +48,9 @@ from repro.service.protocol import (
 from repro.service.server import ServiceThread, SolverService
 
 __all__ = [
+    "ADMIN_OPERATIONS",
     "ERROR_KINDS",
+    "IDEMPOTENT_OPS",
     "OPERATIONS",
     "POOL_MODES",
     "PROTOCOL_VERSION",
@@ -52,9 +61,11 @@ __all__ = [
     "ServiceLimits",
     "ServiceOverloaded",
     "ServiceThread",
+    "ServiceTransportError",
     "ShardedSolverPool",
     "SolverService",
     "TenantParser",
+    "USER_OPERATIONS",
     "error_envelope",
     "handle_record",
     "make_worker_solver",

@@ -15,6 +15,14 @@ Raises :class:`ServiceClientError` on transport failures; protocol-level
 failures come back as ordinary ``ok: false`` envelopes, which
 :meth:`ServiceClient.check` converts to exceptions for callers that
 prefer raising.
+
+A dropped connection (server restart, idle timeout, a fleet node dying)
+does not kill the client: for **idempotent** operations — every solver
+op answers a pure question, so all of :data:`IDEMPOTENT_OPS` qualify —
+:meth:`ServiceClient.request` reconnects and retries exactly once.
+Non-idempotent records (fleet admin mutations) surface the transport
+error instead, with the failing record's ``op`` and ``id`` named so the
+caller knows precisely what may or may not have been applied.
 """
 
 from __future__ import annotations
@@ -25,9 +33,26 @@ from typing import Any, Dict, Optional
 
 from repro.exceptions import ReproError
 
+#: Operations safe to retry on a fresh connection after a transport
+#: failure: each answers a pure question (no server-side state changes
+#: beyond caches, which are idempotent by definition).  Fleet admin
+#: mutations (``fleet.drain``, ``fleet.quota``, …) are deliberately
+#: absent — the caller must decide whether they were applied.
+IDEMPOTENT_OPS = frozenset(
+    {"contain", "chase", "rewrite", "stats", "ping", "fleet.status"})
+
 
 class ServiceClientError(ReproError):
     """The connection failed or the server broke the line protocol."""
+
+
+class ServiceTransportError(ServiceClientError):
+    """The transport failed mid-request (socket error or truncated stream).
+
+    Distinguished from :class:`ServiceClientError` because only
+    transport failures are safely retriable: a malformed *response* on a
+    live connection means the answer's fate is unknown.
+    """
 
 
 class ServiceClient:
@@ -87,23 +112,47 @@ class ServiceClient:
     # -- the wire ------------------------------------------------------------
 
     def request(self, record: Dict[str, Any]) -> Dict[str, Any]:
-        """Send one record, wait for its envelope."""
+        """Send one record, wait for its envelope.
+
+        A transport failure on an idempotent op (see
+        :data:`IDEMPOTENT_OPS`) reconnects and retries once — the common
+        case being a server restart between requests on a long-lived
+        client.  A second failure, or a failure on a non-idempotent op,
+        raises :class:`ServiceTransportError` naming the record.
+        """
         self.connect()
+        try:
+            return self._exchange(record)
+        except ServiceTransportError:
+            self.close()
+            if record.get("op", "contain") not in IDEMPOTENT_OPS:
+                raise
+            self.connect()
+            return self._exchange(record)
+
+    def _exchange(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """One write/read round-trip on the current connection."""
+        context = (f"op={record.get('op', 'contain')!r} "
+                   f"request (id={record.get('id')!r})")
         try:
             self._file.write(json.dumps(record).encode("utf-8") + b"\n")
             self._file.flush()
             line = self._file.readline()
         except OSError as error:
-            raise ServiceClientError(f"transport error: {error}") from error
+            raise ServiceTransportError(
+                f"transport error during {context}: {error}") from error
         if not line:
-            raise ServiceClientError("server closed the connection")
+            raise ServiceTransportError(
+                f"server closed the connection during {context}")
         try:
             envelope = json.loads(line)
         except json.JSONDecodeError as error:
             raise ServiceClientError(
-                f"server sent a non-JSON line: {error}") from error
+                f"server sent a non-JSON line answering {context}: "
+                f"{error}") from error
         if not isinstance(envelope, dict):
-            raise ServiceClientError("server sent a non-object envelope")
+            raise ServiceClientError(
+                f"server sent a non-object envelope answering {context}")
         return envelope
 
     @staticmethod

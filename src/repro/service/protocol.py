@@ -52,18 +52,45 @@ from repro.parser.query_parser import parse_query
 from repro.parser.schema_parser import parse_schema
 from repro.parser.view_parser import parse_views
 
-PROTOCOL_VERSION = 1
+#: Version 2 added the fleet tier: ``fleet.*`` coordinator operations,
+#: the ``capacity``/``forbidden`` error kinds, and coordinator envelopes
+#: carrying a ``node`` field.  Worker-facing records are unchanged, so a
+#: v1 client keeps working against both workers and coordinators.
+PROTOCOL_VERSION = 2
+
+#: Per-line buffer limit for asyncio streams speaking this protocol.
+#: asyncio's default ``readline`` limit is 64 KiB, which a single chase
+#: response (every chase atom, serialized) exceeds routinely; every
+#: ``start_server``/``open_connection`` in the service and fleet layers
+#: must pass this instead, or large-but-legitimate envelopes kill the
+#: connection mid-stream.
+STREAM_LIMIT = 2 ** 24  # 16 MiB
 
 #: The operations a worker understands.  ``contain`` is the default for
 #: records without an ``op`` (the ``repro batch`` question shape).
 OPERATIONS = ("contain", "chase", "rewrite", "stats", "ping")
 
+#: The **user tier**: data-plane and read-only control operations any
+#: tenant may issue, against a worker or a fleet coordinator alike.
+USER_OPERATIONS = OPERATIONS
+
+#: The **admin tier**: fleet-management operations a coordinator accepts
+#: only with its admin token (node lifecycle, quotas, fleet status) —
+#: the kuberdock-style ADMIN/USER command split.  Workers reject these
+#: (they are meaningful only where the member registry lives).
+ADMIN_OPERATIONS = ("fleet.register", "fleet.heartbeat", "fleet.drain",
+                    "fleet.evacuate", "fleet.quota", "fleet.status")
+
 #: Error kinds carried in error envelopes, coarse enough for a client to
 #: switch on: ``protocol`` (malformed line/record), ``parse`` (schema,
 #: dependency, query, or view text did not parse), ``budget`` (a budget
 #: field is invalid or above the server's limit), ``overloaded``
-#: (admission control rejected the request), ``internal`` (unexpected).
-ERROR_KINDS = ("protocol", "parse", "budget", "overloaded", "internal")
+#: (admission control rejected the request), ``capacity`` (the fleet has
+#: no chase-node budget left for this request — the envelope carries a
+#: ``capacity`` detail object), ``forbidden`` (an admin-tier operation
+#: without the admin token), ``internal`` (unexpected).
+ERROR_KINDS = ("protocol", "parse", "budget", "overloaded", "capacity",
+               "forbidden", "internal")
 
 
 class ProtocolError(ReproError):

@@ -29,6 +29,7 @@ from typing import Any, Dict, Optional, Tuple
 from repro.exceptions import ReproError
 from repro.service.pool import ShardedSolverPool
 from repro.service.protocol import (
+    STREAM_LIMIT,
     ProtocolError,
     ServiceOverloaded,
     error_envelope,
@@ -81,10 +82,12 @@ class SolverService:
     async def start(self) -> None:
         if self._unix_path is not None:
             self._server = await asyncio.start_unix_server(
-                self._handle_connection, path=self._unix_path)
+                self._handle_connection, path=self._unix_path,
+                limit=STREAM_LIMIT)
         else:
             self._server = await asyncio.start_server(
-                self._handle_connection, host=self._host, port=self._port)
+                self._handle_connection, host=self._host, port=self._port,
+                limit=STREAM_LIMIT)
 
     async def stop(self) -> None:
         if self._server is not None:

@@ -159,12 +159,40 @@ class TrafficGenerator:
                 record["views"] = tenant.views_text
             yield record
 
+    def streams(self, stream_count: int, count_per_stream: int,
+                mix: Mapping[str, float] = DEFAULT_MIX,
+                stream_seed: int = 0) -> List[List[Dict[str, Any]]]:
+        """``stream_count`` independent request streams over one tenant universe.
+
+        The multi-node shape: each stream models one client connection
+        (or one traffic source aimed at a fleet), all drawing from the
+        *same* tenants — so the fleet-level affinity question ("do a
+        tenant's requests land on one node's warm caches regardless of
+        which client sent them?") is actually posed.  Streams are
+        deterministic (stream ``k`` derives its RNG from ``stream_seed +
+        k``) and their ids are prefixed ``s{k}/`` so responses can be
+        attributed to their stream even after fleet-level merging.
+        """
+        if stream_count <= 0:
+            raise ValueError("stream_count must be positive")
+        streams: List[List[Dict[str, Any]]] = []
+        for index in range(stream_count):
+            stream = self.requests(count_per_stream, mix=mix,
+                                   stream_seed=stream_seed + index)
+            for record in stream:
+                record["id"] = f"s{index}/{record['id']}"
+            streams.append(stream)
+        return streams
+
     # -- introspection -------------------------------------------------------
 
     def tenant_shares(self, records: List[Dict[str, Any]]) -> Dict[str, float]:
         """Fraction of a stream belonging to each tenant (by request id)."""
         counts: Dict[str, int] = {tenant.name: 0 for tenant in self.tenants}
         for record in records:
-            counts[record["id"].split("/", 1)[0]] += 1
+            parts = record["id"].split("/")
+            # Stream-prefixed ids (``s0/tenant-3/contain/5``) carry the
+            # tenant in the second component.
+            counts[parts[1] if parts[0] not in counts else parts[0]] += 1
         total = max(len(records), 1)
         return {name: count / total for name, count in counts.items()}
