@@ -14,6 +14,8 @@ from __future__ import annotations
 import pytest
 
 from repro.api import Solver, SolverConfig, reset_default_solver, set_default_solver
+from repro.obs import probe as probe_module
+from repro.obs.tracing import get_tracer
 from repro.workloads.paper_examples import (
     figure1_example,
     intro_example,
@@ -35,6 +37,26 @@ def uncached_default_solver():
         containment_cache_size=0, chase_cache_size=0)))
     yield
     reset_default_solver()
+
+
+@pytest.fixture(autouse=True)
+def isolated_observability():
+    """Restore global obs state after every benchmark.
+
+    Starting an in-process service or fleet node installs the default
+    metrics probe (by design — servers observe themselves); without this
+    fixture every solver benchmark that happens to run *after* the
+    service/fleet files would silently time the instrumented path and
+    read as a regression against its uninstrumented baseline.
+    """
+    tracer = get_tracer()
+    saved_probe = probe_module.active()
+    saved_threshold = tracer.slow_log.threshold_s
+    yield
+    probe_module.uninstall()
+    if saved_probe is not None:
+        probe_module.install(saved_probe)
+    tracer.slow_log.threshold_s = saved_threshold
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,112 @@
+"""One trace id, followed through a whole fleet — plus a metrics scrape.
+
+The observability layer's promise: a ``trace_id`` minted by the client
+rides the wire through coordinator → node → shard → chase engine, each
+hop recording its own spans, and one ``obs.trace`` lookup at the
+coordinator shows the merged cross-process tree.  This example runs
+the round trip in-process:
+
+1. start a coordinator and a registered worker node;
+2. send traced tenant traffic with the ordinary
+   :class:`~repro.service.client.ServiceClient` (tracing is the
+   default — the minted id lands in ``client.last_trace_id``);
+3. scrape the coordinator's metrics in Prometheus text form through
+   the admin-gated ``obs.metrics`` op;
+4. fetch the request's span tree back by id via ``obs.trace`` and
+   print it — coordinator spans and the node's chase-engine spans in
+   one tree;
+5. read ``obs.health`` for the liveness-plus-observability snapshot.
+
+Run with ``python examples/observability_demo.py``.
+"""
+
+from repro.api import SolverConfig
+from repro.fleet import FleetClient, FleetCoordinator, FleetNode
+from repro.service import ServiceClient, ShardedSolverPool
+
+SCHEMA_TEXT = "EMP(emp, sal, dept)\nDEP(dept, loc)"
+DEPENDENCY_TEXT = "EMP[dept] <= DEP[dept]"
+Q1 = "Q1(e) :- EMP(e, s, d), DEP(d, l)"
+Q2 = "Q2(e) :- EMP(e, s, d)"
+TOKEN = "demo-admin-token"
+
+
+def render_span_tree(spans):
+    """The span forest as indented lines, children under their parents."""
+    by_parent = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent_id"), []).append(span)
+    known = {span.get("span_id") for span in spans}
+
+    def walk(span, depth):
+        duration = span.get("duration_s")
+        shown = f"{duration * 1000:.3f} ms" if duration is not None else "?"
+        yield f"{'  ' * depth}{span['name']}  {shown}"
+        for child in by_parent.get(span.get("span_id"), []):
+            yield from walk(child, depth + 1)
+
+    for span in spans:
+        if span.get("parent_id") not in known:
+            yield from walk(span, 0)
+
+
+def main() -> None:
+    coordinator = FleetCoordinator(port=0, admin_token=TOKEN)
+    coordinator_thread = coordinator.run_in_thread()
+    _, port = coordinator_thread.address[1]
+    print(f"coordinator listening on 127.0.0.1:{port}")
+
+    pool = ShardedSolverPool(shard_count=2, mode="inline",
+                             config=SolverConfig())
+    node = FleetNode(name="node-0", pool=pool, coordinator_host="127.0.0.1",
+                     coordinator_port=port, admin_token=TOKEN)
+    node_thread = node.run_in_thread()
+    print("node-0 registered")
+
+    try:
+        with ServiceClient(port=port) as client:
+            # -- traced traffic: the client mints the trace id ------------
+            envelope = client.contain(Q2, Q1, schema=SCHEMA_TEXT,
+                                      deps=DEPENDENCY_TEXT)
+            trace_id = client.last_trace_id
+            print(f"\nQ2 ⊆ Q1: holds={envelope['result']['holds']} "
+                  f"answered by {envelope['node']}")
+            print(f"trace id (client-minted): {trace_id}")
+
+            with FleetClient(port=port, admin_token=TOKEN) as admin:
+                # -- the metrics scrape, Prometheus text form -------------
+                scrape = admin.obs_metrics(format="prometheus")["text"]
+                print("\nobs.metrics (repro_* lines):")
+                for line in scrape.splitlines():
+                    if line.startswith(("repro_requests_total",
+                                        "repro_chase_runs_total",
+                                        "repro_fleet_")):
+                        print(f"  {line}")
+
+                # -- the cross-process span tree, one lookup --------------
+                looked_up = admin.obs_trace(trace_id)
+                assert looked_up["found"], "trace evicted?"
+                spans = looked_up["spans"]
+                names = {span["name"] for span in spans}
+                assert "fleet.forward" in names, names
+                assert "chase.run" in names, names
+                print(f"\nobs.trace {trace_id}: {len(spans)} spans, "
+                      "coordinator and node merged:")
+                for line in render_span_tree(spans):
+                    print(f"  {line}")
+
+                # -- health: liveness plus observability state ------------
+                health = admin.obs_health()
+                print(f"\nobs.health: pid={health['pid']} "
+                      f"uptime_s={health['uptime_s']} "
+                      f"probe={health['probe']} "
+                      f"traces_stored={health['tracer']['traces_stored']}")
+    finally:
+        node_thread.stop()
+        coordinator_thread.stop()
+        pool.close()
+    print("\ndemo complete")
+
+
+if __name__ == "__main__":
+    main()

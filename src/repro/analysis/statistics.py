@@ -8,11 +8,11 @@ decision behaves across parameter sweeps (query size, |Σ|, width).
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.chase.engine import ChaseConfig, ChaseVariant, chase
+from repro.obs.clock import monotonic
 from repro.containment.decision import is_contained
 from repro.containment.result import ContainmentResult
 from repro.dependencies.dependency_set import DependencySet
@@ -86,9 +86,9 @@ def containment_sweep(cases: Sequence[Tuple[str, Dict[str, object],
     """
     points: List[SweepPoint] = []
     for label, parameters, query, query_prime, dependencies in cases:
-        started = time.perf_counter()
+        started = monotonic()
         result: ContainmentResult = is_contained(query, query_prime, dependencies, **options)
-        elapsed = time.perf_counter() - started
+        elapsed = monotonic() - started
         points.append(SweepPoint(
             label=label,
             parameters=dict(parameters),

@@ -28,11 +28,11 @@ import hashlib
 import pickle
 import sqlite3
 import threading
-import time
 from typing import Any, Dict, Hashable, Optional, Tuple
 
 from repro.api.cache import CacheInfo
 from repro.exceptions import ReproError
+from repro.obs.clock import wall_time
 
 #: Bump when the pickled value layout changes incompatibly; a store whose
 #: recorded version differs is cleared on open instead of serving values
@@ -170,7 +170,7 @@ class PersistentCache:
             self._connection.execute(
                 "INSERT OR REPLACE INTO entries (namespace, key, value, created_at) "
                 "VALUES (?, ?, ?, ?)",
-                (namespace, digest, payload, time.time()))
+                (namespace, digest, payload, wall_time()))
             self._writes += 1
 
     def sizes(self) -> Dict[str, int]:

@@ -23,7 +23,6 @@ module-level functions now delegate to.
 from __future__ import annotations
 
 import threading
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -64,6 +63,9 @@ from repro.containment.no_dependencies import contained_without_dependencies
 from repro.containment.result import ContainmentResult
 from repro.dependencies.dependency_set import DependencyClass, DependencySet
 from repro.exceptions import ReproError
+from repro.obs import probe as _probe
+from repro.obs.clock import monotonic
+from repro.obs.tracing import maybe_span
 from repro.optimizer.pipeline import OptimizationReport
 from repro.optimizer.pipeline import optimize as pipeline_optimize
 from repro.queries.conjunctive_query import ConjunctiveQuery
@@ -217,6 +219,35 @@ class Solver:
         if persistent and self._persistent is not None:
             self._persistent.clear()
 
+    def _cache_marker(self) -> Tuple[int, int]:
+        """(hits, fresh computes) seen so far, across every cache tier.
+
+        Composite procedures (the optimize pipeline) bracket their run
+        with two markers to report a truthful ``cache_hit``: hits are
+        LRU hits plus persistent-store hits, and a "fresh compute" is a
+        probe no tier could answer — a persistent miss when a store is
+        attached (every disk probe was first an LRU miss), otherwise an
+        LRU miss.  Concurrent callers sharing this solver can smear the
+        numbers; the field is informational, mirroring the single-call
+        responses.
+        """
+        containment = self._containment_cache.info()
+        chase = self._chase_cache.info()
+        with self._persistent_lock:
+            persistent_hits = self._persistent_hits
+            persistent_misses = self._persistent_misses
+        hits = containment.hits + chase.hits + persistent_hits
+        if self._persistent is not None:
+            fresh = persistent_misses
+        else:
+            fresh = containment.misses + chase.misses
+        return hits, fresh
+
+    def _cache_hit_since(self, marker: Tuple[int, int]) -> bool:
+        """True when the bracketed run was answered entirely from caches."""
+        hits, fresh = self._cache_marker()
+        return hits > marker[0] and fresh == marker[1]
+
     def _through_persistent(self, namespace: str, key, compute):
         """Disk-store fallback behind an LRU miss: probe, else compute and store."""
         if self._persistent is not None:
@@ -255,7 +286,10 @@ class Solver:
             config.record_trace,
             resolve_engine_name(config.engine),
         )
-        cached = self._chase_cache.get(key)
+        with maybe_span("cache.lookup", cache="chase") as span:
+            cached = self._chase_cache.get(key)
+            if span is not None:
+                span.tags["hit"] = cached is not None
         if cached is not None:
             return cached, True
         result, from_disk = self._through_persistent(
@@ -305,7 +339,10 @@ class Solver:
             config.containment_key(),
         ) if cacheable else None
         if cacheable:
-            cached = self._containment_cache.get(key)
+            with maybe_span("cache.lookup", cache="containment") as span:
+                cached = self._containment_cache.get(key)
+                if span is not None:
+                    span.tags["hit"] = cached is not None
             if cached is not None:
                 return cached, True
 
@@ -327,8 +364,13 @@ class Solver:
                 and config.certify_termination
                 and config.level_bound is None  # an explicit bound wins
                 and config.variant is ChaseVariant.RESTRICTED
-                and chase_guaranteed_finite(sigma, query.input_schema)
             )
+            if assume_terminating:
+                with maybe_span("termination.analysis") as span:
+                    assume_terminating = chase_guaranteed_finite(
+                        sigma, query.input_schema)
+                    if span is not None:
+                        span.tags["certified"] = assume_terminating
             return contained_under_bounded_chase(
                 query, query_prime, sigma,
                 variant=config.variant,
@@ -432,7 +474,8 @@ class Solver:
                 return cached, True
 
         def compute() -> RewriteReport:
-            return rewrite_with_views(
+            with maybe_span("rewrite.search"):
+                return rewrite_with_views(
                 query, catalog, sigma, solver=self, cost_model=cost_model,
                 max_images=config.rewrite_max_images,
                 max_combination_size=config.rewrite_max_combination_size,
@@ -460,24 +503,29 @@ class Solver:
     def solve(self, request: SolveRequest) -> SolveResponse:
         """Execute one typed request and return its enriched response."""
         if isinstance(request, ContainmentRequest):
-            return self._solve_containment(request)
-        if isinstance(request, ChaseRequest):
-            return self._solve_chase(request)
-        if isinstance(request, OptimizeRequest):
-            return self._solve_optimize(request)
-        if isinstance(request, RewriteRequest):
-            return self._solve_rewrite(request)
-        raise ReproError(
-            f"unknown request type {type(request).__name__}; expected "
-            "ContainmentRequest, ChaseRequest, OptimizeRequest, or "
-            "RewriteRequest")
+            op, response = "contain", self._solve_containment(request)
+        elif isinstance(request, ChaseRequest):
+            op, response = "chase", self._solve_chase(request)
+        elif isinstance(request, OptimizeRequest):
+            op, response = "optimize", self._solve_optimize(request)
+        elif isinstance(request, RewriteRequest):
+            op, response = "rewrite", self._solve_rewrite(request)
+        else:
+            raise ReproError(
+                f"unknown request type {type(request).__name__}; expected "
+                "ContainmentRequest, ChaseRequest, OptimizeRequest, or "
+                "RewriteRequest")
+        probe = _probe.ACTIVE
+        if probe is not None:
+            probe.request(op, response.elapsed_s, response.cache_hit)
+        return response
 
     def _solve_containment(self, request: ContainmentRequest) -> ContainmentResponse:
         config = request.config or self._config
-        started = time.perf_counter()
+        started = monotonic()
         result, cache_hit = self._decide(
             request.query, request.query_prime, request.dependencies, config)
-        elapsed = time.perf_counter() - started
+        elapsed = monotonic() - started
         budget = BudgetUsage(
             chase_size=result.chase_size,
             max_conjuncts=config.max_conjuncts,
@@ -494,9 +542,9 @@ class Solver:
         sigma = (request.dependencies if request.dependencies is not None
                  else DependencySet())
         self.stats.count("chase_requests")
-        started = time.perf_counter()
+        started = monotonic()
         result, cache_hit = self._cached_chase(request.query, sigma, chase_config)
-        elapsed = time.perf_counter() - started
+        elapsed = monotonic() - started
         budget = BudgetUsage(
             chase_size=len(result),
             max_conjuncts=chase_config.max_conjuncts,
@@ -522,22 +570,24 @@ class Solver:
                 "with_certificate": config.with_certificate,
                 "deepening": config.deepening,
             }
-        started = time.perf_counter()
+        started = monotonic()
+        marker = self._cache_marker()
         report = pipeline_optimize(
             request.query, request.dependencies, name=request.name, solver=self,
             **options)
-        elapsed = time.perf_counter() - started
+        cache_hit = self._cache_hit_since(marker)
+        elapsed = monotonic() - started
         return OptimizeResponse(
-            elapsed_s=elapsed, cache_hit=False, config=config,
+            elapsed_s=elapsed, cache_hit=cache_hit, config=config,
             tag=request.tag, report=report)
 
     def _solve_rewrite(self, request: RewriteRequest) -> RewriteResponse:
         config = request.config or self._config
-        started = time.perf_counter()
+        started = monotonic()
         report, cache_hit = self._cached_rewrite(
             request.query, request.catalog, request.dependencies,
             request.cost_model, config)
-        elapsed = time.perf_counter() - started
+        elapsed = monotonic() - started
         return RewriteResponse(
             elapsed_s=elapsed, cache_hit=cache_hit, config=config,
             tag=request.tag, report=report)

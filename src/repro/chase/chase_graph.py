@@ -89,6 +89,12 @@ class ChaseGraph:
         self._arcs: List[ChaseArc] = []
         self._ordinary_targets: Dict[int, List[int]] = {}
         self._next_id = 0
+        # Live count and live max level are maintained incrementally so
+        # ``len(graph)`` and ``max_level()`` stay O(1) on the common
+        # (retire-free) path — the obs layer reads both after every chase.
+        self._live_count = 0
+        self._max_level = 0
+        self._max_level_dirty = False
 
     # -- construction -------------------------------------------------------
 
@@ -102,6 +108,9 @@ class ChaseGraph:
         node = ChaseNode(node_id=node_id, conjunct=labelled, level=level,
                          parent=parent, via=via)
         self._nodes[node_id] = node
+        self._live_count += 1
+        if level > self._max_level:
+            self._max_level = level
         if parent is not None:
             if parent not in self._nodes:
                 raise ChaseError(f"unknown parent node {parent}")
@@ -123,7 +132,12 @@ class ChaseGraph:
 
     def retire_node(self, node_id: int) -> None:
         """Mark a node dead (it was merged into another by an FD step)."""
-        self.node(node_id).alive = False
+        node = self.node(node_id)
+        if node.alive:
+            node.alive = False
+            self._live_count -= 1
+            if node.level == self._max_level:
+                self._max_level_dirty = True
 
     # -- access ----------------------------------------------------------------
 
@@ -134,14 +148,13 @@ class ChaseGraph:
             raise ChaseError(f"chase graph has no node {node_id}") from None
 
     def nodes(self, include_dead: bool = False) -> List[ChaseNode]:
-        """Nodes in creation order."""
-        ordered = [self._nodes[node_id] for node_id in sorted(self._nodes)]
+        """Nodes in creation order (ids are assigned in creation order)."""
         if include_dead:
-            return ordered
-        return [node for node in ordered if node.alive]
+            return list(self._nodes.values())
+        return [node for node in self._nodes.values() if node.alive]
 
     def __len__(self) -> int:
-        return len(self.nodes())
+        return self._live_count
 
     def __iter__(self) -> Iterator[ChaseNode]:
         return iter(self.nodes())
@@ -165,8 +178,12 @@ class ChaseGraph:
         return [node.conjunct for node in self.nodes()]
 
     def max_level(self) -> int:
-        live = self.nodes()
-        return max((node.level for node in live), default=0)
+        if self._max_level_dirty:
+            self._max_level = max(
+                (node.level for node in self._nodes.values() if node.alive),
+                default=0)
+            self._max_level_dirty = False
+        return self._max_level
 
     def nodes_at_level(self, level: int) -> List[ChaseNode]:
         return [node for node in self.nodes() if node.level == level]

@@ -68,6 +68,9 @@ from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.functional import FunctionalDependency
 from repro.dependencies.inclusion import InclusionDependency
 from repro.exceptions import ChaseError
+from repro.obs import probe as _probe
+from repro.obs.clock import monotonic
+from repro.obs.tracing import current_span, maybe_span
 from repro.queries.conjunct import Conjunct
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.relational.schema import DatabaseSchema
@@ -255,7 +258,7 @@ class ChaseResult:
         return self.graph.conjuncts()
 
     def __len__(self) -> int:
-        return len(self.conjuncts())
+        return 0 if self.failed else len(self.graph)
 
     def max_level(self) -> int:
         return self.graph.max_level() if not self.failed else 0
@@ -404,6 +407,9 @@ class ChaseEngine:
 
     def run(self) -> ChaseResult:
         """Execute the chase until saturation, failure, or a budget limit."""
+        return run_with_instrumentation(self)
+
+    def _run(self) -> ChaseResult:
         for conjunct in self._query.conjuncts:
             node = self._graph.new_node(conjunct, level=0)
             self._register_node(node)
@@ -934,6 +940,38 @@ class ChaseEngine:
     def _record(self, step) -> None:
         if self._config.record_trace:
             self._trace.record(step)
+
+
+def run_with_instrumentation(engine) -> ChaseResult:
+    """Run an engine's ``_run``, reporting to the probe and current trace.
+
+    Shared by both implementations so their ``run()`` methods stay
+    one-liners.  The disabled path is two attribute/contextvar reads and
+    a direct call — no timing, no span allocation — which is what keeps
+    uninstrumented benchmarks at parity (the E20 guard measures this).
+    """
+    probe = _probe.ACTIVE
+    if probe is None and current_span() is None:
+        return engine._run()
+    started = monotonic()
+    with maybe_span("chase.run", engine=engine.engine_name) as span:
+        result = engine._run()
+        elapsed = monotonic() - started
+        conjuncts = len(result)
+        if span is not None:
+            stats = result.statistics
+            span.tags.update(
+                conjuncts=conjuncts,
+                max_level=result.max_level(),
+                total_steps=stats.total_steps,
+                triggers_examined=stats.triggers_examined,
+                outcome=("failed" if result.failed
+                         else "saturated" if result.saturated else "truncated"),
+            )
+    if probe is not None:
+        probe.chase(engine.engine_name, elapsed, result.statistics,
+                    conjuncts, result.saturated, result.failed)
+    return result
 
 
 def build_engine(query: ConjunctiveQuery, dependencies: DependencySet,

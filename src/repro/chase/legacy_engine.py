@@ -35,6 +35,7 @@ from repro.chase.engine import (
     ChaseResult,
     ChaseStatistics,
     ChaseVariant,
+    run_with_instrumentation,
 )
 from repro.chase.events import (
     ChaseTrace,
@@ -107,6 +108,9 @@ class LegacyChaseEngine:
 
     def run(self) -> ChaseResult:
         """Execute the chase until saturation, failure, or a budget limit."""
+        return run_with_instrumentation(self)
+
+    def _run(self) -> ChaseResult:
         for conjunct in self._query.conjuncts:
             node = self._graph.new_node(conjunct, level=0)
             self._register_node(node)

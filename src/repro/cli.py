@@ -215,6 +215,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-conjuncts-limit", type=int, default=100_000,
                        help="ceiling on any request's chase budget "
                             "(default 100000)")
+    serve.add_argument("--slow-op-threshold", type=float, default=None,
+                       metavar="SECONDS",
+                       help="record the full span tree of any request "
+                            "slower than this into the slow-op log "
+                            "(queryable via the obs.trace op; default off)")
 
     fleet = subparsers.add_parser(
         "fleet", help="run or inspect a multi-node solver fleet "
@@ -252,6 +257,11 @@ def build_parser() -> argparse.ArgumentParser:
                             default=None,
                             help="default in-flight cost quota for every "
                                  "tenant (chase nodes; default unlimited)")
+    coordinate.add_argument("--slow-op-threshold", type=float, default=None,
+                            metavar="SECONDS",
+                            help="record the full span tree of any forward "
+                                 "slower than this into the slow-op log "
+                                 "(default off)")
 
     serve_node = fleet_sub.add_parser(
         "serve-node", help="run one worker node: a sharded solver service "
@@ -285,6 +295,54 @@ def build_parser() -> argparse.ArgumentParser:
     fleet_status.add_argument("--coordinator", required=True,
                               metavar="HOST:PORT")
     fleet_status.add_argument("--admin-token", required=True)
+
+    obs = subparsers.add_parser(
+        "obs", help="observability of a running service or fleet "
+                    "(metrics scrape, trace lookup, profiler, health)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    def _add_obs_target(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--server", required=True, metavar="HOST:PORT",
+                         help="the service or coordinator to query")
+        sub.add_argument("--admin-token", default=None,
+                         help="required when --server is a fleet coordinator "
+                              "(its obs tier is admin-gated)")
+        sub.add_argument("--json", action="store_true",
+                         help="emit the raw JSON result")
+
+    obs_metrics = obs_sub.add_parser(
+        "metrics", help="scrape the server's metrics "
+                        "(Prometheus text by default)")
+    _add_obs_target(obs_metrics)
+    obs_metrics.add_argument("--format", choices=["prometheus", "json"],
+                             default="prometheus")
+
+    obs_trace = obs_sub.add_parser(
+        "trace", help="list recent traces, fetch one trace's span tree, "
+                      "or dump the slow-op log")
+    _add_obs_target(obs_trace)
+    obs_trace.add_argument("--trace-id", default=None,
+                           help="fetch this trace's spans (default: list "
+                                "recent traces)")
+    obs_trace.add_argument("--slow", action="store_true",
+                           help="dump the slow-op log instead")
+    obs_trace.add_argument("--limit", type=int, default=20)
+
+    obs_top = obs_sub.add_parser(
+        "top", help="the sampling profiler's hottest code sites "
+                    "(start it first with --start)")
+    _add_obs_target(obs_top)
+    obs_top.add_argument("--start", action="store_true",
+                         help="start the server's sampling profiler")
+    obs_top.add_argument("--stop", action="store_true",
+                         help="stop the server's sampling profiler")
+    obs_top.add_argument("--interval", type=float, default=None,
+                         help="sampling interval in seconds (with --start)")
+    obs_top.add_argument("--limit", type=int, default=20)
+
+    obs_health = obs_sub.add_parser(
+        "health", help="the server's liveness and observability state")
+    _add_obs_target(obs_health)
     return parser
 
 
@@ -497,7 +555,8 @@ def _command_serve(options: argparse.Namespace, solver: Solver) -> int:
         defaults=defaults, limits=limits, max_pending=options.max_pending)
     service = SolverService(
         pool, host=options.host, port=options.port, unix_path=options.socket,
-        max_pending=options.max_pending)
+        max_pending=options.max_pending,
+        slow_op_threshold=options.slow_op_threshold)
 
     async def run() -> None:
         await service.start()
@@ -559,7 +618,8 @@ def _command_fleet(options: argparse.Namespace, solver: Solver) -> int:
                 max_request_cost=options.default_max_request_cost,
                 max_in_flight_cost=options.default_max_in_flight_cost),
             defaults=defaults,
-            heartbeat_timeout=options.heartbeat_timeout)
+            heartbeat_timeout=options.heartbeat_timeout,
+            slow_op_threshold=options.slow_op_threshold)
 
         async def run_coordinator() -> None:
             await coordinator.start()
@@ -604,6 +664,128 @@ def _command_fleet(options: argparse.Namespace, solver: Solver) -> int:
     return EXIT_YES
 
 
+def _obs_client(options: argparse.Namespace):
+    """A client for ``repro obs``: fleet-flavoured when a token is given."""
+    from repro.fleet import FleetClient
+    from repro.service import ServiceClient
+
+    host, port = _parse_host_port(options.server)
+    if options.admin_token is not None:
+        return FleetClient(host=host, port=port,
+                           admin_token=options.admin_token)
+    return ServiceClient(host=host, port=port)
+
+
+def _render_span_tree(spans: List[dict]) -> Iterator[str]:
+    """The span forest as indented lines, children under their parents."""
+    by_parent: dict = {}
+    for span in spans:
+        by_parent.setdefault(span.get("parent_id"), []).append(span)
+    known = {span.get("span_id") for span in spans}
+
+    def walk(span: dict, depth: int) -> Iterator[str]:
+        duration = span.get("duration_s")
+        shown = f"{duration * 1000:.3f} ms" if duration is not None else "?"
+        tags = span.get("tags") or {}
+        rendered_tags = " ".join(f"{key}={value}" for key, value in tags.items())
+        yield (f"{'  ' * depth}{span.get('name')}  {shown}"
+               + (f"  [{rendered_tags}]" if rendered_tags else ""))
+        for child in by_parent.get(span.get("span_id"), []):
+            yield from walk(child, depth + 1)
+
+    # Roots: spans whose parent is absent or unknown to this store (a
+    # coordinator-absorbed tree's true root lives at the client).
+    for span in spans:
+        if span.get("parent_id") not in known:
+            yield from walk(span, 0)
+
+
+def _command_obs(options: argparse.Namespace, solver: Solver) -> int:
+    """Dispatch the ``repro obs`` subcommands against a running server."""
+    from repro.analysis.reporting import format_table
+
+    with _obs_client(options) as client:
+        if options.obs_command == "metrics":
+            result = client.obs_metrics(format=options.format)
+            if options.json:
+                _emit_json(result)
+            elif options.format == "prometheus":
+                print(result["text"], end="")
+            else:
+                _emit_json(result["metrics"])
+            return EXIT_YES
+
+        if options.obs_command == "trace":
+            result = client.obs_trace(options.trace_id, slow=options.slow,
+                                      limit=options.limit)
+            if options.json:
+                _emit_json(result)
+            elif options.trace_id is not None:
+                if not result["found"]:
+                    print(f"trace {options.trace_id} is not in the store "
+                          "(evicted or never seen)", file=sys.stderr)
+                    return EXIT_NO
+                for line in _render_span_tree(result["spans"]):
+                    print(line)
+            elif options.slow:
+                rows = [(entry["trace_id"], entry["name"],
+                         f"{entry['duration_s'] * 1000:.1f} ms",
+                         len(entry["spans"]))
+                        for entry in result["slow_ops"]]
+                print(format_table(("trace", "op", "duration", "spans"), rows,
+                                   title="slow ops (newest first)"))
+            else:
+                rows = [(entry["trace_id"], entry["root"],
+                         (f"{entry['duration_s'] * 1000:.1f} ms"
+                          if entry["duration_s"] is not None else "?"),
+                         entry["spans"])
+                        for entry in result["traces"]]
+                print(format_table(("trace", "root", "duration", "spans"), rows,
+                                   title="recent traces (newest first)"))
+            return EXIT_YES
+
+        if options.obs_command == "top":
+            if options.start:
+                result = client.obs_profile("start", interval_s=options.interval)
+                print(f"profiler {'started' if result['started'] else 'already running'}",
+                      file=sys.stderr)
+                return EXIT_YES
+            if options.stop:
+                result = client.obs_profile("stop")
+                print(f"profiler {'stopped' if result['stopped'] else 'was not running'}",
+                      file=sys.stderr)
+                return EXIT_YES
+            result = client.obs_profile("top", limit=options.limit)
+            if options.json:
+                _emit_json(result)
+            else:
+                rows = [(site["site"], site["function"], site["samples"],
+                         f"{site['share']:.1%}") for site in result["sites"]]
+                print(format_table(("site", "function", "samples", "share"),
+                                   rows,
+                                   title=f"profiler top ({result['samples']} "
+                                         f"samples, running={result['running']})"))
+            return EXIT_YES
+
+        # obs_command == "health"
+        result = client.obs_health()
+        if options.json:
+            _emit_json(result)
+        else:
+            tracer = result.get("tracer", {})
+            print(f"pid {result['pid']} (python {result['python']}), "
+                  f"up {result['uptime_s']:.0f}s")
+            print(f"probe: {result['probe'] or 'none'}; "
+                  f"metric families: {result['metrics_families']}")
+            print(f"tracer: enabled={tracer.get('enabled')} "
+                  f"traces_stored={tracer.get('traces_stored')} "
+                  f"slow_op_threshold_s={tracer.get('slow_op_threshold_s')}")
+            profiler = result.get("profiler", {})
+            print(f"profiler: running={profiler.get('running')} "
+                  f"interval_s={profiler.get('interval_s')}")
+        return EXIT_YES
+
+
 _COMMANDS = {
     "contain": _command_contain,
     "chase": _command_chase,
@@ -613,6 +795,7 @@ _COMMANDS = {
     "rewrite": _command_rewrite,
     "serve": _command_serve,
     "fleet": _command_fleet,
+    "obs": _command_obs,
 }
 
 

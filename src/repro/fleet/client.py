@@ -67,3 +67,22 @@ class FleetClient(ServiceClient):
                      {"schema": schema, "deps": deps, "schema_fp": schema_fp,
                       "deps_fp": deps_fp}.items() if value is not None}}
         return self.check(self.request(record))
+
+    # -- observability (admin-gated at a coordinator) ------------------------
+
+    def obs_metrics(self, **kwargs: Any) -> Dict[str, Any]:
+        kwargs.setdefault("admin_token", self._admin_token)
+        return super().obs_metrics(**kwargs)
+
+    def obs_trace(self, trace_id: Optional[str] = None,
+                  **kwargs: Any) -> Dict[str, Any]:
+        kwargs.setdefault("admin_token", self._admin_token)
+        return super().obs_trace(trace_id, **kwargs)
+
+    def obs_health(self, **kwargs: Any) -> Dict[str, Any]:
+        kwargs.setdefault("admin_token", self._admin_token)
+        return super().obs_health(**kwargs)
+
+    def obs_profile(self, action: str = "status", **kwargs: Any) -> Dict[str, Any]:
+        kwargs.setdefault("admin_token", self._admin_token)
+        return super().obs_profile(action, **kwargs)

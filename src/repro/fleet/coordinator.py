@@ -56,15 +56,20 @@ from repro.fleet.capacity import (
     TenantLedger,
     TenantQuota,
 )
+from repro.obs import ensure_default_probe
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import get_tracer, maybe_span, new_trace_id
 from repro.parser.query_parser import parse_query
 from repro.service.protocol import (
     ADMIN_OPERATIONS,
+    OBS_OPERATIONS,
     PROTOCOL_VERSION,
     STREAM_LIMIT,
     ProtocolError,
     ServiceDefaults,
     TenantParser,
     error_envelope,
+    handle_obs_record,
     routing_fingerprints,
     shard_for,
     validate_record,
@@ -217,10 +222,20 @@ class FleetCoordinator:
                  policy: AdmissionPolicy = AdmissionPolicy(),
                  default_quota: TenantQuota = TenantQuota(),
                  defaults: ServiceDefaults = ServiceDefaults(),
-                 heartbeat_timeout: float = 6.0):
+                 heartbeat_timeout: float = 6.0,
+                 slow_op_threshold: Optional[float] = None):
         if heartbeat_timeout <= 0:
             raise ReproError(
                 f"heartbeat_timeout must be positive, got {heartbeat_timeout}")
+        if slow_op_threshold is not None and slow_op_threshold <= 0:
+            raise ReproError(
+                f"slow_op_threshold must be positive (or None to disable "
+                f"the slow-op log), got {slow_op_threshold}")
+        # A coordinator is a server too: same observability opt-in as
+        # SolverService (default probe, optional slow-op log arming).
+        ensure_default_probe()
+        if slow_op_threshold is not None:
+            get_tracer().slow_log.threshold_s = slow_op_threshold
         self._host = host
         self._port = port
         self._admin_token = admin_token
@@ -317,8 +332,12 @@ class FleetCoordinator:
                 try:
                     text = line.decode("utf-8")
                 except UnicodeDecodeError as error:
+                    # Reject the bytes, but peek the id through a
+                    # replace-decode so the client can correlate the
+                    # rejection (mirrors SolverService._handle_connection).
                     envelope = error_envelope(
-                        None, "protocol",
+                        _peek_id(line.decode("utf-8", errors="replace")),
+                        "protocol",
                         f"request line is not valid UTF-8: {error}")
                 else:
                     envelope = await self._answer(text)
@@ -349,6 +368,11 @@ class FleetCoordinator:
         try:
             if op in ADMIN_OPERATIONS:
                 return await self._admin(record)
+            if op in OBS_OPERATIONS:
+                # The coordinator's port is the tenant-facing one, so
+                # its obs tier is admin-gated like fleet.* (a worker's
+                # is not — its listener is inside the trust boundary).
+                return self._obs(record)
             record = validate_record(record)
             if op == "ping":
                 return self._pong(record)
@@ -362,6 +386,41 @@ class FleetCoordinator:
         except Exception as error:  # defensive: bugs become envelopes
             return error_envelope(record.get("id"), "internal",
                                   f"{type(error).__name__}: {error}")
+
+    # -- observability tier (admin-gated at the coordinator) -----------------
+
+    def _obs(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        if not self._authorized(record):
+            self.counters["forbidden"] += 1
+            return error_envelope(
+                record.get("id"), "forbidden",
+                f"op {record['op']!r} is admin-tier at a coordinator and "
+                "requires the admin token")
+        if record["op"] == "obs.metrics":
+            self._sync_fleet_gauges()
+        return handle_obs_record(record)
+
+    def _sync_fleet_gauges(self) -> None:
+        """Mirror the routing counters and ring health into the registry.
+
+        The counters dict stays the source of truth (``stats`` and
+        ``fleet.status`` read it directly); gauges are refreshed lazily,
+        only when a scrape actually happens.
+        """
+        registry = get_registry()
+        counters = registry.gauge(
+            "repro_fleet_coordinator", "Coordinator routing counters.",
+            labels=("counter",))
+        for name, value in self.counters.items():
+            counters.set(float(value), counter=name)
+        nodes = registry.gauge(
+            "repro_fleet_nodes", "Registered nodes by status.",
+            labels=("status",))
+        by_status = {"alive": 0, "draining": 0, "dead": 0}
+        for handle in self.ring:
+            by_status[handle.status] = by_status.get(handle.status, 0) + 1
+        for status, count in by_status.items():
+            nodes.set(float(count), status=status)
 
     # -- user tier -----------------------------------------------------------
 
@@ -427,11 +486,48 @@ class FleetCoordinator:
         return self._atom_counts[key]
 
     async def _forward(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Route one data-plane record, under a root span.
+
+        The span adopts the client's ``trace_context`` when one arrived
+        (so the client's trace id is the one the whole fleet shares) and
+        mints a fresh id otherwise; either way the chosen node is told
+        to ``collect``, its returned spans are absorbed into this
+        process's trace store, and the client's envelope carries the
+        ``trace_id`` — one ``obs.trace`` lookup here then shows the
+        coordinator's routing phases *and* the node's engine phases.
+        """
+        tracer = get_tracer()
+        if not tracer.enabled:
+            return await self._forward_inner(record, None)
+        context = record.get("trace_context")
+        adopted = (isinstance(context, dict)
+                   and isinstance(context.get("id"), str))
+        parent = context.get("parent") if adopted else None
+        with tracer.start_trace(
+                "fleet.forward",
+                trace_id=context["id"] if adopted else new_trace_id(),
+                parent_id=parent if isinstance(parent, str) else None,
+                op=record.get("op", "contain")) as root:
+            envelope = await self._forward_inner(record, root)
+            root.tags["ok"] = bool(envelope.get("ok"))
+        envelope.setdefault("trace_id", root.trace_id)
+        if adopted and context.get("collect"):
+            spans = tracer.store.get(root.trace_id)
+            if spans:
+                envelope["spans"] = spans
+        return envelope
+
+    async def _forward_inner(self, record: Dict[str, Any],
+                             root) -> Dict[str, Any]:
         identifier = record.get("id")
-        schema_fp, deps_fp = routing_fingerprints(record, self.defaults,
-                                                  self._parser)
-        tenant = (schema_fp, deps_fp)
-        decision = self._decide(record, tenant)
+        with maybe_span("fleet.admission") as span:
+            schema_fp, deps_fp = routing_fingerprints(record, self.defaults,
+                                                      self._parser)
+            tenant = (schema_fp, deps_fp)
+            decision = self._decide(record, tenant)
+            if span is not None:
+                span.tags.update(certified=decision.certified,
+                                 cost=decision.cost)
 
         reason = self.ledger.deny_reason(tenant, decision.cost)
         if reason is not None:
@@ -451,6 +547,12 @@ class FleetCoordinator:
                                   "the fleet has no registered nodes")
         start = shard_for(schema_fp, deps_fp, slot_count)
         outgoing = dict(record, **decision.clamps)
+        if root is not None:
+            # The node adopts the same trace id, parents its root span
+            # under this forward, and returns its spans for absorption.
+            outgoing["trace_context"] = {"id": root.trace_id,
+                                         "parent": root.span_id,
+                                         "collect": True}
         for probe in range(slot_count):
             handle = self.ring[(start + probe) % slot_count]
             if not handle.alive:
@@ -487,6 +589,11 @@ class FleetCoordinator:
             self.counters["admitted_certified" if decision.certified
                           else "admitted_clamped"] += 1
             envelope["node"] = handle.name
+            if root is not None:
+                root.tags["node"] = handle.name
+                spans = envelope.pop("spans", None)
+                if spans:
+                    get_tracer().absorb(root.trace_id, spans)
             return envelope
         return error_envelope(identifier, "capacity",
                               "the fleet has no alive nodes to serve this tenant")
@@ -502,10 +609,13 @@ class FleetCoordinator:
 
     # -- admin tier ----------------------------------------------------------
 
-    async def _admin(self, record: Dict[str, Any]) -> Dict[str, Any]:
+    def _authorized(self, record: Dict[str, Any]) -> bool:
         token = record.get("admin_token")
-        if not isinstance(token, str) or not hmac.compare_digest(
-                token, self._admin_token):
+        return isinstance(token, str) and hmac.compare_digest(
+            token, self._admin_token)
+
+    async def _admin(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        if not self._authorized(record):
             self.counters["forbidden"] += 1
             return error_envelope(
                 record.get("id"), "forbidden",

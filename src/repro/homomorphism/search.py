@@ -27,6 +27,8 @@ from __future__ import annotations
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.homomorphism.problem import HomomorphismProblem, TargetIndex, constant_matches
+from repro.obs import probe as _probe
+from repro.obs.tracing import maybe_span
 from repro.terms.term import Constant, Variable
 
 Assignment = Dict[Variable, Any]
@@ -85,6 +87,29 @@ def iter_homomorphisms(problem: HomomorphismProblem) -> Iterator[Assignment]:
     The same variable assignment may be reachable through different
     atom-to-fact mappings; duplicates (as assignments) are suppressed.
     """
+    probe = _probe.ACTIVE
+    if probe is None:
+        return _iter_homomorphisms(problem)
+    return _iter_counted(probe, problem)
+
+
+def _iter_counted(probe, problem: HomomorphismProblem) -> Iterator[Assignment]:
+    """Report one search (and its solution count) to the probe.
+
+    The report fires when the generator is exhausted *or* closed — an
+    early-exiting consumer (``find_homomorphism`` takes one solution)
+    still counts, via the ``finally`` running on generator close.
+    """
+    found = 0
+    try:
+        for assignment in _iter_homomorphisms(problem):
+            found += 1
+            yield assignment
+    finally:
+        probe.homomorphism(len(problem.source_atoms), found)
+
+
+def _iter_homomorphisms(problem: HomomorphismProblem) -> Iterator[Assignment]:
     if problem.is_trivially_unsatisfiable():
         return
     atoms = list(problem.source_atoms)
@@ -145,9 +170,15 @@ def iter_homomorphisms(problem: HomomorphismProblem) -> Iterator[Assignment]:
 
 def find_homomorphism(problem: HomomorphismProblem) -> Optional[Assignment]:
     """Return one homomorphism, or ``None`` if none exists."""
-    for assignment in iter_homomorphisms(problem):
-        return assignment
-    return None
+    with maybe_span("homomorphism.search",
+                    atoms=len(problem.source_atoms)) as span:
+        for assignment in iter_homomorphisms(problem):
+            if span is not None:
+                span.tags["found"] = True
+            return assignment
+        if span is not None:
+            span.tags["found"] = False
+        return None
 
 
 def has_homomorphism(problem: HomomorphismProblem) -> bool:

@@ -32,14 +32,20 @@ import socket
 from typing import Any, Dict, Optional
 
 from repro.exceptions import ReproError
+from repro.obs.tracing import new_trace_id
 
 #: Operations safe to retry on a fresh connection after a transport
 #: failure: each answers a pure question (no server-side state changes
 #: beyond caches, which are idempotent by definition).  Fleet admin
-#: mutations (``fleet.drain``, ``fleet.quota``, …) are deliberately
-#: absent — the caller must decide whether they were applied.
+#: mutations (``fleet.drain``, ``fleet.quota``, …) and ``obs.profile``
+#: (it starts/stops the remote profiler) are deliberately absent — the
+#: caller must decide whether they were applied.
 IDEMPOTENT_OPS = frozenset(
-    {"contain", "chase", "rewrite", "stats", "ping", "fleet.status"})
+    {"contain", "chase", "rewrite", "stats", "ping", "fleet.status",
+     "obs.metrics", "obs.trace", "obs.health"})
+
+#: Data-plane ops the client stamps with a fresh ``trace_context``.
+_TRACED_OPS = frozenset({"contain", "chase", "rewrite"})
 
 
 class ServiceClientError(ReproError):
@@ -59,7 +65,8 @@ class ServiceClient:
     """A blocking NDJSON connection to a running solver service."""
 
     def __init__(self, host: str = "127.0.0.1", port: Optional[int] = None,
-                 unix_path: Optional[str] = None, timeout: float = 60.0):
+                 unix_path: Optional[str] = None, timeout: float = 60.0,
+                 trace: bool = True):
         if (port is None) == (unix_path is None):
             raise ServiceClientError(
                 "specify exactly one of port= (TCP) or unix_path=")
@@ -67,6 +74,11 @@ class ServiceClient:
         self._port = port
         self._unix_path = unix_path
         self._timeout = timeout
+        self._trace = trace
+        #: Trace id of the most recent data-plane request this client
+        #: stamped (or adopted from a caller-supplied ``trace_context``)
+        #: — the handle to pass to :meth:`obs_trace`.
+        self.last_trace_id: Optional[str] = None
         self._socket: Optional[socket.socket] = None
         self._file = None
 
@@ -119,7 +131,21 @@ class ServiceClient:
         case being a server restart between requests on a long-lived
         client.  A second failure, or a failure on a non-idempotent op,
         raises :class:`ServiceTransportError` naming the record.
+
+        Tracing clients (``trace=True``, the default) stamp data-plane
+        records with a fresh ``trace_context`` — the minted id lands in
+        :attr:`last_trace_id` so the caller can fetch the request's span
+        tree back via :meth:`obs_trace`.  A caller-supplied context is
+        respected (and its id adopted).
         """
+        if record.get("op", "contain") in _TRACED_OPS:
+            context = record.get("trace_context")
+            if isinstance(context, dict) and isinstance(context.get("id"), str):
+                self.last_trace_id = context["id"]
+            elif self._trace and context is None:
+                self.last_trace_id = new_trace_id()
+                record = dict(record,
+                              trace_context={"id": self.last_trace_id})
         self.connect()
         try:
             return self._exchange(record)
@@ -193,6 +219,47 @@ class ServiceClient:
         record = {"op": "rewrite", "query": query, "views": views,
                   "schema": schema, "deps": deps, "id": identifier, **budgets}
         return self.request(_drop_none(record))
+
+    # -- observability ops ---------------------------------------------------
+
+    def obs_metrics(self, *, format: str = "json",
+                    identifier: Optional[str] = None,
+                    **extra: Any) -> Dict[str, Any]:
+        """The server's metrics — a JSON snapshot or Prometheus text."""
+        record = {"op": "obs.metrics", "format": format, "id": identifier,
+                  **extra}
+        return self.check(self.request(_drop_none(record)))
+
+    def obs_trace(self, trace_id: Optional[str] = None, *, slow: bool = False,
+                  limit: Optional[int] = None,
+                  identifier: Optional[str] = None,
+                  **extra: Any) -> Dict[str, Any]:
+        """One trace's spans, recent-trace summaries, or the slow-op log.
+
+        ``trace_id=None`` lists recent traces (or, with ``slow=True``,
+        the slow-op log); passing :attr:`last_trace_id` fetches the span
+        tree of this client's previous request.
+        """
+        record = {"op": "obs.trace", "trace_id": trace_id,
+                  "slow": slow or None, "limit": limit, "id": identifier,
+                  **extra}
+        return self.check(self.request(_drop_none(record)))
+
+    def obs_health(self, *, identifier: Optional[str] = None,
+                   **extra: Any) -> Dict[str, Any]:
+        record = {"op": "obs.health", "id": identifier, **extra}
+        return self.check(self.request(_drop_none(record)))
+
+    def obs_profile(self, action: str = "status", *,
+                    interval_s: Optional[float] = None,
+                    limit: Optional[int] = None,
+                    identifier: Optional[str] = None,
+                    **extra: Any) -> Dict[str, Any]:
+        """Control or query the server's sampling profiler."""
+        record = {"op": "obs.profile", "action": action,
+                  "interval_s": interval_s, "limit": limit, "id": identifier,
+                  **extra}
+        return self.check(self.request(_drop_none(record)))
 
 
 def _drop_none(record: Dict[str, Any]) -> Dict[str, Any]:

@@ -47,6 +47,10 @@ from repro.containment.serialization import (
 )
 from repro.dependencies.dependency_set import DependencySet
 from repro.exceptions import ReproError
+from repro.obs import health as obs_health
+from repro.obs.metrics import get_registry
+from repro.obs.profiler import get_profiler
+from repro.obs.tracing import get_tracer, maybe_span
 from repro.parser.dependency_parser import parse_dependencies
 from repro.parser.query_parser import parse_query
 from repro.parser.schema_parser import parse_schema
@@ -80,6 +84,17 @@ USER_OPERATIONS = OPERATIONS
 #: (they are meaningful only where the member registry lives).
 ADMIN_OPERATIONS = ("fleet.register", "fleet.heartbeat", "fleet.drain",
                     "fleet.evacuate", "fleet.quota", "fleet.status")
+
+#: The **observability tier**: metrics scrape, trace lookup, health, and
+#: profiler control.  A worker answers these un-gated (its listener is
+#: already inside the trust boundary); a coordinator gates them behind
+#: the same admin token as ``fleet.*`` because its port is the one
+#: exposed to tenants.  ``obs.profile`` mutates process state (it starts
+#: and stops the sampling profiler), the other three are read-only.
+OBS_OPERATIONS = ("obs.metrics", "obs.trace", "obs.health", "obs.profile")
+
+#: Profiler actions ``obs.profile`` accepts.
+PROFILE_ACTIONS = ("status", "start", "stop", "top", "reset")
 
 #: Error kinds carried in error envelopes, coarse enough for a client to
 #: switch on: ``protocol`` (malformed line/record), ``parse`` (schema,
@@ -205,10 +220,23 @@ def parse_line(line: str) -> Dict[str, Any]:
 def validate_record(record: Dict[str, Any]) -> Dict[str, Any]:
     """Structural validation; returns the record with ``op`` made explicit."""
     op = record.get("op", "contain")
-    if op not in OPERATIONS:
+    if op not in OPERATIONS and op not in OBS_OPERATIONS:
         raise ProtocolError(
-            "protocol", f"unknown op {op!r}; expected one of {OPERATIONS}")
+            "protocol",
+            f"unknown op {op!r}; expected one of {OPERATIONS + OBS_OPERATIONS}")
     record = dict(record, op=op)
+    context = record.get("trace_context")
+    if context is not None:
+        if not isinstance(context, dict) or not isinstance(context.get("id"), str):
+            raise ProtocolError(
+                "protocol",
+                "'trace_context' must be an object with a string 'id'")
+        parent = context.get("parent")
+        if parent is not None and not isinstance(parent, str):
+            raise ProtocolError(
+                "protocol", "'trace_context.parent' must be a string")
+    if op in OBS_OPERATIONS:
+        return _validate_obs_record(record)
     required = {"contain": ("query", "query_prime"),
                 "chase": ("query",),
                 "rewrite": ("query", "views")}.get(op, ())
@@ -232,6 +260,106 @@ def validate_record(record: Dict[str, Any]) -> Dict[str, Any]:
     if variant is not None and variant not in ("R", "O"):
         raise ProtocolError("protocol", f"variant must be 'R' or 'O', got {variant!r}")
     return record
+
+
+def _validate_obs_record(record: Dict[str, Any]) -> Dict[str, Any]:
+    """Structural checks for the ``obs.*`` tier."""
+    op = record["op"]
+    fmt = record.get("format")
+    if op == "obs.metrics" and fmt is not None and fmt not in ("json", "prometheus"):
+        raise ProtocolError(
+            "protocol", f"'format' must be 'json' or 'prometheus', got {fmt!r}")
+    if op == "obs.trace":
+        trace_id = record.get("trace_id")
+        if trace_id is not None and not isinstance(trace_id, str):
+            raise ProtocolError("protocol", "'trace_id' must be a string")
+    if op == "obs.profile":
+        action = record.get("action", "status")
+        if action not in PROFILE_ACTIONS:
+            raise ProtocolError(
+                "protocol",
+                f"'action' must be one of {PROFILE_ACTIONS}, got {action!r}")
+    limit = record.get("limit")
+    if limit is not None:
+        if isinstance(limit, bool) or not isinstance(limit, int) or limit <= 0:
+            raise ProtocolError("protocol", "'limit' must be a positive integer")
+    return record
+
+
+def handle_obs_record(record: Dict[str, Any],
+                      shard: Optional[int] = None) -> Dict[str, Any]:
+    """Answer one ``obs.*`` record from this process's observability state.
+
+    Never raises, for the same reason as :func:`handle_record`.  Answers
+    reflect the *answering process*: a front end answers from its own
+    registry and trace store, which — under process-pool shards — does
+    not include counters incremented inside shard subprocesses.  (Thread
+    shards and the coordinator, which absorbs node spans, see
+    everything.)
+    """
+    identifier = record.get("id")
+    try:
+        record = validate_record(record)
+        op = record["op"]
+        if op == "obs.metrics":
+            if record.get("format") == "prometheus":
+                result: Dict[str, Any] = {
+                    "format": "prometheus",
+                    "text": get_registry().render_prometheus(),
+                }
+            else:
+                result = {"format": "json", "metrics": get_registry().snapshot()}
+        elif op == "obs.trace":
+            result = _obs_trace_result(record)
+        elif op == "obs.health":
+            result = obs_health()
+        else:  # obs.profile
+            result = _obs_profile_result(record)
+        return _success_envelope(record, result, 0.0, None, shard)
+    except ProtocolError as error:
+        return error_envelope(identifier, error.kind, str(error), shard)
+    except Exception as error:  # pragma: no cover - defensive: bugs become envelopes
+        return error_envelope(identifier, "internal",
+                              f"{type(error).__name__}: {error}", shard)
+
+
+def _obs_trace_result(record: Dict[str, Any]) -> Dict[str, Any]:
+    tracer = get_tracer()
+    trace_id = record.get("trace_id")
+    if trace_id is not None:
+        spans = tracer.store.get(trace_id)
+        return {"trace_id": trace_id, "found": spans is not None,
+                "spans": spans or []}
+    limit = record.get("limit") or 20
+    if record.get("slow"):
+        return {"slow_ops": tracer.slow_log.entries(limit),
+                "threshold_s": tracer.slow_log.threshold_s}
+    return {"traces": tracer.store.recent(limit)}
+
+
+def _obs_profile_result(record: Dict[str, Any]) -> Dict[str, Any]:
+    profiler = get_profiler()
+    action = record.get("action", "status")
+    if action == "start":
+        interval = record.get("interval_s")
+        if interval is not None and (isinstance(interval, bool)
+                                     or not isinstance(interval, (int, float))
+                                     or interval <= 0):
+            raise ProtocolError("protocol", "'interval_s' must be a positive number")
+        started = profiler.start(float(interval) if interval else None)
+        return {"action": "start", "started": started,
+                "running": profiler.running}
+    if action == "stop":
+        stopped = profiler.stop()
+        return {"action": "stop", "stopped": stopped,
+                "running": profiler.running}
+    if action == "reset":
+        profiler.reset()
+        return {"action": "reset", "running": profiler.running}
+    if action == "top":
+        return dict(profiler.top(record.get("limit") or 20), action="top")
+    return {"action": "status", "running": profiler.running,
+            "interval_s": profiler.interval_s}
 
 
 def _schema_text(record: Dict[str, Any], defaults: ServiceDefaults) -> str:
@@ -325,11 +453,47 @@ def handle_record(record: Dict[str, Any], solver: Solver,
     Never raises: every failure — unparsable tenant text, budget abuse,
     an unexpected engine error — becomes an error envelope, because on
     the wire an exception has nowhere else to go.
+
+    A record carrying a valid ``trace_context`` executes under a root
+    span adopted from it (``service.<op>``), so the phase spans the
+    engines open land in this process's trace store; the envelope then
+    carries the ``trace_id``, plus the serialized spans when the context
+    asked to ``collect`` (how a coordinator absorbs a node's spans).
     """
+    context = record.get("trace_context")
+    tracer = get_tracer()
+    if (tracer.enabled and isinstance(context, dict)
+            and isinstance(context.get("id"), str)):
+        op = record.get("op", "contain")
+        parent = context.get("parent")
+        with tracer.start_trace(
+                f"service.{op}", trace_id=context["id"],
+                parent_id=parent if isinstance(parent, str) else None,
+                op=op) as root:
+            if shard is not None:
+                root.tags["shard"] = shard
+            envelope = _execute_record(record, solver, defaults, limits,
+                                       parser, shard)
+            root.tags["ok"] = bool(envelope.get("ok"))
+        envelope["trace_id"] = root.trace_id
+        if context.get("collect"):
+            spans = tracer.store.get(root.trace_id)
+            if spans:
+                envelope["spans"] = spans
+        return envelope
+    return _execute_record(record, solver, defaults, limits, parser, shard)
+
+
+def _execute_record(record: Dict[str, Any], solver: Solver,
+                    defaults: ServiceDefaults, limits: ServiceLimits,
+                    parser: Optional[TenantParser],
+                    shard: Optional[int]) -> Dict[str, Any]:
     parser = parser if parser is not None else TenantParser()
     identifier = record.get("id")
     try:
         record = validate_record(record)
+        if record["op"] in OBS_OPERATIONS:
+            return handle_obs_record(record, shard)
         return _dispatch(record, solver, defaults, limits, parser, shard)
     except ProtocolError as error:
         return error_envelope(identifier, error.kind, str(error), shard)
@@ -355,10 +519,14 @@ def _dispatch(record: Dict[str, Any], solver: Solver, defaults: ServiceDefaults,
              "requests": solver.stats.total_requests},
             0.0, None, shard)
 
-    schema_text = _schema_text(record, defaults)
-    schema = parser.schema(schema_text)
-    sigma = parser.dependencies(record.get("deps", defaults.deps_text), schema_text)
-    query = parse_query(record["query"], schema)
+    with maybe_span("parse") as span:
+        schema_text = _schema_text(record, defaults)
+        schema = parser.schema(schema_text)
+        sigma = parser.dependencies(record.get("deps", defaults.deps_text),
+                                    schema_text)
+        query = parse_query(record["query"], schema)
+        if span is not None:
+            span.tags.update(relations=len(schema), dependencies=len(sigma))
     max_conjuncts = min(record.get("max_conjuncts") or limits.max_conjuncts,
                         limits.max_conjuncts)
 

@@ -27,14 +27,23 @@ import threading
 from typing import Any, Dict, Optional, Tuple
 
 from repro.exceptions import ReproError
+from repro.obs import ensure_default_probe
+from repro.obs.tracing import get_tracer, new_trace_id
 from repro.service.pool import ShardedSolverPool
 from repro.service.protocol import (
+    OBS_OPERATIONS,
     STREAM_LIMIT,
     ProtocolError,
     ServiceOverloaded,
     error_envelope,
+    handle_obs_record,
     parse_line,
 )
+
+#: Data-plane ops that get a server-minted ``trace_context`` when the
+#: client did not send one: every request is traceable from the server
+#: side (slow-op log, ``obs.trace`` recents) even with untraced clients.
+_TRACED_OPERATIONS = frozenset({"contain", "chase", "rewrite"})
 
 
 class SolverService:
@@ -48,7 +57,8 @@ class SolverService:
 
     def __init__(self, pool: ShardedSolverPool, host: str = "127.0.0.1",
                  port: int = 0, unix_path: Optional[str] = None,
-                 max_pending: Optional[int] = None):
+                 max_pending: Optional[int] = None,
+                 slow_op_threshold: Optional[float] = None):
         if max_pending is not None and max_pending < 0:
             # Fail at startup: a negative admission limit is always a
             # misconfiguration.  (0 is legal and sheds every data-plane
@@ -56,6 +66,10 @@ class SolverService:
             raise ReproError(
                 f"max_pending must be non-negative (or None to disable "
                 f"admission control), got {max_pending}")
+        if slow_op_threshold is not None and slow_op_threshold <= 0:
+            raise ReproError(
+                f"slow_op_threshold must be positive (or None to disable "
+                f"the slow-op log), got {slow_op_threshold}")
         self._pool = pool
         self._host = host
         self._port = port
@@ -63,6 +77,13 @@ class SolverService:
         self._max_pending = max_pending
         self._in_flight = 0
         self._server: Optional[asyncio.AbstractServer] = None
+        # Running a server is opting into observability: install the
+        # default metrics probe (never displacing a custom one) and arm
+        # the slow-op log if asked.  Both are process-wide by design —
+        # the ``obs.*`` ops answer for the process, not one server.
+        ensure_default_probe()
+        if slow_op_threshold is not None:
+            get_tracer().slow_log.threshold_s = slow_op_threshold
 
     @property
     def pool(self) -> ShardedSolverPool:
@@ -115,10 +136,13 @@ class SolverService:
                 except UnicodeDecodeError as error:
                     # Decoding with errors="replace" would silently mangle
                     # tenant schema/deps text and route the request as if
-                    # it were valid; answer with a structured envelope so
-                    # the client knows its bytes, not its logic, are bad.
+                    # it were valid, so the request is still rejected —
+                    # but a replace-decode is fine for *peeking the id*,
+                    # which usually sits before the bad bytes, so the
+                    # client can correlate the rejection with its request.
                     envelope = error_envelope(
-                        None, "protocol",
+                        _peek_id(line.decode("utf-8", errors="replace")),
+                        "protocol",
                         f"request line is not valid UTF-8: {error}")
                 else:
                     envelope = await self._answer(text)
@@ -151,6 +175,17 @@ class SolverService:
                 return await self._service_stats(record)
             except ServiceOverloaded as error:
                 return error_envelope(record.get("id"), "overloaded", str(error))
+        if record["op"] in OBS_OPERATIONS:
+            # Control plane, answered by the front end from its own
+            # process state — which under process-pool shards does not
+            # include subprocess-side counters (thread shards see all).
+            return handle_obs_record(record)
+        if (record["op"] in _TRACED_OPERATIONS
+                and record.get("trace_context") is None
+                and get_tracer().enabled):
+            # An untraced data-plane request still gets a server-minted
+            # trace, so obs.trace / the slow-op log cover all traffic.
+            record["trace_context"] = {"id": new_trace_id()}
         if (record["op"] != "ping"  # control plane: answerable under shedding
                 and self._max_pending is not None
                 and self._in_flight >= self._max_pending):

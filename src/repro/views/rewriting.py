@@ -35,6 +35,7 @@ from repro.exceptions import QueryError, ViewError
 from repro.homomorphism.problem import HomomorphismProblem
 from repro.homomorphism.query_homomorphism import build_target_index
 from repro.homomorphism.search import iter_homomorphisms
+from repro.obs import probe as _probe
 from repro.queries.conjunct import Conjunct
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.terms.term import Term, Variable
@@ -270,6 +271,28 @@ def rewrite_with_views(query: ConjunctiveQuery,
     through to every certification call; the matching chase follows the
     solver's variant and, unless overridden here, its conjunct budget.
     """
+    report = _rewrite_with_views(
+        query, catalog, dependencies, solver, cost_model, max_images,
+        max_combination_size, max_candidates, chase_level,
+        chase_max_conjuncts, **containment_options)
+    probe = _probe.ACTIVE
+    if probe is not None:
+        probe.rewrite(report.candidates_tried, len(report.rewritings),
+                      report.images_found)
+    return report
+
+
+def _rewrite_with_views(query: ConjunctiveQuery,
+                        catalog: ViewCatalog,
+                        dependencies: Optional[DependencySet] = None,
+                        solver=None,
+                        cost_model: Optional[CostModel] = None,
+                        max_images: int = 64,
+                        max_combination_size: int = 2,
+                        max_candidates: int = 256,
+                        chase_level: Optional[int] = None,
+                        chase_max_conjuncts: Optional[int] = None,
+                        **containment_options) -> RewriteReport:
     from repro.api.solver import resolve_solver
     from repro.chase.engine import ChaseConfig
 

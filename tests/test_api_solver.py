@@ -183,6 +183,17 @@ class TestSolverContainment:
         assert response.report.conjuncts_removed == 1
         assert len(response.report.optimized) == 1
 
+    def test_optimize_cache_hit_reported_like_other_ops(self, intro):
+        # optimize has no dedicated cache, but its internal containment
+        # checks do; a warm re-run is all hits and the response says so
+        # instead of hardcoding cache_hit=False.
+        solver = Solver()
+        cold = solver.solve(OptimizeRequest(intro.q1, intro.dependencies))
+        warm = solver.solve(OptimizeRequest(intro.q1, intro.dependencies))
+        assert not cold.cache_hit
+        assert warm.cache_hit
+        assert warm.report.conjuncts_removed == cold.report.conjuncts_removed
+
     def test_optimize_request_config_governs_containment_checks(self, intro):
         solver = Solver()
         # A one-conjunct budget starves the join-elimination containment

@@ -716,3 +716,119 @@ class TestTrafficStreams:
     def test_invalid_stream_count(self):
         with pytest.raises(ValueError):
             TrafficGenerator(tenant_count=2).streams(0, 5)
+
+
+# ---------------------------------------------------------------------------
+# Observability (PR 7): tracing across tiers, capacity release, obs gating
+# ---------------------------------------------------------------------------
+
+
+def _tenant_for_slot(slot, slot_count):
+    """Schema/deps/query texts for a tenant that routes to ``slot``.
+
+    ``shard_for`` is content-addressed, so the test walks a family of
+    schemas until one lands on the wanted ring slot.
+    """
+    for index in range(64):
+        schema_text = f"T{index}(a, b)\nU{index}(b, c)"
+        deps_text = f"T{index}[b] <= U{index}[b]"
+        schema = parse_schema(schema_text)
+        sigma = parse_dependencies(deps_text, schema)
+        if shard_for(schema_fingerprint(schema), dependency_fingerprint(sigma),
+                     slot_count) == slot:
+            query = f"Q(x) :- T{index}(x, y)"
+            query_prime = f"P(x) :- T{index}(x, y), U{index}(y, z)"
+            return schema_text, deps_text, query, query_prime
+    raise AssertionError(f"no tenant found for slot {slot}")
+
+
+class TestFleetObservability:
+    def test_ledger_released_when_forward_dies_with_node(self):
+        # A node that dies *mid-forward* must give back both the node
+        # capacity and the tenant's ledger charge — otherwise every
+        # crashed forward leaks quota until the tenant is starved.
+        with running_fleet(node_count=1) as fleet:
+            with ServiceClient(port=fleet.port) as client:
+                registered = client.request({
+                    "op": "fleet.register", "admin_token": TOKEN,
+                    "node": {"name": "ghost", "host": "127.0.0.1",
+                             "port": 59999, "protocol_version": 2,
+                             "capacity": {"total": 100000}}})
+                assert registered["ok"]
+                ghost_slot = registered["result"]["slot"]
+                schema_text, deps_text, query, query_prime = _tenant_for_slot(
+                    ghost_slot, slot_count=2)
+
+                envelope = client.contain(query, query_prime,
+                                          schema=schema_text, deps=deps_text)
+                # The request still succeeds: rerouted to the live node.
+                assert envelope["ok"], envelope
+                assert envelope["node"] == "node-0"
+
+            coordinator = fleet.coordinator
+            assert coordinator.counters["rerouted"] == 1
+            # Nothing in flight afterwards: the failed forward released
+            # its ledger charge and the ghost's capacity reservation.
+            assert coordinator.ledger.snapshot()["in_flight_cost"] == 0
+            ghost = next(handle for handle in coordinator.ring
+                         if handle.name == "ghost")
+            assert ghost.status == "dead"
+            assert ghost.capacity.used == 0
+
+    def test_ledger_released_when_no_alive_node_remains(self):
+        with running_fleet(node_count=1) as fleet:
+            fleet.threads[0].stop()  # the only node dies
+            with ServiceClient(port=fleet.port) as client:
+                envelope = client.contain(QUERY, QUERY_PRIME,
+                                          schema=SCHEMA_TEXT, deps=DEPS_TEXT)
+                assert not envelope["ok"]
+                assert envelope["error"]["kind"] == "capacity"
+                assert "no alive nodes" in envelope["error"]["message"]
+            coordinator = fleet.coordinator
+            assert coordinator.ledger.snapshot()["in_flight_cost"] == 0
+            for handle in coordinator.ring:
+                assert handle.capacity.used == 0
+
+    def test_trace_recoverable_at_coordinator(self):
+        # The acceptance-criterion path: one trace id minted by the
+        # client follows the request through the coordinator to a node's
+        # chase engine, and one obs.trace lookup at the coordinator
+        # returns the whole tree.
+        with running_fleet(node_count=2) as fleet:
+            with ServiceClient(port=fleet.port) as client:
+                envelope = client.contain(QUERY, QUERY_PRIME,
+                                          schema=SCHEMA_TEXT, deps=DEPS_TEXT)
+                assert envelope["ok"]
+                trace_id = client.last_trace_id
+                assert trace_id is not None
+                assert envelope["trace_id"] == trace_id
+                # Spans flow coordinator-ward, never back to the tenant.
+                assert "spans" not in envelope
+
+            with FleetClient(port=fleet.port, admin_token=TOKEN) as admin:
+                fetched = admin.obs_trace(trace_id)
+                assert fetched["found"], fetched
+                spans = fetched["spans"]
+                assert all(span["trace_id"] == trace_id for span in spans)
+                names = {span["name"] for span in spans}
+                # Coordinator-side spans...
+                assert {"fleet.forward", "fleet.admission"} <= names
+                # ...and the node's own phases, absorbed into the
+                # coordinator's store.
+                assert {"service.contain", "parse", "chase.run"} <= names
+
+    def test_obs_is_admin_gated_at_the_coordinator(self):
+        with running_fleet(node_count=1) as fleet:
+            with ServiceClient(port=fleet.port) as client:
+                for op in ("obs.metrics", "obs.trace", "obs.health",
+                           "obs.profile"):
+                    envelope = client.request({"op": op})
+                    assert not envelope["ok"]
+                    assert envelope["error"]["kind"] == "forbidden"
+            with FleetClient(port=fleet.port, admin_token=TOKEN) as admin:
+                metrics = admin.obs_metrics(format="prometheus")
+                text = metrics["text"]
+                assert "repro_fleet_coordinator" in text
+                assert "repro_fleet_nodes" in text
+                health = admin.obs_health()
+                assert health["pid"] > 0
