@@ -2,9 +2,14 @@
 
 PR 5 opened the general-Σ scenario class: TGDs/EGDs with arbitrary CQ
 bodies chase through a generic trigger search (homomorphism enumeration
-per round) instead of the per-IND pending heap.  This benchmark prices
-that generality on the one workload where both paths express the same
-constraints — a weakly-acyclic IND set and its ``as_tgd`` normalization:
+per round) instead of the per-IND pending heap.  PR 8 made that search
+semi-naive — per-rule delta cursors seed body matches from nodes touched
+since the rule last ran, head-satisfaction checks cache against relation
+versions, and rounds of commuting TGD triggers apply as one batch — which
+brought the measured TGD/IND ratio on this workload from ~4.1x down to
+~1.9x.  This benchmark prices that generality on the one workload where
+both paths express the same constraints — a weakly-acyclic IND set and
+its ``as_tgd`` normalization:
 
 * **throughput**: both encodings are chased to saturation under both
   engines; the wall-clock ratio TGD/IND is recorded in ``extra_info``
@@ -31,7 +36,10 @@ from repro.workloads import EmbeddedDependencyGenerator, QueryGenerator, SchemaG
 
 #: TGD-path wall clock may cost up to this many times the IND fast path
 #: before the benchmark fails; the measured ratio lands in extra_info.
-GENERALITY_PRICE_CEILING = 200.0
+#: PR 8's semi-naive trigger discovery measures ~1.9x on this workload;
+#: the ceiling keeps CI-runner headroom while still catching a slide
+#: back toward the pre-semi-naive ~4.1x.
+GENERALITY_PRICE_CEILING = 3.0
 
 
 @pytest.fixture(scope="module")
@@ -106,6 +114,11 @@ def test_e18_encodings_build_the_same_chase(benchmark, embedded_workload):
     benchmark.extra_info["experiment"] = "E18-tgd-vs-ind-encoding"
     benchmark.extra_info["tgd_over_ind_wall_clock"] = round(ratio, 2)
     benchmark.extra_info["chase_size"] = len(ind_result)
+    statistics = tgd_result.statistics
+    benchmark.extra_info["tgd_delta_seeded_matches"] = statistics.delta_seeded_matches
+    benchmark.extra_info["tgd_trigger_cache_hits"] = statistics.trigger_cache_hits
+    benchmark.extra_info["tgd_batches"] = statistics.tgd_batches
+    benchmark.extra_info["tgd_batched_triggers"] = statistics.batched_tgd_triggers
     assert ratio < GENERALITY_PRICE_CEILING, (
         f"the generic TGD path cost {ratio:.1f}x the IND fast path; "
         f"ceiling is {GENERALITY_PRICE_CEILING}x")

@@ -26,7 +26,7 @@ scheduler bursts and collection pauses only ever add time, and shared
 CI runners produce 2× outlier passes routinely.  Garbage collection is
 forced *between* passes and disabled *inside* them so collection debt
 from the (more allocating) enabled side cannot masquerade as solver
-overhead.  The measured ratio rides into ``BENCH_PR7.json`` via
+overhead.  The measured ratio rides into ``BENCH_PR<n>.json`` via
 ``benchmark.extra_info``.
 """
 

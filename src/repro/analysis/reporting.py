@@ -74,6 +74,10 @@ def chase_statistics_report(statistics_by_engine: Mapping[str, "ChaseStatistics"
         ("triggers examined", lambda s: s.triggers_examined),
         ("triggers fired", lambda s: s.triggers_fired),
         ("index hits", lambda s: s.index_hits),
+        ("delta seeded matches", lambda s: s.delta_seeded_matches),
+        ("trigger cache hits", lambda s: s.trigger_cache_hits),
+        ("tgd batches", lambda s: s.tgd_batches),
+        ("batched tgd triggers", lambda s: s.batched_tgd_triggers),
     )
     engines = list(statistics_by_engine)
     rows = [

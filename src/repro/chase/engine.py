@@ -45,16 +45,16 @@ from __future__ import annotations
 
 import heapq
 import os
+from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Set, Tuple
 
 from repro.chase.chase_graph import ChaseGraph, ChaseNode
 from repro.chase.embedded_triggers import (
     EGDTrigger,
+    SemiNaiveTriggerIndex,
     TGDTrigger,
-    find_egd_trigger,
-    find_tgd_trigger,
 )
 from repro.chase.events import (
     ChaseTrace,
@@ -170,6 +170,25 @@ class ChaseStatistics:
         Lookups answered by a persistent index instead of a scan — a
         satisfied R-chase requirement, a verbatim duplicate detected on
         IND application, or an FD determinant bucket with candidates.
+
+    Semi-naive TGD/EGD accounting (indexed engine only; the legacy
+    engine re-enumerates every body match per round and leaves these
+    at zero):
+
+    ``delta_seeded_matches``
+        Body matches discovered by seeding a join from a delta node
+        (one added or rewritten since the rule's last round); the
+        semi-naive analogue of ``triggers_examined`` for embedded rules.
+    ``trigger_cache_hits``
+        Trigger re-derivations avoided by the permanent caches — a
+        non-violating EGD match never re-checked, a satisfied R-chase
+        head never re-joined, or an unsatisfied head skipped because
+        neither its head relations nor its frontier values changed.
+    ``tgd_batches`` / ``batched_tgd_triggers``
+        Selection rounds that queued extra *commuting* TGD triggers
+        (disjoint body/head relation footprints, all ahead of every
+        pending IND), and how many triggers were applied straight off
+        that queue without a fresh selection scan.
     """
 
     fd_steps: int = 0
@@ -182,6 +201,10 @@ class ChaseStatistics:
     egd_steps: int = 0
     tgd_steps: int = 0
     redundant_tgd_applications: int = 0
+    delta_seeded_matches: int = 0
+    trigger_cache_hits: int = 0
+    tgd_batches: int = 0
+    batched_tgd_triggers: int = 0
 
     @property
     def total_steps(self) -> int:
@@ -402,6 +425,41 @@ class ChaseEngine:
         self._relation_nodes: Dict[str, Set[int]] = {}
         self._track_relations = bool(self._tgds or self._egds)
         self._dirty: Dict[int, None] = {}                      # ordered set of node ids
+        # Semi-naive trigger discovery for embedded Σ, plus the queue of
+        # commuting TGD triggers batched by one selection round.
+        self._trigger_index: Optional[SemiNaiveTriggerIndex] = (
+            SemiNaiveTriggerIndex(
+                self._tgds, self._egds, self._live_nodes,
+                self._graph.node, self._statistics,
+                oblivious=self._config.variant is ChaseVariant.OBLIVIOUS)
+            if self._track_relations else None)
+        self._batched_triggers: Deque[TGDTrigger] = deque()
+        # Relations whose new atoms could fire an equality rule; a batch
+        # of TGD triggers is only formed when no member's head touches one
+        # (so the FD/EGD fixpoint between batched applications is a no-op).
+        self._equality_relations: Set[str] = (
+            set(self._fd_specs_by_relation)
+            | {atom.relation for egd in self._egds for atom in egd.body})
+        # Per-TGD batching metadata, precomputed once per engine: the
+        # body∪head relation footprint and whether the head stays clear
+        # of every equality-watched relation.
+        self._tgd_footprints: List[Set[str]] = [
+            {atom.relation for atom in tgd.body}
+            | {atom.relation for atom in tgd.head}
+            for tgd in self._tgds]
+        self._tgd_heads_quiet: List[bool] = [
+            not any(atom.relation in self._equality_relations
+                    for atom in tgd.head)
+            for tgd in self._tgds]
+
+    def _dependency_str(self, dependency) -> str:
+        # Memoised on the (frozen, immutable) dependency itself so the
+        # rendering survives engine rebuilds over the same Σ.
+        rendered = dependency.__dict__.get("_rendered")
+        if rendered is None:
+            rendered = str(dependency)
+            object.__setattr__(dependency, "_rendered", rendered)
+        return rendered
 
     # -- public entry point ---------------------------------------------------
 
@@ -464,6 +522,8 @@ class ChaseEngine:
         for index in self._inds_by_source.get(node.relation, ()):
             heapq.heappush(self._pending, (node.level, node.node_id, index))
         self._dirty[node.node_id] = None
+        if self._trigger_index is not None:
+            self._trigger_index.touch(node)
 
     def _index_node(self, node: ChaseNode) -> None:
         """Insert a node's current terms into the persistent indexes."""
@@ -551,12 +611,14 @@ class ChaseEngine:
 
         FDs keep priority (their semi-naive discovery is cheap); whenever
         an EGD merge rewrites terms the FD fixpoint runs again, so the
-        phase ends with no FD *and* no EGD applicable.
+        phase ends with no FD *and* no EGD applicable.  EGD triggers come
+        from the semi-naive index: joins are seeded from nodes touched
+        since each EGD's last round, and matches proven non-violating are
+        never re-derived.
         """
         self._apply_fds_to_fixpoint()
         while self._egds and not self._failed:
-            trigger = find_egd_trigger(self._egds, self._live_nodes,
-                                       self._statistics)
+            trigger = self._trigger_index.next_egd_trigger()
             if trigger is None:
                 return
             self._apply_egd(trigger)
@@ -640,6 +702,8 @@ class ChaseEngine:
             node.conjunct = node.conjunct.substitute(substitution)
             self._index_node(node)
             self._dirty[node_id] = None
+            if self._trigger_index is not None:
+                self._trigger_index.touch(node)
         self._summary = substitution.apply_tuple(self._summary)
 
     def _apply_fd(self, spec: _FdSpec, first: ChaseNode, second: ChaseNode) -> None:
@@ -699,7 +763,15 @@ class ChaseEngine:
             survivor = self._graph.node(ids[0])
             for retired_id in ids[1:]:
                 retired = self._graph.node(retired_id)
-                survivor.level = min(survivor.level, retired.level)
+                if retired.level < survivor.level:
+                    # The paper's levelling rule lowers the survivor, so
+                    # its pending-heap entries (keyed at insert-time level)
+                    # are now stale: re-key by pushing fresh entries at the
+                    # live level; the stale ones are discarded on pop.
+                    survivor.level = retired.level
+                    for index in self._inds_by_source.get(survivor.relation, ()):
+                        heapq.heappush(self._pending,
+                                       (survivor.level, survivor.node_id, index))
                 for child in self._graph.children(retired_id):
                     child.parent = survivor.node_id
                 self._unindex_node(retired)
@@ -727,6 +799,12 @@ class ChaseEngine:
             self._statistics.triggers_examined += 1
             node = self._graph.node(node_id)
             if not node.alive:
+                continue
+            if level != node.level:
+                # Stale key: an identical-conjunct merge lowered the node's
+                # level after this entry was pushed, and pushed a fresh
+                # entry at the live level.  Applying at the stale key would
+                # deviate from the minimum-level policy.
                 continue
             ind = self._inds[index]
             if oblivious:
@@ -767,15 +845,22 @@ class ChaseEngine:
         pending.  If the chosen application would exceed the level
         budget, every other one would too (it is the minimum), so the
         chase stops as truncated.
+
+        When the winning TGD trigger is followed (in priority order) by
+        *commuting* triggers — see :meth:`_collect_commuting_batch` —
+        those are queued and served by the next calls without a fresh
+        selection scan; applying them in queue order is node-for-node
+        identical to re-selecting each round.
         """
         if not self._tgds:
             application = self._pop_next_ind_application()
             return None if application is None else ("ind", application)
+        if self._batched_triggers:
+            return ("tgd", self._batched_triggers.popleft())
         entry = self._peek_next_ind_application()
-        trigger = find_tgd_trigger(
-            self._tgds, self._live_nodes,
-            self._config.variant is ChaseVariant.OBLIVIOUS,
-            self._applied_tgds, self._statistics)
+        actives = self._trigger_index.active_tgd_triggers(
+            self._config.variant is ChaseVariant.OBLIVIOUS, self._applied_tgds)
+        trigger = actives[0] if actives else None
         if entry is None and trigger is None:
             return None
         ind_priority = (None if entry is None
@@ -795,7 +880,53 @@ class ChaseEngine:
             return ("ind", (entry[1], entry[2], entry[3]))
         if entry is not None:
             heapq.heappush(self._pending, (entry[0], entry[1].node_id, entry[2]))
+        self._collect_commuting_batch(trigger, actives, ind_priority)
         return ("tgd", trigger)
+
+    def _collect_commuting_batch(self, first: TGDTrigger,
+                                 actives: List[TGDTrigger],
+                                 ind_priority) -> None:
+        """Queue the triggers that provably follow ``first`` unchanged.
+
+        A prefix of the remaining actives is batched while every member
+
+        * sits at the chosen trigger's level (so the level-budget check
+          already covers it) and still beats the best pending IND;
+        * touches a body∪head relation footprint disjoint from every
+          earlier member's, so no earlier application can create, satisfy,
+          or re-rank a later member's match — and any match *created* by
+          an earlier member lives at a deeper level, so it cannot outrank
+          one;
+        * creates atoms only in relations no FD or EGD watches, so the
+          equality fixpoint between the batched applications is a no-op
+          (no merge can rewrite a queued trigger out from under us).
+
+        Under those conditions, applying the queue in order is exactly
+        what per-round re-selection would have chosen; the differential
+        harness certifies this against the unbatched legacy engine.
+        """
+        footprints = self._tgd_footprints
+        heads_quiet = self._tgd_heads_quiet
+        if not heads_quiet[first.index]:
+            return
+        claimed = set(footprints[first.index])
+        for candidate in actives[1:]:
+            if candidate.level != first.level:
+                break
+            if (ind_priority is not None
+                    and not ((candidate.level, candidate.node_ids, 1,
+                              candidate.index) < ind_priority)):
+                break
+            relations = footprints[candidate.index]
+            if relations & claimed:
+                break
+            if not heads_quiet[candidate.index]:
+                break
+            self._batched_triggers.append(candidate)
+            claimed |= relations
+        if self._batched_triggers:
+            self._statistics.tgd_batches += 1
+            self._statistics.batched_tgd_triggers += len(self._batched_triggers)
 
     def _requirement_satisfied(self, node: ChaseNode, index: int) -> bool:
         """R-chase: is there already a conjunct c' with c'[Y] = c[X]?"""
@@ -820,7 +951,7 @@ class ChaseEngine:
                 provenance = NDVProvenance(
                     attribute=target_schema.attribute_name_at(position),
                     source_conjunct=node.label,
-                    dependency=str(ind),
+                    dependency=self._dependency_str(ind),
                     level=new_level,
                 )
                 fresh = self._fresh.fresh(provenance)
@@ -837,10 +968,11 @@ class ChaseEngine:
             duplicate = self._graph.node(duplicate_id)
             self._statistics.redundant_ind_applications += 1
             self._statistics.index_hits += 1
-            self._record(INDApplication(
-                dependency=ind, source_conjunct=node.label,
-                created_conjunct=None, existing_conjunct=duplicate.label,
-                level=duplicate.level))
+            if self._config.record_trace:
+                self._record(INDApplication(
+                    dependency=ind, source_conjunct=node.label,
+                    created_conjunct=None, existing_conjunct=duplicate.label,
+                    level=duplicate.level))
             return
 
         created = self._graph.new_node(candidate, level=new_level,
@@ -848,10 +980,11 @@ class ChaseEngine:
         self._register_node(created)
         self._statistics.ind_steps += 1
         self._statistics.max_level_reached = max(self._statistics.max_level_reached, new_level)
-        self._record(INDApplication(
-            dependency=ind, source_conjunct=node.label,
-            created_conjunct=created.label, existing_conjunct=None,
-            level=new_level, fresh_variables=tuple(fresh_terms)))
+        if self._config.record_trace:
+            self._record(INDApplication(
+                dependency=ind, source_conjunct=node.label,
+                created_conjunct=created.label, existing_conjunct=None,
+                level=new_level, fresh_variables=tuple(fresh_terms)))
 
     def _apply_tgd(self, trigger: TGDTrigger) -> None:
         """The TGD chase rule: create the head conjuncts with fresh NDVs.
@@ -864,10 +997,23 @@ class ChaseEngine:
         tgd = trigger.tgd
         binding = trigger.binding_dict()
         new_level = trigger.level + 1
-        self._applied_tgds.add(trigger.applied_key)
-        parent = next(node for node in trigger.nodes
-                      if node.level == trigger.level)
+        oblivious = self._config.variant is ChaseVariant.OBLIVIOUS
+        if oblivious:
+            # Only the O-chase consults the applied-key set; the R-chase
+            # retires applied matches through the satisfied cache instead.
+            self._applied_tgds.add(trigger.applied_key)
+        if self._trigger_index is not None:
+            self._trigger_index.note_tgd_applied(trigger, oblivious)
+        nodes = trigger.nodes
+        parent = nodes[0]
+        if len(nodes) > 1:
+            level = trigger.level
+            for node in nodes:
+                if node.level == level:
+                    parent = node
+                    break
 
+        statistics = self._statistics
         fresh_by_variable: Dict[Variable, Term] = {}
         fresh_terms: List[Term] = []
         created_labels: List[str] = []
@@ -885,7 +1031,7 @@ class ChaseEngine:
                         provenance = NDVProvenance(
                             attribute=target_schema.attribute_name_at(position),
                             source_conjunct=parent.label,
-                            dependency=str(tgd),
+                            dependency=self._dependency_str(tgd),
                             level=new_level,
                         )
                         fresh = self._fresh.fresh(provenance)
@@ -894,23 +1040,24 @@ class ChaseEngine:
                     terms.append(fresh)
             candidate = Conjunct(atom.relation, terms)
             if self._first_atom_node(candidate.relation, candidate.terms) is not None:
-                self._statistics.index_hits += 1
+                statistics.index_hits += 1
                 continue
             created = self._graph.new_node(candidate, level=new_level,
                                            parent=parent.node_id, via=tgd)
             self._register_node(created)
             created_labels.append(created.label)
         if created_labels:
-            self._statistics.tgd_steps += 1
-            self._statistics.max_level_reached = max(
-                self._statistics.max_level_reached, new_level)
+            statistics.tgd_steps += 1
+            if new_level > statistics.max_level_reached:
+                statistics.max_level_reached = new_level
         else:
-            self._statistics.redundant_tgd_applications += 1
-        self._record(TGDApplication(
-            dependency=tgd,
-            source_conjuncts=tuple(node.label for node in trigger.nodes),
-            created_conjuncts=tuple(created_labels),
-            level=new_level, fresh_variables=tuple(fresh_terms)))
+            statistics.redundant_tgd_applications += 1
+        if self._config.record_trace:
+            self._record(TGDApplication(
+                dependency=tgd,
+                source_conjuncts=tuple(node.label for node in trigger.nodes),
+                created_conjuncts=tuple(created_labels),
+                level=new_level, fresh_variables=tuple(fresh_terms)))
 
     def _record_cross_arcs(self) -> None:
         """R-chase post-pass: record cross arcs for satisfied requirements.
@@ -921,11 +1068,14 @@ class ChaseEngine:
         IND.  These are the cross arcs Theorem 2's key-based certificate
         argument inspects.
         """
-        ordinary = {(arc.source, str(arc.dependency)) for arc in self._graph.ordinary_arcs()}
+        if not self._inds:
+            return
+        ordinary = {(arc.source, self._dependency_str(arc.dependency))
+                    for arc in self._graph.ordinary_arcs()}
         for node in self._graph.nodes():
             for index in self._inds_by_source.get(node.relation, ()):
                 ind = self._inds[index]
-                key = (node.node_id, str(ind))
+                key = (node.node_id, self._dependency_str(ind))
                 if key in ordinary:
                     continue
                 lhs_positions, _ = self._ind_positions[index]

@@ -337,7 +337,15 @@ class LegacyChaseEngine:
             survivor, retired = (
                 (existing, node) if existing.node_id <= node.node_id else (node, existing)
             )
-            survivor.level = min(survivor.level, retired.level)
+            if retired.level < survivor.level:
+                # The levelling rule lowers the survivor, so its pending
+                # entries (keyed at insert-time level) are stale: push
+                # fresh entries at the live level; stale ones are
+                # discarded when popped.
+                survivor.level = retired.level
+                for index in self._inds_by_source.get(survivor.relation, ()):
+                    heapq.heappush(self._pending,
+                                   (survivor.level, survivor.node_id, index))
             for child in self._graph.children(retired.node_id):
                 child.parent = survivor.node_id
             self._graph.retire_node(retired.node_id)
@@ -364,6 +372,12 @@ class LegacyChaseEngine:
             self._statistics.triggers_examined += 1
             node = self._graph.node(node_id)
             if not node.alive:
+                continue
+            if level != node.level:
+                # Stale key: an identical-conjunct merge lowered the node's
+                # level after this entry was pushed, and pushed a fresh
+                # entry at the live level.  Applying at the stale key would
+                # deviate from the minimum-level policy.
                 continue
             ind = self._inds[index]
             if oblivious:

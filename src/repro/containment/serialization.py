@@ -311,6 +311,10 @@ def chase_result_to_dict(result: "ChaseResult",
             "total_steps": result.statistics.total_steps,
             "triggers_examined": result.statistics.triggers_examined,
             "index_hits": result.statistics.index_hits,
+            "delta_seeded_matches": result.statistics.delta_seeded_matches,
+            "trigger_cache_hits": result.statistics.trigger_cache_hits,
+            "tgd_batches": result.statistics.tgd_batches,
+            "batched_tgd_triggers": result.statistics.batched_tgd_triggers,
         },
         "level_histogram": {str(level): count for level, count
                             in sorted(result.level_histogram().items())},

@@ -81,6 +81,7 @@ class DependencySet:
         self._seen: Set[Dependency] = set()
         self._schema = schema
         self._classify_cache: Dict[Optional[Tuple], DependencyClass] = {}
+        self._validated_signatures: Set[Tuple] = set()
         self._fingerprint: Optional[str] = None
         for dependency in dependencies or ():
             self.add(dependency)
@@ -100,6 +101,7 @@ class DependencySet:
             self._dependencies.append(dependency)
             self._seen.add(dependency)
             self._classify_cache.clear()
+            self._validated_signatures.clear()
             self._fingerprint = None
         return self
 
@@ -231,12 +233,24 @@ class DependencySet:
     # -- validation ---------------------------------------------------------------------------
 
     def validate(self, schema: Optional[DatabaseSchema] = None) -> None:
-        """Check every dependency against a schema."""
+        """Check every dependency against a schema.
+
+        Validation is pure in (Σ, schema content), so the result is
+        memoised on the schema's :meth:`~DatabaseSchema.signature`;
+        :meth:`add` invalidates the memo.  Chase engines validate on
+        construction, so repeated chases over the same Σ (containment
+        tests run one per CQ pair, benchmarks run hundreds) pay the
+        per-dependency arity walk once.
+        """
         target = schema or self._schema
         if target is None:
             raise DependencyError("no schema available to validate against")
+        signature = target.signature()
+        if signature in self._validated_signatures:
+            return
         for dependency in self._dependencies:
             dependency.validate(target)
+        self._validated_signatures.add(signature)
 
     # -- classification ----------------------------------------------------------------------------
 

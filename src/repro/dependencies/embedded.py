@@ -114,8 +114,17 @@ class TGD:
         return _atom_variables(self.head)
 
     def frontier(self) -> Set[Variable]:
-        """Body variables reused in the head (the values the chase copies)."""
-        return self.body_variables() & self.head_variables()
+        """Body variables reused in the head (the values the chase copies).
+
+        Memoised on the (frozen) instance: the chase asks for the
+        frontier on every R-chase head check, and the variable sets never
+        change after construction.
+        """
+        cached = self.__dict__.get("_frontier")
+        if cached is None:
+            cached = self.body_variables() & self.head_variables()
+            object.__setattr__(self, "_frontier", cached)
+        return cached
 
     def existential_variables(self) -> Set[Variable]:
         """Head variables not bound by the body (fresh NDVs per trigger)."""

@@ -151,7 +151,12 @@ def tgd_violations(database: Database, tgd: TGD,
 
     A violation is a body match whose frontier values admit no head
     match; the witness is the matched body rows.
+
+    The TGD is validated against the database's schema first: an atom
+    whose arity disagrees with its relation would otherwise prefix-match
+    rows silently and report nonsense verdicts.
     """
+    tgd.validate(database.schema)
     violations: List[Violation] = []
     frontier = tgd.frontier()
     for rows, binding in _iter_row_matches(database, tgd.body):
@@ -178,7 +183,12 @@ def egd_violations(database: Database, egd: EGD,
 
     A violation is a body match binding the two equated variables to
     different values; the witness is the matched body rows.
+
+    The EGD is validated against the database's schema first: a body
+    atom longer than its relation would leave its trailing variables
+    unbound and surface as a bare ``KeyError`` mid-scan.
     """
+    egd.validate(database.schema)
     violations: List[Violation] = []
     for rows, binding in _iter_row_matches(database, egd.body):
         if binding[egd.lhs] == binding[egd.rhs]:

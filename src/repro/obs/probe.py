@@ -112,6 +112,18 @@ class MetricsProbe(Probe):
         self._index_hits = registry.counter(
             "repro_chase_index_hits_total",
             "Chase lookups answered by a persistent index.")
+        self._delta_matches = registry.counter(
+            "repro_chase_delta_seeded_matches_total",
+            "Embedded-rule body matches discovered from the delta log.")
+        self._trigger_cache_hits = registry.counter(
+            "repro_chase_trigger_cache_hits_total",
+            "Trigger re-derivations avoided by the semi-naive caches.")
+        self._tgd_batches = registry.counter(
+            "repro_chase_tgd_batches_total",
+            "Selection rounds that queued extra commuting TGD triggers.")
+        self._batched_triggers = registry.counter(
+            "repro_chase_batched_tgd_triggers_total",
+            "TGD triggers applied straight off a commuting batch queue.")
         self._hom_searches = registry.counter(
             "repro_homomorphism_searches_total",
             "Homomorphism searches by whether a solution was found.",
@@ -133,6 +145,10 @@ class MetricsProbe(Probe):
             for kind in ("fd", "egd", "ind", "tgd", "merged")}
         self._triggers_series = self._triggers.labels()
         self._index_hits_series = self._index_hits.labels()
+        self._delta_matches_series = self._delta_matches.labels()
+        self._trigger_cache_hits_series = self._trigger_cache_hits.labels()
+        self._tgd_batches_series = self._tgd_batches.labels()
+        self._batched_triggers_series = self._batched_triggers.labels()
         self._hom_children = {
             found: self._hom_searches.labels(found=found)
             for found in ("true", "false")}
@@ -175,6 +191,14 @@ class MetricsProbe(Probe):
             self._triggers_series.inc(statistics.triggers_examined)
         if statistics.index_hits:
             self._index_hits_series.inc(statistics.index_hits)
+        if statistics.delta_seeded_matches:
+            self._delta_matches_series.inc(statistics.delta_seeded_matches)
+        if statistics.trigger_cache_hits:
+            self._trigger_cache_hits_series.inc(statistics.trigger_cache_hits)
+        if statistics.tgd_batches:
+            self._tgd_batches_series.inc(statistics.tgd_batches)
+        if statistics.batched_tgd_triggers:
+            self._batched_triggers_series.inc(statistics.batched_tgd_triggers)
 
     def homomorphism(self, atoms: int, found: int) -> None:
         self._hom_children["true" if found else "false"].inc()

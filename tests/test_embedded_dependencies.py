@@ -787,3 +787,215 @@ class TestEmbeddedSerializationAndService:
         schema = parse_schema("R(a, b)\nS(c, d)")
         sigma = parse_dependencies("R(u, v) -> S(v, w)", schema)
         assert sigma.tgds()[0].validate(schema) is None
+
+
+# ---------------------------------------------------------------------------
+# PR 8 regressions: merge-lowered heap levels, arity guards, unsafe EGDs
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def merge_heavy_schema() -> DatabaseSchema:
+    return DatabaseSchema.from_dict({
+        "R": ["a", "b"], "A": ["x"], "B": ["x"], "C": ["x"], "D": ["x"],
+        "E": ["x"], "P": ["x"], "W": ["x"], "H": ["x"], "Z": ["x"],
+    })
+
+
+class TestMergeLoweredHeapLevels:
+    def test_merge_lowered_level_reorders_pending_inds(self, merge_heavy_schema):
+        """An EGD merge can *lower* a surviving node's level; IND/TGD heap
+        entries pushed at the old (higher) level are then stale and must
+        not decide application order.
+
+        Here ``P`` first appears at a deep level, then an EGD merges it
+        into a level-1 survivor.  With stale heap keys the ``P ⊆ Z``
+        expansion still queues at the old deep level and fires after the
+        ``D ⊆ H`` expansion; re-keyed on the live level it fires first.
+        Both engines must agree node for node.
+        """
+        schema = merge_heavy_schema
+        sigma = DependencySet([
+            EGD([Conjunct("W", [x("a")]), Conjunct("R", [x("a"), x("b")])],
+                x("a"), x("b")),
+            EGD([Conjunct("P", [x("a")]), Conjunct("P", [x("b")])],
+                x("a"), x("b")),
+            TGD([Conjunct("A", [x("a")])], [Conjunct("B", [x("a")])]),
+            TGD([Conjunct("B", [x("a")])], [Conjunct("C", [x("a")])]),
+            TGD([Conjunct("C", [x("a")])], [Conjunct("D", [x("a")])]),
+            TGD([Conjunct("C", [x("a")])], [Conjunct("P", [x("e")])]),
+            TGD([Conjunct("R", [x("a"), x("a")])], [Conjunct("E", [x("a")])]),
+            TGD([Conjunct("E", [x("a")])], [Conjunct("P", [x("a")])]),
+            InclusionDependency("D", ["x"], "W", ["x"]),
+            InclusionDependency("D", ["x"], "H", ["x"]),
+            InclusionDependency("P", ["x"], "Z", ["x"]),
+        ], schema=schema)
+        query = parse_query("Q(u, v) :- R(u, v), A(u)", schema)
+        indexed, legacy = chase_both_engines(
+            query, sigma, variant=ChaseVariant.OBLIVIOUS, max_level=8)
+        assert_same_chase(indexed, legacy)
+        by_relation = {}
+        for node in indexed.graph:
+            by_relation.setdefault(node.relation, node)
+        assert "Z" in by_relation and "H" in by_relation
+        # The P node's level drops below D's after the merges, so the
+        # P ⊆ Z expansion outranks D ⊆ H.  Stale insert-time heap keys
+        # invert this order.
+        assert by_relation["Z"].node_id < by_relation["H"].node_id
+        assert indexed.statistics.merged_conjuncts > 0
+
+
+class TestEmbeddedArityGuards:
+    def test_unify_atom_rejects_arity_mismatch(self):
+        from repro.chase.embedded_triggers import _unify_atom
+        from repro.dependencies.violations import _Fact
+        fact = _Fact("R", (1, 2))
+        overlong = Conjunct("R", [x("u"), x("v"), x("w")])
+        with pytest.raises(DependencyError, match="arity"):
+            _unify_atom(overlong, fact, {})
+        short = Conjunct("R", [x("u")])
+        with pytest.raises(DependencyError, match="arity"):
+            _unify_atom(short, fact, {})
+
+    def test_tgd_violations_rejects_wrong_arity_rule(self, rst_schema):
+        """Pre-guard, a 3-ary atom over binary R prefix-matched rows and
+        reported a nonsense verdict; now the rule is rejected loudly."""
+        from repro.dependencies.violations import tgd_violations
+        from repro.relational.database import Database
+        database = Database(rst_schema, {"R": [(1, 2)], "S": [], "T": []})
+        bad = TGD([Conjunct("R", [x("u"), x("v"), x("z")])],
+                  [Conjunct("S", [x("u"), x("w")])])
+        with pytest.raises(DependencyError, match="arity"):
+            tgd_violations(database, bad)
+
+    def test_egd_violations_rejects_wrong_arity_rule(self, rst_schema):
+        """Pre-guard this surfaced as a bare KeyError on the unbound
+        trailing variable mid-scan."""
+        from repro.dependencies.violations import egd_violations
+        from repro.relational.database import Database
+        database = Database(rst_schema, {"R": [], "S": [(2, 5), (2, 6)], "T": []})
+        bad = EGD([Conjunct("S", [x("u"), x("v"), x("z")])], x("u"), x("z"))
+        with pytest.raises(DependencyError, match="arity"):
+            egd_violations(database, bad)
+
+    def test_parser_rejects_wrong_arity_embedded_rules(self, rst_schema):
+        with pytest.raises(DependencyError, match="arity"):
+            parse_dependencies("R(u, v, z) -> S(v, w)", rst_schema)
+        with pytest.raises(DependencyError, match="arity"):
+            parse_dependencies("S(u, v, z), S(u, w, y) -> v = w", rst_schema)
+
+    def test_service_rejects_wrong_arity_deps(self):
+        record = {
+            "query": "Q(a) :- R(a, b)",
+            "query_prime": "Q(a) :- R(a, b), S(b, c)",
+            "schema": "R(a, b)\nS(c, d)",
+            "deps": "R(u, v, z) -> S(v, w)",
+        }
+        envelope = handle_record(record, make_worker_solver())
+        assert not envelope["ok"]
+        assert "arity" in envelope["error"]["message"]
+
+
+class TestUnsafeEGDRejection:
+    def test_construction_rejects_equated_variable_outside_body(self):
+        body = [Conjunct("S", [x("u"), x("v")])]
+        with pytest.raises(DependencyError, match="does not occur in its body"):
+            EGD(body, x("q"), x("v"))
+        with pytest.raises(DependencyError, match="does not occur in its body"):
+            EGD(body, x("u"), x("q"))
+
+    def test_find_egd_trigger_never_sees_unsafe_egd(self, rst_schema):
+        """The chase can therefore assume every EGD binds both sides —
+        an unsafe rule cannot reach trigger discovery as a bare KeyError."""
+        sigma = DependencySet([
+            EGD([Conjunct("S", [x("u"), x("v")]),
+                 Conjunct("S", [x("u"), x("w")])], x("v"), x("w")),
+        ], schema=rst_schema)
+        query = parse_query("Q(a) :- S(a, b), S(a, c)", rst_schema)
+        indexed, legacy = chase_both_engines(query, sigma)
+        assert_same_chase(indexed, legacy)
+        assert indexed.statistics.egd_steps == 1
+
+
+# ---------------------------------------------------------------------------
+# PR 8 differential sweep: semi-naive + batched vs the unbatched reference
+# ---------------------------------------------------------------------------
+
+
+class TestSemiNaiveDifferentialSweep:
+    def test_fifty_case_sweep_agrees_node_for_node(self):
+        """50 seeded weakly-acyclic workloads (merge-heavy 2-EGD variants
+        included): the semi-naive, batch-applying indexed engine stays
+        node-for-node identical to the unbatched legacy reference."""
+        from repro.containment.serialization import chase_result_to_dict
+        cases = 0
+        delta_matches = 0
+        cache_hits = 0
+        merges = 0
+        for seed in range(25):
+            schema = SchemaGenerator(seed=seed).uniform(4, 3)
+            generator = EmbeddedDependencyGenerator(schema, seed=seed)
+            # The 2-EGD variant chases a self-join query so the generated
+            # equality rules actually find mergeable pairs.
+            for egd_count, query_text in (
+                    (1, "Q(v) :- R1(v, b, c)"),
+                    (2, "Q(v) :- R1(v, b, c), R1(v, d, e), R2(b, d, f)")):
+                query = parse_query(query_text, schema)
+                sigma = generator.weakly_acyclic(3, egd_count=egd_count)
+                assert analyse_termination(sigma, schema).weakly_acyclic
+                indexed, legacy = chase_both_engines(query, sigma,
+                                                     max_conjuncts=2_000)
+                assert_same_chase(indexed, legacy)
+                assert indexed.saturated or indexed.failed
+                cases += 1
+                statistics = indexed.statistics
+                delta_matches += statistics.delta_seeded_matches
+                cache_hits += statistics.trigger_cache_hits
+                merges += statistics.merged_conjuncts
+                document = chase_result_to_dict(indexed)["statistics"]
+                for key in ("delta_seeded_matches", "trigger_cache_hits",
+                            "tgd_batches", "batched_tgd_triggers"):
+                    assert document[key] == getattr(statistics, key)
+        assert cases >= 50
+        # The semi-naive machinery must actually engage across the sweep.
+        assert delta_matches > 0
+        assert cache_hits >= 0  # tiny workloads may saturate in one round
+        assert merges > 0  # the 2-EGD workloads exercise the merge paths
+
+    def test_deep_workload_exercises_caches_and_batches(self):
+        """The benchmark-grade chain workload must drive every new
+        counter: delta-seeded matches, trigger cache hits, and at least
+        one commuting batch — with the legacy reference still agreeing."""
+        from repro.workloads import QueryGenerator
+        schema = SchemaGenerator(seed=5).uniform(5, 3)
+        _, tgds = EmbeddedDependencyGenerator(schema, seed=5).ind_expressible(
+            6, max_width=2)
+        query = QueryGenerator(schema, seed=5).chain(3, name="Qe")
+        indexed, legacy = chase_both_engines(query, tgds)
+        assert_same_chase(indexed, legacy)
+        statistics = indexed.statistics
+        assert statistics.delta_seeded_matches > 0
+        assert statistics.trigger_cache_hits > 0
+        assert statistics.tgd_batches > 0
+        assert statistics.batched_tgd_triggers > 0
+        # The legacy engine is the unbatched reference: it never batches.
+        assert legacy.statistics.tgd_batches == 0
+        assert legacy.statistics.batched_tgd_triggers == 0
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_containment_verdicts_agree_between_engines(self, seed):
+        schema = SchemaGenerator(seed=seed).uniform(4, 3)
+        sigma = EmbeddedDependencyGenerator(schema, seed=seed).weakly_acyclic(
+            3, egd_count=1)
+        query = parse_query("Q(v) :- R1(v, b, c)", schema)
+        query_prime = parse_query("Q(v) :- R1(v, b, c), R2(d, e, f)", schema)
+        verdicts = {}
+        for engine in ENGINES:
+            solver = Solver(SolverConfig(chase_engine=engine))
+            for direction, (q, qp) in enumerate(
+                    ((query, query_prime), (query_prime, query))):
+                result = solver.is_contained(q, qp, sigma)
+                verdicts.setdefault(direction, []).append(
+                    (result.holds, result.certain))
+        for direction, outcomes in verdicts.items():
+            assert outcomes[0] == outcomes[1], (seed, direction)
