@@ -78,6 +78,10 @@ def chase_statistics_report(statistics_by_engine: Mapping[str, "ChaseStatistics"
         ("trigger cache hits", lambda s: s.trigger_cache_hits),
         ("tgd batches", lambda s: s.tgd_batches),
         ("batched tgd triggers", lambda s: s.batched_tgd_triggers),
+        ("interned terms", lambda s: s.interned_terms),
+        ("union-find unions", lambda s: s.union_find_unions),
+        ("union-find finds", lambda s: s.union_find_finds),
+        ("column probes", lambda s: s.column_probes),
     )
     engines = list(statistics_by_engine)
     rows = [

@@ -18,7 +18,7 @@ import dataclasses
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
-from repro.chase.engine import CHASE_ENGINES, ChaseConfig, ChaseVariant, resolve_engine_name
+from repro.chase.engine import ChaseConfig, ChaseVariant, resolve_engine_name, validate_engine_name
 from repro.exceptions import ReproError
 
 #: The executors ``Solver.solve_many`` understands.
@@ -78,11 +78,12 @@ class SolverConfig:
     including the ones inside containment decisions and view rewriting):
 
     chase_engine:
-        ``"indexed"`` (incremental per-relation indexes, the default) or
-        ``"legacy"`` (the seed scan-and-rebuild engine, kept for the
-        differential test harness).  ``None`` defers to the
-        ``REPRO_CHASE_ENGINE`` environment variable and then to
-        ``"indexed"``.
+        Any name in the chase-engine registry: ``"indexed"``
+        (incremental per-relation indexes, the default), ``"columnar"``
+        (the interned-integer columnar core), or ``"legacy"`` (the seed
+        scan-and-rebuild engine, kept for the differential test
+        harness).  ``None`` defers to the ``REPRO_CHASE_ENGINE``
+        environment variable and then to ``"indexed"``.
 
     View-rewriting knobs (used by :meth:`Solver.rewrite`):
 
@@ -160,10 +161,11 @@ class SolverConfig:
             raise ReproError("rewrite budgets must be positive")
         if self.rewrite_chase_level is not None and self.rewrite_chase_level < 0:
             raise ReproError("rewrite_chase_level must be non-negative")
-        if self.chase_engine is not None and self.chase_engine not in CHASE_ENGINES:
-            raise ReproError(
-                f"unknown chase engine {self.chase_engine!r}; "
-                f"expected one of {CHASE_ENGINES}")
+        if self.chase_engine is not None:
+            # One validator, shared with ChaseConfig: the registry's.
+            # ChaseError is a ReproError, so callers catching the facade
+            # exception keep working.
+            validate_engine_name(self.chase_engine)
         if self.parallelism is not None and self.parallelism <= 0:
             raise ReproError("parallelism must be positive (or None for sequential)")
         if self.executor not in EXECUTORS:

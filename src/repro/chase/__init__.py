@@ -42,6 +42,14 @@ from repro.chase.engine import (
     r_chase,
     resolve_engine_name,
 )
+from repro.chase.registry import (
+    ChaseEngineProtocol,
+    available_engines,
+    create_engine,
+    register_engine,
+    validate_engine_name,
+)
+from repro.chase.columnar import ColumnarChaseEngine
 from repro.chase.legacy_engine import LegacyChaseEngine
 from repro.chase.fd_chase import fd_chase_query, fd_only_chase
 from repro.chase.instance_chase import InstanceChaseResult, chase_instance
@@ -60,8 +68,10 @@ __all__ = [
     "ChaseArc",
     "ChaseConfig",
     "ChaseEngine",
+    "ChaseEngineProtocol",
     "ChaseGraph",
     "ChaseNode",
+    "ColumnarChaseEngine",
     "ChaseResult",
     "ChaseStatistics",
     "ChaseStep",
@@ -77,9 +87,13 @@ __all__ = [
     "TerminationReport",
     "analyse_ind_termination",
     "analyse_termination",
+    "available_engines",
     "build_engine",
     "chase",
+    "create_engine",
+    "register_engine",
     "resolve_engine_name",
+    "validate_engine_name",
     "chase_guaranteed_finite",
     "dependency_position_graph",
     "estimate_chase_size",

@@ -47,26 +47,71 @@ NodesForRelation = Callable[[str], Sequence[ChaseNode]]
 Binding = Dict[Variable, Term]
 
 
-def _unify_atom(atom: Conjunct, node: ChaseNode,
-                binding: Binding) -> Optional[Binding]:
-    """Extend ``binding`` so the body atom maps onto the node, or None.
+class TriggerStorage:
+    """How the trigger machinery reads node terms and encodes rule constants.
 
-    Constants must match themselves; variables bind on first sight and
-    must agree on later occurrences (the usual homomorphism conditions).
+    The matcher is generic over the *value domain* the chase stores its
+    terms in: bindings map rule :class:`Variable` objects to storage
+    values, and a rule constant only ever meets a node term after being
+    pushed through :meth:`encode`.  The default (this class) is object
+    storage — node terms are the :class:`~repro.terms.term.Term` objects
+    on ``node.conjunct`` and constants encode to themselves — which is
+    what the indexed and legacy engines use.  The columnar engine
+    supplies a storage whose values are interned integer term ids, so
+    the same semi-naive trigger index runs over flat int tuples without
+    materialising any :class:`Term`.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def terms_of(node) -> Sequence:
+        """The node's current terms, in the storage's value domain."""
+        return node.conjunct.terms
+
+    @staticmethod
+    def encode(term: Term):
+        """A rule constant's value in the storage's value domain."""
+        return term
+
+
+#: The default storage: Term objects straight off ``node.conjunct``.
+OBJECT_STORAGE = TriggerStorage()
+
+
+def _encode_atom_terms(atom: Conjunct, storage: TriggerStorage) -> Tuple:
+    """The atom's terms with constants pushed into the storage domain.
+
+    Variables stay as-is (they are binding keys, not values), so the
+    unifier can discriminate with one ``isinstance`` check.
+    """
+    return tuple(term if isinstance(term, Variable) else storage.encode(term)
+                 for term in atom.terms)
+
+
+def _unify_encoded(atom: Conjunct, atom_sterms: Sequence,
+                   node_terms: Sequence,
+                   binding: Binding) -> Optional[Binding]:
+    """Extend ``binding`` so the body atom maps onto the node's terms.
+
+    ``atom_sterms`` are the atom's terms with constants already encoded
+    into the storage domain of ``node_terms``; variables bind on first
+    sight and must agree on later occurrences (the usual homomorphism
+    conditions).
 
     An arity mismatch between the rule atom and the fact is a malformed
     dependency, never a near-miss: ``zip`` would silently match a prefix
     and bind only the leading variables, so it is rejected loudly here
     (the last line of defence behind schema validation at admission).
     """
-    if len(atom.terms) != len(node.conjunct.terms):
+    if len(atom_sterms) != len(node_terms):
         raise DependencyError(
-            f"dependency atom {atom} has arity {len(atom.terms)}, but is "
-            f"matched against a {node.conjunct.relation} fact of arity "
-            f"{len(node.conjunct.terms)}; the rule does not fit the schema")
+            f"dependency atom {atom} has arity {len(atom_sterms)}, but is "
+            f"matched against a {atom.relation} fact of arity "
+            f"{len(node_terms)}; the rule does not fit the schema")
     extended: Optional[Binding] = None
-    for body_term, node_term in zip(atom.terms, node.conjunct.terms):
-        if isinstance(body_term, Constant):
+    for body_term, node_term in zip(atom_sterms, node_terms):
+        if not isinstance(body_term, Variable):
             if body_term != node_term:
                 return None
             continue
@@ -78,6 +123,39 @@ def _unify_atom(atom: Conjunct, node: ChaseNode,
         elif bound != node_term:
             return None
     return extended if extended is not None else binding
+
+
+def _unify_atom(atom: Conjunct, node: ChaseNode,
+                binding: Binding) -> Optional[Binding]:
+    """Object-storage unification against a node (the historical entry)."""
+    return _unify_encoded(atom, atom.terms, node.conjunct.terms, binding)
+
+
+def _iter_encoded_matches(atoms: Sequence[Conjunct],
+                          sterms: Sequence[Tuple],
+                          nodes_for_relation: NodesForRelation,
+                          terms_of: Callable,
+                          binding: Optional[Binding] = None
+                          ) -> Iterator[Tuple[Tuple[ChaseNode, ...], Binding]]:
+    """Storage-generic body-match enumeration (see :func:`iter_body_matches`)."""
+    # The node set is not mutated during one enumeration, so fetch each
+    # atom's candidate list once instead of once per partial binding.
+    candidates = [nodes_for_relation(atom.relation) for atom in atoms]
+
+    def descend(index: int, chosen: List[ChaseNode],
+                current: Binding) -> Iterator[Tuple[Tuple[ChaseNode, ...], Binding]]:
+        if index == len(atoms):
+            yield tuple(chosen), current
+            return
+        for node in candidates[index]:
+            extended = _unify_encoded(atoms[index], sterms[index],
+                                      terms_of(node), current)
+            if extended is not None:
+                chosen.append(node)
+                yield from descend(index + 1, chosen, extended)
+                chosen.pop()
+
+    yield from descend(0, [], dict(binding or {}))
 
 
 def iter_body_matches(atoms: Sequence[Conjunct],
@@ -93,23 +171,9 @@ def iter_body_matches(atoms: Sequence[Conjunct],
     satisfaction checks).
     """
     atoms = list(atoms)
-    # The node set is not mutated during one enumeration, so fetch each
-    # atom's candidate list once instead of once per partial binding.
-    candidates = [nodes_for_relation(atom.relation) for atom in atoms]
-
-    def descend(index: int, chosen: List[ChaseNode],
-                current: Binding) -> Iterator[Tuple[Tuple[ChaseNode, ...], Binding]]:
-        if index == len(atoms):
-            yield tuple(chosen), current
-            return
-        for node in candidates[index]:
-            extended = _unify_atom(atoms[index], node, current)
-            if extended is not None:
-                chosen.append(node)
-                yield from descend(index + 1, chosen, extended)
-                chosen.pop()
-
-    yield from descend(0, [], dict(binding or {}))
+    yield from _iter_encoded_matches(
+        atoms, [atom.terms for atom in atoms], nodes_for_relation,
+        OBJECT_STORAGE.terms_of, binding)
 
 
 # ---------------------------------------------------------------------------
@@ -297,13 +361,28 @@ class SemiNaiveTriggerIndex:
     def __init__(self, tgds: Sequence[TGD], egds: Sequence[EGD],
                  nodes_for_relation: NodesForRelation,
                  node_by_id: Callable[[int], ChaseNode],
-                 statistics=None, oblivious: bool = False):
+                 statistics=None, oblivious: bool = False,
+                 storage: Optional[TriggerStorage] = None):
         self._tgds = list(tgds)
         self._egds = list(egds)
         self._nodes_for_relation = nodes_for_relation
         self._node_by_id = node_by_id
         self._statistics = statistics
         self._oblivious = oblivious
+        self._storage = storage if storage is not None else OBJECT_STORAGE
+        self._terms_of = self._storage.terms_of
+        # Rule atoms with constants pushed into the storage domain, one
+        # tuple-of-tuples per rule in atom order.  For object storage
+        # this is just the atoms' own term tuples.
+        self._tgd_body_sterms = [
+            tuple(_encode_atom_terms(atom, self._storage) for atom in tgd.body)
+            for tgd in self._tgds]
+        self._tgd_head_sterms = [
+            tuple(_encode_atom_terms(atom, self._storage) for atom in tgd.head)
+            for tgd in self._tgds]
+        self._egd_body_sterms = [
+            tuple(_encode_atom_terms(atom, self._storage) for atom in egd.body)
+            for egd in self._egds]
         self._delta: List[int] = []
         self._tgd_cursors = [0] * len(self._tgds)
         self._egd_cursors = [0] * len(self._egds)
@@ -338,7 +417,16 @@ class SemiNaiveTriggerIndex:
         self._single_heads = [plan[2] for plan in plans]
         self._frontiers = [plan[3] for plan in plans]
         self._tgd_trivial = [plan[5] for plan in plans]
-        self._head_plans = [plan[6] for plan in plans]
+        # Head-check plans carry the head's constants; encode them into
+        # the storage domain once so the per-candidate positional test
+        # compares storage values directly.
+        self._head_plans = [
+            plan[6] if plan[6] is None else (
+                plan[6][0],
+                tuple((position, self._storage.encode(constant))
+                      for position, constant in plan[6][1]),
+                plan[6][2])
+            for plan in plans]
         egd_plans = [self._egd_plan(egd) for egd in self._egds]
         self._egd_seeds = [plan[0] for plan in egd_plans]
         self._egd_trivial = [plan[1] for plan in egd_plans]
@@ -474,12 +562,14 @@ class SemiNaiveTriggerIndex:
 
     # -- delta-seeded match discovery ----------------------------------------
 
-    def _seeded_match_ids(self, atoms: Sequence[Conjunct], pin: int,
+    def _seeded_match_ids(self, atoms: Sequence[Conjunct],
+                          sterms: Sequence[Tuple], pin: int,
                           pinned: ChaseNode,
                           candidates: Dict[str, Sequence[ChaseNode]]
                           ) -> Iterator[Tuple[int, ...]]:
         """All body matches with the delta node at one pinned position."""
-        seed = _unify_atom(atoms[pin], pinned, {})
+        terms_of = self._terms_of
+        seed = _unify_encoded(atoms[pin], sterms[pin], terms_of(pinned), {})
         if seed is None:
             return
         chosen: List[int] = [0] * len(atoms)
@@ -497,7 +587,8 @@ class SemiNaiveTriggerIndex:
             if pool is None:
                 pool = candidates[relation] = self._nodes_for_relation(relation)
             for node in pool:
-                extended = _unify_atom(atoms[index], node, binding)
+                extended = _unify_encoded(atoms[index], sterms[index],
+                                          terms_of(node), binding)
                 if extended is not None:
                     chosen[index] = node.node_id
                     yield from descend(index + 1, extended)
@@ -505,6 +596,7 @@ class SemiNaiveTriggerIndex:
         yield from descend(0, seed)
 
     def _refresh_rule(self, atoms: Sequence[Conjunct],
+                      sterms: Sequence[Tuple],
                       seeds: Dict[str, List[int]],
                       pool: Set[Tuple[int, ...]],
                       cursor: int,
@@ -527,7 +619,8 @@ class SemiNaiveTriggerIndex:
                 node = node_by_id(delta[position])
                 if node.relation != relation or not node.alive:
                     continue
-                if not trivial and _unify_atom(atom, node, {}) is None:
+                if not trivial and _unify_encoded(
+                        atom, sterms[0], self._terms_of(node), {}) is None:
                     continue
                 ids = (node.node_id,)
                 if ids in pool:
@@ -550,7 +643,8 @@ class SemiNaiveTriggerIndex:
             if not pins:
                 continue
             for pin in pins:
-                for ids in self._seeded_match_ids(atoms, pin, node, candidates):
+                for ids in self._seeded_match_ids(atoms, sterms, pin, node,
+                                                  candidates):
                     if ids in pool:
                         continue
                     if ids in retired:
@@ -563,7 +657,8 @@ class SemiNaiveTriggerIndex:
                         statistics.triggers_examined += 1
         return end
 
-    def _resolve(self, atoms: Sequence[Conjunct], ids: Tuple[int, ...],
+    def _resolve(self, atoms: Sequence[Conjunct], sterms: Sequence[Tuple],
+                 ids: Tuple[int, ...],
                  cache: Dict[Tuple[int, ...], list]) -> Optional[list]:
         """A pool entry's cache record (stamps, nodes, binding, trigger
         slot, frontier-values slot), or None if a member died.
@@ -586,7 +681,8 @@ class SemiNaiveTriggerIndex:
             cached = cache.get(ids)
             if cached is not None and cached[0] == stamp_key:
                 return cached
-            binding = _unify_atom(atoms[0], node, {})
+            binding = _unify_encoded(atoms[0], sterms[0],
+                                     self._terms_of(node), {})
             if binding is None:
                 cache.pop(ids, None)
                 return None
@@ -606,9 +702,10 @@ class SemiNaiveTriggerIndex:
         cached = cache.get(ids)
         if cached is not None and cached[0] == stamp_key:
             return cached
+        terms_of = self._terms_of
         binding: Binding = {}
-        for atom, node in zip(atoms, nodes):
-            extended = _unify_atom(atom, node, binding)
+        for atom, atom_sterms, node in zip(atoms, sterms, nodes):
+            extended = _unify_encoded(atom, atom_sterms, terms_of(node), binding)
             if extended is None:
                 # Unreachable while members live (merges preserve matches);
                 # kept so a pool entry can only ever be dropped, not crash.
@@ -627,14 +724,15 @@ class SemiNaiveTriggerIndex:
         for index, egd in enumerate(self._egds):
             pool = self._egd_pools[index]
             bindings = self._egd_bindings[index]
+            sterms = self._egd_body_sterms[index]
             self._egd_cursors[index] = self._refresh_rule(
-                egd.body, self._egd_seeds[index], pool,
+                egd.body, sterms, self._egd_seeds[index], pool,
                 self._egd_cursors[index], self._egd_settled[index],
                 self._egd_trivial[index])
             drop: List[Tuple[int, ...]] = []
             found: Optional[EGDTrigger] = None
             for ids in sorted(pool):
-                resolved = self._resolve(egd.body, ids, bindings)
+                resolved = self._resolve(egd.body, sterms, ids, bindings)
                 if resolved is None:
                     drop.append(ids)
                     continue
@@ -702,7 +800,7 @@ class SemiNaiveTriggerIndex:
                 candidate = node_by_id(delta[position])
                 if candidate.relation != relation or not candidate.alive:
                     continue
-                terms = candidate.conjunct.terms
+                terms = self._terms_of(candidate)
                 match = True
                 for term_position, frontier_position in frontier_eqs:
                     if terms[term_position] != frontier_values[frontier_position]:
@@ -737,8 +835,9 @@ class SemiNaiveTriggerIndex:
                 statistics.trigger_cache_hits += 1
             return True
         pinned = dict(zip(frontier, frontier_values))
-        if any(True for _ in iter_body_matches(
-                self._tgds[index].head, self._nodes_for_relation, pinned)):
+        if any(True for _ in _iter_encoded_matches(
+                self._tgds[index].head, self._tgd_head_sterms[index],
+                self._nodes_for_relation, self._terms_of, pinned)):
             self._retire_satisfied(index, ids)
             return False
         checked[ids] = gate
@@ -803,8 +902,9 @@ class SemiNaiveTriggerIndex:
             checked = self._head_checked[index]
             bindings = self._tgd_bindings[index]
             rule_triggers: List[TGDTrigger] = []
+            sterms = self._tgd_body_sterms[index]
             self._tgd_cursors[index] = self._refresh_rule(
-                tgd.body, self._tgd_seeds[index], pool,
+                tgd.body, sterms, self._tgd_seeds[index], pool,
                 self._tgd_cursors[index], satisfied,
                 self._tgd_trivial[index])
             frontier = self._frontiers[index]
@@ -822,7 +922,7 @@ class SemiNaiveTriggerIndex:
                     if statistics is not None:
                         statistics.trigger_cache_hits += 1
                     continue
-                resolved = self._resolve(tgd.body, ids, bindings)
+                resolved = self._resolve(tgd.body, sterms, ids, bindings)
                 if resolved is None:
                     drop.append(ids)
                     continue

@@ -44,7 +44,6 @@ id, IND index)``, which realises the paper's selection rule.
 from __future__ import annotations
 
 import heapq
-import os
 from collections import deque
 from dataclasses import dataclass
 from enum import Enum
@@ -78,27 +77,19 @@ from repro.terms.naming import FreshVariableFactory, NDVProvenance
 from repro.terms.substitution import Substitution
 from repro.terms.term import Term, Variable
 
-#: The two chase implementations selectable through ``ChaseConfig.engine``
-#: (and ``SolverConfig.chase_engine``).
-CHASE_ENGINES = ("indexed", "legacy")
-
-#: Environment override for the process-wide default engine, read when a
-#: config leaves ``engine=None``.  CI uses it to run the whole suite under
-#: both implementations.
-CHASE_ENGINE_ENV_VAR = "REPRO_CHASE_ENGINE"
-
-
-def resolve_engine_name(name: Optional[str] = None) -> str:
-    """The concrete engine a config selects.
-
-    ``None`` falls back to ``$REPRO_CHASE_ENGINE`` and then to
-    ``"indexed"``; anything outside :data:`CHASE_ENGINES` raises.
-    """
-    resolved = name or os.environ.get(CHASE_ENGINE_ENV_VAR) or "indexed"
-    if resolved not in CHASE_ENGINES:
-        raise ChaseError(
-            f"unknown chase engine {resolved!r}; expected one of {CHASE_ENGINES}")
-    return resolved
+# Engine selection lives in the registry; these re-exports keep the
+# historical import path (``from repro.chase.engine import ...``) working.
+# ``CHASE_ENGINES`` is a deprecated read-only view over the registry.
+from repro.chase.registry import (  # noqa: E402  (re-export)
+    CHASE_ENGINE_ENV_VAR,  # noqa: F401  (re-export)
+    CHASE_ENGINES,  # noqa: F401  (re-export)
+    ChaseEngineProtocol,  # noqa: F401  (re-export)
+    available_engines,  # noqa: F401  (re-export)
+    create_engine,
+    register_engine,
+    resolve_engine_name,
+    validate_engine_name,
+)
 
 
 class ChaseVariant(Enum):
@@ -116,8 +107,10 @@ class ChaseConfig:
     unbounded (use together with ``max_conjuncts``).  ``max_conjuncts``
     bounds the total number of live conjuncts and always applies.
     ``record_trace`` can be switched off for large benchmark runs.
-    ``engine`` selects the implementation (``"indexed"`` or ``"legacy"``);
-    ``None`` defers to ``$REPRO_CHASE_ENGINE`` / the indexed default.
+    ``engine`` selects the implementation by registry name (``"indexed"``,
+    ``"legacy"``, ``"columnar"``, or anything registered through
+    :func:`repro.chase.registry.register_engine`); ``None`` defers to
+    ``$REPRO_CHASE_ENGINE`` / the indexed default.
     """
 
     variant: ChaseVariant = ChaseVariant.RESTRICTED
@@ -132,9 +125,8 @@ class ChaseConfig:
             raise ChaseError("max_conjuncts must be positive")
         if self.max_level is not None and self.max_level < 0:
             raise ChaseError("max_level must be non-negative")
-        if self.engine is not None and self.engine not in CHASE_ENGINES:
-            raise ChaseError(
-                f"unknown chase engine {self.engine!r}; expected one of {CHASE_ENGINES}")
+        if self.engine is not None:
+            validate_engine_name(self.engine)
 
 
 @dataclass
@@ -189,6 +181,21 @@ class ChaseStatistics:
         (disjoint body/head relation footprints, all ahead of every
         pending IND), and how many triggers were applied straight off
         that queue without a fresh selection scan.
+
+    Columnar-core accounting (columnar engine only; the object-graph
+    engines leave these at zero):
+
+    ``interned_terms``
+        Distinct terms interned into dense integer ids over the run —
+        query symbols, rule constants, and chase-created NDVs (whose
+        ``Term`` objects are only materialised at the result boundary).
+    ``union_find_unions`` / ``union_find_finds``
+        Merges recorded in, and canonical-id lookups served by, the
+        union-find that replaces node-rewrite cascades for EGD/FD
+        merges.
+    ``column_probes``
+        Per-column inverted-index (posting-list) lookups — the probes a
+        merge uses to find exactly the rows holding the merged-away id.
     """
 
     fd_steps: int = 0
@@ -205,6 +212,10 @@ class ChaseStatistics:
     trigger_cache_hits: int = 0
     tgd_batches: int = 0
     batched_tgd_triggers: int = 0
+    interned_terms: int = 0
+    union_find_unions: int = 0
+    union_find_finds: int = 0
+    column_probes: int = 0
 
     @property
     def total_steps(self) -> int:
@@ -462,6 +473,16 @@ class ChaseEngine:
         return rendered
 
     # -- public entry point ---------------------------------------------------
+
+    @property
+    def graph(self) -> ChaseGraph:
+        """The chase graph built so far (the ``ChaseEngineProtocol`` surface)."""
+        return self._graph
+
+    @property
+    def statistics(self) -> ChaseStatistics:
+        """Work counters accumulated so far (the ``ChaseEngineProtocol`` surface)."""
+        return self._statistics
 
     def run(self) -> ChaseResult:
         """Execute the chase until saturation, failure, or a budget limit."""
@@ -1128,10 +1149,34 @@ def build_engine(query: ConjunctiveQuery, dependencies: DependencySet,
                  config: Optional[ChaseConfig] = None):
     """Instantiate the engine a config selects (indexed by default)."""
     resolved_config = config or ChaseConfig()
-    if resolve_engine_name(resolved_config.engine) == "legacy":
-        from repro.chase.legacy_engine import LegacyChaseEngine
-        return LegacyChaseEngine(query, dependencies, resolved_config)
-    return ChaseEngine(query, dependencies, resolved_config)
+    name = resolve_engine_name(resolved_config.engine)
+    return create_engine(name, query, dependencies, resolved_config)
+
+
+# -- built-in engine registration ---------------------------------------------------------------
+
+
+def _indexed_factory(query: ConjunctiveQuery, dependencies: DependencySet,
+                     config: ChaseConfig) -> "ChaseEngine":
+    return ChaseEngine(query, dependencies, config)
+
+
+def _legacy_factory(query: ConjunctiveQuery, dependencies: DependencySet,
+                    config: ChaseConfig):
+    from repro.chase.legacy_engine import LegacyChaseEngine
+    return LegacyChaseEngine(query, dependencies, config)
+
+
+def _columnar_factory(query: ConjunctiveQuery, dependencies: DependencySet,
+                      config: ChaseConfig):
+    from repro.chase.columnar import ColumnarChaseEngine
+    return ColumnarChaseEngine(query, dependencies, config)
+
+
+# replace=True keeps registration idempotent under module reloads.
+register_engine("indexed", _indexed_factory, replace=True)
+register_engine("legacy", _legacy_factory, replace=True)
+register_engine("columnar", _columnar_factory, replace=True)
 
 
 # -- module-level convenience functions ---------------------------------------------------------

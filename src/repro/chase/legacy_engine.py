@@ -106,6 +106,16 @@ class LegacyChaseEngine:
 
     # -- public entry point ---------------------------------------------------
 
+    @property
+    def graph(self) -> ChaseGraph:
+        """The chase graph built so far (the ``ChaseEngineProtocol`` surface)."""
+        return self._graph
+
+    @property
+    def statistics(self) -> ChaseStatistics:
+        """Work counters accumulated so far (the ``ChaseEngineProtocol`` surface)."""
+        return self._statistics
+
     def run(self) -> ChaseResult:
         """Execute the chase until saturation, failure, or a budget limit."""
         return run_with_instrumentation(self)

@@ -58,7 +58,8 @@ from repro.containment.serialization import (
     containment_result_to_dict,
     optimization_report_to_dict,
 )
-from repro.chase.engine import CHASE_ENGINES, ChaseConfig, ChaseVariant
+from repro.chase.engine import ChaseConfig, ChaseVariant
+from repro.chase.registry import available_engines
 from repro.dependencies.dependency_set import DependencySet
 from repro.dependencies.ind_inference import ind_implied_by_axioms
 from repro.exceptions import ReproError
@@ -135,9 +136,11 @@ def build_parser() -> argparse.ArgumentParser:
     chase_cmd.add_argument("--query", required=True)
     chase_cmd.add_argument("--max-level", type=int, default=4)
     chase_cmd.add_argument("--variant", choices=["R", "O"], default="R")
-    chase_cmd.add_argument("--engine", choices=list(CHASE_ENGINES), default=None,
+    chase_cmd.add_argument("--engine", choices=list(available_engines()),
+                           default=None,
                            help="chase implementation: 'indexed' (incremental "
-                                "indexes, the default) or 'legacy' (the seed "
+                                "indexes, the default), 'columnar' (interned-"
+                                "integer columnar core), or 'legacy' (the seed "
                                 "scan-and-rebuild engine)")
     chase_cmd.add_argument("--trace", action="store_true",
                            help="also print the application trace")

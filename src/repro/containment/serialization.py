@@ -315,6 +315,10 @@ def chase_result_to_dict(result: "ChaseResult",
             "trigger_cache_hits": result.statistics.trigger_cache_hits,
             "tgd_batches": result.statistics.tgd_batches,
             "batched_tgd_triggers": result.statistics.batched_tgd_triggers,
+            "interned_terms": result.statistics.interned_terms,
+            "union_find_unions": result.statistics.union_find_unions,
+            "union_find_finds": result.statistics.union_find_finds,
+            "column_probes": result.statistics.column_probes,
         },
         "level_histogram": {str(level): count for level, count
                             in sorted(result.level_histogram().items())},

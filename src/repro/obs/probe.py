@@ -124,6 +124,18 @@ class MetricsProbe(Probe):
         self._batched_triggers = registry.counter(
             "repro_chase_batched_tgd_triggers_total",
             "TGD triggers applied straight off a commuting batch queue.")
+        self._interned_terms = registry.counter(
+            "repro_chase_interned_terms_total",
+            "Terms interned into dense ids by the columnar engine.")
+        self._union_find_unions = registry.counter(
+            "repro_chase_union_find_unions_total",
+            "EGD/FD merges recorded in the columnar union-find.")
+        self._union_find_finds = registry.counter(
+            "repro_chase_union_find_finds_total",
+            "Canonical-id lookups served by the columnar union-find.")
+        self._column_probes = registry.counter(
+            "repro_chase_column_probes_total",
+            "Per-column posting-list probes during columnar merges.")
         self._hom_searches = registry.counter(
             "repro_homomorphism_searches_total",
             "Homomorphism searches by whether a solution was found.",
@@ -149,6 +161,10 @@ class MetricsProbe(Probe):
         self._trigger_cache_hits_series = self._trigger_cache_hits.labels()
         self._tgd_batches_series = self._tgd_batches.labels()
         self._batched_triggers_series = self._batched_triggers.labels()
+        self._interned_terms_series = self._interned_terms.labels()
+        self._union_find_unions_series = self._union_find_unions.labels()
+        self._union_find_finds_series = self._union_find_finds.labels()
+        self._column_probes_series = self._column_probes.labels()
         self._hom_children = {
             found: self._hom_searches.labels(found=found)
             for found in ("true", "false")}
@@ -199,6 +215,14 @@ class MetricsProbe(Probe):
             self._tgd_batches_series.inc(statistics.tgd_batches)
         if statistics.batched_tgd_triggers:
             self._batched_triggers_series.inc(statistics.batched_tgd_triggers)
+        if statistics.interned_terms:
+            self._interned_terms_series.inc(statistics.interned_terms)
+        if statistics.union_find_unions:
+            self._union_find_unions_series.inc(statistics.union_find_unions)
+        if statistics.union_find_finds:
+            self._union_find_finds_series.inc(statistics.union_find_finds)
+        if statistics.column_probes:
+            self._column_probes_series.inc(statistics.column_probes)
 
     def homomorphism(self, atoms: int, found: int) -> None:
         self._hom_children["true" if found else "false"].inc()

@@ -111,7 +111,9 @@ class Conjunct:
         )
 
     def with_label(self, label: str) -> "Conjunct":
-        """Same atom, different label."""
+        """Same atom, different label (``self`` when it already matches)."""
+        if label == self.label:
+            return self
         return Conjunct(relation=self.relation, terms=self.terms, label=label)
 
     def same_atom_as(self, other: "Conjunct") -> bool:

@@ -1,12 +1,13 @@
-"""Differential certification of the indexed chase engine.
+"""Differential certification of the registered chase engines.
 
 The indexed engine (`ChaseEngine`) replaces the seed's pairwise FD scans
-and full index rebuilds with incrementally maintained indexes, but it
-must follow the identical deterministic policy — minimum level,
-lexicographically first conjunct/pair, lexicographically first
+and full index rebuilds with incrementally maintained indexes, and the
+columnar engine moves the whole hot core onto interned integer ids —
+but every engine must follow the identical deterministic policy: minimum
+level, lexicographically first conjunct/pair, lexicographically first
 dependency.  These tests certify that claim *differentially*: hundreds of
 seeded random (schema, Σ, query) cases from the workload generators are
-chased by both engines and the results compared node for node — ids,
+chased by all three engines and the results compared node for node — ids,
 levels, terms, parents, liveness, arcs, summary row, status flags, rule
 counts, and the full application trace.  That is strictly stronger than
 isomorphism: the engines must agree on every step, not merely on the
@@ -14,8 +15,8 @@ final shape.
 
 Containment verdicts are compared the same way through the public
 ``SolverConfig(chase_engine=...)`` knob, so the whole decision pipeline
-(deepening schedule, budgets, homomorphism search) is exercised on both
-sides.
+(deepening schedule, budgets, homomorphism search) is exercised on every
+engine.
 
 The case families deliberately cover the hard corners: FD-merge cascades
 (key-based Σ over queries with repeated variables), constant clashes
@@ -30,6 +31,10 @@ import pytest
 from repro.api import Solver, SolverConfig
 from repro.chase.engine import ChaseConfig, ChaseResult, ChaseVariant, build_engine
 from repro.workloads import DependencyGenerator, QueryGenerator, SchemaGenerator
+
+#: Every engine in the comparison matrix; the first is the reference the
+#: others are asserted against.
+ENGINES = ("indexed", "legacy", "columnar")
 
 #: Seeds per family; the families below multiply this into 230 differential
 #: cases, comfortably past the 200 the acceptance criteria ask for.
@@ -68,9 +73,9 @@ def snapshot(result: ChaseResult) -> dict:
     }
 
 
-def run_both(query, sigma, variant, max_level, max_conjuncts=400) -> tuple:
+def run_all(query, sigma, variant, max_level, max_conjuncts=400) -> tuple:
     results = []
-    for engine in ("indexed", "legacy"):
+    for engine in ENGINES:
         config = ChaseConfig(variant=variant, max_level=max_level,
                              max_conjuncts=max_conjuncts, engine=engine)
         results.append(build_engine(query, sigma, config).run())
@@ -78,11 +83,15 @@ def run_both(query, sigma, variant, max_level, max_conjuncts=400) -> tuple:
 
 
 def assert_identical(query, sigma, variant, max_level, max_conjuncts=400) -> ChaseResult:
-    indexed, legacy = run_both(query, sigma, variant, max_level, max_conjuncts)
-    assert indexed.engine == "indexed" and legacy.engine == "legacy"
-    assert snapshot(indexed) == snapshot(legacy), (
-        f"engines diverged on {query.name} under {list(map(str, sigma))}")
-    return indexed
+    results = run_all(query, sigma, variant, max_level, max_conjuncts)
+    reference = results[0]
+    expected = snapshot(reference)
+    for result, engine in zip(results, ENGINES):
+        assert result.engine == engine
+        assert snapshot(result) == expected, (
+            f"{engine} diverged from {ENGINES[0]} on {query.name} "
+            f"under {list(map(str, sigma))}")
+    return reference
 
 
 class TestDifferentialChase:
@@ -179,12 +188,13 @@ class TestDifferentialContainment:
             known_positive = False
 
         verdicts = {}
-        for engine in ("indexed", "legacy"):
+        for engine in ENGINES:
             solver = Solver(SolverConfig(chase_engine=engine, max_conjuncts=2_000))
             result = solver.is_contained(query, query_prime, sigma)
             verdicts[engine] = (result.holds, result.certain, result.method,
                                 result.reason)
-        assert verdicts["indexed"] == verdicts["legacy"]
+        for engine in ENGINES[1:]:
+            assert verdicts[engine] == verdicts[ENGINES[0]]
         if known_positive:
             assert verdicts["indexed"][0], "weakened(Q) must contain Q"
 

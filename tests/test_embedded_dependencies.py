@@ -20,6 +20,7 @@ import pytest
 
 from repro.api import Solver, SolverConfig
 from repro.chase.engine import ChaseConfig, ChaseEngine, ChaseVariant
+from repro.chase.columnar import ColumnarChaseEngine
 from repro.chase.legacy_engine import LegacyChaseEngine
 from repro.chase.termination import (
     analyse_termination,
@@ -49,7 +50,7 @@ from repro.service.protocol import ServiceDefaults, handle_record, make_worker_s
 from repro.terms.term import Constant, DistinguishedVariable, Variable
 from repro.workloads import EmbeddedDependencyGenerator, SchemaGenerator
 
-ENGINES = ("indexed", "legacy")
+ENGINES = ("indexed", "legacy", "columnar")
 
 
 @pytest.fixture
@@ -65,10 +66,19 @@ def x(name: str) -> Variable:
 
 def chase_both_engines(query, sigma, variant=ChaseVariant.RESTRICTED,
                        max_level=None, max_conjuncts=5_000):
+    """Chase under every engine; return the historical (indexed, legacy) pair.
+
+    The columnar engine rides along inside: it is asserted node-for-node
+    against the indexed result here, so every embedded-Σ scenario in this
+    file certifies all three engines without changing call sites.
+    """
     config_kwargs = dict(variant=variant, max_level=max_level,
                          max_conjuncts=max_conjuncts)
     indexed = ChaseEngine(query, sigma, ChaseConfig(**config_kwargs)).run()
     legacy = LegacyChaseEngine(query, sigma, ChaseConfig(**config_kwargs)).run()
+    columnar = ColumnarChaseEngine(query, sigma,
+                                   ChaseConfig(**config_kwargs)).run()
+    assert_same_chase(indexed, columnar)
     return indexed, legacy
 
 

@@ -4,15 +4,16 @@
 chases, the key-based intro chase) and containment certificates (the
 Theorem 2 scenarios of the intro example, IND-only and key-based),
 produced by ``tests/golden/regenerate.py``.  These tests replay every
-document against *both* chase engines and compare the full serialized
-form, so a future engine change cannot silently drift from the paper's
+document against *every* registered chase engine and compare the full
+serialized form, so a future engine change cannot silently drift from the paper's
 semantics: it either matches the corpus or fails here until the corpus
 is deliberately regenerated and the diff reviewed.
 
-Work-accounting counters (``triggers_examined``, ``index_hits``) and the
-``engine`` tag legitimately differ between implementations and are
-normalized away; everything semantic — conjuncts, levels, traces, rule
-counts, homomorphisms, certificate steps — must match exactly.
+Work-accounting counters (``triggers_examined``, ``index_hits``, the
+columnar core's interner/union-find/posting probes) and the ``engine``
+tag legitimately differ between implementations and are normalized away;
+everything semantic — conjuncts, levels, traces, rule counts,
+homomorphisms, certificate steps — must match exactly.
 """
 
 from __future__ import annotations
@@ -33,7 +34,7 @@ from repro.containment.serialization import (
 from repro.workloads.paper_examples import figure1_example, intro_example, intro_example_key_based
 
 GOLDEN_DIR = Path(__file__).resolve().parent / "golden"
-ENGINES = ("indexed", "legacy")
+ENGINES = ("indexed", "legacy", "columnar")
 
 CHASE_CASES = {
     "figure1_rchase_level4.json": ("figure1", ChaseVariant.RESTRICTED, 4),
@@ -71,6 +72,10 @@ def normalize_chase(document: dict) -> dict:
     statistics = dict(normalized.get("statistics", {}))
     statistics.pop("triggers_examined", None)
     statistics.pop("index_hits", None)
+    statistics.pop("interned_terms", None)
+    statistics.pop("union_find_unions", None)
+    statistics.pop("union_find_finds", None)
+    statistics.pop("column_probes", None)
     normalized["statistics"] = statistics
     return normalized
 
