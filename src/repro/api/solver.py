@@ -70,8 +70,13 @@ from repro.optimizer.pipeline import OptimizationReport
 from repro.optimizer.pipeline import optimize as pipeline_optimize
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.views.cost import CostModel
+from repro.views.index import CatalogIndex, build_catalog_index
 from repro.views.rewriting import RewriteReport, rewrite_with_views
 from repro.views.view import ViewCatalog
+
+#: Catalog indexes kept per solver (keyed by catalog fingerprint); small
+#: because one index serves every query and strategy over that catalog.
+_CATALOG_INDEX_CACHE_SIZE = 32
 
 
 @dataclass
@@ -128,6 +133,10 @@ class Solver:
         self._persistent_hits = 0
         self._persistent_misses = 0
         self._persistent_writes = 0
+        # Catalog signature indexes, keyed by catalog fingerprint — a
+        # derived structure, not an answer cache, so it stays out of
+        # cache_info()/cache_stats() (tests pin that key set).
+        self._catalog_indexes = LRUCache(_CATALOG_INDEX_CACHE_SIZE)
         self.stats = SolverStats()
 
     @property
@@ -430,6 +439,23 @@ class Solver:
 
     # -- view rewriting ------------------------------------------------------
 
+    def catalog_index_for(self, catalog: ViewCatalog,
+                          fingerprint: Optional[str] = None) -> CatalogIndex:
+        """The catalog's signature index, built once per fingerprint.
+
+        Index-using rewrite strategies (``"bucketed"``) probe this to
+        prune views before any homomorphism search; sharing it across
+        calls means a thousand-view catalog is indexed once, not once
+        per query.
+        """
+        key = fingerprint if fingerprint is not None else catalog_fingerprint(catalog)
+        cached = self._catalog_indexes.get(key)
+        if cached is not None:
+            return cached
+        index = build_catalog_index(catalog)
+        self._catalog_indexes.put(key, index)
+        return index
+
     def rewrite(self, query: ConjunctiveQuery, catalog: ViewCatalog,
                 dependencies: Optional[DependencySet] = None,
                 cost_model: Optional[CostModel] = None,
@@ -473,6 +499,16 @@ class Solver:
             if cached is not None:
                 return cached, True
 
+        # The signature index is a derived structure shared across every
+        # query against this catalog; the exhaustive strategy never
+        # probes it, so only index-using strategies pay the (cached)
+        # build.
+        from repro.views.registry import resolve_rewriter_name
+        strategy = resolve_rewriter_name(config.rewrite_strategy)
+        catalog_index = (
+            self.catalog_index_for(catalog, key[1] if cacheable else None)
+            if strategy != "exhaustive" else None)
+
         def compute() -> RewriteReport:
             with maybe_span("rewrite.search"):
                 return rewrite_with_views(
@@ -482,6 +518,8 @@ class Solver:
                 max_candidates=config.rewrite_max_candidates,
                 chase_level=config.rewrite_chase_level,
                 chase_max_conjuncts=config.chase_max_conjuncts,
+                strategy=strategy,
+                catalog_index=catalog_index,
                 # Certification must follow the config the cache key reflects,
                 # even when it differs from this solver's session config.
                 variant=config.variant,

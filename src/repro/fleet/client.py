@@ -68,6 +68,19 @@ class FleetClient(ServiceClient):
                       "deps_fp": deps_fp}.items() if value is not None}}
         return self.check(self.request(record))
 
+    # -- catalog registration (mutations admin-gated at a coordinator) -------
+
+    def catalog_put(self, views: str, **kwargs: Any) -> Dict[str, Any]:
+        kwargs.setdefault("admin_token", self._admin_token)
+        return super().catalog_put(views, **kwargs)
+
+    def catalog_drop(self, catalog_fp: str, **kwargs: Any) -> Dict[str, Any]:
+        kwargs.setdefault("admin_token", self._admin_token)
+        return super().catalog_drop(catalog_fp, **kwargs)
+
+    # ``catalog_list`` is inherited unchanged: listing is user-tier
+    # everywhere, like ``ping``/``stats``.
+
     # -- observability (admin-gated at a coordinator) ------------------------
 
     def obs_metrics(self, **kwargs: Any) -> Dict[str, Any]:

@@ -62,13 +62,16 @@ from repro.obs.tracing import get_tracer, maybe_span, new_trace_id
 from repro.parser.query_parser import parse_query
 from repro.service.protocol import (
     ADMIN_OPERATIONS,
+    CATALOG_OPERATIONS,
     OBS_OPERATIONS,
     PROTOCOL_VERSION,
     STREAM_LIMIT,
+    CatalogStore,
     ProtocolError,
     ServiceDefaults,
     TenantParser,
     error_envelope,
+    handle_catalog_record,
     handle_obs_record,
     routing_fingerprints,
     shard_for,
@@ -250,6 +253,13 @@ class FleetCoordinator:
         # key is the routing identity, which already pins Σ exactly.
         self._estimates: Dict[TenantKey, ChaseSizeEstimate] = {}
         self._atom_counts: Dict[Tuple[str, str], int] = {}
+        # The fleet's registered catalogs.  The coordinator is the
+        # source of truth: catalog.put/drop are admin-gated here, applied
+        # locally, then broadcast to every alive node (and replayed to
+        # late registrants), so any node can resolve a tenant's
+        # rewrite-by-fingerprint without the coordinator resending the
+        # views text per request.
+        self.catalogs = CatalogStore()
         self.counters = {
             "forwarded": 0,
             "rerouted": 0,
@@ -258,6 +268,7 @@ class FleetCoordinator:
             "forbidden": 0,
             "admitted_certified": 0,
             "admitted_clamped": 0,
+            "catalog_broadcasts": 0,
         }
         self._server: Optional[asyncio.AbstractServer] = None
         self._sweeper_task: Optional[asyncio.Task] = None
@@ -368,6 +379,8 @@ class FleetCoordinator:
         try:
             if op in ADMIN_OPERATIONS:
                 return await self._admin(record)
+            if op in CATALOG_OPERATIONS:
+                return await self._catalog(record)
             if op in OBS_OPERATIONS:
                 # The coordinator's port is the tenant-facing one, so
                 # its obs tier is admin-gated like fleet.* (a worker's
@@ -421,6 +434,77 @@ class FleetCoordinator:
             by_status[handle.status] = by_status.get(handle.status, 0) + 1
         for status, count in by_status.items():
             nodes.set(float(count), status=status)
+
+    # -- catalog tier --------------------------------------------------------
+
+    async def _catalog(self, record: Dict[str, Any]) -> Dict[str, Any]:
+        """Catalog registration at the fleet tier.
+
+        The mutations (``catalog.put``/``catalog.drop``) are admin-gated
+        like ``fleet.*`` — a tenant-facing port must not let one tenant
+        evict another's registered catalog — applied to the
+        coordinator's own store, then broadcast to every alive node so
+        each can resolve rewrite-by-fingerprint locally.
+        ``catalog.list`` is user-tier (tenants discover what they may
+        reference) and answered straight from the coordinator's store.
+        """
+        record = validate_record(record)
+        op = record["op"]
+        if op != "catalog.list" and not self._authorized(record):
+            self.counters["forbidden"] += 1
+            return error_envelope(
+                record.get("id"), "forbidden",
+                f"op {op!r} is admin-tier at a coordinator and requires "
+                "the admin token")
+        envelope = handle_catalog_record(record, self.catalogs,
+                                         self.defaults, self._parser)
+        if op == "catalog.list" or not envelope.get("ok"):
+            return envelope
+        # Nodes never see the admin token; their catalog tier is inside
+        # the trust boundary, like their obs tier.
+        outgoing = {key: value for key, value in record.items()
+                    if key != "admin_token"}
+        envelope["nodes"] = await self._broadcast_catalog(outgoing)
+        return envelope
+
+    async def _broadcast_catalog(self,
+                                 record: Dict[str, Any]) -> List[Dict[str, Any]]:
+        """Apply one catalog mutation on every alive node (best-effort).
+
+        A node that fails mid-broadcast is marked dead exactly as a
+        failed forward would; it re-learns the full catalog set when it
+        re-registers (see :meth:`_replay_catalogs`).
+        """
+        results: List[Dict[str, Any]] = []
+        for handle in list(self.ring):
+            if not handle.alive:
+                continue
+            try:
+                node_envelope = await self._request_on(handle, record)
+            except ConnectionError as error:
+                self._mark_dead(handle)
+                results.append({"node": handle.name, "ok": False,
+                                "error": str(error)})
+                continue
+            self.counters["catalog_broadcasts"] += 1
+            results.append({"node": handle.name,
+                            "ok": bool(node_envelope.get("ok"))})
+        return results
+
+    async def _replay_catalogs(self, handle: NodeHandle) -> int:
+        """Push every registered catalog to one (re-)registered node."""
+        replayed = 0
+        for entry in self.catalogs.entries():
+            record = {"op": "catalog.put", "views": entry["views_text"],
+                      "schema": entry["schema_text"], "name": entry["name"]}
+            try:
+                envelope = await self._request_on(handle, record)
+            except ConnectionError:
+                self._mark_dead(handle)
+                break
+            if envelope.get("ok"):
+                replayed += 1
+        return replayed
 
     # -- user tier -----------------------------------------------------------
 
@@ -517,8 +601,33 @@ class FleetCoordinator:
                 envelope["spans"] = spans
         return envelope
 
+    def _resolve_catalog_schema(self,
+                                record: Dict[str, Any]) -> Dict[str, Any]:
+        """Give a rewrite-by-fingerprint record a schema for routing.
+
+        The views text itself is *not* substituted — the whole point of
+        registration is that the coordinator forwards the slim record
+        and the node resolves the fingerprint from its own store — but
+        routing and admission need the tenant's schema text, which the
+        registered entry carries.  An unknown fingerprint fails here,
+        fast, instead of on some node.
+        """
+        if (record.get("op") != "rewrite" or record.get("views") is not None
+                or not isinstance(record.get("catalog_fp"), str)):
+            return record
+        entry = self.catalogs.get(record["catalog_fp"])
+        if entry is None:
+            raise ProtocolError(
+                "protocol",
+                f"unknown catalog fingerprint {record['catalog_fp']!r}; "
+                "register the catalog with catalog.put first")
+        if record.get("schema") is None:
+            record = dict(record, schema=entry["schema_text"])
+        return record
+
     async def _forward_inner(self, record: Dict[str, Any],
                              root) -> Dict[str, Any]:
+        record = self._resolve_catalog_schema(record)
         identifier = record.get("id")
         with maybe_span("fleet.admission") as span:
             schema_fp, deps_fp = routing_fingerprints(record, self.defaults,
@@ -630,6 +739,12 @@ class FleetCoordinator:
             "fleet.status": self._admin_status,
         }[record["op"]]
         result = handler(record)
+        if record["op"] == "fleet.register" and len(self.catalogs):
+            # A (re-)registered node starts with an empty catalog store;
+            # replay the fleet's registrations before it can be handed
+            # rewrite-by-fingerprint traffic.
+            result["catalogs_replayed"] = await self._replay_catalogs(
+                self._by_name[result["registered"]])
         return {"id": record.get("id"), "ok": True, "op": record["op"],
                 "result": result}
 

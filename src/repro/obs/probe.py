@@ -47,8 +47,16 @@ class Probe:
         """One homomorphism search was exhausted or abandoned."""
 
     def rewrite(self, candidates_tried: int, certified: int,
-                images: int) -> None:
-        """One chase & backchase rewrite search finished."""
+                images: int, views_pruned: int = 0,
+                candidates_skipped_unsafe: int = 0,
+                candidates_deduped: int = 0) -> None:
+        """One chase & backchase rewrite search finished.
+
+        The last three arguments arrived with the staged rewriter
+        pipeline (catalog-index view pruning, safety-check and dedup
+        skips) and default to 0 so probes written against the original
+        three-argument hook keep working.
+        """
 
 
 #: The installed probe, or ``None`` (the near-zero disabled state).
@@ -146,6 +154,16 @@ class MetricsProbe(Probe):
         self._rewrite_certified = registry.counter(
             "repro_rewrite_certified_total",
             "Rewrite candidates that certified equivalent.")
+        self._rewrite_views_pruned = registry.counter(
+            "repro_rewrite_views_pruned_total",
+            "Catalog views the rewriter's signature index pruned before "
+            "any homomorphism search.")
+        self._rewrite_unsafe = registry.counter(
+            "repro_rewrite_candidates_unsafe_total",
+            "Rewrite candidates skipped by the head-variable safety check.")
+        self._rewrite_deduped = registry.counter(
+            "repro_rewrite_candidates_deduped_total",
+            "Rewrite candidates swallowed by the dedup set.")
         # Hot-path children: label resolution is paid once here (or on
         # first sight of a new label combination), not per event — the
         # probe rides inside every chase and request (benchmark E20).
@@ -170,6 +188,9 @@ class MetricsProbe(Probe):
             for found in ("true", "false")}
         self._rewrite_candidates_series = self._rewrite_candidates.labels()
         self._rewrite_certified_series = self._rewrite_certified.labels()
+        self._rewrite_views_pruned_series = self._rewrite_views_pruned.labels()
+        self._rewrite_unsafe_series = self._rewrite_unsafe.labels()
+        self._rewrite_deduped_series = self._rewrite_deduped.labels()
 
     def request(self, op: str, elapsed_s: float,
                 cache_hit: Optional[bool]) -> None:
@@ -228,8 +249,16 @@ class MetricsProbe(Probe):
         self._hom_children["true" if found else "false"].inc()
 
     def rewrite(self, candidates_tried: int, certified: int,
-                images: int) -> None:
+                images: int, views_pruned: int = 0,
+                candidates_skipped_unsafe: int = 0,
+                candidates_deduped: int = 0) -> None:
         if candidates_tried:
             self._rewrite_candidates_series.inc(candidates_tried)
         if certified:
             self._rewrite_certified_series.inc(certified)
+        if views_pruned:
+            self._rewrite_views_pruned_series.inc(views_pruned)
+        if candidates_skipped_unsafe:
+            self._rewrite_unsafe_series.inc(candidates_skipped_unsafe)
+        if candidates_deduped:
+            self._rewrite_deduped_series.inc(candidates_deduped)

@@ -28,19 +28,23 @@ from repro.service.client import (
 from repro.service.pool import POOL_MODES, ShardedSolverPool
 from repro.service.protocol import (
     ADMIN_OPERATIONS,
+    CATALOG_OPERATIONS,
     ERROR_KINDS,
     OPERATIONS,
     PROTOCOL_VERSION,
     USER_OPERATIONS,
+    CatalogStore,
     ProtocolError,
     ServiceDefaults,
     ServiceLimits,
     ServiceOverloaded,
     TenantParser,
     error_envelope,
+    handle_catalog_record,
     handle_record,
     make_worker_solver,
     parse_line,
+    resolve_catalog_record,
     routing_fingerprints,
     shard_for,
     validate_record,
@@ -49,6 +53,8 @@ from repro.service.server import ServiceThread, SolverService
 
 __all__ = [
     "ADMIN_OPERATIONS",
+    "CATALOG_OPERATIONS",
+    "CatalogStore",
     "ERROR_KINDS",
     "IDEMPOTENT_OPS",
     "OPERATIONS",
@@ -67,9 +73,11 @@ __all__ = [
     "TenantParser",
     "USER_OPERATIONS",
     "error_envelope",
+    "handle_catalog_record",
     "handle_record",
     "make_worker_solver",
     "parse_line",
+    "resolve_catalog_record",
     "routing_fingerprints",
     "shard_for",
     "validate_record",

@@ -42,7 +42,7 @@ from repro.obs.tracing import new_trace_id
 #: caller must decide whether they were applied.
 IDEMPOTENT_OPS = frozenset(
     {"contain", "chase", "rewrite", "stats", "ping", "fleet.status",
-     "obs.metrics", "obs.trace", "obs.health"})
+     "catalog.list", "obs.metrics", "obs.trace", "obs.health"})
 
 #: Data-plane ops the client stamps with a fresh ``trace_context``.
 _TRACED_OPS = frozenset({"contain", "chase", "rewrite"})
@@ -213,11 +213,47 @@ class ServiceClient:
                   "deps": deps, "id": identifier, **budgets}
         return self.request(_drop_none(record))
 
-    def rewrite(self, query: str, views: str, *, schema: Optional[str] = None,
+    def rewrite(self, query: str, views: Optional[str] = None, *,
+                catalog_fp: Optional[str] = None,
+                strategy: Optional[str] = None,
+                schema: Optional[str] = None,
                 deps: Optional[str] = None, identifier: Optional[str] = None,
                 **budgets: Any) -> Dict[str, Any]:
+        """Rewrite against an inline views text or a registered catalog.
+
+        Exactly one of ``views`` (the text) or ``catalog_fp`` (a
+        fingerprint returned by :meth:`catalog_put`) identifies the
+        catalog; ``strategy`` optionally picks a rewriter registered on
+        the server (``"exhaustive"``/``"bucketed"``).
+        """
         record = {"op": "rewrite", "query": query, "views": views,
+                  "catalog_fp": catalog_fp, "strategy": strategy,
                   "schema": schema, "deps": deps, "id": identifier, **budgets}
+        return self.request(_drop_none(record))
+
+    # -- catalog registration ------------------------------------------------
+
+    def catalog_put(self, views: str, *, schema: Optional[str] = None,
+                    name: Optional[str] = None,
+                    identifier: Optional[str] = None,
+                    **extra: Any) -> Dict[str, Any]:
+        """Register a view catalog; the result carries its fingerprint."""
+        record = {"op": "catalog.put", "views": views, "schema": schema,
+                  "name": name, "id": identifier, **extra}
+        return self.request(_drop_none(record))
+
+    def catalog_list(self, *, identifier: Optional[str] = None,
+                     **extra: Any) -> Dict[str, Any]:
+        """The registered catalogs (fingerprints and counts, not texts)."""
+        record = {"op": "catalog.list", "id": identifier, **extra}
+        return self.request(_drop_none(record))
+
+    def catalog_drop(self, catalog_fp: str, *,
+                     identifier: Optional[str] = None,
+                     **extra: Any) -> Dict[str, Any]:
+        """Unregister a catalog by fingerprint."""
+        record = {"op": "catalog.drop", "catalog_fp": catalog_fp,
+                  "id": identifier, **extra}
         return self.request(_drop_none(record))
 
     # -- observability ops ---------------------------------------------------

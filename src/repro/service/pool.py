@@ -41,12 +41,18 @@ from repro.api.config import SolverConfig
 from repro.api.persistent import PersistentCache
 from repro.exceptions import ReproError
 from repro.service.protocol import (
+    CATALOG_OPERATIONS,
+    CatalogStore,
+    ProtocolError,
     ServiceDefaults,
     ServiceLimits,
     ServiceOverloaded,
     TenantParser,
+    error_envelope,
+    handle_catalog_record,
     handle_record,
     make_worker_solver,
+    resolve_catalog_record,
     routing_fingerprints,
     shard_for,
 )
@@ -206,6 +212,12 @@ class ShardedSolverPool:
         self.limits = limits
         self.max_pending = max_pending
         self.parser = TenantParser()
+        # Registered view catalogs live front-side, never in a shard:
+        # catalog.* ops are answered here, and rewrite-by-fingerprint
+        # records are materialised back into plain rewrites *before*
+        # routing — so process shards (another address space) need no
+        # store of their own.
+        self.catalogs = CatalogStore()
         self.rejected = 0
         self._random = random.Random(routing_seed)
         # In-process modes share one warm-tier backend — an injected
@@ -264,13 +276,42 @@ class ShardedSolverPool:
         when the target shard's inbox is full — backpressure is the
         caller's problem by design, because only the caller knows
         whether to shed, retry, or block.
+
+        ``catalog.*`` records are answered front-side from the pool's
+        :class:`CatalogStore` (an already-completed future), and a
+        ``rewrite`` carrying a registered ``catalog_fp`` is resolved to
+        its views text here, before routing ever parses the record.
         """
+        record, completed = self._front_side(record)
+        if completed is not None:
+            return completed
         shard = self.shards[self._route(record, routing)]
         try:
             return shard.submit(record)
         except ServiceOverloaded:
             self.rejected += 1
             raise
+
+    def _front_side(self, record: Dict[str, Any]):
+        """Front-end catalog handling: (possibly-resolved record, done future).
+
+        The future is non-``None`` exactly when the record was fully
+        answered here (a ``catalog.*`` op, or a resolution failure that
+        became an error envelope) and must not be routed.
+        """
+        op = record.get("op")
+        if op in CATALOG_OPERATIONS:
+            future: "Future[Dict[str, Any]]" = Future()
+            future.set_result(handle_catalog_record(
+                record, self.catalogs, self.defaults, self.parser))
+            return record, future
+        try:
+            return resolve_catalog_record(record, self.catalogs), None
+        except ProtocolError as error:
+            future = Future()
+            future.set_result(error_envelope(
+                record.get("id"), error.kind, str(error)))
+            return record, future
 
     def execute(self, record: Dict[str, Any],
                 routing: Union[str, int] = "affinity") -> Dict[str, Any]:
@@ -286,6 +327,10 @@ class ShardedSolverPool:
         """
         futures = []
         for record in records:
+            record, completed = self._front_side(record)
+            if completed is not None:
+                futures.append(completed)
+                continue
             shard = self.shards[self._route(record, routing)]
             if self.mode == "inline":
                 futures.append(shard.submit(record))
@@ -312,6 +357,7 @@ class ShardedSolverPool:
             "max_pending": self.max_pending,
             "rejected": self.rejected,
             "pending": self.pending(),
+            "catalogs": len(self.catalogs),
         }
 
     @staticmethod

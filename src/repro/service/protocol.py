@@ -13,6 +13,8 @@ texts so one connection can serve many tenants::
      "deps": "EMP[dept] <= DEP[dept]"}
     {"op": "chase", "query": "...", "max_level": 4, "variant": "R"}
     {"op": "rewrite", "query": "...", "views": "V(e, d) :- ..."}
+    {"op": "catalog.put", "views": "V(e, d) :- ..."}
+    {"op": "rewrite", "query": "...", "catalog_fp": "9f3b..."}
     {"op": "stats"}
     {"op": "ping"}
 
@@ -33,11 +35,16 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.api.config import SolverConfig
-from repro.api.fingerprints import dependency_fingerprint, schema_fingerprint
+from repro.api.fingerprints import (
+    catalog_fingerprint,
+    dependency_fingerprint,
+    schema_fingerprint,
+)
 from repro.api.requests import ChaseRequest, ContainmentRequest, RewriteRequest
 from repro.api.solver import Solver
 from repro.chase.engine import ChaseVariant
@@ -84,6 +91,17 @@ USER_OPERATIONS = OPERATIONS
 #: (they are meaningful only where the member registry lives).
 ADMIN_OPERATIONS = ("fleet.register", "fleet.heartbeat", "fleet.drain",
                     "fleet.evacuate", "fleet.quota", "fleet.status")
+
+#: The **catalog tier**: view-catalog registration, so tenants with
+#: thousand-view catalogs stop resending the views text per request.
+#: ``catalog.put`` parses and fingerprints a catalog once and stores it;
+#: subsequent ``rewrite`` records may carry ``catalog_fp`` instead of
+#: ``views``.  At a worker the pool front end answers these un-gated
+#: (its listener is inside the trust boundary, like ``obs.*``); at a
+#: coordinator the mutations (``put``/``drop``) are admin-gated and
+#: broadcast to every alive node, while ``catalog.list`` stays user-tier
+#: so tenants can discover what is registered.
+CATALOG_OPERATIONS = ("catalog.put", "catalog.list", "catalog.drop")
 
 #: The **observability tier**: metrics scrape, trace lookup, health, and
 #: profiler control.  A worker answers these un-gated (its listener is
@@ -197,6 +215,82 @@ class TenantParser:
         return self._catalogs[key]
 
 
+class CatalogStore:
+    """Registered view catalogs, addressed by content fingerprint.
+
+    ``catalog.put`` parses a views text once, fingerprints the parsed
+    catalog (:func:`~repro.api.fingerprints.catalog_fingerprint`, so a
+    tenant can compute the same handle locally), and keeps the text;
+    a later ``rewrite`` record carrying ``catalog_fp`` is materialised
+    back into a plain rewrite by :func:`resolve_catalog_record` before
+    routing.  Thread-safe: the pool front end mutates it from whatever
+    thread submits, while shard threads never see it at all.
+
+    Registration is idempotent — re-putting identical views text lands
+    on the same fingerprint and simply refreshes the entry.
+    """
+
+    def __init__(self, max_entries: int = 256):
+        if max_entries <= 0:
+            raise ReproError(
+                f"CatalogStore.max_entries must be positive, got {max_entries}")
+        self._max_entries = max_entries
+        self._lock = threading.Lock()
+        self._entries: Dict[str, Dict[str, Any]] = {}
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def put(self, views_text: str, schema_text: str, parser: TenantParser,
+            name: Optional[str] = None) -> Dict[str, Any]:
+        """Parse, fingerprint, and store one catalog; returns its entry."""
+        catalog = parser.catalog(views_text, schema_text)
+        if len(catalog) == 0:
+            raise ProtocolError("protocol",
+                                "catalog.put got an empty views text")
+        fingerprint = catalog_fingerprint(catalog)
+        entry = {
+            "fingerprint": fingerprint,
+            "name": name or fingerprint[:12],
+            "view_count": len(catalog),
+            "views_text": views_text,
+            "schema_text": schema_text,
+        }
+        with self._lock:
+            replaced = fingerprint in self._entries
+            self._entries[fingerprint] = entry
+            if len(self._entries) > self._max_entries:
+                # Same bounding policy as TenantParser: drop the oldest
+                # half (registration counts are small; precise LRU order
+                # is not worth the bookkeeping).
+                for key in list(self._entries)[: self._max_entries // 2]:
+                    del self._entries[key]
+        return dict(entry, replaced=replaced)
+
+    def get(self, fingerprint: str) -> Optional[Dict[str, Any]]:
+        with self._lock:
+            return self._entries.get(fingerprint)
+
+    def drop(self, fingerprint: str) -> bool:
+        with self._lock:
+            return self._entries.pop(fingerprint, None) is not None
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Public listing rows — everything except the (large) texts."""
+        with self._lock:
+            return [{"fingerprint": entry["fingerprint"],
+                     "name": entry["name"],
+                     "view_count": entry["view_count"]}
+                    for entry in self._entries.values()]
+
+    def entries(self) -> List[Dict[str, Any]]:
+        """Full entries (texts included) — how a coordinator replays its
+        registered catalogs to a node that joined after the ``put``."""
+        with self._lock:
+            return [dict(entry) for entry in self._entries.values()]
+
+
 # ---------------------------------------------------------------------------
 # Parsing and validation
 # ---------------------------------------------------------------------------
@@ -220,10 +314,12 @@ def parse_line(line: str) -> Dict[str, Any]:
 def validate_record(record: Dict[str, Any]) -> Dict[str, Any]:
     """Structural validation; returns the record with ``op`` made explicit."""
     op = record.get("op", "contain")
-    if op not in OPERATIONS and op not in OBS_OPERATIONS:
+    if (op not in OPERATIONS and op not in OBS_OPERATIONS
+            and op not in CATALOG_OPERATIONS):
         raise ProtocolError(
             "protocol",
-            f"unknown op {op!r}; expected one of {OPERATIONS + OBS_OPERATIONS}")
+            f"unknown op {op!r}; expected one of "
+            f"{OPERATIONS + CATALOG_OPERATIONS + OBS_OPERATIONS}")
     record = dict(record, op=op)
     context = record.get("trace_context")
     if context is not None:
@@ -239,11 +335,18 @@ def validate_record(record: Dict[str, Any]) -> Dict[str, Any]:
         return _validate_obs_record(record)
     required = {"contain": ("query", "query_prime"),
                 "chase": ("query",),
-                "rewrite": ("query", "views")}.get(op, ())
+                "rewrite": ("query",),
+                "catalog.put": ("views",),
+                "catalog.drop": ("catalog_fp",)}.get(op, ())
     for key in required:
         if key not in record:
             raise ProtocolError("protocol", f"op {op!r} requires a {key!r} field")
-    for key in ("query", "query_prime", "schema", "deps", "views"):
+    if op == "rewrite" and "views" not in record and "catalog_fp" not in record:
+        raise ProtocolError(
+            "protocol",
+            "op 'rewrite' requires a 'views' text or a registered 'catalog_fp'")
+    for key in ("query", "query_prime", "schema", "deps", "views",
+                "catalog_fp", "name", "strategy"):
         if key in record and record[key] is not None and not isinstance(record[key], str):
             raise ProtocolError(
                 "protocol",
@@ -372,6 +475,76 @@ def _schema_text(record: Dict[str, Any], defaults: ServiceDefaults) -> str:
 
 
 # ---------------------------------------------------------------------------
+# Catalog registration (answered by the front end, never by a shard)
+# ---------------------------------------------------------------------------
+
+
+def handle_catalog_record(record: Dict[str, Any], store: CatalogStore,
+                          defaults: ServiceDefaults = ServiceDefaults(),
+                          parser: Optional[TenantParser] = None,
+                          shard: Optional[int] = None) -> Dict[str, Any]:
+    """Answer one ``catalog.*`` record against a catalog store.
+
+    Never raises, for the same reason as :func:`handle_record`: on the
+    wire an exception has nowhere else to go.
+    """
+    identifier = record.get("id")
+    parser = parser if parser is not None else TenantParser()
+    try:
+        record = validate_record(record)
+        op = record["op"]
+        if op == "catalog.put":
+            entry = store.put(record["views"], _schema_text(record, defaults),
+                              parser, name=record.get("name"))
+            result = {"fingerprint": entry["fingerprint"],
+                      "name": entry["name"],
+                      "view_count": entry["view_count"],
+                      "replaced": entry["replaced"]}
+        elif op == "catalog.list":
+            result = {"catalogs": store.rows(), "count": len(store)}
+        else:  # catalog.drop
+            result = {"fingerprint": record["catalog_fp"],
+                      "dropped": store.drop(record["catalog_fp"])}
+        return _success_envelope(record, result, 0.0, None, shard)
+    except ProtocolError as error:
+        return error_envelope(identifier, error.kind, str(error), shard)
+    except ReproError as error:
+        return error_envelope(identifier, "parse", str(error), shard)
+    except Exception as error:  # pragma: no cover - defensive: bugs become envelopes
+        return error_envelope(identifier, "internal",
+                              f"{type(error).__name__}: {error}", shard)
+
+
+def resolve_catalog_record(record: Dict[str, Any],
+                           store: CatalogStore) -> Dict[str, Any]:
+    """Materialise a rewrite-by-fingerprint record into a plain rewrite.
+
+    Returns the record unchanged unless it is a ``rewrite`` carrying a
+    ``catalog_fp`` and no inline ``views``; then the registered
+    catalog's views text (and its schema text, when the record names
+    none) is substituted in, so routing and the shard solver see the
+    record a text-carrying tenant would have sent.  An unregistered
+    fingerprint raises :class:`ProtocolError` — the tenant must
+    ``catalog.put`` first.
+    """
+    if record.get("op") != "rewrite" or record.get("views") is not None:
+        return record
+    fingerprint = record.get("catalog_fp")
+    if not isinstance(fingerprint, str):
+        return record
+    entry = store.get(fingerprint)
+    if entry is None:
+        raise ProtocolError(
+            "protocol",
+            f"unknown catalog fingerprint {fingerprint!r}; register the "
+            "catalog with catalog.put first")
+    resolved = dict(record, views=entry["views_text"])
+    if resolved.get("schema") is None:
+        resolved["schema"] = entry["schema_text"]
+    return resolved
+
+
+# ---------------------------------------------------------------------------
 # Shard routing
 # ---------------------------------------------------------------------------
 
@@ -494,6 +667,11 @@ def _execute_record(record: Dict[str, Any], solver: Solver,
         record = validate_record(record)
         if record["op"] in OBS_OPERATIONS:
             return handle_obs_record(record, shard)
+        if record["op"] in CATALOG_OPERATIONS:
+            raise ProtocolError(
+                "protocol",
+                f"op {record['op']!r} is answered by a catalog-owning front "
+                "end (pool or coordinator), not a shard solver")
         return _dispatch(record, solver, defaults, limits, parser, shard)
     except ProtocolError as error:
         return error_envelope(identifier, error.kind, str(error), shard)
@@ -561,8 +739,22 @@ def _dispatch(record: Dict[str, Any], solver: Solver, defaults: ServiceDefaults,
                                  response.cache_hit, shard)
 
     # op == "rewrite"
-    catalog = parser.catalog(record["views"], schema_text)
+    views_text = record.get("views")
+    if views_text is None:
+        # A rewrite-by-fingerprint record reached a bare shard solver:
+        # only a catalog-owning front end can resolve it (the pool does,
+        # before routing — see resolve_catalog_record).
+        raise ProtocolError(
+            "protocol",
+            f"catalog fingerprint {record.get('catalog_fp')!r} cannot be "
+            "resolved here; route rewrite-by-fingerprint records through a "
+            "pool or coordinator front end")
+    catalog = parser.catalog(views_text, schema_text)
     config = solver.config.derive(max_conjuncts=max_conjuncts)
+    if record.get("strategy") is not None:
+        # Validated by SolverConfig via the rewriter registry; an
+        # unknown name raises ViewError → a "parse" error envelope.
+        config = config.derive(rewrite_strategy=record["strategy"])
     response = solver.solve(RewriteRequest(
         query, catalog, sigma, config=config, tag=record.get("id")))
     result = response.report.as_dict()

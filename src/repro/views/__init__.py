@@ -8,18 +8,43 @@ use **materialized views** under FDs and INDs, via chase & backchase.
   schema and the extended schema they induce;
 * :func:`expand_query` — unfold view atoms back to base atoms with
   fresh-variable hygiene;
-* :func:`rewrite_with_views` — the chase & backchase search returning a
-  ranked :class:`RewriteReport` of certified rewritings;
+* :func:`rewrite_with_views` — the staged chase & backchase pipeline
+  (catalog index → image discovery → candidate generation →
+  certification → ranking) returning a ranked :class:`RewriteReport`
+  of certified rewritings;
+* :mod:`repro.views.registry` — the pluggable candidate-generation
+  strategies (``"exhaustive"`` — the certified reference subset sweep;
+  ``"bucketed"`` — MiniCon-style buckets behind a
+  :class:`CatalogIndex` for thousand-view catalogs);
 * :mod:`repro.views.cost` — pluggable ranking (default: fewest atoms,
   then fewest base-relation accesses).
 
 The session-level entry point is :meth:`repro.api.Solver.rewrite`, which
-adds cross-call caching keyed on (query, catalog, Σ) fingerprints.
+adds cross-call caching keyed on (query, catalog, Σ) fingerprints and
+shares one :class:`CatalogIndex` per catalog fingerprint.
 """
 
+from repro.views.buckets import (
+    BucketStatistics,
+    build_buckets,
+    iter_bucket_combinations,
+)
 from repro.views.cost import CostModel, default_cost, view_atoms_first
 from repro.views.expansion import expand_query, expand_view_atom
+from repro.views.index import CatalogIndex, build_catalog_index
+from repro.views.registry import (
+    DEFAULT_REWRITE_STRATEGY,
+    REWRITE_STRATEGY_ENV_VAR,
+    RewriterProtocol,
+    available_rewriters,
+    create_rewriter,
+    register_rewriter,
+    resolve_rewriter_name,
+    validate_rewriter_name,
+)
 from repro.views.rewriting import (
+    BucketedRewriter,
+    ExhaustiveRewriter,
     RewriteReport,
     Rewriting,
     ViewImage,
@@ -30,17 +55,32 @@ from repro.views.rewriting import (
 from repro.views.view import View, ViewCatalog
 
 __all__ = [
+    "BucketStatistics",
+    "BucketedRewriter",
+    "CatalogIndex",
     "CostModel",
+    "DEFAULT_REWRITE_STRATEGY",
+    "ExhaustiveRewriter",
+    "REWRITE_STRATEGY_ENV_VAR",
     "RewriteReport",
+    "RewriterProtocol",
     "Rewriting",
     "View",
     "ViewCatalog",
     "ViewImage",
+    "available_rewriters",
+    "build_buckets",
+    "build_catalog_index",
+    "create_rewriter",
     "default_cost",
     "expand_query",
     "expand_view_atom",
     "find_view_images",
+    "iter_bucket_combinations",
     "match_level",
+    "register_rewriter",
+    "resolve_rewriter_name",
     "rewrite_with_views",
+    "validate_rewriter_name",
     "view_atoms_first",
 ]

@@ -1,26 +1,39 @@
 """Chase & backchase: rewriting a query to use materialized views.
 
 The procedure is the classic two-phase search, built from the paper's own
-primitives:
+primitives, run as a staged pipeline:
 
 1. **Chase** — the query is chased under Σ (the solver's cached chase,
    so repeated rewrites of one workload share the work).  Chasing first
    matters: a dependency can expose a view match that is invisible in the
    query's own atoms (the intro example's ``Q2(e) :- EMP(e, s, d)``
    matches the EMP⋈DEP view only after the foreign key adds the DEP
-   atom).  The views' defining queries are then matched into the chase by
-   homomorphism — the repo's dependency language is FDs and INDs, so the
-   view tgds of the textbook backchase are applied here as one-shot match
-   rules rather than as chase dependencies; the outcome (the set of view
-   atoms present in the universal plan) is the same.
-2. **Backchase** — candidate rewritings are built from subsets of the
-   matched view images (each image drops the base atoms it covers, the
-   uncovered atoms ride along), expanded back to the base schema, and kept
-   exactly when the containment engine certifies them equivalent to the
-   original query under Σ, in both directions, with certainty.
+   atom).  Because the chase has already applied Σ's FD/EGD merges, view
+   matching sees the canonical form — key-merged atoms cannot hide
+   coverage.
+2. **Catalog index / view selection** — the active rewriter strategy
+   (see :mod:`repro.views.registry`) decides which catalog views are
+   worth a homomorphism search at all.  ``"exhaustive"`` tries every
+   view; ``"bucketed"`` probes a :class:`~repro.views.index.CatalogIndex`
+   keyed on relation signatures, so a thousand-view catalog costs only
+   its handful of signature-compatible views.
+3. **Image discovery** — the surviving views' defining queries are
+   matched into the chase by homomorphism; the view tgds of the textbook
+   backchase are applied here as one-shot match rules rather than as
+   chase dependencies.
+4. **Candidate generation** — the strategy turns matched images into
+   candidate combinations: all subsets up to the size budget
+   (exhaustive) or MiniCon-style bucket growth
+   (:mod:`repro.views.buckets`).
+5. **Certification and ranking** — each candidate (view atoms plus the
+   uncovered base atoms) is expanded back to the base schema and kept
+   exactly when the containment engine certifies it equivalent to the
+   original query under Σ, in both directions, with certainty; certified
+   rewritings are ranked by a :mod:`~repro.views.cost` model — by
+   default fewest atoms, then fewest base-relation accesses.
 
-Certified rewritings are ranked by a :mod:`~repro.views.cost` model —
-by default fewest atoms, then fewest base-relation accesses.
+Per-stage wall-clock timings land in ``RewriteReport.stage_timings``
+(surfaced by ``repro rewrite --explain``).
 """
 
 from __future__ import annotations
@@ -36,11 +49,19 @@ from repro.homomorphism.problem import HomomorphismProblem
 from repro.homomorphism.query_homomorphism import build_target_index
 from repro.homomorphism.search import iter_homomorphisms
 from repro.obs import probe as _probe
+from repro.obs.clock import Stopwatch
 from repro.queries.conjunct import Conjunct
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.terms.term import Term, Variable
+from repro.views.buckets import (
+    BucketStatistics,
+    build_buckets,
+    iter_bucket_combinations,
+)
 from repro.views.cost import CostModel, default_cost
 from repro.views.expansion import expand_query
+from repro.views.index import build_catalog_index
+from repro.views.registry import register_rewriter
 from repro.views.view import ViewCatalog
 
 
@@ -100,7 +121,15 @@ class RewriteReport:
     an FD constant clash: the query is empty on every Σ-database and the
     search is skipped.  ``search_truncated`` reports that a budget
     (``max_images`` or ``max_candidates``) cut the enumeration short, so
-    an empty result is "none found within budget", not "none exists".
+    an empty result is "none found within budget", not "none exists";
+    ``views_skipped`` names the catalog views the image cap prevented
+    from being scanned at all, so a truncated search is diagnosable.
+    ``views_pruned`` counts views the strategy's catalog index rejected
+    before any homomorphism search (always 0 for ``exhaustive``), and
+    ``candidates_skipped_unsafe`` / ``candidates_deduped`` count the
+    candidates the safety check and the dedup set swallowed — the data
+    budget tuning needs.  ``stage_timings`` maps pipeline stage names to
+    wall-clock seconds.
     """
 
     original: ConjunctiveQuery
@@ -111,6 +140,12 @@ class RewriteReport:
     candidates_tried: int = 0
     unsatisfiable: bool = False
     search_truncated: bool = False
+    strategy: str = "exhaustive"
+    views_pruned: int = 0
+    views_skipped: List[str] = field(default_factory=list)
+    candidates_skipped_unsafe: int = 0
+    candidates_deduped: int = 0
+    stage_timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def best(self) -> Optional[Rewriting]:
@@ -127,6 +162,21 @@ class RewriteReport:
             lines.append("  query is unsatisfiable under Σ (FD constant clash)")
         if self.search_truncated:
             lines.append("  search truncated by budget")
+        if self.views_skipped:
+            shown = ", ".join(self.views_skipped[:8])
+            more = len(self.views_skipped) - 8
+            suffix = f" (+{more} more)" if more > 0 else ""
+            lines.append(
+                f"  image cap hit: {len(self.views_skipped)} view(s) never "
+                f"scanned: {shown}{suffix}")
+        if self.views_pruned:
+            lines.append(
+                f"  strategy {self.strategy!r} pruned {self.views_pruned} "
+                "view(s) by signature before matching")
+        if self.candidates_skipped_unsafe or self.candidates_deduped:
+            lines.append(
+                f"  candidates: {self.candidates_skipped_unsafe} skipped "
+                f"unsafe, {self.candidates_deduped} deduplicated")
         for rank, rewriting in enumerate(self.rewritings, start=1):
             lines.append(f"  #{rank} {rewriting.describe()}")
         return "\n".join(lines)
@@ -139,6 +189,13 @@ class RewriteReport:
             "candidates_tried": self.candidates_tried,
             "unsatisfiable": self.unsatisfiable,
             "search_truncated": self.search_truncated,
+            "strategy": self.strategy,
+            "views_pruned": self.views_pruned,
+            "views_skipped": list(self.views_skipped),
+            "candidates_skipped_unsafe": self.candidates_skipped_unsafe,
+            "candidates_deduped": self.candidates_deduped,
+            "stage_timings": {stage: round(seconds, 6)
+                              for stage, seconds in self.stage_timings.items()},
             "rewritings": [rewriting.as_dict() for rewriting in self.rewritings],
         }
 
@@ -161,21 +218,28 @@ def match_level(catalog: ViewCatalog) -> int:
     return max([2] + sizes)
 
 
-def find_view_images(catalog: ViewCatalog,
+def find_view_images(views: Sequence,
                      chase_atoms: Sequence[Conjunct],
                      base_labels: Set[str],
-                     max_images: int) -> Tuple[List[ViewImage], bool]:
-    """All (deduplicated) matches of the catalog's views into the chase.
+                     max_images: int,
+                     ) -> Tuple[List[ViewImage], bool, List[str]]:
+    """All (deduplicated) matches of the given views into the chase.
 
-    Returns the images plus a truncation flag.  Images with identical view
-    atoms are merged, their coverage unioned: each underlying homomorphism
-    justifies replacing its own covered atoms, and the certification phase
-    rejects any union that over-reaches.  The merge trades completeness
-    for boundedness — when a rejected union hides a certifiable
-    per-homomorphism sub-candidate (automorphic matches of a symmetric
-    view body covering different atoms), that smaller rewriting is not
-    enumerated; like the budget caps, an empty answer means "none found
-    by this search", not "none exists".
+    ``views`` is any iterable of :class:`~repro.views.view.View` — the
+    whole catalog, or the subset a strategy's index selected.  Returns
+    the images, a truncation flag, and the names of the views the image
+    cap prevented from being scanned at all (hitting the cap mid-catalog
+    used to abandon the remaining views silently).
+
+    Images with identical view atoms are merged, their coverage unioned:
+    each underlying homomorphism justifies replacing its own covered
+    atoms, and the certification phase rejects any union that
+    over-reaches.  The merge trades completeness for boundedness — when
+    a rejected union hides a certifiable per-homomorphism sub-candidate
+    (automorphic matches of a symmetric view body covering different
+    atoms), that smaller rewriting is not enumerated; like the budget
+    caps, an empty answer means "none found by this search", not "none
+    exists".
     """
     index = build_target_index(chase_atoms)
     label_by_key: Dict[Tuple[str, Tuple[Term, ...]], str] = {
@@ -186,8 +250,12 @@ def find_view_images(catalog: ViewCatalog,
     order: List[Tuple[str, Tuple[Term, ...]]] = []
     truncated = False
     capped = False
-    for view in catalog:
+    views_skipped: List[str] = []
+    view_list = list(views)
+    for scan_position, view in enumerate(view_list):
         if capped:
+            views_skipped = [skipped.name
+                             for skipped in view_list[scan_position:]]
             break
         problem = HomomorphismProblem(view.definition.conjuncts, index)
         # Distinct homomorphisms can collapse to one image (same head
@@ -230,7 +298,72 @@ def find_view_images(catalog: ViewCatalog,
         )
         for position, (view_name, terms) in enumerate(order)
     ]
-    return images, truncated
+    return images, truncated, views_skipped
+
+
+# ---------------------------------------------------------------------------
+# Candidate-generation strategies (see repro.views.registry)
+# ---------------------------------------------------------------------------
+
+
+class ExhaustiveRewriter:
+    """The seed behaviour: match every view, try every image subset.
+
+    The certified reference the bucketed strategy is differentially
+    tested against — its enumeration order and truncation points are
+    byte-identical to the pre-registry monolithic search.
+    """
+
+    strategy_name = "exhaustive"
+
+    def __init__(self) -> None:
+        self.views_pruned = 0
+        self.combos_pruned_unsafe = 0
+
+    def select_views(self, catalog, chase_atoms, index_provider):
+        return list(catalog)
+
+    def candidate_combinations(self, images, base_conjuncts, summary_row,
+                               max_combination_size):
+        def generate():
+            for size in range(1, max_combination_size + 1):
+                yield from combinations(images, size)
+        return generate()
+
+
+class BucketedRewriter:
+    """MiniCon-style: signature-index view pruning + bucketed growth."""
+
+    strategy_name = "bucketed"
+
+    def __init__(self) -> None:
+        self.views_pruned = 0
+        self.statistics = BucketStatistics()
+
+    @property
+    def combos_pruned_unsafe(self) -> int:
+        return self.statistics.combos_pruned_unsafe
+
+    def select_views(self, catalog, chase_atoms, index_provider):
+        index = index_provider()
+        survivors = index.probe(chase_atoms)
+        selected = [view for view in catalog if view.name in survivors]
+        self.views_pruned = len(catalog) - len(selected)
+        return selected
+
+    def candidate_combinations(self, images, base_conjuncts, summary_row,
+                               max_combination_size):
+        # Buckets are built eagerly so the pipeline's stage timer sees
+        # the build; only the growth enumeration is lazy.
+        buckets = build_buckets(images, base_conjuncts)
+        self.statistics.buckets = len(buckets)
+        return iter_bucket_combinations(
+            images, buckets, base_conjuncts, summary_row,
+            max_combination_size, self.statistics)
+
+
+register_rewriter("exhaustive", ExhaustiveRewriter)
+register_rewriter("bucketed", BucketedRewriter)
 
 
 # ---------------------------------------------------------------------------
@@ -257,6 +390,8 @@ def rewrite_with_views(query: ConjunctiveQuery,
                        max_candidates: int = 256,
                        chase_level: Optional[int] = None,
                        chase_max_conjuncts: Optional[int] = None,
+                       strategy: Optional[str] = None,
+                       catalog_index=None,
                        **containment_options) -> RewriteReport:
     """Chase & backchase search for view-based rewritings of ``query``.
 
@@ -267,6 +402,14 @@ def rewrite_with_views(query: ConjunctiveQuery,
     :func:`~repro.views.cost.default_cost`).  The three budgets bound the
     number of view images collected, the number of view atoms per
     candidate, and the number of candidates certified.
+
+    ``strategy`` names a registered rewriter (``None`` resolves through
+    ``$REPRO_REWRITE_STRATEGY`` to ``"exhaustive"``); ``catalog_index``
+    optionally supplies a prebuilt
+    :class:`~repro.views.index.CatalogIndex` for the catalog (the solver
+    passes its fingerprint-cached one) — index-using strategies build a
+    fresh one when it is absent.
+
     ``containment_options`` are the legacy containment keywords, passed
     through to every certification call; the matching chase follows the
     solver's variant and, unless overridden here, its conjunct budget.
@@ -274,11 +417,14 @@ def rewrite_with_views(query: ConjunctiveQuery,
     report = _rewrite_with_views(
         query, catalog, dependencies, solver, cost_model, max_images,
         max_combination_size, max_candidates, chase_level,
-        chase_max_conjuncts, **containment_options)
+        chase_max_conjuncts, strategy, catalog_index, **containment_options)
     probe = _probe.ACTIVE
     if probe is not None:
         probe.rewrite(report.candidates_tried, len(report.rewritings),
-                      report.images_found)
+                      report.images_found,
+                      views_pruned=report.views_pruned,
+                      candidates_skipped_unsafe=report.candidates_skipped_unsafe,
+                      candidates_deduped=report.candidates_deduped)
     return report
 
 
@@ -292,9 +438,12 @@ def _rewrite_with_views(query: ConjunctiveQuery,
                         max_candidates: int = 256,
                         chase_level: Optional[int] = None,
                         chase_max_conjuncts: Optional[int] = None,
+                        strategy: Optional[str] = None,
+                        catalog_index=None,
                         **containment_options) -> RewriteReport:
     from repro.api.solver import resolve_solver
     from repro.chase.engine import ChaseConfig
+    from repro.views.registry import create_rewriter
 
     session = resolve_solver(solver)
     sigma = dependencies if dependencies is not None else DependencySet()
@@ -302,11 +451,15 @@ def _rewrite_with_views(query: ConjunctiveQuery,
     if catalog.base_schema is not None and catalog.base_schema != query.input_schema:
         raise ViewError(
             f"query {query.name} is not over the catalog's base schema")
+    rewriter = create_rewriter(strategy)
     report = RewriteReport(original=query, dependencies=sigma,
-                           catalog_size=len(catalog))
+                           catalog_size=len(catalog),
+                           strategy=rewriter.strategy_name)
     if len(catalog) == 0:
         return report
 
+    timings = report.stage_timings
+    watch = Stopwatch()
     chase_config = ChaseConfig(
         variant=containment_options.get("variant", session.config.variant),
         max_level=chase_level if chase_level is not None else match_level(catalog),
@@ -316,21 +469,36 @@ def _rewrite_with_views(query: ConjunctiveQuery,
         engine=session.config.chase_engine,
     )
     chase_result = session.chase(query, sigma, chase_config)
+    timings["chase"] = watch.restart()
     if chase_result.failed:
         report.unsatisfiable = True
         return report
 
     # The FD-normalised original: level-0 conjuncts plus the (possibly
     # merged) summary row.  Candidates are built from these atoms so FD
-    # merges performed by the chase do not mask coverage.
+    # merges performed by the chase do not mask coverage — and the
+    # strategy's index probe sees the chased canonical form, so
+    # EGD-implied equalities cannot hide a view either.
     base_conjuncts = chase_result.conjuncts_up_to_level(0)
     summary_row = chase_result.summary_row
     base_labels = {conjunct.label for conjunct in base_conjuncts}
+    chase_atoms = list(chase_result.conjuncts())
 
-    images, truncated = find_view_images(
-        catalog, chase_result.conjuncts(), base_labels, max_images)
+    def index_provider():
+        if catalog_index is not None:
+            return catalog_index
+        return build_catalog_index(catalog)
+
+    selected_views = rewriter.select_views(catalog, chase_atoms, index_provider)
+    report.views_pruned = rewriter.views_pruned
+    timings["index_probe"] = watch.restart()
+
+    images, truncated, views_skipped = find_view_images(
+        selected_views, chase_atoms, base_labels, max_images)
     report.images_found = len(images)
     report.search_truncated = truncated
+    report.views_skipped = views_skipped
+    timings["image_discovery"] = watch.restart()
     if not images:
         return report
     # Images covering the most atoms first: singletons that replace whole
@@ -339,60 +507,67 @@ def _rewrite_with_views(query: ConjunctiveQuery,
     images.sort(key=lambda image: (-len(image.covered_labels),
                                    image.view_name, image.atom.label))
 
+    candidate_combinations = rewriter.candidate_combinations(
+        images, base_conjuncts, summary_row, max(1, max_combination_size))
+    timings["candidate_generation"] = watch.restart()
+
     extended = catalog.extended_schema()
     seen_candidates: Set[FrozenSet[Tuple[str, Tuple[Term, ...]]]] = set()
     certified: List[Rewriting] = []
-    budget_exhausted = False
-    for size in range(1, max(1, max_combination_size) + 1):
-        if budget_exhausted:
+    for combo in candidate_combinations:
+        if report.candidates_tried >= max_candidates:
+            report.search_truncated = True
             break
-        for combo in combinations(images, size):
-            if report.candidates_tried >= max_candidates:
-                report.search_truncated = True
-                budget_exhausted = True
-                break
-            covered: Set[str] = set()
-            for image in combo:
-                covered |= image.covered_labels
-            remainder = [c for c in base_conjuncts if c.label not in covered]
-            candidate_conjuncts = [image.atom for image in combo] + remainder
-            candidate_key = frozenset(
-                (c.relation, c.terms) for c in candidate_conjuncts)
-            if candidate_key in seen_candidates:
-                continue
-            seen_candidates.add(candidate_key)
-            if not _is_safe(candidate_conjuncts, summary_row):
-                continue
-            report.candidates_tried += 1
-            try:
-                candidate = ConjunctiveQuery(
-                    input_schema=extended,
-                    conjuncts=candidate_conjuncts,
-                    summary_row=summary_row,
-                    output_attributes=query.output_attributes,
-                    name=f"{query.name}_views",
-                )
-                expansion = expand_query(
-                    candidate, catalog, name=f"{query.name}_views_expanded")
-            except QueryError:
-                continue
-            forward = session.is_contained(expansion, query, sigma,
-                                           **containment_options)
-            if not (forward.certain and forward.holds):
-                continue
-            backward = session.is_contained(query, expansion, sigma,
-                                            **containment_options)
-            if not (backward.certain and backward.holds):
-                continue
-            certified.append(Rewriting(
-                query=candidate,
-                expansion=expansion,
-                view_names=tuple(image.view_name for image in combo),
-                cost=tuple(ranking(candidate, expansion)),
-                forward=forward,
-                backward=backward,
-            ))
+        covered: Set[str] = set()
+        for image in combo:
+            covered |= image.covered_labels
+        remainder = [c for c in base_conjuncts if c.label not in covered]
+        candidate_conjuncts = [image.atom for image in combo] + remainder
+        candidate_key = frozenset(
+            (c.relation, c.terms) for c in candidate_conjuncts)
+        if candidate_key in seen_candidates:
+            report.candidates_deduped += 1
+            continue
+        seen_candidates.add(candidate_key)
+        if not _is_safe(candidate_conjuncts, summary_row):
+            report.candidates_skipped_unsafe += 1
+            continue
+        report.candidates_tried += 1
+        try:
+            candidate = ConjunctiveQuery(
+                input_schema=extended,
+                conjuncts=candidate_conjuncts,
+                summary_row=summary_row,
+                output_attributes=query.output_attributes,
+                name=f"{query.name}_views",
+            )
+            expansion = expand_query(
+                candidate, catalog, name=f"{query.name}_views_expanded")
+        except QueryError:
+            continue
+        forward = session.is_contained(expansion, query, sigma,
+                                       **containment_options)
+        if not (forward.certain and forward.holds):
+            continue
+        backward = session.is_contained(query, expansion, sigma,
+                                        **containment_options)
+        if not (backward.certain and backward.holds):
+            continue
+        certified.append(Rewriting(
+            query=candidate,
+            expansion=expansion,
+            view_names=tuple(image.view_name for image in combo),
+            cost=tuple(ranking(candidate, expansion)),
+            forward=forward,
+            backward=backward,
+        ))
+    # The bucketed strategy pre-filters unsafe combinations during
+    # growth; fold its count in so the report is strategy-agnostic.
+    report.candidates_skipped_unsafe += getattr(
+        rewriter, "combos_pruned_unsafe", 0)
+    timings["certification"] = watch.restart()
 
     certified.sort(key=lambda rewriting: rewriting.cost)
     report.rewritings = certified
+    timings["ranking"] = watch.restart()
     return report

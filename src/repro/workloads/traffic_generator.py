@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Any, Dict, Iterator, List, Mapping, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.workloads.dependency_generator import DependencyGenerator
 from repro.workloads.query_generator import QueryGenerator
@@ -158,6 +158,62 @@ class TrafficGenerator:
                 record["query"] = rng.choice(tenant.rewrite_queries)
                 record["views"] = tenant.views_text
             yield record
+
+    # -- catalog-scale traffic (register once, rewrite by fingerprint) -------
+
+    def tenant_catalog_fp(self, tenant: Tenant) -> str:
+        """The fingerprint ``catalog.put`` will assign tenant's catalog.
+
+        Computed exactly the way the service computes it (parse the
+        texts, fingerprint the parsed catalog), so a generated stream
+        can reference catalogs before any server has seen them.
+        """
+        if not hasattr(self, "_catalog_fps"):
+            self._catalog_fps: Dict[str, str] = {}
+        if tenant.name not in self._catalog_fps:
+            from repro.api.fingerprints import catalog_fingerprint
+            from repro.parser.schema_parser import parse_schema
+            from repro.parser.view_parser import parse_views
+            catalog = parse_views(tenant.views_text,
+                                  parse_schema(tenant.schema_text))
+            self._catalog_fps[tenant.name] = catalog_fingerprint(catalog)
+        return self._catalog_fps[tenant.name]
+
+    def catalog_registrations(self) -> List[Dict[str, Any]]:
+        """One ``catalog.put`` record per tenant (replay these first)."""
+        return [{"id": f"{tenant.name}/catalog.put", "op": "catalog.put",
+                 "views": tenant.views_text, "schema": tenant.schema_text,
+                 "name": tenant.name}
+                for tenant in self.tenants]
+
+    def catalog_requests(self, count: int, stream_seed: int = 0,
+                         strategy: Optional[str] = None) -> List[Dict[str, Any]]:
+        """``count`` rewrite-by-fingerprint records (Zipf tenants).
+
+        The catalog-scale traffic shape: every record carries
+        ``catalog_fp`` instead of the tenant's views text, so the
+        server must have replayed :meth:`catalog_registrations` (or a
+        coordinator must have broadcast them) first.  ``strategy``
+        optionally pins the rewriter on every record — how a
+        differential harness drives both strategies over one stream.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        rng = random.Random(f"{self.seed}:catalog:{stream_seed}")
+        records: List[Dict[str, Any]] = []
+        for serial in range(count):
+            tenant = self.pick_tenant(rng)
+            record: Dict[str, Any] = {
+                "id": f"{tenant.name}/rewrite-fp/{serial}",
+                "op": "rewrite",
+                "query": rng.choice(tenant.rewrite_queries),
+                "catalog_fp": self.tenant_catalog_fp(tenant),
+                **tenant.record_base(),
+            }
+            if strategy is not None:
+                record["strategy"] = strategy
+            records.append(record)
+        return records
 
     def streams(self, stream_count: int, count_per_stream: int,
                 mix: Mapping[str, float] = DEFAULT_MIX,

@@ -27,7 +27,12 @@ from repro.dependencies.dependency_set import DependencySet
 from repro.queries.conjunct import Conjunct
 from repro.queries.conjunctive_query import ConjunctiveQuery
 from repro.relational.schema import DatabaseSchema
-from repro.terms.term import DistinguishedVariable, NonDistinguishedVariable, Term
+from repro.terms.term import (
+    Constant,
+    DistinguishedVariable,
+    NonDistinguishedVariable,
+    Term,
+)
 from repro.views.view import View, ViewCatalog
 from repro.workloads.query_generator import QueryGenerator
 
@@ -141,6 +146,117 @@ class ViewCatalogGenerator:
             )
             views.append(View(f"{prefix}{position + 1}", definition))
         return views
+
+    # -- LAV catalog scale -------------------------------------------------
+
+    def lav_catalog(self, size: int,
+                    dependencies: Optional[DependencySet] = None,
+                    prefix: str = "VL") -> ViewCatalog:
+        """A LAV-style catalog of ``size`` distinct views (catalog scale).
+
+        The local-as-view shape: every view is a small definition over
+        one or two base relations — column projections, selections
+        pinning a column to a constant, and binary joins — cycled
+        deterministically over the schema's relations.  This is exactly
+        the catalog a signature-indexed rewriter prunes well: a query
+        touching a handful of relations can only be answered by the
+        views whose bodies mention them, and in a wide schema that is a
+        small fraction of the catalog.  Key-join collapses (when
+        ``dependencies`` is given) seed the pool so the
+        dependency-blessed views are always present.  Sizes from a few
+        views to a few thousand are practical; names are
+        ``{prefix}<serial>`` and therefore pairwise distinct.
+        """
+        if size <= 0:
+            raise ValueError("size must be positive")
+        relations = [self._schema.relation(name)
+                     for name in self._schema.relation_names]
+        if not relations:
+            raise ValueError("lav_catalog needs a schema with relations")
+        views: List[View] = []
+        if dependencies is not None:
+            views.extend(self.key_join_collapses(
+                dependencies, prefix=f"{prefix}K")[:size])
+        serial = 0
+        while len(views) < size:
+            serial += 1
+            name = f"{prefix}{serial}"
+            relation = relations[(serial // 3) % len(relations)]
+            shape = serial % 3
+            if shape == 1 and relation.arity >= 2:
+                views.append(self._selection_view(name, relation, serial))
+            elif shape == 2:
+                other = relations[(serial // 3 + 1) % len(relations)]
+                views.append(self._binary_join_view(name, relation, other,
+                                                    serial))
+            else:
+                views.append(self._projection_view(name, relation, serial))
+        catalog = ViewCatalog(schema=self._schema)
+        for view in views[:size]:
+            catalog.add(view)
+        return catalog
+
+    def _projection_view(self, name: str, relation, serial: int) -> View:
+        """Keep a serial-dependent prefix of columns, hide the rest."""
+        keep = 1 + (serial % relation.arity)
+        terms: List[Term] = []
+        head: List[DistinguishedVariable] = []
+        for position in range(relation.arity):
+            if position < keep:
+                variable = DistinguishedVariable(f"h{position + 1}")
+                head.append(variable)
+                terms.append(variable)
+            else:
+                terms.append(NonDistinguishedVariable(f"n{position + 1}"))
+        definition = ConjunctiveQuery(
+            input_schema=self._schema,
+            conjuncts=[Conjunct(relation.name, terms)],
+            summary_row=tuple(head), name=name)
+        return View(name, definition)
+
+    def _selection_view(self, name: str, relation, serial: int) -> View:
+        """Pin one column to a constant, expose the others."""
+        pinned = serial % relation.arity
+        terms: List[Term] = []
+        head: List[DistinguishedVariable] = []
+        for position in range(relation.arity):
+            if position == pinned:
+                terms.append(Constant(serial % 7))
+            else:
+                variable = DistinguishedVariable(f"h{position + 1}")
+                head.append(variable)
+                terms.append(variable)
+        definition = ConjunctiveQuery(
+            input_schema=self._schema,
+            conjuncts=[Conjunct(relation.name, terms)],
+            summary_row=tuple(head), name=name)
+        return View(name, definition)
+
+    def _binary_join_view(self, name: str, left, right,
+                          serial: int) -> View:
+        """Join two relations on one column; expose the left side."""
+        join_left = serial % left.arity
+        join_right = serial % right.arity
+        shared = DistinguishedVariable("j1")
+        head: List[DistinguishedVariable] = [shared]
+        left_terms: List[Term] = []
+        for position in range(left.arity):
+            if position == join_left:
+                left_terms.append(shared)
+            else:
+                variable = DistinguishedVariable(f"l{position + 1}")
+                head.append(variable)
+                left_terms.append(variable)
+        right_terms: List[Term] = [
+            shared if position == join_right
+            else NonDistinguishedVariable(f"r{position + 1}")
+            for position in range(right.arity)]
+        definition = ConjunctiveQuery(
+            input_schema=self._schema,
+            conjuncts=[Conjunct(left.name, left_terms),
+                       Conjunct(right.name, right_terms)],
+            summary_row=tuple(head), name=name)
+        return View(name, definition)
 
     # -- catalog assembly --------------------------------------------------
 

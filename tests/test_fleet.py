@@ -832,3 +832,82 @@ class TestFleetObservability:
                 assert "repro_fleet_nodes" in text
                 health = admin.obs_health()
                 assert health["pid"] > 0
+
+
+# ---------------------------------------------------------------------------
+# Catalog registration across the fleet (PR 10)
+# ---------------------------------------------------------------------------
+
+VIEWS_TEXT = "DEPT_EMP(e, d, l) :- EMP(e, s, d), DEP(d, l)"
+
+
+class TestFleetCatalogs:
+    def test_put_is_admin_gated_and_broadcast(self):
+        with running_fleet() as fleet:
+            with ServiceClient(port=fleet.port) as user:
+                forbidden = user.catalog_put(VIEWS_TEXT, schema=SCHEMA_TEXT)
+                assert not forbidden["ok"]
+                assert forbidden["error"]["kind"] == "forbidden"
+            with FleetClient(port=fleet.port, admin_token=TOKEN) as admin:
+                put = admin.catalog_put(VIEWS_TEXT, schema=SCHEMA_TEXT,
+                                        name="intro")
+                assert put["ok"], put
+                fingerprint = put["result"]["fingerprint"]
+                # Broadcast reached every alive node's own store.
+                assert [n["ok"] for n in put["nodes"]] == [True, True]
+                for node in fleet.nodes:
+                    assert len(node.pool.catalogs) == 1
+            # catalog.list is user tier — tenants can discover what is
+            # registered without the admin token.
+            with ServiceClient(port=fleet.port) as user:
+                listed = user.catalog_list()
+                assert listed["ok"]
+                rows = listed["result"]["catalogs"]
+                assert [row["fingerprint"] for row in rows] == [fingerprint]
+                dropped = user.catalog_drop(fingerprint)
+                assert not dropped["ok"]
+                assert dropped["error"]["kind"] == "forbidden"
+
+    def test_rewrite_by_fingerprint_routes_to_a_node(self):
+        with running_fleet() as fleet:
+            with FleetClient(port=fleet.port, admin_token=TOKEN) as admin:
+                put = admin.catalog_put(VIEWS_TEXT, schema=SCHEMA_TEXT)
+                fingerprint = put["result"]["fingerprint"]
+            with ServiceClient(port=fleet.port) as user:
+                envelope = user.rewrite(QUERY, catalog_fp=fingerprint,
+                                        deps=DEPS_TEXT, strategy="bucketed")
+                assert envelope["ok"], envelope
+                assert envelope["node"] in ("node-0", "node-1")
+                assert envelope["result"]["strategy"] == "bucketed"
+                assert envelope["result"]["rewritings"]
+                # An unregistered fingerprint fails fast at the
+                # coordinator instead of bouncing off a node.
+                unknown = user.rewrite(QUERY, catalog_fp="0" * 64,
+                                       deps=DEPS_TEXT)
+                assert not unknown["ok"]
+                assert unknown["error"]["kind"] == "protocol"
+
+    def test_drop_propagates(self):
+        with running_fleet(node_count=1) as fleet:
+            with FleetClient(port=fleet.port, admin_token=TOKEN) as admin:
+                put = admin.catalog_put(VIEWS_TEXT, schema=SCHEMA_TEXT)
+                fingerprint = put["result"]["fingerprint"]
+                assert len(fleet.nodes[0].pool.catalogs) == 1
+                dropped = admin.catalog_drop(fingerprint)
+                assert dropped["ok"] and dropped["result"]["dropped"]
+                assert len(fleet.nodes[0].pool.catalogs) == 0
+
+    def test_registration_replays_the_catalog_set(self):
+        with running_fleet(node_count=1) as fleet:
+            with FleetClient(port=fleet.port, admin_token=TOKEN) as admin:
+                admin.catalog_put(VIEWS_TEXT, schema=SCHEMA_TEXT)
+            host, port = fleet.nodes[0].address[1]
+            with ServiceClient(port=fleet.port) as client:
+                envelope = client.request({
+                    "op": "fleet.register", "admin_token": TOKEN,
+                    "node": {"name": "node-0", "host": host, "port": port,
+                             "protocol_version": 2,
+                             "capacity": {"total": 100}}})
+                assert envelope["ok"], envelope
+                assert envelope["result"]["catalogs_replayed"] == 1
+            assert len(fleet.nodes[0].pool.catalogs) == 1

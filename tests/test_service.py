@@ -631,3 +631,123 @@ class TestInvalidUTF8Requests:
             finally:
                 raw.close()
         pool.close()
+
+
+# ---------------------------------------------------------------------------
+# Catalog registration (PR 10): catalog.put/list/drop + rewrite-by-fp
+# ---------------------------------------------------------------------------
+
+
+class TestCatalogStore:
+    def test_put_get_drop_round_trip(self):
+        from repro.service import CatalogStore
+        store = CatalogStore()
+        parser = TenantParser()
+        entry = store.put(VIEWS_TEXT, SCHEMA_TEXT, parser, name="intro")
+        assert entry["view_count"] == 1 and entry["name"] == "intro"
+        assert not entry["replaced"]
+        assert store.get(entry["fingerprint"])["views_text"] == VIEWS_TEXT
+        assert len(store) == 1
+        # Re-putting the same catalog replaces in place.
+        again = store.put(VIEWS_TEXT, SCHEMA_TEXT, parser)
+        assert again["fingerprint"] == entry["fingerprint"]
+        assert again["replaced"] and len(store) == 1
+        assert store.drop(entry["fingerprint"])
+        assert not store.drop(entry["fingerprint"])
+        assert len(store) == 0
+
+    def test_fingerprint_matches_the_client_side_computation(self):
+        from repro.api.fingerprints import catalog_fingerprint
+        from repro.parser.view_parser import parse_views
+        from repro.service import CatalogStore
+        store = CatalogStore()
+        entry = store.put(VIEWS_TEXT, SCHEMA_TEXT, TenantParser())
+        local = catalog_fingerprint(
+            parse_views(VIEWS_TEXT, parse_schema(SCHEMA_TEXT)))
+        assert entry["fingerprint"] == local
+
+    def test_empty_catalog_is_rejected(self):
+        from repro.service import CatalogStore
+        with pytest.raises(ProtocolError):
+            CatalogStore().put("", SCHEMA_TEXT, TenantParser())
+
+    def test_store_is_bounded(self):
+        from repro.service import CatalogStore
+        store = CatalogStore(max_entries=4)
+        parser = TenantParser()
+        for index in range(9):
+            views = f"V{index}(e, s, d) :- EMP(e, s, d)"
+            store.put(views, SCHEMA_TEXT, parser)
+        assert len(store) <= 4
+
+    def test_validate_record_accepts_catalog_ops(self):
+        validate_record({"op": "catalog.put", "views": VIEWS_TEXT,
+                         "schema": SCHEMA_TEXT})
+        validate_record({"op": "catalog.list"})
+        validate_record({"op": "catalog.drop", "catalog_fp": "abc"})
+        with pytest.raises(ProtocolError):
+            validate_record({"op": "catalog.put"})  # views missing
+        with pytest.raises(ProtocolError):
+            validate_record({"op": "catalog.drop"})  # catalog_fp missing
+        # rewrite needs views OR catalog_fp — neither is a protocol error
+        validate_record({"op": "rewrite", "query": QUERY,
+                         "catalog_fp": "abc"})
+        with pytest.raises(ProtocolError):
+            validate_record({"op": "rewrite", "query": QUERY})
+
+
+class TestCatalogService:
+    def test_pool_round_trip_and_rewrite_by_fp(self, served_pool):
+        pool, client, _ = served_pool
+        put = client.catalog_put(VIEWS_TEXT, schema=SCHEMA_TEXT,
+                                 name="intro", identifier="cp1")
+        assert put["ok"] and put["id"] == "cp1"
+        fingerprint = put["result"]["fingerprint"]
+        assert put["result"]["view_count"] == 1
+
+        listed = client.catalog_list()
+        assert listed["ok"]
+        assert [row["fingerprint"] for row in listed["result"]["catalogs"]] \
+            == [fingerprint]
+
+        # Rewrite referencing the registered catalog by fingerprint only.
+        rewrite = client.rewrite(QUERY_PRIME, catalog_fp=fingerprint,
+                                 schema=SCHEMA_TEXT, deps=DEPS_TEXT)
+        assert rewrite["ok"] and rewrite["result"]["rewritings"]
+        assert pool.counters()["catalogs"] == 1
+
+        dropped = client.catalog_drop(fingerprint)
+        assert dropped["ok"] and dropped["result"]["dropped"]
+        gone = client.rewrite(QUERY_PRIME, catalog_fp=fingerprint,
+                              schema=SCHEMA_TEXT, deps=DEPS_TEXT)
+        assert not gone["ok"] and gone["error"]["kind"] == "protocol"
+        assert "catalog.put" in gone["error"]["message"]
+
+    def test_per_record_strategy_selects_the_rewriter(self, served_pool):
+        _, client, _ = served_pool
+        put = client.catalog_put(VIEWS_TEXT, schema=SCHEMA_TEXT)
+        fingerprint = put["result"]["fingerprint"]
+        for strategy in ("exhaustive", "bucketed"):
+            envelope = client.rewrite(QUERY_PRIME, catalog_fp=fingerprint,
+                                      schema=SCHEMA_TEXT, deps=DEPS_TEXT,
+                                      strategy=strategy)
+            assert envelope["ok"], strategy
+            assert envelope["result"]["strategy"] == strategy
+            assert envelope["result"]["rewritings"]
+        bad = client.rewrite(QUERY_PRIME, catalog_fp=fingerprint,
+                             schema=SCHEMA_TEXT, strategy="nope")
+        assert not bad["ok"] and bad["error"]["kind"] == "parse"
+
+    def test_catalog_traffic_replays_through_a_pool(self):
+        traffic = TrafficGenerator(tenant_count=3, seed=11)
+        with ShardedSolverPool(shard_count=2, mode="inline") as pool:
+            for registration in traffic.catalog_registrations():
+                envelope = pool.submit(registration).result()
+                assert envelope["ok"], envelope
+            assert pool.counters()["catalogs"] == 3
+            responses = pool.execute_all(
+                traffic.catalog_requests(12, strategy="bucketed"))
+            assert len(responses) == 12
+            assert all(envelope["ok"] for envelope in responses)
+            assert all(envelope["result"]["strategy"] == "bucketed"
+                       for envelope in responses)
